@@ -1,0 +1,228 @@
+// Benchmark entry points: one testing.B benchmark per table and figure of
+// the paper's evaluation (Section VII), plus micro-benchmarks of the core
+// building blocks. Each experiment benchmark regenerates its artifact on a
+// cached environment; run the full suite with
+//
+//	go test -bench=. -benchmem
+//
+// and the standalone harness with richer output via
+//
+//	go run ./cmd/kgbench -exp all
+package semkg_test
+
+import (
+	"context"
+	"testing"
+
+	"semkg/internal/bench"
+	"semkg/internal/core"
+	"semkg/internal/datagen"
+	"semkg/internal/embed"
+)
+
+const benchScale = 0.25
+
+var benchEmbed = embed.Config{Dim: 48, Epochs: 100, Seed: 3}
+
+func benchEnv(b *testing.B, p datagen.Profile) *bench.Env {
+	b.Helper()
+	env, err := bench.Cached(bench.Config{Profile: p, Embed: benchEmbed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+// BenchmarkTable1 regenerates Table I: P/R of all 8 methods on the four
+// Q117 query-graph variants.
+func BenchmarkTable1(b *testing.B) {
+	env := benchEnv(b, datagen.DBpediaLike(benchScale))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := bench.RunTable1(env); len(res.Rows) != 8 {
+			b.Fatal("unexpected Table I shape")
+		}
+	}
+}
+
+// BenchmarkFig12DBpedia regenerates Figure 12 (panels a-d): effectiveness
+// and response time vs top-k on the DBpedia-like dataset.
+func BenchmarkFig12DBpedia(b *testing.B) {
+	env := benchEnv(b, datagen.DBpediaLike(benchScale))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.RunFigure(env, nil)
+	}
+}
+
+// BenchmarkFig13Freebase regenerates Figure 13 on the Freebase-like
+// dataset.
+func BenchmarkFig13Freebase(b *testing.B) {
+	env := benchEnv(b, datagen.FreebaseLike(benchScale))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.RunFigure(env, nil)
+	}
+}
+
+// BenchmarkFig14YAGO2 regenerates Figure 14 on the YAGO2-like dataset.
+func BenchmarkFig14YAGO2(b *testing.B) {
+	env := benchEnv(b, datagen.YAGO2Like(benchScale))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.RunFigure(env, nil)
+	}
+}
+
+// BenchmarkFig15TimeBounds regenerates Figure 15: TBQ effectiveness and
+// response time across time bounds.
+func BenchmarkFig15TimeBounds(b *testing.B) {
+	env := benchEnv(b, datagen.DBpediaLike(benchScale))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.RunFig15(env, 0, nil)
+	}
+}
+
+// BenchmarkTable5Pivot regenerates Table V: per-pivot effectiveness and
+// efficiency on the complex query.
+func BenchmarkTable5Pivot(b *testing.B) {
+	env := benchEnv(b, datagen.DBpediaLike(benchScale))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable5(env, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6PivotStrategy regenerates Table VI: minCost vs Random
+// pivot selection across query complexities.
+func BenchmarkTable6PivotStrategy(b *testing.B) {
+	env := benchEnv(b, datagen.DBpediaLike(benchScale))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.RunTable6(env)
+	}
+}
+
+// BenchmarkTable7UserStudy regenerates Table VII: the simulated
+// crowd-sourcing study's PCC per query over all three datasets.
+func BenchmarkTable7UserStudy(b *testing.B) {
+	envs := []*bench.Env{
+		benchEnv(b, datagen.DBpediaLike(benchScale)),
+		benchEnv(b, datagen.FreebaseLike(benchScale)),
+		benchEnv(b, datagen.YAGO2Like(benchScale)),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.RunTable7(envs, 7)
+	}
+}
+
+// BenchmarkFig17Noise regenerates Figure 17 and Table VIII: robustness and
+// response time under node/edge noise.
+func BenchmarkFig17Noise(b *testing.B) {
+	env := benchEnv(b, datagen.DBpediaLike(benchScale))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.RunNoise(env, 0, nil)
+	}
+}
+
+// BenchmarkTable9Scalability regenerates Table IX: online SGQ time across
+// nested graph scales plus offline embedding cost.
+func BenchmarkTable9Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunTable9([]float64{0.1, 0.18, 0.25}, nil, benchEmbed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable10Sensitivity regenerates Table X: the n̂ and τ sweeps.
+func BenchmarkTable10Sensitivity(b *testing.B) {
+	env := benchEnv(b, datagen.DBpediaLike(benchScale))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.RunTable10(env, 0)
+	}
+}
+
+// BenchmarkAblation measures the search-variant ablation (exact A* vs
+// uninformed vs visited-set pruning).
+func BenchmarkAblation(b *testing.B) {
+	env := benchEnv(b, datagen.DBpediaLike(benchScale))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.RunAblation(env, 0)
+	}
+}
+
+// --- micro-benchmarks ---------------------------------------------------
+
+// BenchmarkSGQQuery measures one end-to-end SGQ query (decompose, A*
+// search, TA assembly) on the benchmark world.
+func BenchmarkSGQQuery(b *testing.B) {
+	env := benchEnv(b, datagen.DBpediaLike(benchScale))
+	q := env.Dataset.Simple[0]
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Engine.Search(ctx, q.Graph, env.SearchOptions(20)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTBQQuery measures one time-bounded query.
+func BenchmarkTBQQuery(b *testing.B) {
+	env := benchEnv(b, datagen.DBpediaLike(benchScale))
+	q := env.Dataset.Simple[0]
+	ctx := context.Background()
+	opts := env.SearchOptions(20)
+	opts.TimeBound = 500 * 1000 // 500µs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Engine.Search(ctx, q.Graph, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransETraining measures one full TransE training run on a small
+// world (the offline phase).
+func BenchmarkTransETraining(b *testing.B) {
+	ds := datagen.Generate(datagen.DBpediaLike(0.1))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := embed.TrainTransE(ctx, ds.Graph, embed.Config{Dim: 32, Epochs: 20, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineGraB measures one GraB baseline query for comparison
+// with BenchmarkSGQQuery.
+func BenchmarkBaselineGraB(b *testing.B) {
+	env := benchEnv(b, datagen.DBpediaLike(benchScale))
+	sys := env.Baselines(0.5)[0] // GraB
+	q := env.Dataset.Simple[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Run(q, 20)
+	}
+}
+
+// BenchmarkEngineBuild measures engine construction (matcher + space
+// wiring) excluding training.
+func BenchmarkEngineBuild(b *testing.B) {
+	env := benchEnv(b, datagen.DBpediaLike(benchScale))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewEngine(env.Dataset.Graph, env.Space, env.Dataset.Library); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command kgbench regenerates the paper's evaluation tables and figures
+// (Section VII) on the synthetic dataset substitutes. Each experiment
+// prints an aligned text table; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	kgbench -exp all -scale 0.3
+//	kgbench -exp table1
+//	kgbench -exp fig12 -scale 0.5 -epochs 150
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"semkg/internal/bench"
+	"semkg/internal/datagen"
+	"semkg/internal/embed"
+)
+
+func main() {
+	exp := flag.String("exp", "all",
+		"experiment: table1 | fig12 | fig13 | fig14 | fig15 | table5 | table6 | table7 | noise | table9 | table10 | ablation | all")
+	scale := flag.Float64("scale", 0.3, "dataset scale")
+	dim := flag.Int("dim", 48, "embedding dimension")
+	epochs := flag.Int("epochs", 120, "embedding epochs")
+	tau := flag.Float64("tau", 0.7, "pss threshold τ")
+	flag.Parse()
+
+	embedCfg := embed.Config{Dim: *dim, Epochs: *epochs, Seed: 3}
+	envFor := func(p datagen.Profile) *bench.Env {
+		env, err := bench.Cached(bench.Config{Profile: p, Embed: embedCfg, Tau: *tau})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kgbench: %v\n", err)
+			os.Exit(1)
+		}
+		return env
+	}
+	dbp := func() *bench.Env { return envFor(datagen.DBpediaLike(*scale)) }
+
+	show := func(tables ...*bench.Table) {
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+	}
+	run := func(name string) {
+		switch name {
+		case "table1":
+			show(bench.RunTable1(dbp()).Render())
+		case "fig12":
+			show(bench.RunFigure(dbp(), nil).Render()...)
+		case "fig13":
+			show(bench.RunFigure(envFor(datagen.FreebaseLike(*scale)), nil).Render()...)
+		case "fig14":
+			show(bench.RunFigure(envFor(datagen.YAGO2Like(*scale)), nil).Render()...)
+		case "fig15":
+			show(bench.RunFig15(dbp(), 0, nil).Render())
+		case "table5":
+			res, err := bench.RunTable5(dbp(), nil)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kgbench: table5: %v\n", err)
+				return
+			}
+			show(res.Render())
+		case "table6":
+			show(bench.RunTable6(dbp()).Render())
+		case "table7":
+			envs := []*bench.Env{
+				dbp(),
+				envFor(datagen.FreebaseLike(*scale)),
+				envFor(datagen.YAGO2Like(*scale)),
+			}
+			show(bench.RunTable7(envs, 7).Render())
+		case "noise":
+			show(bench.RunNoise(dbp(), 0, nil).Render())
+		case "table9":
+			res, err := bench.RunTable9([]float64{*scale * 0.4, *scale * 0.7, *scale}, nil, embedCfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kgbench: table9: %v\n", err)
+				return
+			}
+			show(res.Render())
+		case "table10":
+			show(bench.RunTable10(dbp(), 0).Render())
+		case "ablation":
+			show(bench.RunAblation(dbp(), 0).Render())
+		default:
+			fmt.Fprintf(os.Stderr, "kgbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{
+			"table1", "fig12", "fig13", "fig14", "fig15",
+			"table5", "table6", "table7", "noise", "table9", "table10", "ablation",
+		} {
+			fmt.Printf("=== %s ===\n", strings.ToUpper(name))
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,131 @@
+// Command kgsearch answers query graphs over a knowledge graph with the
+// semantic-guided (SGQ) or time-bounded (TBQ) search.
+//
+// Single-edge queries come from flags:
+//
+//	kgsearch -graph g.tsv -model m.bin -type Automobile -entity Germany -pred assembly -k 10
+//
+// General query graphs come from a JSON file (the query.Graph shape):
+//
+//	kgsearch -graph g.tsv -model m.bin -queryfile q.json -k 10 -bound 50ms
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"semkg/internal/core"
+	"semkg/internal/embed"
+	"semkg/internal/kg"
+	"semkg/internal/query"
+)
+
+func main() {
+	graphFile := flag.String("graph", "", "triple file (required)")
+	modelFile := flag.String("model", "", "embedding model file (required)")
+	queryFile := flag.String("queryfile", "", "JSON query graph file")
+	focusType := flag.String("type", "", "focus entity type (single-edge query)")
+	entity := flag.String("entity", "", "anchor entity name (single-edge query)")
+	pred := flag.String("pred", "", "query predicate (single-edge query)")
+	k := flag.Int("k", 10, "number of answers")
+	tau := flag.Float64("tau", 0.6, "pss threshold τ")
+	maxHops := flag.Int("nhat", 4, "desired path length n̂")
+	bound := flag.Duration("bound", 0, "response time bound (0 = exact SGQ)")
+	flag.Parse()
+
+	if *graphFile == "" || *modelFile == "" {
+		fmt.Fprintln(os.Stderr, "kgsearch: -graph and -model are required")
+		os.Exit(2)
+	}
+	g := loadGraph(*graphFile)
+	model := loadModel(*modelFile)
+	space, err := model.Space(g)
+	if err != nil {
+		fail(err)
+	}
+	engine, err := core.NewEngine(g, space, nil)
+	if err != nil {
+		fail(err)
+	}
+
+	var q query.Graph
+	switch {
+	case *queryFile != "":
+		data, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fail(err)
+		}
+		if err := json.Unmarshal(data, &q); err != nil {
+			fail(fmt.Errorf("parsing query: %w", err))
+		}
+	case *focusType != "" && *entity != "" && *pred != "":
+		q = query.Graph{
+			Nodes: []query.Node{
+				{ID: "v1", Type: *focusType},
+				{ID: "v2", Name: *entity},
+			},
+			Edges: []query.Edge{{From: "v1", To: "v2", Predicate: *pred}},
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "kgsearch: provide -queryfile or -type/-entity/-pred")
+		os.Exit(2)
+	}
+
+	res, err := engine.Search(context.Background(), &q, core.Options{
+		K: *k, Tau: *tau, MaxHops: *maxHops, TimeBound: *bound,
+	})
+	if err != nil {
+		fail(err)
+	}
+	mode := "SGQ (exact)"
+	if *bound > 0 {
+		mode = fmt.Sprintf("TBQ (bound %s, approximate=%v)", *bound, res.Approximate)
+	}
+	fmt.Printf("%s answered in %s — %d answer(s)\n", mode,
+		res.Elapsed.Round(time.Microsecond), len(res.Answers))
+	for i, a := range res.Answers {
+		fmt.Printf("%2d. %-24s score=%.3f\n", i+1, a.PivotName, a.Score)
+		for _, p := range a.Parts {
+			fmt.Printf("      pss=%.3f:", p.PSS)
+			for _, s := range p.Steps {
+				fmt.Printf(" %s-[%s]->%s", s.FromName, s.Predicate, s.ToName)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func loadGraph(path string) *kg.Graph {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	g, err := kg.ReadTriples(f)
+	if err != nil {
+		fail(err)
+	}
+	return g
+}
+
+func loadModel(path string) *embed.Model {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	m, err := embed.ReadModel(f)
+	if err != nil {
+		fail(err)
+	}
+	return m
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "kgsearch: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Quickstart: build a small knowledge graph, train the embedding, and run
+// a semantic-guided top-k search — the 60-second tour of the public API.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"semkg"
+)
+
+const triples = `
+Germany	type	Country
+France	type	Country
+Munich	type	City
+BMW_Co	type	Company
+Munich	country	Germany
+BMW_Co	locationCountry	Germany
+BMW_320	type	Automobile
+BMW_320	assembly	Germany
+BMW_320	product	Germany
+Audi_TT	type	Automobile
+Audi_TT	assembly	Germany
+BMW_Z4	type	Automobile
+BMW_Z4	assembly	Munich
+BMW_X6	type	Automobile
+BMW_X6	manufacturer	BMW_Co
+Clio	type	Automobile
+Clio	assembly	France
+`
+
+func main() {
+	ctx := context.Background()
+
+	// 1. Load the knowledge graph (or assemble one with NewGraphBuilder).
+	g, err := semkg.LoadTriples(strings.NewReader(strings.TrimSpace(triples) + "\n"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graph:", g.Stats())
+
+	// 2. Train the predicate embedding (offline phase; seconds at this size).
+	model, err := semkg.Train(ctx, g, semkg.TrainConfig{Dim: 24, Epochs: 80, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A library maps user vocabulary to graph vocabulary (Car ->
+	// Automobile); heuristics cover abbreviations automatically.
+	lib := semkg.NewLibrary()
+	lib.AddSynonyms("Car", "Automobile")
+
+	eng, err := semkg.NewEngine(g, model, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Ask: which cars are produced in Germany? The query uses the
+	// synonym type <Car>; answers cover the direct assembly schema, the
+	// product predicate, the via-city schema and the via-company schema —
+	// no exact structural match required.
+	res, err := eng.Search(ctx, &semkg.Query{
+		Nodes: []semkg.QueryNode{
+			{ID: "car", Type: "Car"},
+			{ID: "c", Name: "Germany", Type: "Country"},
+		},
+		Edges: []semkg.QueryEdge{{From: "car", To: "c", Predicate: "assembly"}},
+	}, semkg.Options{K: 10, Tau: 0.4, MaxHops: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("top-%d answers in %s:\n", len(res.Answers), res.Elapsed)
+	for i, a := range res.Answers {
+		fmt.Printf("%2d. %-10s score=%.3f\n", i+1, a.PivotName, a.Score)
+		for _, p := range a.Parts {
+			fmt.Printf("      via (pss=%.3f):", p.PSS)
+			for _, s := range p.Steps {
+				fmt.Printf(" %s -[%s]-> %s", s.FromName, s.Predicate, s.ToName)
+			}
+			fmt.Println()
+		}
+	}
+}

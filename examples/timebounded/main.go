@@ -1,0 +1,69 @@
+// Timebounded: the anytime behaviour of Section VI — the same query
+// answered under growing response-time budgets converges to the exact
+// top-k (Theorem 4), letting interactive applications trade accuracy for
+// latency.
+//
+// Run with: go run ./examples/timebounded
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"semkg"
+	"semkg/internal/datagen"
+	"semkg/internal/metrics"
+)
+
+func main() {
+	ctx := context.Background()
+	ds := datagen.Generate(datagen.DBpediaLike(0.4))
+	model, err := semkg.Train(ctx, ds.Graph, semkg.TrainConfig{Dim: 48, Epochs: 120, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := semkg.NewEngine(ds.Graph, model, ds.Library)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick the query with the largest validation set: the hardest search,
+	// where tight budgets visibly truncate the answer set.
+	q := ds.Simple[0]
+	for _, cand := range ds.Simple {
+		if len(cand.Truth) > len(q.Truth) {
+			q = cand
+		}
+	}
+	k := len(q.Truth)
+	opts := semkg.Options{K: k, Tau: 0.7, MaxHops: 4}
+
+	// Exact reference (SGQ).
+	exact, err := eng.Search(ctx, q.Graph, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exactAnswers := exact.EntitiesOf(q.Focus)
+	fmt.Printf("query %s: exact SGQ found %d answers in %s\n\n",
+		q.Name, len(exactAnswers), exact.Elapsed)
+
+	fmt.Println("bound      answers  Jaccard(exact)  approximate  elapsed")
+	for _, frac := range []float64{0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0} {
+		bound := time.Duration(float64(exact.Elapsed) * frac)
+		bopts := opts
+		bopts.TimeBound = bound
+		res, err := eng.Search(ctx, q.Graph, bopts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		j := metrics.Jaccard(res.EntitiesOf(q.Focus), exactAnswers)
+		fmt.Printf("%-9s  %-7d  %-14.2f  %-11v  %s\n",
+			bound.Round(time.Microsecond), len(res.Answers), j, res.Approximate,
+			res.Elapsed.Round(time.Microsecond))
+	}
+	fmt.Println("\nAs the budget grows the approximate answer set converges to the")
+	fmt.Println("exact top-k (Jaccard -> 1), and with ample budget the run is no")
+	fmt.Println("longer marked approximate — Theorem 4 in action.")
+}

@@ -1,0 +1,362 @@
+// Package astar implements the paper's A* semantic search (Section V,
+// Algorithm 1): best-first top-k path search over the lazily materialized
+// semantic graph, guided by the heuristic pss estimation
+//
+//	ψ̂(u_s..u_i) = (∏ w_j · m(u_i))^(1/n̂)        (Eq. 7)
+//
+// which upper-bounds the exact path semantic similarity
+//
+//	ψ(u_s..u_t) = (∏ w_j)^(1/n)                  (Eq. 6)
+//
+// of every match extending the partial path (Theorem 1), so matches pop off
+// the frontier in exact non-increasing pss order (Theorem 2).
+//
+// Generalization to multi-edge sub-queries: a sub-query graph may contain
+// several query edges (segments). The search state tracks the segment being
+// matched; reaching a node that matches the segment's end query node closes
+// the segment (paths stop at the first such node, mirroring the paper's
+// stop-at-target-match semantics). The m(u) bound is a suffix maximum over
+// the remaining segments, which keeps the estimate admissible and
+// consistent (see internal/semgraph and DESIGN.md).
+package astar
+
+import (
+	"math"
+
+	"semkg/internal/kg"
+	"semkg/internal/pqueue"
+)
+
+// Weighter supplies semantic edge weights and the m(u) heuristic bound.
+// *semgraph.Weighter implements it.
+type Weighter interface {
+	// Weight returns the semantic weight in (0,1] of graph predicate p for
+	// the seg-th query edge of the sub-query.
+	Weight(p kg.PredID, seg int) float64
+	// NodeMax returns an upper bound on any single edge weight reachable
+	// from u while matching query edges seg or later.
+	NodeMax(u kg.NodeID, seg int) float64
+}
+
+// SubQuery is the compiled form of a sub-query path graph: the node-match
+// sets φ(v) of its query nodes, resolved by the transformation library.
+type SubQuery struct {
+	// Anchors is φ(v_s) of the starting specific node.
+	Anchors []kg.NodeID
+	// EndSets[i] is φ(q_{i+1}) for the query node terminating the i-th
+	// query edge; EndSets[len-1] is φ(v_t) of the sub-query's end node.
+	EndSets []map[kg.NodeID]bool
+}
+
+// Segments returns the number of query edges.
+func (s SubQuery) Segments() int { return len(s.EndSets) }
+
+// Options configures a search.
+type Options struct {
+	// Tau is the pss threshold τ (Definition 7); partial paths whose
+	// estimate falls below it are pruned (Lemma 3). Default 0.8.
+	Tau float64
+	// MaxHops is the user-desired path length n̂: matches longer than
+	// MaxHops knowledge-graph edges are ignored (Section V-A). Default 4.
+	MaxHops int
+	// NoHeuristic disables the m(u) factor of the estimate (treats it
+	// as 1). The search remains correct but prunes far less — this is the
+	// uninformed best-first ablation of the benchmarks.
+	NoHeuristic bool
+	// PruneVisited enables the paper's visited-set pruning (Algorithm 1,
+	// line 6): each (node, segment, hops) state expands at most once.
+	// This shrinks the search space considerably but — like the paper's
+	// implementation — may miss alternate simple paths that share a state
+	// with an earlier, better-weighted path, so per-entity pss can come
+	// out below the true optimum. The default (false) enumerates exactly
+	// and keeps Theorem 2's global-optimality guarantee unconditional;
+	// the hop bound n̂ and τ-pruning keep the space tractable.
+	PruneVisited bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tau <= 0 {
+		o.Tau = 0.8
+	}
+	if o.MaxHops <= 0 {
+		o.MaxHops = 4
+	}
+	return o
+}
+
+// Match is a sub-query graph match: a path in the knowledge graph together
+// with its exact path semantic similarity.
+type Match struct {
+	// Nodes is the node sequence of the path; Nodes[0] matches the
+	// sub-query's anchor and Nodes[len-1] its end (pivot) node.
+	Nodes []kg.NodeID
+	// Edges are the knowledge-graph edges between consecutive nodes.
+	Edges []kg.EdgeID
+	// SegEnds[i] is the index into Nodes where the i-th query edge's
+	// match ends (the anchor of query node i+1).
+	SegEnds []int
+	// PSS is the exact path semantic similarity ψ (Eq. 6).
+	PSS float64
+}
+
+// End returns the node matching the sub-query's end (pivot) query node.
+func (m Match) End() kg.NodeID { return m.Nodes[len(m.Nodes)-1] }
+
+// Len returns the number of knowledge-graph edges in the match.
+func (m Match) Len() int { return len(m.Edges) }
+
+// state is a frontier entry: a partial path positioned at node, currently
+// matching query edge seg, having consumed hops graph edges with weight
+// product w. Complete states (seg == Segments) carry their exact pss as
+// the frontier priority.
+type state struct {
+	node   kg.NodeID
+	seg    int32
+	hops   int32
+	w      float64
+	parent *state
+	via    kg.EdgeID // edge consumed to arrive; -1 for anchors
+}
+
+type stateKey struct {
+	node kg.NodeID
+	seg  int32
+	hops int32
+}
+
+// Stats counts search work, for the pruning-effectiveness experiments.
+type Stats struct {
+	Popped  int // states expanded
+	Pushed  int // states entering the frontier
+	Pruned  int // expansions dropped by the τ threshold
+	Emitted int // matches produced
+}
+
+// Searcher runs Algorithm 1 incrementally: each Next call continues the
+// search and returns the next-best match by exact pss. The paper's remark
+// that "we usually need more than k matches collected for each g_i"
+// (Section V-B) is served by simply calling Next again — the threshold
+// assembly pulls matches on demand.
+//
+// A Searcher is not safe for concurrent use.
+type Searcher struct {
+	g    *kg.Graph
+	w    Weighter
+	sub  SubQuery
+	opts Options
+
+	frontier pqueue.Max[*state]
+	closed   map[stateKey]struct{}
+	emitted  map[kg.NodeID]bool // end-node dedup: one match per answer entity
+	invRoot  float64            // 1/n̂
+	stats    Stats
+}
+
+// NewSearcher prepares a search for one sub-query graph. The sub-query must
+// have at least one segment; anchors or end sets may be empty, in which
+// case the search simply yields no matches.
+func NewSearcher(g *kg.Graph, w Weighter, sub SubQuery, opts Options) *Searcher {
+	opts = opts.withDefaults()
+	s := &Searcher{
+		g:       g,
+		w:       w,
+		sub:     sub,
+		opts:    opts,
+		closed:  make(map[stateKey]struct{}),
+		emitted: make(map[kg.NodeID]bool),
+		invRoot: 1 / float64(opts.MaxHops),
+	}
+	for _, u := range sub.Anchors {
+		st := &state{node: u, seg: 0, hops: 0, w: 1, via: -1}
+		s.push(st, s.estimate(st))
+	}
+	return s
+}
+
+// Stats returns search-effort counters accumulated so far.
+func (s *Searcher) Stats() Stats { return s.stats }
+
+// estimate computes ψ̂ for a partial state (Eq. 7).
+func (s *Searcher) estimate(st *state) float64 {
+	m := 1.0
+	if !s.opts.NoHeuristic {
+		m = s.w.NodeMax(st.node, int(st.seg))
+	}
+	return math.Pow(st.w*m, s.invRoot)
+}
+
+func (s *Searcher) push(st *state, priority float64) {
+	s.frontier.Push(st, priority)
+	s.stats.Pushed++
+}
+
+// Next returns the match with the greatest pss not yet returned, in exact
+// non-increasing pss order. ok is false when the search space is exhausted.
+func (s *Searcher) Next() (Match, bool) {
+	for {
+		st, pri, ok := s.frontier.Pop()
+		if !ok {
+			return Match{}, false
+		}
+		if st.seg == int32(s.sub.Segments()) {
+			// Complete match popped in global pss order (Theorem 2).
+			if s.emitted[st.node] {
+				continue
+			}
+			s.emitted[st.node] = true
+			s.stats.Emitted++
+			return s.reconstruct(st, pri), true
+		}
+		if s.opts.PruneVisited {
+			key := stateKey{st.node, st.seg, st.hops}
+			if _, dup := s.closed[key]; dup {
+				continue
+			}
+			s.closed[key] = struct{}{}
+		}
+		s.stats.Popped++
+		s.expand(st, nil)
+	}
+}
+
+// RunEager drives the search in the time-bounded mode of Algorithm 2:
+// matches are emitted the moment they are discovered during expansion
+// (non-optimal order), and the search continues until emit returns false,
+// stop returns true, or the space is exhausted. It returns true when the
+// space was exhausted (the eager result set is then complete and exact).
+func (s *Searcher) RunEager(stop func() bool, emit func(Match) bool) bool {
+	for {
+		if stop != nil && stop() {
+			return false
+		}
+		st, _, ok := s.frontier.Pop()
+		if !ok {
+			return true
+		}
+		if st.seg == int32(s.sub.Segments()) {
+			continue // already emitted at discovery time
+		}
+		if s.opts.PruneVisited {
+			key := stateKey{st.node, st.seg, st.hops}
+			if _, dup := s.closed[key]; dup {
+				continue
+			}
+			s.closed[key] = struct{}{}
+		}
+		s.stats.Popped++
+		keepGoing := true
+		s.expand(st, func(m Match) {
+			if keepGoing && !emit(m) {
+				keepGoing = false
+			}
+		})
+		if !keepGoing {
+			return false
+		}
+	}
+}
+
+// expand generates the successor states of st. Completed matches are pushed
+// to the frontier with their exact pss in optimal mode (emitEager == nil),
+// or handed to emitEager immediately in time-bounded mode.
+func (s *Searcher) expand(st *state, emitEager func(Match)) {
+	segs := int32(s.sub.Segments())
+	// Hop budget: after consuming one edge, each remaining segment still
+	// needs at least one edge (hops+1 + (segs-seg-1) <= MaxHops).
+	if int(st.hops)+int(segs-st.seg) > s.opts.MaxHops {
+		return
+	}
+	endSet := s.sub.EndSets[st.seg]
+	for _, h := range s.g.Neighbors(st.node) {
+		if onPath(st, h.Neighbor) {
+			continue // matches are simple paths (path graphs, Definition 6)
+		}
+		w := s.w.Weight(h.Pred, int(st.seg))
+		nw := st.w * w
+		next := &state{
+			node:   h.Neighbor,
+			seg:    st.seg,
+			hops:   st.hops + 1,
+			w:      nw,
+			parent: st,
+			via:    h.Edge,
+		}
+		if endSet[h.Neighbor] {
+			// Segment closed on arrival (paths stop at the first node
+			// matching the segment's end query node).
+			next.seg++
+			if next.seg == segs {
+				// Complete match: exact pss, n = actual path length.
+				pss := math.Pow(nw, 1/float64(next.hops))
+				if pss < s.opts.Tau {
+					s.stats.Pruned++
+					continue
+				}
+				if emitEager != nil {
+					// Algorithm 2 collects every explored match in M̂_i;
+					// consumers keep the best per answer entity.
+					s.stats.Emitted++
+					emitEager(s.reconstruct(next, pss))
+				} else {
+					s.push(next, pss)
+				}
+				continue
+			}
+		}
+		est := s.estimate(next)
+		if est < s.opts.Tau {
+			s.stats.Pruned++
+			continue
+		}
+		s.push(next, est)
+	}
+}
+
+// onPath reports whether node u already lies on the partial path of st.
+// Paths are at most MaxHops long, so the chain walk is O(n̂).
+func onPath(st *state, u kg.NodeID) bool {
+	for cur := st; cur != nil; cur = cur.parent {
+		if cur.node == u {
+			return true
+		}
+	}
+	return false
+}
+
+// reconstruct walks the parent chain to materialize the match path.
+func (s *Searcher) reconstruct(st *state, pss float64) Match {
+	var revNodes []kg.NodeID
+	var revEdges []kg.EdgeID
+	var revSegs []int32
+	for cur := st; cur != nil; cur = cur.parent {
+		revNodes = append(revNodes, cur.node)
+		if cur.via >= 0 {
+			revEdges = append(revEdges, cur.via)
+		}
+		revSegs = append(revSegs, cur.seg)
+	}
+	n := len(revNodes)
+	m := Match{
+		Nodes: make([]kg.NodeID, n),
+		Edges: make([]kg.EdgeID, len(revEdges)),
+		PSS:   pss,
+	}
+	for i := range revNodes {
+		m.Nodes[n-1-i] = revNodes[i]
+	}
+	for i := range revEdges {
+		m.Edges[len(revEdges)-1-i] = revEdges[i]
+	}
+	// Segment end positions: index where seg increments.
+	segs := s.sub.Segments()
+	m.SegEnds = make([]int, segs)
+	prevSeg := int32(0)
+	for i := n - 1; i >= 0; i-- { // walk forward in path order
+		cur := revSegs[i]
+		for sgi := prevSeg; sgi < cur; sgi++ {
+			m.SegEnds[sgi] = n - 1 - i
+		}
+		prevSeg = cur
+	}
+	return m
+}

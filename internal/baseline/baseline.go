@@ -1,0 +1,261 @@
+// Package baseline implements the seven comparison methods of the paper's
+// evaluation (Tables I/II, Figures 12-14): gStore, SLQ, NeMa, S4, p-hom,
+// GraB and QGA.
+//
+// Each method is reproduced at the level of its algorithmic idea and its
+// feature matrix from Table II — node similarity (none / library / string
+// similarity), edge-to-path mapping (1-hop only vs n-hop paths), and
+// predicate awareness (exact, ignored, or mined patterns) — which is what
+// drives the comparative precision/recall behaviour the paper reports. The
+// full systems of the original papers (indexing, distributed execution,
+// ...) are out of scope; see DESIGN.md.
+//
+// All methods answer through a shared backtracking evaluator over
+// per-method node-candidate policies and edge policies.
+package baseline
+
+import (
+	"sort"
+
+	"semkg/internal/kg"
+	"semkg/internal/query"
+)
+
+// Ranked is one answer entity with its method-specific score.
+type Ranked struct {
+	Entity string
+	Score  float64
+}
+
+// Method is a graph-query baseline.
+type Method interface {
+	Name() string
+	// Search returns up to k ranked candidate entities for the focus
+	// query node.
+	Search(q *query.Graph, focus string, k int) []Ranked
+}
+
+// edgeMatch is one way a query edge can be satisfied between two bound
+// endpoints: a path of hops >= 1 with an optional score contribution.
+type edgeMatch struct {
+	dst   kg.NodeID
+	hops  int
+	score float64
+}
+
+// policy parameterizes the shared evaluator.
+type policy struct {
+	// nodeCands returns candidate graph nodes for a query node, paired
+	// with a node-similarity score in (0,1].
+	nodeCands func(n query.Node) []scored
+	// expand returns, for a query edge and a bound source node, the
+	// reachable destination candidates with per-path scores. The source
+	// is always the already-bound endpoint; dir reports whether the bound
+	// endpoint is the edge's From side.
+	expand func(e query.Edge, src kg.NodeID, fromSide bool) []edgeMatch
+	// maxResults caps the assignment enumeration to keep worst cases
+	// bounded (baselines are approximations; the cap mirrors their
+	// top-k orientation).
+	maxResults int
+}
+
+type scored struct {
+	id  kg.NodeID
+	sim float64
+}
+
+// evaluate runs the shared backtracking join and returns focus entities
+// ranked by total score (node similarities × edge scores accumulated
+// additively over edges, multiplicatively over nodes).
+func evaluate(g *kg.Graph, q *query.Graph, focus string, k int, p policy) []Ranked {
+	if err := q.Validate(); err != nil {
+		return nil
+	}
+	// Candidate sets per query node.
+	cands := make(map[string][]scored, len(q.Nodes))
+	for _, n := range q.Nodes {
+		cs := p.nodeCands(n)
+		if len(cs) == 0 {
+			return nil
+		}
+		cands[n.ID] = cs
+	}
+	// Order query nodes: specific nodes first, then by connectivity.
+	order := planOrder(q)
+
+	limit := p.maxResults
+	if limit <= 0 {
+		limit = 50000
+	}
+
+	type partial struct {
+		bind  map[string]kg.NodeID
+		score float64
+	}
+	best := make(map[kg.NodeID]float64) // focus node -> best score
+	// Memoize expansions: the same (edge, bound endpoint) pair is queried
+	// once per focus candidate otherwise.
+	type expKey struct {
+		edge     int
+		src      kg.NodeID
+		fromSide bool
+	}
+	expCache := make(map[expKey]map[kg.NodeID]edgeMatch)
+	edgeIdx := make(map[query.Edge]int, len(q.Edges))
+	for i, e := range q.Edges {
+		edgeIdx[e] = i
+	}
+	expandTo := func(e query.Edge, src kg.NodeID, fromSide bool, dst kg.NodeID) (edgeMatch, bool) {
+		key := expKey{edgeIdx[e], src, fromSide}
+		m, ok := expCache[key]
+		if !ok {
+			m = make(map[kg.NodeID]edgeMatch)
+			for _, em := range p.expand(e, src, fromSide) {
+				if old, dup := m[em.dst]; !dup || em.score > old.score {
+					m[em.dst] = em
+				}
+			}
+			expCache[key] = m
+		}
+		em, ok := m[dst]
+		return em, ok
+	}
+	var assign func(i int, cur partial)
+	steps := 0
+	assign = func(i int, cur partial) {
+		if steps >= limit {
+			return
+		}
+		if i == len(order) {
+			steps++
+			u := cur.bind[focus]
+			if s, ok := best[u]; !ok || cur.score > s {
+				best[u] = cur.score
+			}
+			return
+		}
+		id := order[i]
+		// Edges connecting id to already-bound nodes constrain it.
+		type constraint struct {
+			e        query.Edge
+			src      kg.NodeID
+			fromSide bool
+		}
+		var constraints []constraint
+		for _, e := range q.Edges {
+			other := ""
+			fromSide := false
+			if e.From == id {
+				other, fromSide = e.To, false
+			} else if e.To == id {
+				other, fromSide = e.From, true
+			} else {
+				continue
+			}
+			if src, ok := cur.bind[other]; ok {
+				constraints = append(constraints, constraint{e, src, fromSide})
+			}
+		}
+		for _, c := range cands[id] {
+			if steps >= limit {
+				return
+			}
+			edgeScore := 0.0
+			ok := true
+			for _, con := range constraints {
+				em, found := expandTo(con.e, con.src, con.fromSide, c.id)
+				if !found {
+					ok = false
+					break
+				}
+				edgeScore += em.score
+			}
+			if !ok {
+				continue
+			}
+			next := partial{bind: cloneBind(cur.bind), score: cur.score*c.sim + edgeScore}
+			next.bind[id] = c.id
+			assign(i+1, next)
+		}
+	}
+	assign(0, partial{bind: map[string]kg.NodeID{}, score: 1})
+
+	out := make([]Ranked, 0, len(best))
+	for u, s := range best {
+		out = append(out, Ranked{Entity: g.NodeName(u), Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Entity < out[j].Entity
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// planOrder sorts query nodes for the backtracking join: specific nodes
+// first (few candidates), then nodes connected to already-ordered ones.
+func planOrder(q *query.Graph) []string {
+	var order []string
+	placed := make(map[string]bool)
+	add := func(id string) {
+		if !placed[id] {
+			placed[id] = true
+			order = append(order, id)
+		}
+	}
+	for _, id := range q.Specifics() {
+		add(id)
+	}
+	for len(order) < len(q.Nodes) {
+		progress := false
+		for _, e := range q.Edges {
+			if placed[e.From] && !placed[e.To] {
+				add(e.To)
+				progress = true
+			}
+			if placed[e.To] && !placed[e.From] {
+				add(e.From)
+				progress = true
+			}
+		}
+		if !progress {
+			for _, n := range q.Nodes {
+				add(n.ID)
+			}
+		}
+	}
+	return order
+}
+
+func cloneBind(b map[string]kg.NodeID) map[string]kg.NodeID {
+	out := make(map[string]kg.NodeID, len(b)+1)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// bfsPaths enumerates nodes reachable from src within maxHops edges
+// (ignoring direction and predicates) and reports the minimal hop count.
+func bfsPaths(g *kg.Graph, src kg.NodeID, maxHops int) map[kg.NodeID]int {
+	dist := map[kg.NodeID]int{src: 0}
+	frontier := []kg.NodeID{src}
+	for hop := 1; hop <= maxHops; hop++ {
+		var next []kg.NodeID
+		for _, u := range frontier {
+			for _, h := range g.Neighbors(u) {
+				if _, seen := dist[h.Neighbor]; !seen {
+					dist[h.Neighbor] = hop
+					next = append(next, h.Neighbor)
+				}
+			}
+		}
+		frontier = next
+	}
+	delete(dist, src)
+	return dist
+}

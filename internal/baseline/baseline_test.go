@@ -1,0 +1,294 @@
+package baseline
+
+import (
+	"testing"
+
+	"semkg/internal/kg"
+	"semkg/internal/query"
+	"semkg/internal/transform"
+)
+
+// testWorld builds a compact world with known schema structure:
+//   - direct:   Auto_D1, Auto_D2  --assembly-->  Germany
+//   - product:  Auto_P1           --product--->  Germany
+//   - via city: Auto_C1           --assembly-->  Munich --country--> Germany
+//   - via co.:  Auto_M1 --manufacturer--> BMW_Co --locationCountry--> Germany
+//   - wrong:    Auto_W1 --designer--> Hans --nationality--> Germany
+//   - foreign:  Auto_F1 --assembly--> France
+func testWorld() *kg.Graph {
+	b := kg.NewBuilder(32, 32)
+	ger := b.AddNode("Germany", "Country")
+	fra := b.AddNode("France", "Country")
+	munich := b.AddNode("Munich", "City")
+	co := b.AddNode("BMW_Co", "Company")
+	hans := b.AddNode("Hans", "Person")
+
+	b.AddEdge(munich, ger, "country")
+	b.AddEdge(co, ger, "locationCountry")
+	b.AddEdge(hans, ger, "nationality")
+
+	add := func(name, pred string, dst kg.NodeID) kg.NodeID {
+		u := b.AddNode(name, "Automobile")
+		b.AddEdge(u, dst, pred)
+		return u
+	}
+	add("Auto_D1", "assembly", ger)
+	add("Auto_D2", "assembly", ger)
+	add("Auto_P1", "product", ger)
+	add("Auto_C1", "assembly", munich)
+	add("Auto_M1", "manufacturer", co)
+	add("Auto_W1", "designer", hans)
+	add("Auto_F1", "assembly", fra)
+	return b.Build()
+}
+
+func lib() *transform.Library {
+	l := transform.NewLibrary()
+	l.AddSynonyms("Car", "Automobile")
+	l.AddAbbreviation("GER", "Germany")
+	return l
+}
+
+func q117(autoType, country, pred string) *query.Graph {
+	return &query.Graph{
+		Nodes: []query.Node{
+			{ID: "v1", Type: autoType},
+			{ID: "v2", Name: country, Type: "Country"},
+		},
+		Edges: []query.Edge{{From: "v1", To: "v2", Predicate: pred}},
+	}
+}
+
+func entities(rs []Ranked) map[string]bool {
+	out := make(map[string]bool, len(rs))
+	for _, r := range rs {
+		out[r.Entity] = true
+	}
+	return out
+}
+
+func TestGStoreExactOnly(t *testing.T) {
+	g := testWorld()
+	m := NewGStore(g)
+	got := entities(m.Search(q117("Automobile", "Germany", "assembly"), "v1", 10))
+	want := map[string]bool{"Auto_D1": true, "Auto_D2": true}
+	if len(got) != len(want) {
+		t.Fatalf("gStore = %v, want %v", got, want)
+	}
+	for e := range want {
+		if !got[e] {
+			t.Errorf("gStore missing %s", e)
+		}
+	}
+	// Node mismatch: <Car> matches nothing without similarity support.
+	if r := m.Search(q117("Car", "Germany", "assembly"), "v1", 10); len(r) != 0 {
+		t.Errorf("gStore with Car type = %v, want none", r)
+	}
+	// Abbreviated name fails too.
+	if r := m.Search(q117("Automobile", "GER", "assembly"), "v1", 10); len(r) != 0 {
+		t.Errorf("gStore with GER = %v, want none", r)
+	}
+}
+
+func TestSLQLibraryNodesAnyPredicate(t *testing.T) {
+	g := testWorld()
+	m := NewSLQ(g, lib())
+	// SLQ is predicate-agnostic but 1-hop: finds every auto with a direct
+	// edge to Germany regardless of predicate (assembly, product) — and
+	// none of the 2-hop answers.
+	got := entities(m.Search(q117("Car", "GER", "assembly"), "v1", 10))
+	for _, e := range []string{"Auto_D1", "Auto_D2", "Auto_P1"} {
+		if !got[e] {
+			t.Errorf("SLQ missing %s (got %v)", e, got)
+		}
+	}
+	for _, e := range []string{"Auto_C1", "Auto_M1", "Auto_W1", "Auto_F1"} {
+		if got[e] {
+			t.Errorf("SLQ should not return %s", e)
+		}
+	}
+}
+
+func TestQGAExactPredicateLibraryNodes(t *testing.T) {
+	g := testWorld()
+	m := NewQGA(g, lib())
+	got := entities(m.Search(q117("Car", "GER", "assembly"), "v1", 10))
+	want := map[string]bool{"Auto_D1": true, "Auto_D2": true}
+	if len(got) != len(want) || !got["Auto_D1"] || !got["Auto_D2"] {
+		t.Errorf("QGA = %v, want exactly the direct assembly autos", got)
+	}
+}
+
+func TestNeMaPathsNoSemantics(t *testing.T) {
+	g := testWorld()
+	m := NewNeMa(g)
+	got := entities(m.Search(q117("Automobile", "Germany", "assembly"), "v1", 10))
+	// 2-hop reach includes the via-city, via-company AND the wrong
+	// designer-path answer — NeMa cannot tell them apart.
+	for _, e := range []string{"Auto_D1", "Auto_C1", "Auto_M1", "Auto_W1"} {
+		if !got[e] {
+			t.Errorf("NeMa missing %s (got %v)", e, got)
+		}
+	}
+	if got["Auto_F1"] {
+		t.Error("NeMa returned the French car")
+	}
+	// Direct answers must outrank 2-hop ones (path discount).
+	rs := m.Search(q117("Automobile", "Germany", "assembly"), "v1", 10)
+	rank := map[string]int{}
+	for i, r := range rs {
+		rank[r.Entity] = i
+	}
+	if rank["Auto_D1"] > rank["Auto_W1"] {
+		t.Errorf("NeMa ranks wrong answer above direct one: %v", rs)
+	}
+}
+
+func TestPHomSyntacticNodes(t *testing.T) {
+	g := testWorld()
+	m := NewPHom(g)
+	// "Car" has no edit-distance similarity to "Automobile": no answers.
+	if r := m.Search(q117("Car", "Germany", "assembly"), "v1", 10); len(r) != 0 {
+		t.Errorf("p-hom with Car = %v, want none", r)
+	}
+	// Near-identical type string works, and path mapping brings in the
+	// wrong answers too.
+	got := entities(m.Search(q117("Automobiles", "Germany", "assembly"), "v1", 10))
+	if !got["Auto_D1"] || !got["Auto_W1"] {
+		t.Errorf("p-hom = %v, want direct and designer-path autos", got)
+	}
+}
+
+func TestGraBExactNodesPaths(t *testing.T) {
+	g := testWorld()
+	m := NewGraB(g)
+	got := entities(m.Search(q117("Automobile", "Germany", "assembly"), "v1", 10))
+	for _, e := range []string{"Auto_D1", "Auto_C1", "Auto_M1", "Auto_W1"} {
+		if !got[e] {
+			t.Errorf("GraB missing %s (got %v)", e, got)
+		}
+	}
+	// Exact node matching: Car fails.
+	if r := m.Search(q117("Car", "Germany", "assembly"), "v1", 10); len(r) != 0 {
+		t.Errorf("GraB with Car = %v, want none", r)
+	}
+}
+
+func TestS4GoodPrior(t *testing.T) {
+	g := testWorld()
+	prior := []PriorInstance{
+		{FocusType: "Automobile", AnchorType: "Country", Predicates: []string{"assembly"}},
+		{FocusType: "Automobile", AnchorType: "Country", Predicates: []string{"assembly"}},
+		{FocusType: "Automobile", AnchorType: "Country", Predicates: []string{"assembly", "country"}},
+		{FocusType: "Automobile", AnchorType: "Country", Predicates: []string{"assembly", "country"}},
+		{FocusType: "Automobile", AnchorType: "Country", Predicates: []string{"manufacturer", "locationCountry"}},
+		{FocusType: "Automobile", AnchorType: "Country", Predicates: []string{"manufacturer", "locationCountry"}},
+	}
+	m := NewS4(g, prior)
+	got := entities(m.Search(q117("Automobile", "Germany", "assembly"), "v1", 10))
+	for _, e := range []string{"Auto_D1", "Auto_D2", "Auto_C1", "Auto_M1"} {
+		if !got[e] {
+			t.Errorf("S4 missing %s (got %v)", e, got)
+		}
+	}
+	for _, e := range []string{"Auto_P1", "Auto_W1", "Auto_F1"} {
+		if got[e] {
+			t.Errorf("S4 should not return %s (pattern not in prior)", e)
+		}
+	}
+}
+
+func TestS4PriorSensitivity(t *testing.T) {
+	g := testWorld()
+	// Low-quality prior: the designer path is mined as if it were a
+	// production pattern; S4 then returns the wrong answer.
+	badPrior := []PriorInstance{
+		{FocusType: "Automobile", AnchorType: "Country", Predicates: []string{"designer", "nationality"}},
+		{FocusType: "Automobile", AnchorType: "Country", Predicates: []string{"designer", "nationality"}},
+	}
+	m := NewS4(g, badPrior)
+	got := entities(m.Search(q117("Automobile", "Germany", "assembly"), "v1", 10))
+	if !got["Auto_W1"] {
+		t.Errorf("S4 with bad prior should return the wrong answer, got %v", got)
+	}
+	if got["Auto_D1"] {
+		t.Errorf("S4 with bad prior should miss the direct answers, got %v", got)
+	}
+	// Below minimum support nothing is mined.
+	weak := NewS4(g, badPrior[:1])
+	if r := weak.Search(q117("Automobile", "Germany", "assembly"), "v1", 10); len(r) != 0 {
+		t.Errorf("S4 below support = %v, want none", r)
+	}
+}
+
+func TestMultiEdgeQuery(t *testing.T) {
+	g := testWorld()
+	// Two constraints: assembled in Germany AND designed by Hans. Only a
+	// car with both edges would match; none exists, so the predicate-aware
+	// 1-hop methods return nothing and path methods return cars
+	// satisfying both reachability constraints.
+	q := &query.Graph{
+		Nodes: []query.Node{
+			{ID: "v1", Type: "Automobile"},
+			{ID: "v2", Name: "Germany", Type: "Country"},
+			{ID: "v3", Name: "Hans", Type: "Person"},
+		},
+		Edges: []query.Edge{
+			{From: "v1", To: "v2", Predicate: "assembly"},
+			{From: "v1", To: "v3", Predicate: "designer"},
+		},
+	}
+	if r := NewGStore(g).Search(q, "v1", 10); len(r) != 0 {
+		t.Errorf("gStore multi-edge = %v, want none", r)
+	}
+	got := entities(NewGraB(g).Search(q, "v1", 10))
+	// Predicate-agnostic 4-hop paths connect every German-related auto to
+	// both anchors (Hans is one hop from Germany) — exactly GraB's
+	// low-precision failure mode. Only the French car stays out.
+	if !got["Auto_W1"] || got["Auto_F1"] {
+		t.Errorf("GraB multi-edge = %v, want German-connected autos without Auto_F1", got)
+	}
+	if len(got) != 6 {
+		t.Errorf("GraB multi-edge returned %d autos, want 6", len(got))
+	}
+}
+
+func TestInvalidQueries(t *testing.T) {
+	g := testWorld()
+	methods := []Method{
+		NewGStore(g), NewSLQ(g, lib()), NewQGA(g, lib()),
+		NewNeMa(g), NewPHom(g), NewGraB(g), NewS4(g, nil),
+	}
+	bad := &query.Graph{} // fails validation
+	for _, m := range methods {
+		if r := m.Search(bad, "v1", 5); len(r) != 0 {
+			t.Errorf("%s on invalid query = %v, want none", m.Name(), r)
+		}
+		if m.Name() == "" {
+			t.Error("method without a name")
+		}
+	}
+}
+
+func TestRankingDeterministic(t *testing.T) {
+	g := testWorld()
+	m := NewNeMa(g)
+	a := m.Search(q117("Automobile", "Germany", "assembly"), "v1", 10)
+	b := m.Search(q117("Automobile", "Germany", "assembly"), "v1", 10)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic result size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic ranking at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestKLimit(t *testing.T) {
+	g := testWorld()
+	rs := NewNeMa(g).Search(q117("Automobile", "Germany", "assembly"), "v1", 2)
+	if len(rs) > 2 {
+		t.Errorf("k=2 returned %d results", len(rs))
+	}
+}

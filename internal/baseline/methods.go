@@ -1,0 +1,281 @@
+package baseline
+
+import (
+	"semkg/internal/kg"
+	"semkg/internal/query"
+	"semkg/internal/strutil"
+	"semkg/internal/transform"
+)
+
+// --- shared node-candidate policies ----------------------------------------
+
+// exactCands matches names and types exactly (no node similarity).
+func exactCands(g *kg.Graph) func(query.Node) []scored {
+	return func(n query.Node) []scored {
+		if n.Specific() {
+			u := g.NodeByName(n.Name)
+			if u == kg.NoNode {
+				return nil
+			}
+			if n.Type != "" && g.NodeType(u) != g.TypeByName(n.Type) {
+				return nil
+			}
+			return []scored{{u, 1}}
+		}
+		t := g.TypeByName(n.Type)
+		var out []scored
+		for _, u := range g.NodesOfType(t) {
+			out = append(out, scored{u, 1})
+		}
+		return out
+	}
+}
+
+// libraryCands matches through the synonym/abbreviation library
+// (transformation-based node similarity, as in SLQ/QGA).
+func libraryCands(m *transform.Matcher) func(query.Node) []scored {
+	return func(n query.Node) []scored {
+		var out []scored
+		for _, u := range m.MatchNode(n.Name, n.Type) {
+			out = append(out, scored{u, 1})
+		}
+		return out
+	}
+}
+
+// editDistCands matches by normalized string similarity of names and types
+// (p-hom's syntactic node similarity). No dictionary: "Car" does not reach
+// "Automobile", but near-identical strings do.
+func editDistCands(g *kg.Graph, threshold float64) func(query.Node) []scored {
+	return func(n query.Node) []scored {
+		var out []scored
+		if n.Specific() {
+			for i := 0; i < g.NumNodes(); i++ {
+				u := kg.NodeID(i)
+				if s := strutil.Similarity(n.Name, g.NodeName(u)); s >= threshold {
+					out = append(out, scored{u, s})
+				}
+			}
+			return out
+		}
+		for t := 0; t < g.NumTypes(); t++ {
+			s := strutil.Similarity(n.Type, g.TypeName(kg.TypeID(t)))
+			if s < threshold {
+				continue
+			}
+			for _, u := range g.NodesOfType(kg.TypeID(t)) {
+				out = append(out, scored{u, s})
+			}
+		}
+		return out
+	}
+}
+
+// --- shared edge policies ---------------------------------------------------
+
+// oneHopEdges maps a query edge to single edges only. When predAware is
+// true the predicate must match exactly; direction is honored.
+func oneHopEdges(g *kg.Graph, predAware bool) func(query.Edge, kg.NodeID, bool) []edgeMatch {
+	return func(e query.Edge, src kg.NodeID, fromSide bool) []edgeMatch {
+		pred := g.PredByName(e.Predicate)
+		if predAware && pred < 0 {
+			return nil
+		}
+		var out []edgeMatch
+		for _, h := range g.Neighbors(src) {
+			if predAware {
+				if h.Pred != pred {
+					continue
+				}
+				// Honor the declared direction: fromSide means src binds
+				// e.From, so the graph edge must leave src.
+				if h.Out != fromSide {
+					continue
+				}
+			}
+			out = append(out, edgeMatch{dst: h.Neighbor, hops: 1, score: 1})
+		}
+		return out
+	}
+}
+
+// pathEdges maps a query edge to any path of up to maxHops edges,
+// ignoring predicates; score discounts longer paths by alpha^(hops-1).
+func pathEdges(g *kg.Graph, maxHops int, alpha float64) func(query.Edge, kg.NodeID, bool) []edgeMatch {
+	return func(_ query.Edge, src kg.NodeID, _ bool) []edgeMatch {
+		dist := bfsPaths(g, src, maxHops)
+		out := make([]edgeMatch, 0, len(dist))
+		for dst, hops := range dist {
+			s := 1.0
+			for i := 1; i < hops; i++ {
+				s *= alpha
+			}
+			out = append(out, edgeMatch{dst: dst, hops: hops, score: s})
+		}
+		return out
+	}
+}
+
+// --- gStore ------------------------------------------------------------------
+
+// GStore reproduces the gStore baseline [15]: subgraph isomorphism with
+// exact node labels and exact 1-hop predicates (Table II row 1). It finds
+// only answers whose schema coincides syntactically with the query graph.
+type GStore struct{ g *kg.Graph }
+
+// NewGStore returns the gStore baseline over g.
+func NewGStore(g *kg.Graph) *GStore { return &GStore{g} }
+
+// Name implements Method.
+func (s *GStore) Name() string { return "gStore" }
+
+// Search implements Method.
+func (s *GStore) Search(q *query.Graph, focus string, k int) []Ranked {
+	return evaluate(s.g, q, focus, k, policy{
+		nodeCands: exactCands(s.g),
+		expand:    oneHopEdges(s.g, true),
+	})
+}
+
+// --- SLQ ----------------------------------------------------------------------
+
+// SLQ reproduces the SLQ baseline [9]: node matching through a
+// transformation library (synonyms, abbreviations), edges matched by any
+// single edge regardless of predicate (Table II row 2: node similarity
+// yes, edge-to-path no, predicates no).
+type SLQ struct {
+	g *kg.Graph
+	m *transform.Matcher
+}
+
+// NewSLQ returns the SLQ baseline using the transformation library.
+func NewSLQ(g *kg.Graph, lib *transform.Library) *SLQ {
+	return &SLQ{g, transform.NewMatcher(g, lib)}
+}
+
+// Name implements Method.
+func (s *SLQ) Name() string { return "SLQ" }
+
+// Search implements Method.
+func (s *SLQ) Search(q *query.Graph, focus string, k int) []Ranked {
+	return evaluate(s.g, q, focus, k, policy{
+		nodeCands: libraryCands(s.m),
+		expand:    oneHopEdges(s.g, false),
+	})
+}
+
+// --- NeMa ----------------------------------------------------------------------
+
+// NeMa reproduces the NeMa baseline [7]: neighborhood-based structural
+// similarity with label-similar node matching and edge-to-path mapping up
+// to 2 hops, ignoring predicates (Table II row 3). Longer paths are
+// discounted by alpha^(hops-1) as in NeMa's neighborhood cost.
+type NeMa struct {
+	g     *kg.Graph
+	alpha float64
+	hops  int
+}
+
+// NewNeMa returns the NeMa baseline (alpha = 0.5, 2-hop neighborhoods, as
+// in the original paper).
+func NewNeMa(g *kg.Graph) *NeMa { return &NeMa{g: g, alpha: 0.5, hops: 2} }
+
+// Name implements Method.
+func (n *NeMa) Name() string { return "NeMa" }
+
+// Search implements Method.
+func (n *NeMa) Search(q *query.Graph, focus string, k int) []Ranked {
+	return evaluate(n.g, q, focus, k, policy{
+		nodeCands: editDistCands(n.g, 0.6),
+		expand:    pathEdges(n.g, n.hops, n.alpha),
+	})
+}
+
+// --- p-hom -----------------------------------------------------------------------
+
+// PHom reproduces the p-homomorphism baseline [20]: node matching by string
+// edit distance only (stricter than NeMa's), edge-to-path mapping up to 4
+// hops with no predicate constraints (Table II row 5). The permissive path
+// mapping combined with syntax-only node matching yields its characteristic
+// low precision and recall.
+type PHom struct {
+	g    *kg.Graph
+	hops int
+}
+
+// NewPHom returns the p-hom baseline.
+func NewPHom(g *kg.Graph) *PHom { return &PHom{g: g, hops: 4} }
+
+// Name implements Method.
+func (p *PHom) Name() string { return "p-hom" }
+
+// Search implements Method. p-hom treats every qualifying path as an
+// equally good edge match (alpha = 1: no length discount), which is what
+// makes it rank answers almost arbitrarily among the reachable pool — its
+// characteristic weakness versus GraB's bounded distance scores.
+func (p *PHom) Search(q *query.Graph, focus string, k int) []Ranked {
+	return evaluate(p.g, q, focus, k, policy{
+		nodeCands: editDistCands(p.g, 0.8),
+		expand:    pathEdges(p.g, p.hops, 1.0),
+	})
+}
+
+// --- GraB -------------------------------------------------------------------------
+
+// GraB reproduces the GraB baseline [11]: exact node matching, edge-to-path
+// mapping with bounded matching scores and no predicate awareness
+// (Table II row 6). Scores sum 1/hops per edge, the distance-based matching
+// score GraB bounds during its search.
+type GraB struct {
+	g    *kg.Graph
+	hops int
+}
+
+// NewGraB returns the GraB baseline.
+func NewGraB(g *kg.Graph) *GraB { return &GraB{g: g, hops: 4} }
+
+// Name implements Method.
+func (b *GraB) Name() string { return "GraB" }
+
+// Search implements Method.
+func (b *GraB) Search(q *query.Graph, focus string, k int) []Ranked {
+	g := b.g
+	return evaluate(g, q, focus, k, policy{
+		nodeCands: exactCands(g),
+		expand: func(e query.Edge, src kg.NodeID, fromSide bool) []edgeMatch {
+			dist := bfsPaths(g, src, b.hops)
+			out := make([]edgeMatch, 0, len(dist))
+			for dst, hops := range dist {
+				out = append(out, edgeMatch{dst: dst, hops: hops, score: 1 / float64(hops)})
+			}
+			return out
+		},
+	})
+}
+
+// --- QGA --------------------------------------------------------------------------
+
+// QGA reproduces the query-graph-assembly baseline [13]: keywords are
+// assembled into a query graph which is answered as an exact conjunctive
+// (SPARQL) query — node mismatches are absorbed by the library during
+// assembly, but edges stay exact 1-hop predicates (Table II row 7).
+type QGA struct {
+	g *kg.Graph
+	m *transform.Matcher
+}
+
+// NewQGA returns the QGA baseline.
+func NewQGA(g *kg.Graph, lib *transform.Library) *QGA {
+	return &QGA{g, transform.NewMatcher(g, lib)}
+}
+
+// Name implements Method.
+func (s *QGA) Name() string { return "QGA" }
+
+// Search implements Method.
+func (s *QGA) Search(q *query.Graph, focus string, k int) []Ranked {
+	return evaluate(s.g, q, focus, k, policy{
+		nodeCands: libraryCands(s.m),
+		expand:    oneHopEdges(s.g, true),
+	})
+}

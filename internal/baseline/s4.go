@@ -1,0 +1,153 @@
+package baseline
+
+import (
+	"sort"
+	"strings"
+
+	"semkg/internal/kg"
+	"semkg/internal/query"
+	"semkg/internal/sparql"
+)
+
+// S4 reproduces the S4 baseline [19]: semantic SPARQL similarity search
+// that mines n-hop structural patterns in advance from prior-knowledge
+// semantic instances (the paper's "e.g., given by Patty") and answers a
+// query edge by substituting the mined patterns. Its accuracy is sensitive
+// to the quality of the prior knowledge, which the paper highlights as its
+// main weakness versus the embedding-guided approach.
+//
+// Offline: instances are aggregated into patterns (predicate paths) with
+// support counts; patterns with support >= MinSupport survive. Online: each
+// query edge expands into the surviving patterns, evaluated exactly through
+// the conjunctive-query substrate; answers are ranked by pattern support.
+type S4 struct {
+	g *kg.Graph
+	// patterns maps focusType|anchorType to mined predicate paths.
+	patterns map[string][]minedPattern
+	// MinSupport is the minimum number of prior instances for a pattern
+	// to be used. Default 2.
+	MinSupport int
+}
+
+type minedPattern struct {
+	preds   []string
+	support int
+}
+
+// PriorInstance mirrors datagen.PriorInstance without importing it (the
+// baseline must not depend on the generator).
+type PriorInstance struct {
+	FocusType  string
+	AnchorType string
+	Predicates []string
+}
+
+// NewS4 mines patterns from the prior instances and returns the baseline.
+func NewS4(g *kg.Graph, prior []PriorInstance) *S4 {
+	s := &S4{g: g, patterns: make(map[string][]minedPattern), MinSupport: 2}
+	counts := make(map[string]map[string]int)
+	for _, in := range prior {
+		key := in.FocusType + "|" + in.AnchorType
+		if counts[key] == nil {
+			counts[key] = make(map[string]int)
+		}
+		counts[key][strings.Join(in.Predicates, "/")]++
+	}
+	for key, m := range counts {
+		for path, c := range m {
+			if c < s.MinSupport {
+				continue
+			}
+			s.patterns[key] = append(s.patterns[key], minedPattern{
+				preds:   strings.Split(path, "/"),
+				support: c,
+			})
+		}
+		sort.Slice(s.patterns[key], func(i, j int) bool {
+			a, b := s.patterns[key][i], s.patterns[key][j]
+			if a.support != b.support {
+				return a.support > b.support
+			}
+			return strings.Join(a.preds, "/") < strings.Join(b.preds, "/")
+		})
+	}
+	return s
+}
+
+// Name implements Method.
+func (s *S4) Name() string { return "S4" }
+
+// Search implements Method. It only supports the focus-to-anchor query
+// shape the patterns were mined for; query edges between other node pairs
+// are evaluated exactly (1-hop).
+func (s *S4) Search(q *query.Graph, focus string, k int) []Ranked {
+	if err := q.Validate(); err != nil {
+		return nil
+	}
+	focusNode, ok := q.NodeByID(focus)
+	if !ok {
+		return nil
+	}
+	scores := make(map[string]float64)
+	// For each query edge incident to the focus whose other endpoint is a
+	// specific node, substitute the mined patterns.
+	for _, e := range q.Edges {
+		var anchorID string
+		switch {
+		case e.From == focus:
+			anchorID = e.To
+		case e.To == focus:
+			anchorID = e.From
+		default:
+			continue
+		}
+		anchor, ok := q.NodeByID(anchorID)
+		if !ok || !anchor.Specific() {
+			continue
+		}
+		key := focusNode.Type + "|" + anchor.Type
+		for _, pat := range s.patterns[key] {
+			for _, name := range s.evalPattern(focusNode.Type, pat.preds, anchor.Name) {
+				scores[name] += float64(pat.support)
+			}
+		}
+	}
+	out := make([]Ranked, 0, len(scores))
+	for name, sc := range scores {
+		out = append(out, Ranked{Entity: name, Score: sc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Entity < out[j].Entity
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func (s *S4) evalPattern(focusType string, preds []string, anchor string) []string {
+	q := sparql.Query{Patterns: []sparql.Pattern{
+		{Subject: "?v0", Predicate: kg.TypePredicate, Object: focusType},
+	}}
+	cur := "?v0"
+	for i, p := range preds {
+		next := anchor
+		if i < len(preds)-1 {
+			next = "?v" + string(rune('1'+i))
+		}
+		q.Patterns = append(q.Patterns, sparql.Pattern{Subject: cur, Predicate: p, Object: next})
+		cur = next
+	}
+	bs, err := sparql.Eval(s.g, q, 0)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, u := range sparql.Project(bs, "?v0") {
+		out = append(out, s.g.NodeName(u))
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"semkg/internal/datagen"
+	"semkg/internal/embed"
+)
+
+// testEnv returns a small, cached environment shared by these tests.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := Cached(Config{
+		Profile: datagen.DBpediaLike(0.2),
+		Embed:   embed.Config{Dim: 32, Epochs: 80, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestCachedReuse(t *testing.T) {
+	a := testEnv(t)
+	b := testEnv(t)
+	if a != b {
+		t.Error("Cached should return the same environment")
+	}
+	if a.TrainTime <= 0 || a.ModelBytes <= 0 {
+		t.Errorf("offline stats missing: %+v", a.TrainTime)
+	}
+}
+
+func TestRunTable1Shape(t *testing.T) {
+	env := testEnv(t)
+	res := RunTable1(env)
+	if len(res.Rows) != 8 {
+		t.Fatalf("Table I has %d rows, want 8 methods", len(res.Rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range res.Rows {
+		byName[r.Method] = r
+	}
+	sgq := byName["SGQ"]
+	for i := 0; i < 4; i++ {
+		if !sgq.Found[i] {
+			t.Errorf("SGQ failed variant G%d", i+1)
+		}
+	}
+	// Headline claim: SGQ's recall on the canonical variant beats the
+	// exact-match methods, which only recover the direct schema.
+	if sgq.PR[3].Recall <= byName["QGA"].PR[3].Recall {
+		t.Errorf("SGQ recall %.2f should beat QGA %.2f",
+			sgq.PR[3].Recall, byName["QGA"].PR[3].Recall)
+	}
+	if sgq.PR[3].Recall <= byName["gStore"].PR[3].Recall {
+		t.Errorf("SGQ recall %.2f should beat gStore %.2f",
+			sgq.PR[3].Recall, byName["gStore"].PR[3].Recall)
+	}
+	// gStore cannot handle the synonym-type and abbreviated-name variants.
+	if byName["gStore"].Found[0] || byName["gStore"].Found[1] {
+		t.Error("gStore should fail G1 and G2")
+	}
+	// SLQ and QGA handle the node mismatches through the library.
+	if !byName["SLQ"].Found[0] || !byName["QGA"].Found[1] {
+		t.Error("SLQ/QGA should handle node-mismatch variants")
+	}
+	out := res.Render().String()
+	if !strings.Contains(out, "SGQ") || !strings.Contains(out, "x") {
+		t.Errorf("render missing expected cells:\n%s", out)
+	}
+}
+
+func TestRunFigureShape(t *testing.T) {
+	env := testEnv(t)
+	res := RunFigure(env, []int{10, 40})
+	if len(res.Systems) != 6 {
+		t.Fatalf("figure has %d systems, want 6", len(res.Systems))
+	}
+	idx := map[string]int{}
+	for i, s := range res.Systems {
+		idx[s] = i
+	}
+	for si := range res.Systems {
+		for ki := range res.Ks {
+			for _, v := range []float64{res.P[si][ki], res.R[si][ki], res.F1[si][ki]} {
+				if v < 0 || v > 1 {
+					t.Fatalf("metric out of range: %v", v)
+				}
+			}
+		}
+	}
+	last := len(res.Ks) - 1
+	sgq, phom := idx["SGQ"], idx["p-hom"]
+	if res.F1[sgq][last] <= res.F1[phom][last] {
+		t.Errorf("SGQ F1 %.2f should beat p-hom %.2f at k=%d",
+			res.F1[sgq][last], res.F1[phom][last], res.Ks[last])
+	}
+	// Recall grows with k for SGQ.
+	if res.R[sgq][last] < res.R[sgq][0]-1e-9 {
+		t.Errorf("SGQ recall decreased with k: %v", res.R[sgq])
+	}
+	tables := res.Render()
+	if len(tables) != 4 {
+		t.Fatalf("figure renders %d tables, want 4 panels", len(tables))
+	}
+}
+
+func TestRunFig15Shape(t *testing.T) {
+	env := testEnv(t)
+	res := RunFig15(env, 20, []float64{0.3, 0.9, 3.0})
+	if len(res.BoundsMS) != 3 {
+		t.Fatalf("bounds = %v", res.BoundsMS)
+	}
+	// More time must not hurt effectiveness substantially (tie noise from
+	// scheduling is tolerated).
+	if res.F1[2] < res.F1[0]-0.1 {
+		t.Errorf("F1 degraded with larger bound: %v", res.F1)
+	}
+	if res.Render().String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRunTable5Shape(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunTable5(env, []int{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pivots) < 2 {
+		t.Fatalf("pivot comparison needs >= 2 pivots, got %v", res.Pivots)
+	}
+	if res.Render().String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRunTable6Shape(t *testing.T) {
+	env := testEnv(t)
+	res := RunTable6(env)
+	if len(res.Rows) < 2 {
+		t.Fatalf("Table VI rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].Class != "Simple" || res.Rows[0].RandomMeasured {
+		t.Errorf("first row should be Simple without Random: %+v", res.Rows[0])
+	}
+	for _, row := range res.Rows[1:] {
+		if !row.RandomMeasured {
+			t.Errorf("%s should measure Random", row.Class)
+		}
+	}
+	if res.Render().String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRunTable7Shape(t *testing.T) {
+	env := testEnv(t)
+	res := RunTable7([]*Env{env}, 5)
+	if len(res.PCC) == 0 {
+		t.Fatal("user study produced no queries")
+	}
+	strong := 0
+	for _, p := range res.PCC {
+		if p < -1 || p > 1 {
+			t.Fatalf("PCC out of range: %v", p)
+		}
+		if p >= 0.5 {
+			strong++
+		}
+	}
+	// The paper reports strong correlation on 16/20 queries; at our scale
+	// at least half should be strong.
+	if strong*2 < len(res.PCC) {
+		t.Errorf("only %d/%d strong correlations", strong, len(res.PCC))
+	}
+	if res.Render().String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRunNoiseShape(t *testing.T) {
+	env := testEnv(t)
+	res := RunNoise(env, 20, []float64{0, 0.4})
+	if len(res.NodeF1) != 2 || len(res.EdgeF1) != 2 {
+		t.Fatalf("noise sweep incomplete: %+v", res)
+	}
+	// Effectiveness at 40% noise must not exceed the clean run (node or
+	// edge): noise can only hurt or tie.
+	if res.NodeF1[1] > res.NodeF1[0]+0.05 {
+		t.Errorf("node noise improved F1: %v", res.NodeF1)
+	}
+	if res.EdgeF1[1] > res.EdgeF1[0]+0.05 {
+		t.Errorf("edge noise improved F1: %v", res.EdgeF1)
+	}
+	if res.Render().String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRunTable9Shape(t *testing.T) {
+	res, err := RunTable9([]float64{0.1, 0.2}, []int{5, 10},
+		embed.Config{Dim: 16, Epochs: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[1].Nodes <= res.Rows[0].Nodes {
+		t.Errorf("scales not increasing: %d vs %d", res.Rows[0].Nodes, res.Rows[1].Nodes)
+	}
+	if res.Render().String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRunTable10Shape(t *testing.T) {
+	env := testEnv(t)
+	res := RunTable10(env, 20)
+	if len(res.NHats) != 4 || len(res.Taus) != 4 {
+		t.Fatalf("sweep incomplete: %+v", res)
+	}
+	// Larger n̂ cannot reduce recall (more schemas reachable).
+	if res.NHatPR[3].Recall < res.NHatPR[0].Recall-1e-9 {
+		t.Errorf("recall decreased with n̂: %v -> %v",
+			res.NHatPR[0].Recall, res.NHatPR[3].Recall)
+	}
+	// The largest τ prunes correct schemas: recall at τ=0.8 should not
+	// exceed recall at τ=0.5.
+	if res.TauPR[3].Recall > res.TauPR[0].Recall+1e-9 {
+		t.Errorf("recall grew with τ: %v -> %v",
+			res.TauPR[0].Recall, res.TauPR[3].Recall)
+	}
+	if res.Render().String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestRunAblationShape(t *testing.T) {
+	env := testEnv(t)
+	res := RunAblation(env, 20)
+	if len(res.Rows) != 3 {
+		t.Fatalf("ablation rows = %d", len(res.Rows))
+	}
+	def, unin, pruned := res.Rows[0], res.Rows[1], res.Rows[2]
+	if unin.Popped < def.Popped {
+		t.Errorf("uninformed search popped fewer states (%d) than informed (%d)",
+			unin.Popped, def.Popped)
+	}
+	if pruned.Popped > def.Popped {
+		t.Errorf("visited-set pruning popped more states (%d) than exact (%d)",
+			pruned.Popped, def.Popped)
+	}
+	if res.Render().String() == "" {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"semkg/internal/metrics"
+)
+
+// --- E1: Table I — Q117 variants × all methods ------------------------------
+
+// Table1Row is one method's precision/recall across the four query-graph
+// variants of Fig. 1 (G1: synonym type, G2: abbreviated name, G3: sibling
+// predicate, G4: canonical).
+type Table1Row struct {
+	Method string
+	PR     [4]metrics.PR
+	Found  [4]bool
+}
+
+// Table1Result reproduces Table I.
+type Table1Result struct {
+	K    int
+	Rows []Table1Row
+}
+
+// RunTable1 evaluates every method on the four Q117 variants with
+// k = |validation set| (the paper sets k = 596 for the same reason).
+func RunTable1(env *Env) *Table1Result {
+	variants := env.Dataset.Table1
+	k := len(variants[0].Truth)
+	res := &Table1Result{K: k}
+	systems := append([]System{env.SGQ()}, env.AllBaselines(0.7)...)
+	for _, sys := range systems {
+		row := Table1Row{Method: sys.Name}
+		for i, q := range variants {
+			answers, _ := sys.Run(q, k)
+			row.Found[i] = len(answers) > 0
+			row.PR[i] = metrics.Evaluate(answers, q.Truth)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render formats the result like the paper's Table I.
+func (r *Table1Result) Render() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Table I: Precision/Recall for the Q117 variants (top-k=%d)", r.K),
+		Header: []string{"Method", "G1 P", "G1 R", "G2 P", "G2 R", "G3 P", "G3 R", "G4 P", "G4 R"},
+	}
+	for _, row := range r.Rows {
+		cells := []string{row.Method}
+		for i := 0; i < 4; i++ {
+			if !row.Found[i] {
+				cells = append(cells, "x", "x")
+				continue
+			}
+			cells = append(cells, f2(row.PR[i].Precision), f2(row.PR[i].Recall))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// --- E2/E3: Figures 12-14 — effectiveness & efficiency vs top-k -------------
+
+// FigureResult holds one dataset's P/R/F1/time series over k for every
+// system (Figures 12, 13, 14, panels a-d).
+type FigureResult struct {
+	Dataset string
+	Ks      []int
+	Systems []string
+	P       [][]float64 // [system][kIdx]
+	R       [][]float64
+	F1      [][]float64
+	TimeMS  [][]float64
+}
+
+// RunFigure evaluates {TBQ-0.9, SGQ, GraB, S4, QGA, p-hom} over the
+// dataset's simple workload for each k, averaging P/R/F1 and response
+// time — the series of Figures 12-14. The k values default to
+// {10, 20, 40, 80}: the paper's {20,40,100,200} scaled to the synthetic
+// validation-set sizes (see EXPERIMENTS.md).
+func RunFigure(env *Env, ks []int) *FigureResult {
+	if len(ks) == 0 {
+		ks = []int{10, 20, 40, 80}
+	}
+	systems := append([]System{env.TBQ(0.9), env.SGQ()}, env.Baselines(0.5)...)
+	res := &FigureResult{Dataset: env.Cfg.Profile.Name, Ks: ks}
+	for _, sys := range systems {
+		res.Systems = append(res.Systems, sys.Name)
+		var ps, rs, f1s, ts []float64
+		for _, k := range ks {
+			var prs []metrics.PR
+			var totalMS float64
+			for _, q := range env.Dataset.Simple {
+				answers, elapsed := sys.Run(q, k)
+				prs = append(prs, metrics.Evaluate(answers, q.Truth))
+				totalMS += float64(elapsed.Microseconds()) / 1000
+			}
+			m := metrics.Mean(prs)
+			ps = append(ps, m.Precision)
+			rs = append(rs, m.Recall)
+			f1s = append(f1s, m.F1)
+			ts = append(ts, totalMS/float64(len(env.Dataset.Simple)))
+		}
+		res.P = append(res.P, ps)
+		res.R = append(res.R, rs)
+		res.F1 = append(res.F1, f1s)
+		res.TimeMS = append(res.TimeMS, ts)
+	}
+	return res
+}
+
+// Render formats the four panels as one table per metric.
+func (r *FigureResult) Render() []*Table {
+	mk := func(name string, data [][]float64, ms bool) *Table {
+		t := &Table{Title: fmt.Sprintf("%s — %s vs top-k", r.Dataset, name)}
+		t.Header = []string{"Method"}
+		for _, k := range r.Ks {
+			t.Header = append(t.Header, fmt.Sprintf("k=%d", k))
+		}
+		for i, sys := range r.Systems {
+			cells := []string{sys}
+			for j := range r.Ks {
+				if ms {
+					cells = append(cells, f1ms(data[i][j]))
+				} else {
+					cells = append(cells, f2(data[i][j]))
+				}
+			}
+			t.AddRow(cells...)
+		}
+		return t
+	}
+	return []*Table{
+		mk("Precision", r.P, false),
+		mk("Recall", r.R, false),
+		mk("F1-measure", r.F1, false),
+		mk("Response time", r.TimeMS, true),
+	}
+}
+
+// --- E4: Figure 15 — effect of time bounds ------------------------------------
+
+// Fig15Result sweeps the TBQ time bound (Fig. 15 a+b).
+type Fig15Result struct {
+	K        int
+	BoundsMS []float64
+	P        []float64
+	R        []float64
+	F1       []float64
+	RespMin  []float64
+	RespAvg  []float64
+	RespMax  []float64
+}
+
+// RunFig15 measures TBQ effectiveness and response time across time
+// bounds expressed as fractions of the measured SGQ time per query (the
+// paper sweeps 20-90 ms absolute; fractions transport the sweep to the
+// synthetic scale).
+func RunFig15(env *Env, k int, fractions []float64) *Fig15Result {
+	if k <= 0 {
+		k = 40
+	}
+	if len(fractions) == 0 {
+		fractions = []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	}
+	queries := env.Dataset.Simple
+	// Reference SGQ time per query.
+	refs := make([]time.Duration, len(queries))
+	sgq := env.SGQ()
+	for i, q := range queries {
+		_, refs[i] = sgq.Run(q, k)
+	}
+	res := &Fig15Result{K: k}
+	// The bounds at this scale are tens of microseconds; repeat each
+	// measurement to damp scheduler noise.
+	const reps = 3
+	for _, f := range fractions {
+		var prs []metrics.PR
+		minMS, maxMS, sumMS := 1e18, 0.0, 0.0
+		var avgBoundMS float64
+		for i, q := range queries {
+			bound := time.Duration(float64(refs[i]) * f)
+			for rep := 0; rep < reps; rep++ {
+				answers, elapsed := env.TBQBounded(q, k, bound)
+				prs = append(prs, metrics.Evaluate(answers, q.Truth))
+				ms := float64(elapsed.Microseconds()) / 1000
+				if ms < minMS {
+					minMS = ms
+				}
+				if ms > maxMS {
+					maxMS = ms
+				}
+				sumMS += ms / reps
+			}
+			avgBoundMS += float64(bound.Microseconds()) / 1000
+		}
+		m := metrics.Mean(prs)
+		res.BoundsMS = append(res.BoundsMS, avgBoundMS/float64(len(queries)))
+		res.P = append(res.P, m.Precision)
+		res.R = append(res.R, m.Recall)
+		res.F1 = append(res.F1, m.F1)
+		res.RespMin = append(res.RespMin, minMS)
+		res.RespAvg = append(res.RespAvg, sumMS/float64(len(queries)))
+		res.RespMax = append(res.RespMax, maxMS)
+	}
+	return res
+}
+
+// Render formats the bound sweep.
+func (r *Fig15Result) Render() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 15: effect of time bounds (k=%d)", r.K),
+		Header: []string{"Bound", "P", "R", "F1", "RT min", "RT avg", "RT max"},
+	}
+	for i := range r.BoundsMS {
+		t.AddRow(f1ms(r.BoundsMS[i]), f2(r.P[i]), f2(r.R[i]), f2(r.F1[i]),
+			f1ms(r.RespMin[i]), f1ms(r.RespAvg[i]), f1ms(r.RespMax[i]))
+	}
+	return t
+}

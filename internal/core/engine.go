@@ -1,0 +1,395 @@
+// Package core orchestrates the full semantic-guided graph query pipeline
+// of the paper (Fig. 5): query-graph decomposition (Section III), on-the-fly
+// semantic graph weighting (Section IV), one A* semantic search per
+// sub-query graph (Section V-A/B, run concurrently — "each thread represents
+// an A* semantic search for a sub-query graph"), TA-based final match
+// assembly at the pivot (Section V-C), and the response-time-bounded
+// approximate mode (Section VI).
+//
+// The root package semkg re-exports this engine as the public API.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"semkg/internal/astar"
+	"semkg/internal/embed"
+	"semkg/internal/kg"
+	"semkg/internal/query"
+	"semkg/internal/semgraph"
+	"semkg/internal/ta"
+	"semkg/internal/tbq"
+	"semkg/internal/transform"
+)
+
+// Engine answers query graphs over one knowledge graph using one trained
+// predicate semantic space. It is safe for concurrent use: all mutable
+// search state lives per call.
+type Engine struct {
+	g       *kg.Graph
+	space   *embed.Space
+	matcher *transform.Matcher
+
+	calOnce    sync.Once
+	perMatchTA time.Duration
+}
+
+// NewEngine builds an engine over g with the predicate space (usually
+// model.Space(g) from a TransE run) and the synonym/abbreviation library
+// (nil for identical-only node matching plus heuristic abbreviations).
+func NewEngine(g *kg.Graph, space *embed.Space, lib *transform.Library) (*Engine, error) {
+	if g == nil || space == nil {
+		return nil, fmt.Errorf("core: nil graph or space")
+	}
+	if space.Len() != g.NumPredicates() {
+		return nil, fmt.Errorf("core: space covers %d predicates, graph has %d", space.Len(), g.NumPredicates())
+	}
+	return &Engine{g: g, space: space, matcher: transform.NewMatcher(g, lib)}, nil
+}
+
+// Graph returns the engine's knowledge graph.
+func (e *Engine) Graph() *kg.Graph { return e.g }
+
+// Space returns the engine's predicate semantic space.
+func (e *Engine) Space() *embed.Space { return e.space }
+
+// Matcher returns the engine's node matcher (the φ relation).
+func (e *Engine) Matcher() *transform.Matcher { return e.matcher }
+
+// Options configures one search call.
+type Options struct {
+	// K is the number of answers to return. Default 10.
+	K int
+	// Tau is the pss threshold τ. Default 0.8 (the paper's default).
+	Tau float64
+	// MaxHops is the user-desired path length n̂. Default 4.
+	MaxHops int
+	// Strategy selects the pivot (minCost by default).
+	Strategy query.PivotStrategy
+	// PivotNode forces an explicit pivot query node (Table V's per-pivot
+	// comparison); empty uses Strategy.
+	PivotNode string
+	// Rng is used by the RandomPivot strategy.
+	Rng *rand.Rand
+	// PruneVisited enables the paper's visited-set pruning (see astar).
+	PruneVisited bool
+	// NoHeuristic disables the m(u) estimate factor (ablation).
+	NoHeuristic bool
+
+	// TimeBound, when positive, switches to the response-time-bounded
+	// mode (TBQ, Section VI) with this bound T.
+	TimeBound time.Duration
+	// AlertRatio is Algorithm 3's r% (default 0.8). TBQ mode only.
+	AlertRatio float64
+	// Clock abstracts time in TBQ mode (tests); nil = wall clock.
+	Clock tbq.Clock
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.Tau <= 0 {
+		o.Tau = 0.8
+	}
+	if o.MaxHops <= 0 {
+		o.MaxHops = 4
+	}
+	return o
+}
+
+// PathStep is one knowledge-graph edge of an answer path, rendered with
+// names for display.
+type PathStep struct {
+	FromName  string
+	Predicate string
+	ToName    string
+}
+
+// SubMatch is one sub-query graph's matched path inside an answer.
+type SubMatch struct {
+	PSS   float64
+	Steps []PathStep
+}
+
+// Answer is a final match: an entity for the pivot query node plus the
+// joined sub-query paths and the match score (Eq. 2).
+type Answer struct {
+	Pivot     kg.NodeID
+	PivotName string
+	Score     float64
+	Parts     []SubMatch
+	// Bindings maps every query node ID covered by the sub-queries to its
+	// matched entity name (target nodes get their discovered entities;
+	// specific nodes their anchors). When sub-queries disagree on a shared
+	// non-pivot node, the first sub-query's assignment wins — consistency
+	// is only enforced at the pivot, as in the paper.
+	Bindings map[string]string
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Answers       []Answer
+	Decomposition *query.Decomposition
+	Elapsed       time.Duration
+	// Approximate is true in TBQ mode when the time bound stopped the
+	// search before exhaustion (the answers may differ from the exact
+	// top-k; more time refines them, Theorem 4).
+	Approximate bool
+	// SearchStats aggregates per-sub-query search effort.
+	SearchStats []astar.Stats
+	// Collected is |M̂_i| per sub-query (TBQ mode only).
+	Collected []int
+}
+
+// Entities returns the answer entity names (the pivot bindings), in rank
+// order.
+func (r *Result) Entities() []string {
+	out := make([]string, len(r.Answers))
+	for i, a := range r.Answers {
+		out[i] = a.PivotName
+	}
+	return out
+}
+
+// EntitiesOf returns the distinct entities bound to the given query node
+// across the answers, in rank order. Use this when the query's focus
+// variable is not the pivot chosen by the decomposition.
+func (r *Result) EntitiesOf(nodeID string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, a := range r.Answers {
+		if name, ok := a.Bindings[nodeID]; ok && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// costEstimator adapts the engine to query.CostEstimator (Eq. 1).
+type costEstimator struct{ e *Engine }
+
+func (c costEstimator) AnchorCount(name, typeName string) int {
+	return len(c.e.matcher.MatchNode(name, typeName))
+}
+
+func (c costEstimator) AvgDegree() float64 { return c.e.g.AvgDegree() }
+
+// Search runs the semantic-guided graph query (SGQ), or the time-bounded
+// variant (TBQ) when opts.TimeBound > 0, and returns the top-k answers.
+//
+// A query node that matches nothing in the knowledge graph (the paper's
+// G1_Q mismatch case) yields an empty answer set, not an error: the query
+// is well-formed, the graph just has no matches.
+func (e *Engine) Search(ctx context.Context, q *query.Graph, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.TimeBound > 0 {
+		e.perMatchCost() // calibrate outside the timed window
+	}
+	start := time.Now()
+
+	d, err := e.decompose(q, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	searchers, compiled, err := e.buildSearchers(q, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Decomposition: d}
+	if !compiled {
+		res.Elapsed = time.Since(start)
+		return res, nil // some query node has no matches: no answers
+	}
+
+	var finals []ta.Final
+	if opts.TimeBound > 0 {
+		cfg := tbq.Config{
+			Bound:      opts.TimeBound,
+			AlertRatio: opts.AlertRatio,
+			PerMatchTA: e.perMatchCost(),
+			Clock:      opts.Clock,
+		}
+		out := tbq.Run(ctx, searchers, opts.K, cfg)
+		finals = out.Finals
+		res.Approximate = !out.Exhausted
+		res.Collected = out.Collected
+	} else {
+		finals = e.assembleOptimal(ctx, searchers, opts.K)
+	}
+	for _, s := range searchers {
+		res.SearchStats = append(res.SearchStats, s.Stats())
+	}
+	res.Answers = e.renderAnswers(finals, d)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func (e *Engine) decompose(q *query.Graph, opts Options) (*query.Decomposition, error) {
+	dopts := query.Options{
+		Strategy:  opts.Strategy,
+		Rng:       opts.Rng,
+		Estimator: costEstimator{e},
+		MaxHops:   opts.MaxHops,
+	}
+	if opts.PivotNode != "" {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		return query.DecomposeWithPivot(q, opts.PivotNode, dopts)
+	}
+	return query.Decompose(q, dopts)
+}
+
+// buildSearchers compiles each sub-query (φ sets + weighter) into an A*
+// searcher. ok=false (with nil error) means some query node has no matches.
+func (e *Engine) buildSearchers(q *query.Graph, d *query.Decomposition, opts Options) ([]*astar.Searcher, bool, error) {
+	sopts := astar.Options{
+		Tau:          opts.Tau,
+		MaxHops:      opts.MaxHops,
+		NoHeuristic:  opts.NoHeuristic,
+		PruneVisited: opts.PruneVisited,
+	}
+	searchers := make([]*astar.Searcher, 0, len(d.Subs))
+	for _, sub := range d.Subs {
+		anchorNode, _ := q.NodeByID(sub.Anchor())
+		anchors := e.matcher.MatchNode(anchorNode.Name, anchorNode.Type)
+		if len(anchors) == 0 {
+			return nil, false, nil
+		}
+		endSets := make([]map[kg.NodeID]bool, sub.Len())
+		for i := 1; i < len(sub.NodeIDs); i++ {
+			n, _ := q.NodeByID(sub.NodeIDs[i])
+			ids := e.matcher.MatchNode(n.Name, n.Type)
+			if len(ids) == 0 {
+				return nil, false, nil
+			}
+			set := make(map[kg.NodeID]bool, len(ids))
+			for _, id := range ids {
+				set[id] = true
+			}
+			endSets[i-1] = set
+		}
+		preds := make([]string, sub.Len())
+		for i, edge := range sub.Edges {
+			preds[i] = edge.Predicate
+		}
+		w, err := semgraph.NewWeighter(e.g, e.space, preds)
+		if err != nil {
+			return nil, false, err
+		}
+		searchers = append(searchers, astar.NewSearcher(e.g, w, astar.SubQuery{
+			Anchors: anchors,
+			EndSets: endSets,
+		}, sopts))
+	}
+	return searchers, true, nil
+}
+
+// assembleOptimal runs the exact pipeline: each searcher prefetches its
+// first k matches concurrently (one goroutine per sub-query graph, as in
+// the paper), then the TA assembly pulls further matches on demand.
+func (e *Engine) assembleOptimal(ctx context.Context, searchers []*astar.Searcher, k int) []ta.Final {
+	prefetched := make([][]astar.Match, len(searchers))
+	var wg sync.WaitGroup
+	for i, s := range searchers {
+		wg.Add(1)
+		go func(i int, s *astar.Searcher) {
+			defer wg.Done()
+			for len(prefetched[i]) < k && ctx.Err() == nil {
+				m, ok := s.Next()
+				if !ok {
+					break
+				}
+				prefetched[i] = append(prefetched[i], m)
+			}
+		}(i, s)
+	}
+	wg.Wait()
+
+	streams := make([]ta.Stream, len(searchers))
+	for i := range searchers {
+		streams[i] = &resumeStream{
+			ctx:    ctx,
+			buf:    prefetched[i],
+			search: searchers[i],
+		}
+	}
+	finals, _ := ta.Assemble(streams, k)
+	return finals
+}
+
+// resumeStream serves prefetched matches first, then resumes the underlying
+// searcher ("we repeat the A* semantic search for each g_i until sufficient
+// final matches for G_Q are returned"). Context cancellation ends the
+// stream, turning the assembly into an anytime operation.
+type resumeStream struct {
+	ctx    context.Context
+	buf    []astar.Match
+	pos    int
+	search *astar.Searcher
+}
+
+func (r *resumeStream) Next() (astar.Match, bool) {
+	if r.pos < len(r.buf) {
+		m := r.buf[r.pos]
+		r.pos++
+		return m, true
+	}
+	if r.ctx.Err() != nil {
+		return astar.Match{}, false
+	}
+	return r.search.Next()
+}
+
+func (e *Engine) renderAnswers(finals []ta.Final, d *query.Decomposition) []Answer {
+	answers := make([]Answer, len(finals))
+	for i, f := range finals {
+		a := Answer{
+			Pivot:     f.Pivot,
+			PivotName: e.g.NodeName(f.Pivot),
+			Score:     f.Score,
+			Bindings:  make(map[string]string),
+		}
+		for pi, part := range f.Parts {
+			sm := SubMatch{PSS: part.PSS}
+			for _, eid := range part.Edges {
+				edge := e.g.EdgeAt(eid)
+				// Render with the edge's true direction (paths ignore
+				// directionality, but the fact reads one way).
+				sm.Steps = append(sm.Steps, PathStep{
+					FromName:  e.g.NodeName(edge.Src),
+					Predicate: e.g.PredName(edge.Pred),
+					ToName:    e.g.NodeName(edge.Dst),
+				})
+			}
+			a.Parts = append(a.Parts, sm)
+			// Bindings: the sub-query's query nodes anchor at the path's
+			// start and at each segment end.
+			sub := d.Subs[pi]
+			bind := func(qid string, u kg.NodeID) {
+				if _, taken := a.Bindings[qid]; !taken {
+					a.Bindings[qid] = e.g.NodeName(u)
+				}
+			}
+			bind(sub.NodeIDs[0], part.Nodes[0])
+			for s, pos := range part.SegEnds {
+				bind(sub.NodeIDs[s+1], part.Nodes[pos])
+			}
+		}
+		answers[i] = a
+	}
+	return answers
+}
+
+// perMatchCost lazily calibrates Algorithm 3's empirical per-match TA time.
+func (e *Engine) perMatchCost() time.Duration {
+	e.calOnce.Do(func() { e.perMatchTA = tbq.Calibrate() })
+	return e.perMatchTA
+}

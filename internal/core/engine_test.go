@@ -1,0 +1,403 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"semkg/internal/embed"
+	"semkg/internal/kg"
+	"semkg/internal/query"
+	"semkg/internal/tbq"
+	"semkg/internal/transform"
+)
+
+// motivatingGraph builds a small DBpedia-like graph around the paper's
+// motivating example (Fig. 1/2): cars related to Germany through several
+// schemas (direct assembly, assembly via city, manufacturer via company),
+// plus distractors (designers, engines, languages).
+func motivatingGraph() *kg.Graph {
+	b := kg.NewBuilder(64, 128)
+	ger := b.AddNode("Germany", "Country")
+	france := b.AddNode("France", "Country")
+	regensburg := b.AddNode("Regensburg", "City")
+	paris := b.AddNode("Paris", "City")
+	bmwCo := b.AddNode("BMW_Company", "Company")
+	renaultCo := b.AddNode("Renault_Company", "Company")
+	german := b.AddNode("German_language", "Language")
+	peter := b.AddNode("Peter_Schreyer", "Person")
+
+	b.AddEdge(regensburg, ger, "country")
+	b.AddEdge(paris, france, "country")
+	b.AddEdge(bmwCo, ger, "locationCountry")
+	b.AddEdge(renaultCo, france, "locationCountry")
+	b.AddEdge(ger, german, "language")
+	b.AddEdge(peter, ger, "nationality")
+
+	// Schema 1: Automobile -assembly-> Germany (direct).
+	for _, name := range []string{"BMW_320", "Audi_TT"} {
+		u := b.AddNode(name, "Automobile")
+		b.AddEdge(u, ger, "assembly")
+	}
+	// Schema 2: Automobile -assembly-> City -country-> Germany.
+	bmwZ4 := b.AddNode("BMW_Z4", "Automobile")
+	b.AddEdge(bmwZ4, regensburg, "assembly")
+	// Schema 3: Automobile -manufacturer-> Company -locationCountry-> Germany.
+	bmwX6 := b.AddNode("BMW_X6", "Automobile")
+	b.AddEdge(bmwX6, bmwCo, "manufacturer")
+	// French distractors (same schemas, wrong country).
+	clio := b.AddNode("Renault_Clio", "Automobile")
+	b.AddEdge(clio, france, "assembly")
+	megane := b.AddNode("Renault_Megane", "Automobile")
+	b.AddEdge(megane, renaultCo, "manufacturer")
+	// A car merely *designed* by a German: semantically different.
+	kia := b.AddNode("KIA_K5", "Automobile")
+	b.AddEdge(kia, peter, "designer")
+	return b.Build()
+}
+
+// handSpace builds a predicate space encoding the intended semantics:
+// assembly/product/manufacturer-ish predicates cluster; designer,
+// nationality, language, country sit apart to varying degrees.
+func handSpace(t *testing.T, g *kg.Graph) *embed.Space {
+	t.Helper()
+	vecs := map[string]embed.Vector{
+		"assembly":        {1.00, 0.05, 0.02},
+		"product":         {0.99, 0.08, 0.03},
+		"manufacturer":    {0.95, 0.20, 0.05},
+		"country":         {0.90, 0.10, 0.30},
+		"locationCountry": {0.90, 0.12, 0.28},
+		"designer":        {0.30, 0.90, 0.10},
+		"nationality":     {0.35, 0.85, 0.20},
+		"language":        {0.05, 0.15, 0.98},
+	}
+	names := g.Predicates()
+	ordered := make([]embed.Vector, len(names))
+	for i, n := range names {
+		v, ok := vecs[n]
+		if !ok {
+			t.Fatalf("no hand vector for predicate %q", n)
+		}
+		ordered[i] = v
+	}
+	sp, err := embed.NewSpace(names, ordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func library() *transform.Library {
+	lib := transform.NewLibrary()
+	lib.AddSynonyms("Car", "Automobile", "Auto", "Motorcar")
+	lib.AddAbbreviation("GER", "Germany")
+	return lib
+}
+
+func q117(predicate string) *query.Graph {
+	return &query.Graph{
+		Nodes: []query.Node{
+			{ID: "v1", Type: "Automobile"},
+			{ID: "v2", Name: "Germany", Type: "Country"},
+		},
+		Edges: []query.Edge{{From: "v1", To: "v2", Predicate: predicate}},
+	}
+}
+
+func newTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	g := motivatingGraph()
+	e, err := NewEngine(g, handSpace(t, g), library())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSearchQ117 reproduces the paper's running example: the single-edge
+// query "cars assembled in Germany" must find answers across multiple
+// schemas (direct assembly, assembly-via-city, manufacturer-via-company)
+// while excluding French cars and the merely-designed-by-a-German car.
+func TestSearchQ117(t *testing.T) {
+	e := newTestEngine(t)
+	res, err := e.Search(context.Background(), q117("assembly"), Options{K: 10, Tau: 0.75, MaxHops: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Entities()
+	for _, want := range []string{"BMW_320", "Audi_TT", "BMW_Z4", "BMW_X6"} {
+		if !contains(got, want) {
+			t.Errorf("missing answer %s (got %v)", want, got)
+		}
+	}
+	for _, bad := range []string{"Renault_Clio", "Renault_Megane", "KIA_K5"} {
+		if contains(got, bad) {
+			t.Errorf("wrong answer %s returned (got %v)", bad, got)
+		}
+	}
+	// Direct assembly answers must outrank the 2-hop schemas.
+	if len(got) < 3 || (got[0] != "BMW_320" && got[0] != "Audi_TT") {
+		t.Errorf("direct-schema answers should rank first: %v", got)
+	}
+	if res.Elapsed <= 0 || len(res.SearchStats) != 1 {
+		t.Errorf("missing stats: %+v", res)
+	}
+}
+
+// TestSearchEdgeMismatch reproduces the G3_Q case of Fig. 1: the query uses
+// predicate "product", which no graph edge carries; the semantic space maps
+// it to assembly-cluster edges, so answers are still found.
+func TestSearchEdgeMismatch(t *testing.T) {
+	e := newTestEngine(t)
+	res, err := e.Search(context.Background(), q117("product"), Options{K: 10, Tau: 0.75, MaxHops: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Entities()
+	for _, want := range []string{"BMW_320", "Audi_TT"} {
+		if !contains(got, want) {
+			t.Errorf("missing %s under product predicate (got %v)", want, got)
+		}
+	}
+}
+
+// TestSearchNodeMismatch reproduces the G1_Q case: the query type <Car>
+// matches nothing without the library, and works with it.
+func TestSearchNodeMismatch(t *testing.T) {
+	g := motivatingGraph()
+	sp := handSpace(t, g)
+
+	carQuery := &query.Graph{
+		Nodes: []query.Node{
+			{ID: "v1", Type: "Car"},
+			{ID: "v2", Name: "Germany", Type: "Country"},
+		},
+		Edges: []query.Edge{{From: "v1", To: "v2", Predicate: "assembly"}},
+	}
+
+	bare, err := NewEngine(g, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bare.Search(context.Background(), carQuery, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 0 {
+		t.Errorf("without library, <Car> should match nothing, got %v", res.Entities())
+	}
+
+	withLib, err := NewEngine(g, sp, library())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = withLib.Search(context.Background(), carQuery, Options{K: 10, Tau: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(res.Entities(), "BMW_320") {
+		t.Errorf("with library, <Car> should match Automobile: %v", res.Entities())
+	}
+}
+
+// TestSearchChainQuery exercises the decomposition-assembly path on a
+// 2-sub-query chain: German cars that are assembled in Germany AND
+// manufactured by a company located in Germany.
+func TestSearchChainQuery(t *testing.T) {
+	// Extend the graph with a car matching both branches.
+	b := kg.NewBuilder(64, 128)
+	ger := b.AddNode("Germany", "Country")
+	co := b.AddNode("BMW_Company", "Company")
+	both := b.AddNode("BMW_M3", "Automobile")
+	only1 := b.AddNode("Audi_TT", "Automobile")
+	b.AddEdge(co, ger, "locationCountry")
+	b.AddEdge(both, ger, "assembly")
+	b.AddEdge(both, co, "manufacturer")
+	b.AddEdge(only1, ger, "assembly")
+	g := b.Build()
+
+	vecs := map[string]embed.Vector{
+		"assembly":        {1, 0.05, 0},
+		"manufacturer":    {0.95, 0.2, 0},
+		"locationCountry": {0.9, 0.12, 0.28},
+	}
+	names := g.Predicates()
+	ordered := make([]embed.Vector, len(names))
+	for i, n := range names {
+		ordered[i] = vecs[n]
+	}
+	sp, err := embed.NewSpace(names, ordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := &query.Graph{
+		Nodes: []query.Node{
+			{ID: "v1", Type: "Automobile"},
+			{ID: "v2", Name: "Germany", Type: "Country"},
+			{ID: "v3", Type: "Company"},
+		},
+		Edges: []query.Edge{
+			{From: "v1", To: "v2", Predicate: "assembly"},
+			{From: "v1", To: "v3", Predicate: "manufacturer"},
+		},
+	}
+	res, err := e.Search(context.Background(), q, Options{K: 5, Tau: 0.5, MaxHops: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only BMW_M3 satisfies both branches: Audi_TT has no manufacturer
+	// edge and cannot complete the path to a Company. The decomposition is
+	// free to pick either target as the pivot, so assert on the v1
+	// binding, not the pivot entity.
+	if got := res.EntitiesOf("v1"); len(got) != 1 || got[0] != "BMW_M3" {
+		t.Fatalf("v1 bindings = %v, want [BMW_M3]", got)
+	}
+	if len(res.Answers) == 0 || len(res.Answers[0].Bindings) < 3 {
+		t.Fatalf("answer bindings incomplete: %+v", res.Answers)
+	}
+	if res.Answers[0].Bindings["v2"] != "Germany" {
+		t.Errorf("v2 binding = %q, want Germany", res.Answers[0].Bindings["v2"])
+	}
+}
+
+func TestSearchTimeBounded(t *testing.T) {
+	e := newTestEngine(t)
+	res, err := e.Search(context.Background(), q117("assembly"), Options{
+		K: 10, Tau: 0.75, MaxHops: 4,
+		TimeBound: 5 * time.Second,
+		Clock:     &tbq.StepClock{Step: 10 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Approximate {
+		t.Error("ample bound should produce the exact result")
+	}
+	if !contains(res.Entities(), "BMW_320") {
+		t.Errorf("TBQ missing BMW_320: %v", res.Entities())
+	}
+	if len(res.Collected) != 1 || res.Collected[0] == 0 {
+		t.Errorf("Collected = %v", res.Collected)
+	}
+
+	// Tiny bound: approximate, but never errors.
+	res, err = e.Search(context.Background(), q117("assembly"), Options{
+		K: 10, Tau: 0.75,
+		TimeBound: time.Nanosecond,
+		Clock:     &tbq.StepClock{Step: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Approximate {
+		t.Error("nanosecond bound must be approximate")
+	}
+}
+
+func TestSearchCancelledContext(t *testing.T) {
+	e := newTestEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := e.Search(ctx, q117("assembly"), Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancellation is anytime behaviour: no error, possibly fewer answers.
+	_ = res
+}
+
+func TestSearchExplicitPivot(t *testing.T) {
+	e := newTestEngine(t)
+	res, err := e.Search(context.Background(), q117("assembly"), Options{K: 5, PivotNode: "v1", Tau: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decomposition.Pivot != "v1" {
+		t.Errorf("pivot = %s, want v1", res.Decomposition.Pivot)
+	}
+	if _, err := e.Search(context.Background(), q117("assembly"), Options{PivotNode: "bogus"}); err == nil {
+		t.Error("bogus pivot should error")
+	}
+}
+
+func TestSearchInvalidQuery(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.Search(context.Background(), &query.Graph{}, Options{}); err == nil {
+		t.Error("empty query should error")
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	g := motivatingGraph()
+	if _, err := NewEngine(nil, nil, nil); err == nil {
+		t.Error("nil graph should error")
+	}
+	bad, _ := embed.NewSpace([]string{"x"}, []embed.Vector{{1}})
+	if _, err := NewEngine(g, bad, nil); err == nil {
+		t.Error("mismatched space should error")
+	}
+}
+
+func TestAnswerRendering(t *testing.T) {
+	e := newTestEngine(t)
+	res, err := e.Search(context.Background(), q117("assembly"), Options{K: 10, Tau: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Answers {
+		if a.PivotName == "" || a.Score <= 0 {
+			t.Errorf("answer missing fields: %+v", a)
+		}
+		for _, p := range a.Parts {
+			if p.PSS <= 0 || len(p.Steps) == 0 {
+				t.Errorf("sub-match missing fields: %+v", p)
+			}
+			for _, s := range p.Steps {
+				if s.FromName == "" || s.Predicate == "" || s.ToName == "" {
+					t.Errorf("step missing fields: %+v", s)
+				}
+			}
+		}
+	}
+}
+
+// TestEndToEndWithTransE runs the full offline+online pipeline: train a
+// real TransE embedding on the graph, then query through it.
+func TestEndToEndWithTransE(t *testing.T) {
+	g := motivatingGraph()
+	model, err := embed.TrainTransE(context.Background(), g, embed.Config{Dim: 32, Epochs: 120, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := model.Space(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, sp, library())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Learned similarities are noisier than hand vectors: relax τ.
+	res, err := e.Search(context.Background(), q117("assembly"), Options{K: 10, Tau: 0.3, MaxHops: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Entities()
+	if !contains(got, "BMW_320") || !contains(got, "Audi_TT") {
+		t.Errorf("TransE pipeline missing direct answers: %v", got)
+	}
+}

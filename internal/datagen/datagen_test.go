@@ -1,0 +1,260 @@
+package datagen
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"semkg/internal/embed"
+	"semkg/internal/sparql"
+)
+
+// smallProfile keeps unit tests fast.
+func smallProfile() Profile {
+	p := DBpediaLike(0.12)
+	return p
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	d := Generate(smallProfile())
+	g := d.Graph
+	if g.NumNodes() < 300 {
+		t.Fatalf("graph too small: %d nodes", g.NumNodes())
+	}
+	if g.NumEdges() < g.NumNodes() {
+		t.Errorf("graph too sparse: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	for _, typ := range []string{"Country", "City", "Company", "Automobile", "Person", "Engine", "SoccerClub"} {
+		if g.TypeByName(typ) < 0 {
+			t.Errorf("missing type %s", typ)
+		}
+	}
+	for _, pred := range []string{"assembly", "product", "manufacturer", "country", "locationCountry",
+		"location", "nationality", "designer", "engine", "ground", "team", "relatedTo"} {
+		if g.PredByName(pred) < 0 {
+			t.Errorf("missing predicate %s", pred)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallProfile())
+	b := Generate(smallProfile())
+	if a.Graph.NumNodes() != b.Graph.NumNodes() || a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("generation is not deterministic")
+	}
+	if len(a.Simple) != len(b.Simple) {
+		t.Fatal("workloads differ between identical profiles")
+	}
+	for i := range a.Simple {
+		if a.Simple[i].Name != b.Simple[i].Name || len(a.Simple[i].Truth) != len(b.Simple[i].Truth) {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	db := DBpediaLike(1)
+	fb := FreebaseLike(1)
+	yg := YAGO2Like(1)
+	if fb.FillerTypes <= db.FillerTypes {
+		t.Error("freebase-like should have a richer type vocabulary than dbpedia-like")
+	}
+	if yg.Autos+yg.People <= db.Autos+db.People {
+		t.Error("yago2-like should have more entities than dbpedia-like")
+	}
+}
+
+func TestWorkloadsNonEmpty(t *testing.T) {
+	d := Generate(DBpediaLike(0.25))
+	if len(d.Simple) < 8 {
+		t.Errorf("simple workload has %d queries, want >= 8", len(d.Simple))
+	}
+	if len(d.Table1) != 4 {
+		t.Fatalf("Table1 variants = %d, want 4", len(d.Table1))
+	}
+	if len(d.Medium) == 0 {
+		t.Error("no medium queries generated")
+	}
+	if len(d.Complex) == 0 {
+		t.Error("no complex queries generated")
+	}
+	for _, q := range append(append(append([]GenQuery{}, d.Simple...), d.Medium...), d.Complex...) {
+		if err := q.Graph.Validate(); err != nil {
+			t.Errorf("%s: invalid query graph: %v", q.Name, err)
+		}
+		if len(q.Truth) == 0 {
+			t.Errorf("%s: empty validation set", q.Name)
+		}
+		if q.Focus == "" {
+			t.Errorf("%s: no focus", q.Name)
+		}
+	}
+}
+
+func TestTable1VariantsShareTruth(t *testing.T) {
+	d := Generate(DBpediaLike(0.25))
+	base := d.Table1[3] // canonical
+	for _, v := range d.Table1[:3] {
+		if len(v.Truth) != len(base.Truth) {
+			t.Errorf("%s truth size %d != canonical %d", v.Name, len(v.Truth), len(base.Truth))
+		}
+	}
+	// G1 uses the synonym type, G2 the abbreviated name, G3 the product
+	// predicate.
+	if d.Table1[0].Graph.Nodes[0].Type != "Car" {
+		t.Errorf("G1 type = %s", d.Table1[0].Graph.Nodes[0].Type)
+	}
+	if d.Table1[1].Graph.Nodes[1].Name == base.Graph.Nodes[1].Name {
+		t.Error("G2 should abbreviate the country name")
+	}
+	if d.Table1[2].Graph.Edges[0].Predicate != "product" {
+		t.Errorf("G3 predicate = %s", d.Table1[2].Graph.Edges[0].Predicate)
+	}
+}
+
+// TestTruthMatchesSchemas: every entity in a producedIn validation set is
+// reachable through one of the production schemas, and the multi-hop
+// schemas contribute a substantial minority (the Fig. 1 phenomenon).
+func TestTruthMatchesSchemas(t *testing.T) {
+	d := Generate(DBpediaLike(0.25))
+	g := d.Graph
+	direct := make(map[string]bool)
+	q := schemaQuery("Automobile", ProductionSchemas[0], d.table1C)
+	bs, err := sparql.Eval(g, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range sparql.Project(bs, "?v0") {
+		direct[g.NodeName(u)] = true
+	}
+	full := ProducedInTruth(g, d.table1C)
+	if len(full) <= len(direct) {
+		t.Errorf("multi-hop schemas contribute nothing: direct=%d full=%d", len(direct), len(full))
+	}
+	ratio := float64(len(direct)) / float64(len(full))
+	if ratio < 0.2 || ratio > 0.75 {
+		t.Errorf("direct-schema ratio = %.2f, want skew comparable to Fig. 1 (~0.4-0.55)", ratio)
+	}
+}
+
+// TestTrainedSpaceRecoversClusters trains TransE on a generated world and
+// verifies the Fig. 6 property on the generator's ground-truth clusters.
+func TestTrainedSpaceRecoversClusters(t *testing.T) {
+	d := Generate(DBpediaLike(0.3))
+	model, err := embed.TrainTransE(context.Background(), d.Graph, embed.Config{Dim: 48, Epochs: 120, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := model.Space(d.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.Graph
+	sim := func(a, b string) float64 {
+		return sp.Similarity(int(g.PredByName(a)), int(g.PredByName(b)))
+	}
+	if s, d := sim("assembly", "product"), sim("assembly", "designer"); s <= d {
+		t.Errorf("sim(assembly,product)=%.3f should exceed sim(assembly,designer)=%.3f", s, d)
+	}
+	if s, d := sim("assembly", "product"), sim("assembly", "team"); s <= d {
+		t.Errorf("sim(assembly,product)=%.3f should exceed sim(assembly,team)=%.3f", s, d)
+	}
+}
+
+func TestAddNodeNoise(t *testing.T) {
+	d := Generate(smallProfile())
+	rng := rand.New(rand.NewSource(1))
+	base := d.Table1[3].Graph
+	changed := 0
+	for i := 0; i < 20; i++ {
+		noisy := AddNodeNoise(base, d.Library, rng)
+		if err := noisy.Validate(); err != nil {
+			t.Fatalf("noisy query invalid: %v", err)
+		}
+		if noisy.Nodes[0].Type != base.Nodes[0].Type || noisy.Nodes[1].Name != base.Nodes[1].Name {
+			changed++
+		}
+		// The original must never be mutated.
+		if base.Nodes[0].Type != "Automobile" {
+			t.Fatal("AddNodeNoise mutated the input query")
+		}
+	}
+	if changed == 0 {
+		t.Error("node noise never changed anything")
+	}
+}
+
+func TestAddEdgeNoise(t *testing.T) {
+	d := Generate(smallProfile())
+	model, err := embed.TrainTransE(context.Background(), d.Graph, embed.Config{Dim: 16, Epochs: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := model.Space(d.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	base := d.Table1[3].Graph
+	changed := 0
+	for i := 0; i < 20; i++ {
+		noisy := AddEdgeNoise(base, d.Graph, sp, rng)
+		if noisy.Edges[0].Predicate != base.Edges[0].Predicate {
+			changed++
+		}
+		if base.Edges[0].Predicate != "assembly" {
+			t.Fatal("AddEdgeNoise mutated the input query")
+		}
+	}
+	if changed < 15 {
+		t.Errorf("edge noise changed the predicate only %d/20 times", changed)
+	}
+}
+
+func TestPriorQuality(t *testing.T) {
+	d := Generate(smallProfile())
+	rng := rand.New(rand.NewSource(3))
+	correctByFocus := map[string][][]string{
+		"Automobile": ProductionSchemas,
+		"Person":     NationalitySchemas,
+		"SoccerClub": ClubSchemas,
+	}
+	isTrue := func(p PriorInstance) bool {
+		for _, s := range correctByFocus[p.FocusType] {
+			if equalStrings(s, p.Predicates) {
+				return true
+			}
+		}
+		return false
+	}
+	good := d.Prior(200, 1.0, rng)
+	focusSeen := map[string]bool{}
+	for _, p := range good {
+		if !isTrue(p) {
+			t.Fatalf("quality=1.0 produced a wrong instance: %v (%s)", p.Predicates, p.FocusType)
+		}
+		focusSeen[p.FocusType] = true
+	}
+	if len(focusSeen) < 2 {
+		t.Errorf("prior should cover multiple intentions, got %v", focusSeen)
+	}
+	bad := d.Prior(200, 0.0, rng)
+	for _, p := range bad {
+		if isTrue(p) {
+			t.Fatalf("quality=0.0 produced a true instance: %v", p.Predicates)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

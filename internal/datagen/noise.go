@@ -1,0 +1,183 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"semkg/internal/embed"
+	"semkg/internal/kg"
+	"semkg/internal/query"
+	"semkg/internal/semgraph"
+	"semkg/internal/transform"
+)
+
+// AddNodeNoise returns a copy of q with one random query node's name or
+// type replaced by a randomly selected synonym or abbreviation
+// (Section VII-E, node noise). Half the replacements come from the
+// transformation library (and are thus resolvable by φ); the other half
+// simulate out-of-vocabulary phrasings — misspellings and unregistered
+// variants, as crowd queries contain — which only the heuristic
+// abbreviation fallback can sometimes recover. Without the latter the
+// engine would be trivially immune to node noise, unlike the paper's
+// Fig. 17(a).
+func AddNodeNoise(q *query.Graph, lib *transform.Library, rng *rand.Rand) *query.Graph {
+	out := cloneQuery(q)
+	type slot struct {
+		idx    int
+		isName bool
+		term   string
+		alts   []string
+	}
+	var slots []slot
+	for i, n := range out.Nodes {
+		if n.Name != "" {
+			slots = append(slots, slot{i, true, n.Name, alternatives(lib, n.Name)})
+		}
+		if n.Type != "" {
+			slots = append(slots, slot{i, false, n.Type, alternatives(lib, n.Type)})
+		}
+	}
+	if len(slots) == 0 {
+		return out
+	}
+	s := slots[rng.Intn(len(slots))]
+	var alt string
+	if len(s.alts) > 0 && rng.Float64() < 0.5 {
+		alt = s.alts[rng.Intn(len(s.alts))]
+	} else {
+		alt = corrupt(s.term, rng)
+	}
+	if s.isName {
+		out.Nodes[s.idx].Name = alt
+	} else {
+		out.Nodes[s.idx].Type = alt
+	}
+	return out
+}
+
+// corrupt produces an out-of-vocabulary variant of term: a duplicated
+// letter (typo) or a truncated quasi-abbreviation.
+func corrupt(term string, rng *rand.Rand) string {
+	if len(term) < 3 {
+		return term + "x"
+	}
+	if rng.Intn(2) == 0 {
+		i := 1 + rng.Intn(len(term)-2)
+		return term[:i] + string(term[i]) + term[i:] // doubled letter
+	}
+	cut := len(term)/2 + rng.Intn(len(term)/2)
+	return term[:cut] // truncation, e.g. "Countr"
+}
+
+// AddEdgeNoise returns a copy of q with one random query edge's predicate
+// replaced by one of its top-10 semantically similar predicates in the
+// space (Section VII-E, edge noise).
+func AddEdgeNoise(q *query.Graph, g *kg.Graph, space *embed.Space, rng *rand.Rand) *query.Graph {
+	out := cloneQuery(q)
+	if len(out.Edges) == 0 {
+		return out
+	}
+	ei := rng.Intn(len(out.Edges))
+	p, err := semgraph.ResolvePredicate(g, out.Edges[ei].Predicate)
+	if err != nil {
+		return out
+	}
+	top := space.TopSimilar(int(p), 10)
+	if len(top) == 0 {
+		return out
+	}
+	out.Edges[ei].Predicate = g.PredName(kg.PredID(top[rng.Intn(len(top))]))
+	return out
+}
+
+func alternatives(lib *transform.Library, term string) []string {
+	var alts []string
+	for _, t := range lib.Expand(term) {
+		if t != term {
+			alts = append(alts, t)
+		}
+	}
+	return alts
+}
+
+func cloneQuery(q *query.Graph) *query.Graph {
+	out := &query.Graph{
+		Nodes: append([]query.Node(nil), q.Nodes...),
+		Edges: append([]query.Edge(nil), q.Edges...),
+	}
+	return out
+}
+
+// PriorInstance is one piece of prior knowledge for the S4 baseline: a
+// known path schema between a focus type and an anchor type (the paper's
+// "semantic instances ... e.g., given by Patty").
+type PriorInstance struct {
+	FocusType  string
+	AnchorType string
+	Predicates []string
+}
+
+// Prior samples n prior-knowledge instances at the given quality: with
+// probability quality an instance reflects a true schema of one of the
+// benchmark intentions (production, nationality, club grounds), otherwise
+// a semantically wrong path. S4's accuracy is sensitive to this quality,
+// as the paper observes.
+func (d *Dataset) Prior(n int, quality float64, rng *rand.Rand) []PriorInstance {
+	type domain struct {
+		focus   string
+		correct [][]string
+		wrong   [][]string
+		weight  float64
+	}
+	domains := []domain{
+		{
+			focus:   "Automobile",
+			correct: ProductionSchemas,
+			wrong: [][]string{
+				{"designer", "nationality"},
+				{"designer", "birthPlace", "country"},
+				{"relatedTo", "assembly"},
+			},
+			weight: 0.6,
+		},
+		{
+			focus:   "Person",
+			correct: NationalitySchemas,
+			wrong: [][]string{
+				{"team", "ground", "country"},
+				{"relatedTo", "nationality"},
+			},
+			weight: 0.25,
+		},
+		{
+			focus:   "SoccerClub",
+			correct: ClubSchemas,
+			wrong: [][]string{
+				{"team", "nationality"},
+			},
+			weight: 0.15,
+		},
+	}
+	out := make([]PriorInstance, n)
+	for i := range out {
+		x := rng.Float64()
+		var dom domain
+		for _, cand := range domains {
+			if x < cand.weight {
+				dom = cand
+				break
+			}
+			x -= cand.weight
+		}
+		if dom.focus == "" {
+			dom = domains[0]
+		}
+		var preds []string
+		if rng.Float64() < quality {
+			preds = dom.correct[rng.Intn(len(dom.correct))]
+		} else {
+			preds = dom.wrong[rng.Intn(len(dom.wrong))]
+		}
+		out[i] = PriorInstance{FocusType: dom.focus, AnchorType: "Country", Predicates: preds}
+	}
+	return out
+}

@@ -1,0 +1,342 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"semkg/internal/kg"
+	"semkg/internal/query"
+	"semkg/internal/sparql"
+)
+
+// DesignerSchemas lists the forward predicate paths from an Automobile to
+// its designer's country.
+var DesignerSchemas = [][]string{
+	{"designer", "nationality"},
+	{"designer", "birthPlace", "country"},
+}
+
+// EngineSchemas lists the forward predicate paths from an Automobile to
+// its engine manufacturer's country.
+var EngineSchemas = [][]string{
+	{"engine", "manufacturer", "locationCountry"},
+}
+
+// NationalitySchemas lists paths from a Person to a country.
+var NationalitySchemas = [][]string{
+	{"nationality"},
+	{"birthPlace", "country"},
+}
+
+// ClubSchemas lists paths from a SoccerClub to a country.
+var ClubSchemas = [][]string{
+	{"ground", "country"},
+}
+
+// buildWorkloads derives the benchmark query sets and their validation
+// sets from the generated world.
+func (d *Dataset) buildWorkloads(rng *rand.Rand, countries []string) {
+	g := d.Graph
+
+	// Simple workload: producedIn / nationality / club-in queries.
+	nProd := min(8, len(countries))
+	for i := 0; i < nProd; i++ {
+		c := countries[i]
+		truth := ProducedInTruth(g, c)
+		if len(truth) == 0 {
+			continue
+		}
+		d.Simple = append(d.Simple, GenQuery{
+			Name:        fmt.Sprintf("%s-produced-%s", d.Profile.Name, c),
+			Graph:       producedInQuery("Automobile", c, "assembly"),
+			Focus:       "v1",
+			Truth:       truth,
+			SchemaCount: len(ProductionSchemas),
+			Complexity:  1,
+		})
+	}
+	for i := 0; i < min(4, len(countries)); i++ {
+		c := countries[len(countries)-1-i]
+		truth := unionTruth(g, "Person", NationalitySchemas, c)
+		if len(truth) == 0 {
+			continue
+		}
+		d.Simple = append(d.Simple, GenQuery{
+			Name:        fmt.Sprintf("%s-nationality-%s", d.Profile.Name, c),
+			Graph:       personNationalityQuery(c),
+			Focus:       "v1",
+			Truth:       truth,
+			SchemaCount: len(NationalitySchemas),
+			Complexity:  1,
+		})
+	}
+	for i := 0; i < min(3, len(countries)); i++ {
+		c := countries[(i*2+1)%len(countries)]
+		truth := unionTruth(g, "SoccerClub", ClubSchemas, c)
+		if len(truth) == 0 {
+			continue
+		}
+		d.Simple = append(d.Simple, GenQuery{
+			Name:        fmt.Sprintf("%s-club-%s", d.Profile.Name, c),
+			Graph:       clubInQuery(c),
+			Focus:       "v1",
+			Truth:       truth,
+			SchemaCount: len(ClubSchemas),
+			Complexity:  1,
+		})
+	}
+
+	// Table I variants (Fig. 1's four query graphs) for the country with
+	// the largest validation set.
+	best, bestLen := "", 0
+	for _, c := range countries {
+		if n := len(ProducedInTruth(g, c)); n > bestLen {
+			best, bestLen = c, n
+		}
+	}
+	if best != "" {
+		d.table1C = best
+		truth := ProducedInTruth(g, best)
+		abbr := abbreviationOf(best, countries)
+		d.Table1 = []GenQuery{
+			{Name: "G1Q-car-type", Graph: producedInQuery("Car", best, "assembly"),
+				Focus: "v1", Truth: truth, SchemaCount: len(ProductionSchemas), Complexity: 1},
+			{Name: "G2Q-abbrev-name", Graph: producedInQuery("Automobile", abbr, "assembly"),
+				Focus: "v1", Truth: truth, SchemaCount: len(ProductionSchemas), Complexity: 1},
+			{Name: "G3Q-product-pred", Graph: producedInQuery("Automobile", best, "product"),
+				Focus: "v1", Truth: truth, SchemaCount: len(ProductionSchemas), Complexity: 1},
+			{Name: "G4Q-canonical", Graph: producedInQuery("Automobile", best, "assembly"),
+				Focus: "v1", Truth: truth, SchemaCount: len(ProductionSchemas), Complexity: 1},
+		}
+	}
+
+	// Medium workload: production country + designer nationality.
+	combo2Count := make(map[combo2]int)
+	for _, a := range d.autos {
+		if a.designerNat != "" {
+			combo2Count[combo2{a.prodCountry, a.designerNat}]++
+		}
+	}
+	for _, c := range sortedCombos2(combo2Count) {
+		if len(d.Medium) >= 5 || combo2Count[c] < 3 {
+			continue
+		}
+		truth := crossTruth(g, "Automobile", [][][]string{ProductionSchemas, DesignerSchemas}, []string{c.x, c.y})
+		if len(truth) == 0 {
+			continue
+		}
+		d.Medium = append(d.Medium, GenQuery{
+			Name:        fmt.Sprintf("%s-medium-%s-%s", d.Profile.Name, c.x, c.y),
+			Graph:       mediumQuery(c.x, c.y),
+			Focus:       "v1",
+			Truth:       truth,
+			SchemaCount: len(ProductionSchemas) * len(DesignerSchemas),
+			Complexity:  2,
+		})
+	}
+
+	// Complex workload: + engine manufacturer country.
+	combo3Count := make(map[combo3]int)
+	for _, a := range d.autos {
+		if a.designerNat != "" && a.engineCtr != "" {
+			combo3Count[combo3{a.prodCountry, a.designerNat, a.engineCtr}]++
+		}
+	}
+	for _, c := range sortedCombos3(combo3Count) {
+		if len(d.Complex) >= 5 || combo3Count[c] < 2 {
+			continue
+		}
+		truth := crossTruth(g, "Automobile",
+			[][][]string{ProductionSchemas, DesignerSchemas, EngineSchemas},
+			[]string{c.x, c.y, c.z})
+		if len(truth) == 0 {
+			continue
+		}
+		d.Complex = append(d.Complex, GenQuery{
+			Name:        fmt.Sprintf("%s-complex-%s-%s-%s", d.Profile.Name, c.x, c.y, c.z),
+			Graph:       complexQuery(c.x, c.y, c.z),
+			Focus:       "v1",
+			Truth:       truth,
+			SchemaCount: len(ProductionSchemas) * len(DesignerSchemas) * len(EngineSchemas),
+			Complexity:  3,
+		})
+	}
+	_ = rng
+}
+
+// producedInQuery is the Q117 family: ?v1 <type> --pred--> country.
+func producedInQuery(autoType, country, pred string) *query.Graph {
+	return &query.Graph{
+		Nodes: []query.Node{
+			{ID: "v1", Type: autoType},
+			{ID: "v2", Name: country, Type: "Country"},
+		},
+		Edges: []query.Edge{{From: "v1", To: "v2", Predicate: pred}},
+	}
+}
+
+func personNationalityQuery(country string) *query.Graph {
+	return &query.Graph{
+		Nodes: []query.Node{
+			{ID: "v1", Type: "Person"},
+			{ID: "v2", Name: country, Type: "Country"},
+		},
+		Edges: []query.Edge{{From: "v1", To: "v2", Predicate: "nationality"}},
+	}
+}
+
+func clubInQuery(country string) *query.Graph {
+	return &query.Graph{
+		Nodes: []query.Node{
+			{ID: "v1", Type: "SoccerClub"},
+			{ID: "v2", Name: country, Type: "Country"},
+		},
+		Edges: []query.Edge{{From: "v1", To: "v2", Predicate: "ground"}},
+	}
+}
+
+func mediumQuery(prodCtr, designerCtr string) *query.Graph {
+	return &query.Graph{
+		Nodes: []query.Node{
+			{ID: "v1", Type: "Automobile"},
+			{ID: "v2", Name: prodCtr, Type: "Country"},
+			{ID: "v3", Type: "Person"},
+			{ID: "v4", Name: designerCtr, Type: "Country"},
+		},
+		Edges: []query.Edge{
+			{From: "v1", To: "v2", Predicate: "assembly"},
+			{From: "v1", To: "v3", Predicate: "designer"},
+			{From: "v3", To: "v4", Predicate: "nationality"},
+		},
+	}
+}
+
+func complexQuery(prodCtr, designerCtr, engineCtr string) *query.Graph {
+	return &query.Graph{
+		Nodes: []query.Node{
+			{ID: "v1", Type: "Automobile"},
+			{ID: "v2", Name: prodCtr, Type: "Country"},
+			{ID: "v3", Type: "Person"},
+			{ID: "v4", Name: designerCtr, Type: "Country"},
+			{ID: "v5", Type: "Engine"},
+			{ID: "v6", Type: "Company"},
+			{ID: "v7", Name: engineCtr, Type: "Country"},
+		},
+		Edges: []query.Edge{
+			{From: "v1", To: "v2", Predicate: "assembly"},
+			{From: "v1", To: "v3", Predicate: "designer"},
+			{From: "v3", To: "v4", Predicate: "nationality"},
+			{From: "v1", To: "v5", Predicate: "engine"},
+			{From: "v5", To: "v6", Predicate: "manufacturer"},
+			{From: "v6", To: "v7", Predicate: "locationCountry"},
+		},
+	}
+}
+
+// unionTruth evaluates the union of schema paths from a focus type to one
+// anchor entity.
+func unionTruth(g *kg.Graph, focusType string, schemas [][]string, anchor string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, schema := range schemas {
+		bs, err := sparql.Eval(g, schemaQuery(focusType, schema, anchor), 0)
+		if err != nil {
+			continue
+		}
+		for _, u := range sparql.Project(bs, "?v0") {
+			if name := g.NodeName(u); !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+// crossTruth evaluates a conjunction of schema-unions: the focus entity
+// must reach anchor[i] through some schema of group[i], for every i.
+func crossTruth(g *kg.Graph, focusType string, groups [][][]string, anchors []string) []string {
+	sets := make([]map[string]bool, len(groups))
+	for i, schemas := range groups {
+		sets[i] = make(map[string]bool)
+		for _, name := range unionTruth(g, focusType, schemas, anchors[i]) {
+			sets[i][name] = true
+		}
+	}
+	var out []string
+	for name := range sets[0] {
+		ok := true
+		for i := 1; i < len(sets); i++ {
+			if !sets[i][name] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// abbreviationOf returns the library abbreviation for a generated country
+// ("CTR<i>" for "Country_<i>").
+func abbreviationOf(country string, countries []string) string {
+	for i, c := range countries {
+		if c == country {
+			return fmt.Sprintf("CTR%d", i)
+		}
+	}
+	return country
+}
+
+type combo2 struct{ x, y string }
+
+type combo3 struct{ x, y, z string }
+
+func sortedCombos2(m map[combo2]int) []combo2 {
+	keys := make([]combo2, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		if keys[i].x != keys[j].x {
+			return keys[i].x < keys[j].x
+		}
+		return keys[i].y < keys[j].y
+	})
+	return keys
+}
+
+func sortedCombos3(m map[combo3]int) []combo3 {
+	keys := make([]combo3, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		a, b := keys[i], keys[j]
+		if a.x != b.x {
+			return a.x < b.x
+		}
+		if a.y != b.y {
+			return a.y < b.y
+		}
+		return a.z < b.z
+	})
+	return keys
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,413 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"semkg/internal/kg"
+	"semkg/internal/query"
+	"semkg/internal/sparql"
+	"semkg/internal/transform"
+)
+
+// Production schema identifiers: the ways an automobile connects to its
+// production country, mirroring the schema table of the paper's Fig. 1.
+const (
+	schemaAssemblyDirect = iota // auto -assembly-> country
+	schemaProductDirect         // auto -product-> country
+	schemaAssemblyCity          // auto -assembly-> city -country-> country
+	schemaCompanyDirect         // auto -manufacturer-> company -locationCountry-> country
+	schemaCompanyCity           // auto -manufacturer-> company -location-> city -country-> country
+	numProdSchemas
+)
+
+// prodSchemaWeights skews answers towards the direct schema, as in Fig. 1
+// (234 direct vs 133/53/44 for the n-hop schemas).
+var prodSchemaWeights = []float64{0.40, 0.10, 0.20, 0.15, 0.15}
+
+// prodPreds is the production predicate cluster. Real KG predicates have
+// loose ranges — DBpedia's manufacturer sometimes points at a country,
+// assembly at a company — and this usage overlap on shared (head, tail)
+// pairs is precisely what makes their TransE vectors similar (Fig. 6:
+// "they have similar neighbour entities"). The generator therefore swaps
+// the production predicate within the cluster with a small probability.
+var prodPreds = []string{"assembly", "product", "manufacturer"}
+
+// geoPreds is the location predicate cluster, mixed the same way for
+// company→country edges.
+var geoPreds = []string{"locationCountry", "country"}
+
+// ProductionSchemas lists every forward predicate path from an Automobile
+// to its production Country that the generator can emit: any production-
+// cluster predicate to (a) the country directly, (b) a city of the
+// country, or (c) a company of the country (which reaches its country via
+// locationCountry/country or location+country). Used for ground-truth
+// queries and the S4 baseline's pattern vocabulary. Direct 1-hop schemas
+// come first (the gStore-recoverable subset).
+var ProductionSchemas = buildProductionSchemas()
+
+func buildProductionSchemas() [][]string {
+	var out [][]string
+	for _, p := range prodPreds {
+		out = append(out, []string{p})
+	}
+	for _, p := range prodPreds {
+		out = append(out, []string{p, "country"})
+		out = append(out, []string{p, "locationCountry"})
+		out = append(out, []string{p, "location", "country"})
+	}
+	return out
+}
+
+// autoInfo tracks the generated attributes of one automobile.
+type autoInfo struct {
+	name        string
+	prodCountry string // country name
+	schema      int
+	designerNat string // designer's nationality country name ("" = none)
+	engineCtr   string // engine manufacturer company's country ("" = none)
+}
+
+// Dataset is a generated benchmark world.
+type Dataset struct {
+	Profile Profile
+	Graph   *kg.Graph
+	Library *transform.Library
+
+	// Simple is the main single-intention workload (one sub-query each).
+	Simple []GenQuery
+	// Medium and Complex hold the multi-sub-query workloads of Table VI.
+	Medium  []GenQuery
+	Complex []GenQuery
+	// Table1 holds the four Q117 query-graph variants of Fig. 1/Table I
+	// (shared truth: cars produced in the table-one country).
+	Table1 []GenQuery
+
+	// Clusters is the ground-truth predicate clustering, for validating
+	// that the trained space recovers it.
+	Clusters map[string][]string
+
+	autos   []autoInfo
+	table1C string // the country used by the Table I variants
+}
+
+// GenQuery is a benchmark query with its validation set.
+type GenQuery struct {
+	Name  string
+	Graph *query.Graph
+	// Focus is the query node whose bindings are the answers.
+	Focus string
+	// Truth is the validation set (entity names, unordered).
+	Truth []string
+	// SchemaCount is the number of distinct schemas covered by Truth.
+	SchemaCount int
+	// Complexity is the expected number of sub-query graphs (1..3).
+	Complexity int
+}
+
+// Generate builds a deterministic world from the profile.
+func Generate(p Profile) *Dataset {
+	rng := rand.New(rand.NewSource(p.Seed))
+	b := kg.NewBuilder(1024, 4096)
+	d := &Dataset{Profile: p}
+
+	// --- Countries and cities -----------------------------------------
+	countries := make([]string, p.Countries)
+	cities := make(map[string][]string, p.Countries)
+	for i := range countries {
+		c := fmt.Sprintf("Country_%d", i)
+		countries[i] = c
+		b.AddNode(c, "Country")
+		for j := 0; j < p.CitiesPerCtr; j++ {
+			city := fmt.Sprintf("City_%d_%d", i, j)
+			b.AddNode(city, "City")
+			b.AddEdge(b.AddNode(city, "City"), b.AddNode(c, "Country"), "country")
+			cities[c] = append(cities[c], city)
+		}
+	}
+	pickCountry := func() string { return countries[rng.Intn(len(countries))] }
+	pickCity := func(c string) string { cs := cities[c]; return cs[rng.Intn(len(cs))] }
+	// mix returns the primary predicate most of the time and a random
+	// cluster sibling otherwise (loose-range usage overlap; see prodPreds).
+	mix := func(primary string, cluster []string) string {
+		if rng.Float64() < 0.8 {
+			return primary
+		}
+		return cluster[rng.Intn(len(cluster))]
+	}
+
+	// --- Companies ------------------------------------------------------
+	// Half are located in a country directly, half via a city; bucket them
+	// per country so automobile schemas can pick a compatible company.
+	// Every company carries several location-cluster edges to its country
+	// and cities: companies are tightly glued to their geography, which is
+	// what places manufacturer near the production cluster in the trained
+	// space (a car's manufacturer is located where the car is assembled).
+	companiesDirect := make(map[string][]string)
+	companiesViaCity := make(map[string][]string)
+	for k := 0; k < p.Companies; k++ {
+		name := fmt.Sprintf("Company_%d", k)
+		id := b.AddNode(name, "Company")
+		c := pickCountry()
+		if k%2 == 0 {
+			b.AddEdge(id, b.AddNode(c, "Country"), mix("locationCountry", geoPreds))
+			companiesDirect[c] = append(companiesDirect[c], name)
+		} else {
+			b.AddEdge(id, b.AddNode(pickCity(c), "City"), "location")
+			b.AddEdge(id, b.AddNode(c, "Country"), mix("locationCountry", geoPreds))
+			companiesViaCity[c] = append(companiesViaCity[c], name)
+		}
+	}
+
+	// --- People -----------------------------------------------------------
+	peopleByNat := make(map[string][]string)
+	people := make([]string, p.People)
+	for m := range people {
+		name := fmt.Sprintf("Person_%d", m)
+		people[m] = name
+		id := b.AddNode(name, "Person")
+		c := pickCountry()
+		if rng.Float64() < 0.9 {
+			b.AddEdge(id, b.AddNode(c, "Country"), "nationality")
+		} else {
+			b.AddEdge(id, b.AddNode(pickCity(c), "City"), "birthPlace")
+		}
+		peopleByNat[c] = append(peopleByNat[c], name)
+	}
+
+	// --- Engines ----------------------------------------------------------
+	engines := make([]string, p.Engines)
+	engineCtr := make(map[string]string)
+	enginesByCtr := make(map[string][]string)
+	for e := range engines {
+		name := fmt.Sprintf("Engine_%d", e)
+		engines[e] = name
+		id := b.AddNode(name, "Engine")
+		// Engine manufacturers come from the direct-location companies so
+		// their country is 2 hops away (engine->company->country).
+		c := pickCountry()
+		for len(companiesDirect[c]) == 0 {
+			c = pickCountry()
+		}
+		comp := companiesDirect[c][rng.Intn(len(companiesDirect[c]))]
+		b.AddEdge(id, b.AddNode(comp, "Company"), "manufacturer")
+		engineCtr[name] = c
+		enginesByCtr[c] = append(enginesByCtr[c], name)
+	}
+
+	// --- Automobiles -------------------------------------------------------
+	d.autos = make([]autoInfo, p.Autos)
+	for a := range d.autos {
+		name := fmt.Sprintf("Auto_%d", a)
+		id := b.AddNode(name, "Automobile")
+		c := pickCountry()
+		schema := sampleSchema(rng)
+		// Degrade to a direct schema when the country lacks a compatible
+		// company.
+		if schema == schemaCompanyDirect && len(companiesDirect[c]) == 0 {
+			schema = schemaAssemblyDirect
+		}
+		if schema == schemaCompanyCity && len(companiesViaCity[c]) == 0 {
+			schema = schemaAssemblyDirect
+		}
+		info := autoInfo{name: name, prodCountry: c, schema: schema}
+		switch schema {
+		case schemaAssemblyDirect:
+			b.AddEdge(id, b.AddNode(c, "Country"), mix("assembly", prodPreds))
+			// Real DBpedia frequently annotates the same car with both
+			// production predicates; these co-occurrences are the signal
+			// that pulls assembly and product together in the embedding
+			// space (Fig. 6).
+			if rng.Float64() < 0.4 {
+				b.AddEdge(id, b.AddNode(c, "Country"), "product")
+			}
+		case schemaProductDirect:
+			b.AddEdge(id, b.AddNode(c, "Country"), mix("product", prodPreds))
+			if rng.Float64() < 0.4 {
+				b.AddEdge(id, b.AddNode(c, "Country"), "assembly")
+			}
+		case schemaAssemblyCity:
+			b.AddEdge(id, b.AddNode(pickCity(c), "City"), mix("assembly", prodPreds))
+		case schemaCompanyDirect:
+			comp := companiesDirect[c][rng.Intn(len(companiesDirect[c]))]
+			b.AddEdge(id, b.AddNode(comp, "Company"), mix("manufacturer", prodPreds))
+		case schemaCompanyCity:
+			comp := companiesViaCity[c][rng.Intn(len(companiesViaCity[c]))]
+			b.AddEdge(id, b.AddNode(comp, "Company"), mix("manufacturer", prodPreds))
+		}
+		// Cars with a direct production edge often also carry a
+		// manufacturer triple; the company comes from the same country,
+		// so the validation sets stay consistent.
+		if schema <= schemaAssemblyCity && rng.Float64() < 0.5 && len(companiesDirect[c]) > 0 {
+			comp := companiesDirect[c][rng.Intn(len(companiesDirect[c]))]
+			b.AddEdge(id, b.AddNode(comp, "Company"), mix("manufacturer", prodPreds))
+		}
+		// Distractor relations: a designer of some nationality (the
+		// semantically *wrong* route to a country) and an engine. Both
+		// correlate with the production country half the time — German
+		// cars tend to have German designers — which gives the
+		// multi-constraint (Medium/Complex) workloads non-trivial answer
+		// sets.
+		if rng.Float64() < 0.6 {
+			nat := c
+			if rng.Float64() < 0.5 {
+				nat = pickCountry()
+			}
+			if ppl := peopleByNat[nat]; len(ppl) > 0 {
+				person := ppl[rng.Intn(len(ppl))]
+				b.AddEdge(id, b.AddNode(person, "Person"), "designer")
+				info.designerNat = nat
+			}
+		}
+		if rng.Float64() < 0.5 && len(engines) > 0 {
+			ec := c
+			if rng.Float64() >= 0.5 || len(enginesByCtr[ec]) == 0 {
+				ec = ""
+			}
+			var eng string
+			if ec != "" {
+				eng = enginesByCtr[ec][rng.Intn(len(enginesByCtr[ec]))]
+			} else {
+				eng = engines[rng.Intn(len(engines))]
+			}
+			b.AddEdge(id, b.AddNode(eng, "Engine"), "engine")
+			info.engineCtr = engineCtr[eng]
+		}
+		d.autos[a] = info
+	}
+
+	// --- Soccer clubs -------------------------------------------------------
+	for cIdx := 0; cIdx < p.Clubs; cIdx++ {
+		name := fmt.Sprintf("Club_%d", cIdx)
+		id := b.AddNode(name, "SoccerClub")
+		c := pickCountry()
+		b.AddEdge(id, b.AddNode(pickCity(c), "City"), "ground")
+		// Players.
+		for k := 0; k < 2; k++ {
+			p := people[rng.Intn(len(people))]
+			b.AddEdge(b.AddNode(p, "Person"), id, "team")
+		}
+	}
+
+	// --- Filler types (type-vocabulary padding) ---------------------------
+	for t := 0; t < p.FillerTypes; t++ {
+		typeName := fmt.Sprintf("Topic%02d", t)
+		for x := 0; x < p.FillerPerType; x++ {
+			name := fmt.Sprintf("%s_%d", typeName, x)
+			id := b.AddNode(name, typeName)
+			// Loosely attached to the world via misc predicates.
+			target := people[rng.Intn(len(people))]
+			b.AddEdge(id, b.AddNode(target, "Person"), "associatedWith")
+			if x > 0 {
+				prev := fmt.Sprintf("%s_%d", typeName, x-1)
+				b.AddEdge(id, b.AddNode(prev, typeName), "linkedTo")
+			}
+		}
+	}
+
+	// --- Connectivity filler ------------------------------------------------
+	// Random relatedTo edges among autos and people raise the average
+	// degree and stress the τ-pruning; they never link an automobile to a
+	// country, so validation sets stay unambiguous. Kept well below the
+	// typed predicates' volume: at this scale an overwhelming random
+	// predicate would smear the entity clusters TransE relies on.
+	extra := p.Autos + p.People
+	for i := 0; i < extra; i++ {
+		var from, to string
+		var ft, tt string
+		if rng.Intn(2) == 0 {
+			from, ft = d.autos[rng.Intn(len(d.autos))].name, "Automobile"
+		} else {
+			from, ft = people[rng.Intn(len(people))], "Person"
+		}
+		if rng.Intn(2) == 0 {
+			to, tt = d.autos[rng.Intn(len(d.autos))].name, "Automobile"
+		} else {
+			to, tt = people[rng.Intn(len(people))], "Person"
+		}
+		if from == to {
+			continue
+		}
+		b.AddEdge(b.AddNode(from, ft), b.AddNode(to, tt), "relatedTo")
+	}
+
+	d.Graph = b.Build()
+	d.Library = buildLibrary(countries)
+	d.Clusters = map[string][]string{
+		"production": {"assembly", "product"},
+		"corporate":  {"manufacturer", "locationCountry", "location"},
+		"geography":  {"country"},
+		"person":     {"nationality", "birthPlace", "designer"},
+		"sports":     {"team", "ground"},
+		"misc":       {"relatedTo", "associatedWith", "linkedTo"},
+	}
+	d.buildWorkloads(rng, countries)
+	return d
+}
+
+func sampleSchema(rng *rand.Rand) int {
+	x := rng.Float64()
+	acc := 0.0
+	for i, w := range prodSchemaWeights {
+		acc += w
+		if x < acc {
+			return i
+		}
+	}
+	return schemaAssemblyDirect
+}
+
+// buildLibrary assembles the synonym/abbreviation transformation library
+// (the BabelNet substitute): type synonyms plus per-country abbreviations.
+func buildLibrary(countries []string) *transform.Library {
+	lib := transform.NewLibrary()
+	lib.AddSynonyms("Car", "Auto", "Motorcar", "Vehicle", "Automobile")
+	lib.AddSynonyms("Nation", "State", "Country")
+	lib.AddSynonyms("Firm", "Corporation", "Company")
+	lib.AddSynonyms("Motor", "Device", "Engine")
+	lib.AddSynonyms("Footballclub", "SoccerClub")
+	for i, c := range countries {
+		lib.AddAbbreviation(fmt.Sprintf("CTR%d", i), c)
+	}
+	return lib
+}
+
+// ProducedInTruth evaluates the union of production schemas for a country
+// through the SPARQL substrate and returns the validation set.
+func ProducedInTruth(g *kg.Graph, country string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, schema := range ProductionSchemas {
+		q := schemaQuery("Automobile", schema, country)
+		bs, err := sparql.Eval(g, q, 0)
+		if err != nil {
+			continue
+		}
+		for _, u := range sparql.Project(bs, "?v0") {
+			name := g.NodeName(u)
+			if !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+// schemaQuery builds the conjunctive query for one forward predicate path
+// from a focus type to an anchor entity.
+func schemaQuery(focusType string, preds []string, anchor string) sparql.Query {
+	q := sparql.Query{Patterns: []sparql.Pattern{
+		{Subject: "?v0", Predicate: kg.TypePredicate, Object: focusType},
+	}}
+	cur := "?v0"
+	for i, p := range preds {
+		next := anchor
+		if i < len(preds)-1 {
+			next = fmt.Sprintf("?v%d", i+1)
+		}
+		q.Patterns = append(q.Patterns, sparql.Pattern{Subject: cur, Predicate: p, Object: next})
+		cur = next
+	}
+	return q
+}

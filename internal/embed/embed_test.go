@@ -1,0 +1,299 @@
+package embed
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"semkg/internal/kg"
+)
+
+func TestVectorOps(t *testing.T) {
+	a := Vector{3, 4}
+	b := Vector{4, 3}
+	if got := Dot(a, b); got != 24 {
+		t.Errorf("Dot = %v, want 24", got)
+	}
+	if got := Norm(a); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	c := Clone(a)
+	Normalize(c)
+	if math.Abs(Norm(c)-1) > 1e-12 {
+		t.Errorf("normalized norm = %v, want 1", Norm(c))
+	}
+	if a[0] != 3 {
+		t.Error("Clone aliases the original")
+	}
+	zero := Vector{0, 0}
+	Normalize(zero) // must not panic or produce NaN
+	if zero[0] != 0 {
+		t.Error("Normalize(zero) changed the vector")
+	}
+	if got := Cosine(zero, a); got != 0 {
+		t.Errorf("Cosine with zero vector = %v, want 0", got)
+	}
+	if got := Cosine(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Cosine(a,a) = %v, want 1", got)
+	}
+	if got := Cosine(Vector{1, 0}, Vector{-1, 0}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Cosine(opposite) = %v, want -1", got)
+	}
+}
+
+func TestCosineRangeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		half := len(raw) / 2
+		a, b := Vector(raw[:half]), Vector(raw[half:2*half])
+		for _, x := range raw {
+			// Skip pathological magnitudes where the dot product itself
+			// overflows float64; embedding components are O(1).
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true
+			}
+		}
+		c := Cosine(a, b)
+		return c >= -1 && c <= 1 && !math.IsNaN(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// figure6Graph builds a graph reproducing the semantics of the paper's
+// Figure 6: predicates "product" and "assembly" connect countries to
+// automobiles, while "language" connects countries to languages. TransE
+// should learn sim(product, assembly) >> sim(product, language).
+func figure6Graph() *kg.Graph {
+	rng := rand.New(rand.NewSource(42))
+	b := kg.NewBuilder(256, 1024)
+	countries := make([]kg.NodeID, 8)
+	autos := make([]kg.NodeID, 40)
+	langs := make([]kg.NodeID, 8)
+	for i := range countries {
+		countries[i] = b.AddNode("country"+itoa(i), "Country")
+	}
+	for i := range autos {
+		autos[i] = b.AddNode("auto"+itoa(i), "Automobile")
+	}
+	for i := range langs {
+		langs[i] = b.AddNode("lang"+itoa(i), "Language")
+	}
+	for i, a := range autos {
+		c := countries[i%len(countries)]
+		b.AddEdge(a, c, "assembly")
+		if i%2 == 0 {
+			b.AddEdge(a, c, "product")
+		}
+	}
+	// Extra product edges to different countries so the two predicates are
+	// similar but not identical.
+	for i := 0; i < 20; i++ {
+		b.AddEdge(autos[rng.Intn(len(autos))], countries[rng.Intn(len(countries))], "product")
+	}
+	for i, c := range countries {
+		b.AddEdge(c, langs[i%len(langs)], "language")
+	}
+	return b.Build()
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+func TestTransELearnsPredicateClusters(t *testing.T) {
+	g := figure6Graph()
+	m, err := TrainTransE(context.Background(), g, Config{Dim: 24, Epochs: 60, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := m.Space(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	product := int(g.PredByName("product"))
+	assembly := int(g.PredByName("assembly"))
+	language := int(g.PredByName("language"))
+	simPA := sp.Similarity(product, assembly)
+	simPL := sp.Similarity(product, language)
+	if simPA <= simPL {
+		t.Errorf("sim(product,assembly)=%.3f should exceed sim(product,language)=%.3f", simPA, simPL)
+	}
+	if simPA < 0.5 {
+		t.Errorf("sim(product,assembly)=%.3f, want >= 0.5 (same cluster)", simPA)
+	}
+}
+
+func TestTransELossDecreases(t *testing.T) {
+	g := figure6Graph()
+	m, err := TrainTransE(context.Background(), g, Config{Dim: 16, Epochs: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := m.EpochLoss[0], m.EpochLoss[len(m.EpochLoss)-1]
+	if last >= first {
+		t.Errorf("loss did not decrease: first=%.4f last=%.4f", first, last)
+	}
+}
+
+func TestTransEDeterministic(t *testing.T) {
+	g := figure6Graph()
+	m1, err := TrainTransE(context.Background(), g, Config{Dim: 8, Epochs: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := TrainTransE(context.Background(), g, Config{Dim: 8, Epochs: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.Relations {
+		for j := range m1.Relations[i] {
+			if m1.Relations[i][j] != m2.Relations[i][j] {
+				t.Fatalf("relation %d differs between identical runs", i)
+			}
+		}
+	}
+}
+
+func TestTransEEmptyGraph(t *testing.T) {
+	g := kg.NewBuilder(0, 0).Build()
+	if _, err := TrainTransE(context.Background(), g, Config{}); err == nil {
+		t.Error("training on empty graph should fail")
+	}
+}
+
+func TestTransECancellation(t *testing.T) {
+	g := figure6Graph()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := TrainTransE(ctx, g, Config{Dim: 8, Epochs: 1000})
+	if err == nil {
+		t.Error("cancelled training should return an error")
+	}
+	if m == nil {
+		t.Error("cancelled training should still return the partial model")
+	}
+}
+
+func TestTransHLearnsPredicateClusters(t *testing.T) {
+	g := figure6Graph()
+	m, err := TrainTransH(context.Background(), g, Config{Dim: 24, Epochs: 60, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := m.Space(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	product := int(g.PredByName("product"))
+	assembly := int(g.PredByName("assembly"))
+	language := int(g.PredByName("language"))
+	if sp.Similarity(product, assembly) <= sp.Similarity(product, language) {
+		t.Errorf("TransH: cluster similarity not learned: PA=%.3f PL=%.3f",
+			sp.Similarity(product, assembly), sp.Similarity(product, language))
+	}
+}
+
+func TestTransHEmptyGraph(t *testing.T) {
+	g := kg.NewBuilder(0, 0).Build()
+	if _, err := TrainTransH(context.Background(), g, Config{}); err == nil {
+		t.Error("training on empty graph should fail")
+	}
+}
+
+func TestSpaceBasics(t *testing.T) {
+	sp, err := NewSpace(
+		[]string{"a", "b", "c"},
+		[]Vector{{1, 0}, {0.9, 0.1}, {0, 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Dim() != 2 || sp.Len() != 3 {
+		t.Fatalf("Dim/Len = %d/%d", sp.Dim(), sp.Len())
+	}
+	if sp.Name(1) != "b" {
+		t.Errorf("Name(1) = %q", sp.Name(1))
+	}
+	if got := sp.Similarity(0, 0); got != 1 {
+		t.Errorf("self similarity = %v", got)
+	}
+	if sp.Similarity(0, 1) != sp.Similarity(1, 0) {
+		t.Error("similarity not symmetric")
+	}
+	if sp.Similarity(0, 1) <= sp.Similarity(0, 2) {
+		t.Error("near vector should be more similar than orthogonal one")
+	}
+	top := sp.TopSimilar(0, 5)
+	if len(top) != 2 || top[0] != 1 || top[1] != 2 {
+		t.Errorf("TopSimilar = %v, want [1 2]", top)
+	}
+	if got := sp.TopSimilar(0, 1); len(got) != 1 {
+		t.Errorf("TopSimilar n=1 returned %d items", len(got))
+	}
+}
+
+func TestSpaceValidation(t *testing.T) {
+	if _, err := NewSpace([]string{"a"}, nil); err == nil {
+		t.Error("mismatched names/vectors should fail")
+	}
+	if _, err := NewSpace([]string{"a", "b"}, []Vector{{1, 0}, {1}}); err == nil {
+		t.Error("inconsistent dims should fail")
+	}
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	g := figure6Graph()
+	m, err := TrainTransE(context.Background(), g, Config{Dim: 8, Epochs: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Entities) != len(m.Entities) || len(m2.Relations) != len(m.Relations) {
+		t.Fatalf("round trip sizes: (%d,%d) vs (%d,%d)",
+			len(m2.Entities), len(m2.Relations), len(m.Entities), len(m.Relations))
+	}
+	for i := range m.Relations {
+		for j := range m.Relations[i] {
+			if m.Relations[i][j] != m2.Relations[i][j] {
+				t.Fatalf("relation %d component %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadModelBadInput(t *testing.T) {
+	if _, err := ReadModel(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := ReadModel(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail")
+	}
+	// Truncated: valid magic, truncated header.
+	if _, err := ReadModel(bytes.NewReader([]byte(magic))); err == nil {
+		t.Error("truncated header should fail")
+	}
+}

@@ -1,0 +1,98 @@
+package embed
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// magic identifies the binary model format; bump the version on change.
+const magic = "SEMKG-EMB-1\n"
+
+// WriteModel serializes m in a compact little-endian binary format.
+func WriteModel(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	dim := 0
+	if len(m.Entities) > 0 {
+		dim = len(m.Entities[0])
+	} else if len(m.Relations) > 0 {
+		dim = len(m.Relations[0])
+	}
+	hdr := []uint64{uint64(dim), uint64(len(m.Entities)), uint64(len(m.Relations))}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	writeVecs := func(vs []Vector) error {
+		for _, v := range vs {
+			if len(v) != dim {
+				return fmt.Errorf("embed: inconsistent vector dim %d (want %d)", len(v), dim)
+			}
+			for _, x := range v {
+				if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(x)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := writeVecs(m.Entities); err != nil {
+		return err
+	}
+	if err := writeVecs(m.Relations); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadModel parses a model written by WriteModel.
+func ReadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("embed: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("embed: bad magic %q", got)
+	}
+	var dim, ne, nr uint64
+	for _, p := range []*uint64{&dim, &ne, &nr} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("embed: reading header: %w", err)
+		}
+	}
+	const maxDim = 1 << 16
+	if dim > maxDim || ne > 1<<32 || nr > 1<<32 {
+		return nil, fmt.Errorf("embed: implausible header dim=%d entities=%d relations=%d", dim, ne, nr)
+	}
+	readVecs := func(count uint64) ([]Vector, error) {
+		out := make([]Vector, count)
+		buf := make([]byte, 8)
+		for i := range out {
+			v := make(Vector, dim)
+			for j := range v {
+				if _, err := io.ReadFull(br, buf); err != nil {
+					return nil, fmt.Errorf("embed: reading vector %d: %w", i, err)
+				}
+				v[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	ents, err := readVecs(ne)
+	if err != nil {
+		return nil, err
+	}
+	rels, err := readVecs(nr)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Entities: ents, Relations: rels}, nil
+}

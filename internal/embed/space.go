@@ -1,0 +1,97 @@
+package embed
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Space is the predicate semantic space E: one vector per predicate, indexed
+// by the graph's PredID order (position i holds the vector of predicate i).
+// It is immutable after construction and safe for concurrent readers.
+type Space struct {
+	dim     int
+	names   []string
+	vectors []Vector
+	// cosine cache, computed eagerly: with p predicates the matrix has p²
+	// entries, tiny compared to the graph. sim[i*p+j] = cos(e_i, e_j).
+	sim []float64
+}
+
+// NewSpace builds a Space from per-predicate vectors. names[i] labels
+// vectors[i]. All vectors must share the same dimension.
+func NewSpace(names []string, vectors []Vector) (*Space, error) {
+	if len(names) != len(vectors) {
+		return nil, fmt.Errorf("embed: %d names but %d vectors", len(names), len(vectors))
+	}
+	dim := 0
+	if len(vectors) > 0 {
+		dim = len(vectors[0])
+	}
+	for i, v := range vectors {
+		if len(v) != dim {
+			return nil, fmt.Errorf("embed: vector %d has dim %d, want %d", i, len(v), dim)
+		}
+	}
+	s := &Space{dim: dim, names: names, vectors: vectors}
+	p := len(vectors)
+	s.sim = make([]float64, p*p)
+	for i := 0; i < p; i++ {
+		s.sim[i*p+i] = 1
+		for j := i + 1; j < p; j++ {
+			c := Cosine(vectors[i], vectors[j])
+			s.sim[i*p+j] = c
+			s.sim[j*p+i] = c
+		}
+	}
+	return s, nil
+}
+
+// Dim returns the embedding dimension.
+func (s *Space) Dim() int { return s.dim }
+
+// Len returns the number of predicates.
+func (s *Space) Len() int { return len(s.vectors) }
+
+// Name returns the label of predicate p.
+func (s *Space) Name(p int) string { return s.names[p] }
+
+// Vector returns the embedding of predicate p. The returned slice is
+// shared; callers must not modify it.
+func (s *Space) Vector(p int) Vector { return s.vectors[p] }
+
+// Similarity returns the cosine similarity between predicates a and b
+// (Eq. 5 of the paper), in [-1, 1].
+func (s *Space) Similarity(a, b int) float64 {
+	return s.sim[a*len(s.vectors)+b]
+}
+
+// TopSimilar returns the n predicates most similar to p (excluding p
+// itself), in non-increasing similarity order. Used by the edge-noise
+// injection of the robustness experiment (Section VII-E).
+func (s *Space) TopSimilar(p, n int) []int {
+	type cand struct {
+		id  int
+		sim float64
+	}
+	cands := make([]cand, 0, s.Len()-1)
+	for i := 0; i < s.Len(); i++ {
+		if i == p {
+			continue
+		}
+		cands = append(cands, cand{i, s.Similarity(p, i)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sim != cands[j].sim {
+			return cands[i].sim > cands[j].sim
+		}
+		return cands[i].id < cands[j].id
+	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].id
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package embed
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"semkg/internal/kg"
+)
+
+// Config controls embedding training.
+type Config struct {
+	// Dim is the embedding dimension. The paper uses 100; our scaled-down
+	// graphs work well with 32-64. Default 50.
+	Dim int
+	// Epochs is the number of passes over the triple set. The paper uses
+	// 50 iterations. Default 50.
+	Epochs int
+	// LearningRate for SGD. Default 0.05.
+	LearningRate float64
+	// Margin gamma of the ranking loss. Default 1.0.
+	Margin float64
+	// Seed makes training deterministic. Default 1.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim <= 0 {
+		c.Dim = 50
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 50
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.05
+	}
+	if c.Margin <= 0 {
+		c.Margin = 1.0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Model holds trained entity and relation embeddings.
+type Model struct {
+	Entities  []Vector // indexed by kg.NodeID
+	Relations []Vector // indexed by kg.PredID
+	Cfg       Config
+	// Loss per epoch, for convergence inspection and tests.
+	EpochLoss []float64
+}
+
+// Space returns the predicate semantic space of the model, labelled with
+// the graph's predicate names.
+func (m *Model) Space(g *kg.Graph) (*Space, error) {
+	return NewSpace(g.Predicates(), m.Relations)
+}
+
+// TrainTransE trains a TransE model (Bordes et al., NIPS 2013) on the edges
+// of g: it learns vectors such that h + r ≈ t for observed triples
+// <h, r, t>, using margin-based ranking loss against corrupted triples and
+// SGD. Entity vectors are re-normalized to the unit sphere each epoch, as in
+// the original algorithm.
+//
+// Predicates that connect similar entity distributions converge to nearby
+// vectors — the property illustrated by Figure 6 of the paper (assembly ≈
+// product, both far from language), which the semantic search exploits.
+//
+// ctx cancellation stops training early and returns the model learned so
+// far together with ctx.Err().
+func TrainTransE(ctx context.Context, g *kg.Graph, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	n, p, m := g.NumNodes(), g.NumPredicates(), g.NumEdges()
+	if n == 0 || m == 0 {
+		return nil, fmt.Errorf("embed: cannot train on empty graph (%d nodes, %d edges)", n, m)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	model := &Model{
+		Entities:  randomVectors(rng, n, cfg.Dim),
+		Relations: randomVectors(rng, p, cfg.Dim),
+		Cfg:       cfg,
+	}
+	for _, v := range model.Relations {
+		Normalize(v)
+	}
+
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+
+	grad := make(Vector, cfg.Dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return model, err
+		}
+		for _, v := range model.Entities {
+			Normalize(v)
+		}
+		rng.Shuffle(m, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		for _, ei := range order {
+			e := g.EdgeAt(kg.EdgeID(ei))
+			h, r, t := int(e.Src), int(e.Pred), int(e.Dst)
+			// Corrupt head or tail uniformly.
+			ch, ct := h, t
+			if rng.Intn(2) == 0 {
+				ch = rng.Intn(n)
+			} else {
+				ct = rng.Intn(n)
+			}
+			epochLoss += model.sgdStep(h, r, t, ch, ct, grad)
+		}
+		model.EpochLoss = append(model.EpochLoss, epochLoss/float64(m))
+	}
+	for _, v := range model.Entities {
+		Normalize(v)
+	}
+	return model, nil
+}
+
+// sgdStep applies one margin-ranking SGD update for the positive triple
+// (h,r,t) against the corrupted triple (ch,r,ct) and returns the loss.
+// Distances are squared Euclidean: d = ||h + r - t||².
+func (m *Model) sgdStep(h, r, t, ch, ct int, grad Vector) float64 {
+	eh, er, et := m.Entities[h], m.Relations[r], m.Entities[t]
+	ech, ect := m.Entities[ch], m.Entities[ct]
+
+	var dPos, dNeg float64
+	for i := range grad {
+		dp := eh[i] + er[i] - et[i]
+		dn := ech[i] + er[i] - ect[i]
+		dPos += dp * dp
+		dNeg += dn * dn
+	}
+	loss := m.Cfg.Margin + dPos - dNeg
+	if loss <= 0 {
+		return 0
+	}
+	lr := m.Cfg.LearningRate
+	for i := range grad {
+		gp := 2 * (eh[i] + er[i] - et[i]) // ∂dPos/∂(h,r,-t)
+		gn := 2 * (ech[i] + er[i] - ect[i])
+		eh[i] -= lr * gp
+		et[i] += lr * gp
+		er[i] -= lr * (gp - gn)
+		ech[i] += lr * gn
+		ect[i] -= lr * gn
+	}
+	return loss
+}
+
+func randomVectors(rng *rand.Rand, count, dim int) []Vector {
+	// Uniform in [-6/sqrt(dim), 6/sqrt(dim)] as in the TransE paper.
+	bound := 6.0 / math.Sqrt(float64(dim))
+	out := make([]Vector, count)
+	for i := range out {
+		v := make(Vector, dim)
+		for j := range v {
+			v[j] = (rng.Float64()*2 - 1) * bound
+		}
+		out[i] = v
+	}
+	return out
+}

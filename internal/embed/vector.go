@@ -1,0 +1,58 @@
+// Package embed implements knowledge-graph embedding (Section IV-A of the
+// paper): translation-based models (TransE, and TransH as an ablation
+// variant) trained with margin-ranking loss and negative sampling, producing
+// the predicate semantic space E = {e_1...e_n}. The semantic similarity
+// between two predicates is the cosine similarity of their vectors (Eq. 5),
+// which the semantic graph uses as edge weights.
+//
+// Everything is stdlib-only and deterministic for a fixed seed.
+package embed
+
+import "math"
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// Dot returns the inner product of a and b. The vectors must have equal
+// length.
+func Dot(a, b Vector) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v Vector) float64 { return math.Sqrt(Dot(v, v)) }
+
+// Normalize scales v in place to unit Euclidean norm. A zero vector is left
+// unchanged.
+func Normalize(v Vector) {
+	n := Norm(v)
+	if n == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// Cosine returns the cosine similarity of a and b in [-1, 1]. If either
+// vector is zero it returns 0.
+func Cosine(a, b Vector) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := Dot(a, b) / (na * nb)
+	// Guard against floating-point drift outside [-1, 1].
+	return math.Max(-1, math.Min(1, c))
+}
+
+// Clone returns a copy of v.
+func Clone(v Vector) Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}

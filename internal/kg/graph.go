@@ -1,0 +1,332 @@
+// Package kg implements the knowledge graph substrate of the reproduction:
+// an in-memory directed labelled multigraph G = (V, E, L) per Definition 1 of
+// the paper. Each node carries a unique name and a type; each edge carries a
+// predicate. The graph is immutable once built (see Builder) and safe for
+// concurrent readers, which lets the engine run one A* search goroutine per
+// sub-query graph without locking.
+//
+// Path search in the paper ignores edge directionality (footnote 1), so the
+// adjacency lists expose both outgoing and incoming halves of every edge.
+package kg
+
+import "fmt"
+
+// NodeID identifies a node (entity) in a Graph.
+type NodeID int32
+
+// EdgeID identifies a directed edge in a Graph.
+type EdgeID int32
+
+// PredID identifies a predicate label.
+type PredID int32
+
+// TypeID identifies an entity type label.
+type TypeID int32
+
+// NoNode is returned by lookups that find no node.
+const NoNode NodeID = -1
+
+// NoType marks nodes with an unknown type. The paper assigns types via a
+// probabilistic entity-typing model when missing; our loader assigns NoType
+// and the transformation library treats it as matching nothing.
+const NoType TypeID = -1
+
+// Edge is a directed labelled edge (a triple <src, pred, dst>).
+type Edge struct {
+	Src  NodeID
+	Dst  NodeID
+	Pred PredID
+}
+
+// Half is one endpoint's view of an edge, as stored in adjacency lists.
+// Out reports whether the edge leaves the node that owns the list.
+type Half struct {
+	Edge     EdgeID
+	Neighbor NodeID
+	Pred     PredID
+	Out      bool
+}
+
+// Graph is an immutable knowledge graph. Build one with a Builder.
+type Graph struct {
+	names     []string
+	types     []TypeID
+	nameIndex map[string]NodeID
+
+	typeNames []string
+	typeIndex map[string]TypeID
+	byType    [][]NodeID
+
+	predNames []string
+	predIndex map[string]PredID
+
+	edges []Edge
+
+	// CSR-style adjacency: halves[adjOff[u]:adjOff[u+1]] are the edge
+	// halves incident to node u, in edge-insertion order.
+	adjOff []int32
+	halves []Half
+
+	predCount []int // edges per predicate
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.names) }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// NumPredicates returns the number of distinct predicates.
+func (g *Graph) NumPredicates() int { return len(g.predNames) }
+
+// NumTypes returns the number of distinct entity types.
+func (g *Graph) NumTypes() int { return len(g.typeNames) }
+
+// NodeName returns the unique name of u.
+func (g *Graph) NodeName(u NodeID) string { return g.names[u] }
+
+// NodeType returns the type of u (possibly NoType).
+func (g *Graph) NodeType(u NodeID) TypeID { return g.types[u] }
+
+// NodeByName returns the node with the given name, or NoNode.
+func (g *Graph) NodeByName(name string) NodeID {
+	if id, ok := g.nameIndex[name]; ok {
+		return id
+	}
+	return NoNode
+}
+
+// TypeName returns the name of type t, or "" for NoType.
+func (g *Graph) TypeName(t TypeID) string {
+	if t == NoType {
+		return ""
+	}
+	return g.typeNames[t]
+}
+
+// TypeByName returns the type with the given name, or NoType.
+func (g *Graph) TypeByName(name string) TypeID {
+	if id, ok := g.typeIndex[name]; ok {
+		return id
+	}
+	return NoType
+}
+
+// NodesOfType returns all nodes with type t. The returned slice is shared;
+// callers must not modify it.
+func (g *Graph) NodesOfType(t TypeID) []NodeID {
+	if t == NoType || int(t) >= len(g.byType) {
+		return nil
+	}
+	return g.byType[t]
+}
+
+// PredName returns the name of predicate p.
+func (g *Graph) PredName(p PredID) string { return g.predNames[p] }
+
+// PredByName returns the predicate with the given name, or -1.
+func (g *Graph) PredByName(name string) PredID {
+	if id, ok := g.predIndex[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// PredCount returns how many edges carry predicate p.
+func (g *Graph) PredCount(p PredID) int { return g.predCount[p] }
+
+// Predicates returns the names of all predicates, indexed by PredID.
+// The returned slice is shared; callers must not modify it.
+func (g *Graph) Predicates() []string { return g.predNames }
+
+// EdgeAt returns the directed edge with the given id.
+func (g *Graph) EdgeAt(id EdgeID) Edge { return g.edges[id] }
+
+// Neighbors returns the edge halves incident to u (both directions).
+// The returned slice is shared; callers must not modify it.
+func (g *Graph) Neighbors(u NodeID) []Half {
+	return g.halves[g.adjOff[u]:g.adjOff[u+1]]
+}
+
+// Degree returns the number of edge halves incident to u.
+func (g *Graph) Degree(u NodeID) int {
+	return int(g.adjOff[u+1] - g.adjOff[u])
+}
+
+// AvgDegree returns the average node degree (counting both directions).
+func (g *Graph) AvgDegree() float64 {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	return float64(len(g.halves)) / float64(g.NumNodes())
+}
+
+// Stats summarizes the graph in the format of the paper's Table IV.
+type Stats struct {
+	Entities    int
+	Relations   int
+	EntityTypes int
+	Predicates  int
+	AvgDegree   float64
+}
+
+// Stats returns summary statistics.
+func (g *Graph) Stats() Stats {
+	return Stats{
+		Entities:    g.NumNodes(),
+		Relations:   g.NumEdges(),
+		EntityTypes: g.NumTypes(),
+		Predicates:  g.NumPredicates(),
+		AvgDegree:   g.AvgDegree(),
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("entities=%d relations=%d types=%d predicates=%d avgDegree=%.1f",
+		s.Entities, s.Relations, s.EntityTypes, s.Predicates, s.AvgDegree)
+}
+
+// Builder assembles a Graph. It is not safe for concurrent use.
+// Node names are unique: AddNode on an existing name returns the existing
+// node (updating its type if previously unknown).
+type Builder struct {
+	g     Graph
+	srcs  []NodeID // parallel to edge list, pre-CSR
+	dsts  []NodeID
+	preds []PredID
+}
+
+// NewBuilder returns an empty Builder with capacity hints.
+func NewBuilder(nodeHint, edgeHint int) *Builder {
+	b := &Builder{}
+	b.g.names = make([]string, 0, nodeHint)
+	b.g.types = make([]TypeID, 0, nodeHint)
+	b.g.nameIndex = make(map[string]NodeID, nodeHint)
+	b.g.typeIndex = make(map[string]TypeID)
+	b.g.predIndex = make(map[string]PredID)
+	b.srcs = make([]NodeID, 0, edgeHint)
+	b.dsts = make([]NodeID, 0, edgeHint)
+	b.preds = make([]PredID, 0, edgeHint)
+	return b
+}
+
+// AddNode registers a node with the given name and type name. An empty
+// typeName yields NoType. If the node already exists its type is set when it
+// was previously NoType; a conflicting non-empty type is ignored (first type
+// wins), matching the one-type-per-entity assumption of the paper.
+func (b *Builder) AddNode(name, typeName string) NodeID {
+	t := NoType
+	if typeName != "" {
+		t = b.internType(typeName)
+	}
+	if id, ok := b.g.nameIndex[name]; ok {
+		if b.g.types[id] == NoType && t != NoType {
+			b.g.types[id] = t
+		}
+		return id
+	}
+	id := NodeID(len(b.g.names))
+	b.g.names = append(b.g.names, name)
+	b.g.types = append(b.g.types, t)
+	b.g.nameIndex[name] = id
+	return id
+}
+
+// AddEdge adds a directed edge src --pred--> dst. Both nodes must exist.
+func (b *Builder) AddEdge(src, dst NodeID, predicate string) EdgeID {
+	if int(src) >= len(b.g.names) || int(dst) >= len(b.g.names) || src < 0 || dst < 0 {
+		panic(fmt.Sprintf("kg: AddEdge with unknown node %d->%d", src, dst))
+	}
+	p := b.internPred(predicate)
+	id := EdgeID(len(b.srcs))
+	b.srcs = append(b.srcs, src)
+	b.dsts = append(b.dsts, dst)
+	b.preds = append(b.preds, p)
+	return id
+}
+
+// AddTriple is a convenience that registers both endpoint nodes (with
+// unknown types unless already known) and the connecting edge.
+func (b *Builder) AddTriple(subject, predicate, object string) EdgeID {
+	s := b.AddNode(subject, "")
+	o := b.AddNode(object, "")
+	return b.AddEdge(s, o, predicate)
+}
+
+func (b *Builder) internType(name string) TypeID {
+	if id, ok := b.g.typeIndex[name]; ok {
+		return id
+	}
+	id := TypeID(len(b.g.typeNames))
+	b.g.typeNames = append(b.g.typeNames, name)
+	b.g.typeIndex[name] = id
+	return id
+}
+
+func (b *Builder) internPred(name string) PredID {
+	if id, ok := b.g.predIndex[name]; ok {
+		return id
+	}
+	id := PredID(len(b.g.predNames))
+	b.g.predNames = append(b.g.predNames, name)
+	b.g.predIndex[name] = id
+	return id
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.g.names) }
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.srcs) }
+
+// Build finalizes the graph: it freezes node/edge sets, computes the
+// CSR adjacency and the per-type node index. The Builder must not be used
+// afterwards.
+func (b *Builder) Build() *Graph {
+	g := &b.g
+	n := len(g.names)
+	m := len(b.srcs)
+
+	g.edges = make([]Edge, m)
+	for i := 0; i < m; i++ {
+		g.edges[i] = Edge{Src: b.srcs[i], Dst: b.dsts[i], Pred: b.preds[i]}
+	}
+
+	// Degree count (each edge contributes to both endpoints; self-loops
+	// contribute twice to the same node, once per direction).
+	deg := make([]int32, n+1)
+	for i := 0; i < m; i++ {
+		deg[b.srcs[i]+1]++
+		deg[b.dsts[i]+1]++
+	}
+	for i := 1; i <= n; i++ {
+		deg[i] += deg[i-1]
+	}
+	g.adjOff = deg
+	g.halves = make([]Half, 2*m)
+	cursor := make([]int32, n)
+	copy(cursor, g.adjOff[:n])
+	for i := 0; i < m; i++ {
+		e := EdgeID(i)
+		s, d, p := b.srcs[i], b.dsts[i], b.preds[i]
+		g.halves[cursor[s]] = Half{Edge: e, Neighbor: d, Pred: p, Out: true}
+		cursor[s]++
+		g.halves[cursor[d]] = Half{Edge: e, Neighbor: s, Pred: p, Out: false}
+		cursor[d]++
+	}
+
+	g.byType = make([][]NodeID, len(g.typeNames))
+	for id, t := range g.types {
+		if t != NoType {
+			g.byType[t] = append(g.byType[t], NodeID(id))
+		}
+	}
+
+	g.predCount = make([]int, len(g.predNames))
+	for i := 0; i < m; i++ {
+		g.predCount[b.preds[i]]++
+	}
+
+	b.srcs, b.dsts, b.preds = nil, nil, nil
+	return g
+}

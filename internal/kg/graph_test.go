@@ -1,0 +1,214 @@
+package kg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// figure2Graph builds the running-example graph of the paper's Figure 2.
+func figure2Graph() *Graph {
+	b := NewBuilder(8, 8)
+	audi := b.AddNode("Audi_TT", "Automobile")
+	kia := b.AddNode("KIA_K5", "Automobile")
+	lamando := b.AddNode("Lamando", "Automobile")
+	engine := b.AddNode("EA211_l4_TSI", "Device")
+	vw := b.AddNode("Volkswagen", "Company")
+	peter := b.AddNode("Peter_schreyer", "Person")
+	germany := b.AddNode("Germany", "Country")
+
+	b.AddEdge(audi, germany, "assembly")
+	b.AddEdge(peter, germany, "nationality")
+	b.AddEdge(kia, peter, "designer")
+	b.AddEdge(lamando, engine, "engine")
+	b.AddEdge(lamando, vw, "designCompany")
+	b.AddEdge(engine, vw, "product")
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := figure2Graph()
+	if g.NumNodes() != 7 {
+		t.Fatalf("NumNodes = %d, want 7", g.NumNodes())
+	}
+	if g.NumEdges() != 6 {
+		t.Fatalf("NumEdges = %d, want 6", g.NumEdges())
+	}
+	if g.NumTypes() != 5 {
+		t.Fatalf("NumTypes = %d, want 5", g.NumTypes())
+	}
+	if g.NumPredicates() != 6 {
+		t.Fatalf("NumPredicates = %d, want 6", g.NumPredicates())
+	}
+	audi := g.NodeByName("Audi_TT")
+	if audi == NoNode {
+		t.Fatal("Audi_TT not found")
+	}
+	if g.TypeName(g.NodeType(audi)) != "Automobile" {
+		t.Fatalf("Audi_TT type = %q, want Automobile", g.TypeName(g.NodeType(audi)))
+	}
+	if g.NodeByName("missing") != NoNode {
+		t.Error("NodeByName(missing) should be NoNode")
+	}
+	if g.TypeByName("missing") != NoType {
+		t.Error("TypeByName(missing) should be NoType")
+	}
+	if g.PredByName("missing") != -1 {
+		t.Error("PredByName(missing) should be -1")
+	}
+}
+
+func TestAddNodeIdempotent(t *testing.T) {
+	b := NewBuilder(4, 4)
+	a := b.AddNode("X", "")
+	a2 := b.AddNode("X", "T")
+	a3 := b.AddNode("X", "Other") // first type wins
+	if a != a2 || a != a3 {
+		t.Fatalf("AddNode not idempotent: %d %d %d", a, a2, a3)
+	}
+	g := b.Build()
+	if g.TypeName(g.NodeType(a)) != "T" {
+		t.Fatalf("type = %q, want T", g.TypeName(g.NodeType(a)))
+	}
+}
+
+func TestNeighborsBothDirections(t *testing.T) {
+	g := figure2Graph()
+	germany := g.NodeByName("Germany")
+	hs := g.Neighbors(germany)
+	if len(hs) != 2 {
+		t.Fatalf("Germany degree = %d, want 2", len(hs))
+	}
+	for _, h := range hs {
+		if h.Out {
+			t.Errorf("Germany should have only incoming halves, got outgoing edge %d", h.Edge)
+		}
+	}
+	audi := g.NodeByName("Audi_TT")
+	ha := g.Neighbors(audi)
+	if len(ha) != 1 || !ha[0].Out || ha[0].Neighbor != germany {
+		t.Fatalf("Audi_TT neighbors = %+v, want one outgoing half to Germany", ha)
+	}
+	if g.PredName(ha[0].Pred) != "assembly" {
+		t.Fatalf("predicate = %q, want assembly", g.PredName(ha[0].Pred))
+	}
+}
+
+func TestNodesOfType(t *testing.T) {
+	g := figure2Graph()
+	autos := g.NodesOfType(g.TypeByName("Automobile"))
+	if len(autos) != 3 {
+		t.Fatalf("|Automobile| = %d, want 3", len(autos))
+	}
+	if got := g.NodesOfType(NoType); got != nil {
+		t.Errorf("NodesOfType(NoType) = %v, want nil", got)
+	}
+}
+
+func TestPredCount(t *testing.T) {
+	b := NewBuilder(4, 4)
+	x := b.AddNode("x", "T")
+	y := b.AddNode("y", "T")
+	z := b.AddNode("z", "T")
+	b.AddEdge(x, y, "p")
+	b.AddEdge(y, z, "p")
+	b.AddEdge(x, z, "q")
+	g := b.Build()
+	if got := g.PredCount(g.PredByName("p")); got != 2 {
+		t.Errorf("PredCount(p) = %d, want 2", got)
+	}
+	if got := g.PredCount(g.PredByName("q")); got != 1 {
+		t.Errorf("PredCount(q) = %d, want 1", got)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	b := NewBuilder(1, 1)
+	x := b.AddNode("x", "T")
+	b.AddEdge(x, x, "self")
+	g := b.Build()
+	if g.Degree(x) != 2 {
+		t.Fatalf("self-loop degree = %d, want 2 (both halves)", g.Degree(x))
+	}
+}
+
+func TestAvgDegreeAndStats(t *testing.T) {
+	g := figure2Graph()
+	want := float64(2*g.NumEdges()) / float64(g.NumNodes())
+	if got := g.AvgDegree(); got != want {
+		t.Errorf("AvgDegree = %v, want %v", got, want)
+	}
+	s := g.Stats()
+	if s.Entities != 7 || s.Relations != 6 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("Stats.String is empty")
+	}
+	var empty Builder
+	eg := (&empty).Build()
+	if eg.AvgDegree() != 0 {
+		t.Error("empty graph AvgDegree should be 0")
+	}
+}
+
+func TestAddEdgeUnknownNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddEdge with unknown node did not panic")
+		}
+	}()
+	b := NewBuilder(1, 1)
+	b.AddNode("x", "")
+	b.AddEdge(0, 5, "p")
+}
+
+// TestAdjacencyConsistency checks, on random graphs, that every edge appears
+// exactly once as an outgoing half at its source and once as an incoming
+// half at its destination.
+func TestAdjacencyConsistency(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%50) + 2
+		m := int(mRaw%200) + 1
+		b := NewBuilder(n, m)
+		for i := 0; i < n; i++ {
+			b.AddNode(nodeName(i), "T")
+		}
+		for i := 0; i < m; i++ {
+			b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), "p")
+		}
+		g := b.Build()
+		seenOut := make(map[EdgeID]int)
+		seenIn := make(map[EdgeID]int)
+		for u := 0; u < g.NumNodes(); u++ {
+			for _, h := range g.Neighbors(NodeID(u)) {
+				e := g.EdgeAt(h.Edge)
+				if h.Out {
+					if e.Src != NodeID(u) || e.Dst != h.Neighbor {
+						return false
+					}
+					seenOut[h.Edge]++
+				} else {
+					if e.Dst != NodeID(u) || e.Src != h.Neighbor {
+						return false
+					}
+					seenIn[h.Edge]++
+				}
+			}
+		}
+		for i := 0; i < g.NumEdges(); i++ {
+			if seenOut[EdgeID(i)] != 1 || seenIn[EdgeID(i)] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('0'+i/260))
+}

@@ -1,0 +1,73 @@
+package kg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TypePredicate is the reserved predicate used in the TSV triple format to
+// declare a node's entity type: "<name>\ttype\t<TypeName>". All other lines
+// declare ordinary edges.
+const TypePredicate = "type"
+
+// ReadTriples parses a graph from the tab-separated triple format:
+//
+//	subject \t predicate \t object
+//
+// Lines starting with '#' and blank lines are skipped. The reserved
+// predicate "type" assigns the object as the subject's entity type instead
+// of creating an edge.
+func ReadTriples(r io.Reader) (*Graph, error) {
+	b := NewBuilder(1024, 4096)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("kg: line %d: want 3 tab-separated fields, got %d", lineNo, len(parts))
+		}
+		s, p, o := parts[0], parts[1], parts[2]
+		if s == "" || p == "" || o == "" {
+			return nil, fmt.Errorf("kg: line %d: empty field", lineNo)
+		}
+		if p == TypePredicate {
+			b.AddNode(s, o)
+			continue
+		}
+		b.AddTriple(s, p, o)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("kg: reading triples: %w", err)
+	}
+	return b.Build(), nil
+}
+
+// WriteTriples serializes g in the format accepted by ReadTriples:
+// first a "type" triple per typed node, then one triple per edge.
+func WriteTriples(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for u := 0; u < g.NumNodes(); u++ {
+		t := g.NodeType(NodeID(u))
+		if t == NoType {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\n", g.NodeName(NodeID(u)), TypePredicate, g.TypeName(t)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.EdgeAt(EdgeID(i))
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\n", g.NodeName(e.Src), g.PredName(e.Pred), g.NodeName(e.Dst)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,82 @@
+package kg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadTriples(t *testing.T) {
+	in := `# a comment
+Audi_TT	type	Automobile
+Germany	type	Country
+
+Audi_TT	assembly	Germany
+BMW_320	assembly	Germany
+`
+	g, err := ReadTriples(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", g.NumNodes())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	bmw := g.NodeByName("BMW_320")
+	if bmw == NoNode {
+		t.Fatal("BMW_320 not found")
+	}
+	if g.NodeType(bmw) != NoType {
+		t.Error("BMW_320 should have unknown type (no type triple)")
+	}
+	audi := g.NodeByName("Audi_TT")
+	if g.TypeName(g.NodeType(audi)) != "Automobile" {
+		t.Errorf("Audi_TT type = %q", g.TypeName(g.NodeType(audi)))
+	}
+}
+
+func TestReadTriplesErrors(t *testing.T) {
+	cases := []string{
+		"one\ttwo",   // 2 fields
+		"a\tb\tc\td", // 4 fields
+		"\tp\to",     // empty subject
+		"s\t\to",     // empty predicate
+		"s\tp\t",     // empty object
+	}
+	for _, in := range cases {
+		if _, err := ReadTriples(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadTriples(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestTriplesRoundTrip(t *testing.T) {
+	g := figure2Graph()
+	var buf bytes.Buffer
+	if err := WriteTriples(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: got (%d,%d), want (%d,%d)",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		name := g.NodeName(NodeID(u))
+		u2 := g2.NodeByName(name)
+		if u2 == NoNode {
+			t.Fatalf("node %q lost in round trip", name)
+		}
+		if g.TypeName(g.NodeType(NodeID(u))) != g2.TypeName(g2.NodeType(u2)) {
+			t.Errorf("node %q type changed", name)
+		}
+		if g.Degree(NodeID(u)) != g2.Degree(u2) {
+			t.Errorf("node %q degree changed: %d vs %d", name, g.Degree(NodeID(u)), g2.Degree(u2))
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package metrics implements the evaluation measures of Section VII:
+// precision, recall and F1 against validation sets (Section VII-B), the
+// Jaccard approximation degree of the time-bounded mode (Eq. 12), and the
+// Pearson correlation coefficient of the simulated user study
+// (Section VII-D, Table VII).
+package metrics
+
+import (
+	"math"
+	"math/rand"
+)
+
+// PR holds precision/recall/F1 for one query.
+type PR struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Evaluate compares ranked answers against a validation set: precision is
+// the fraction of answers that are correct, recall the fraction of the
+// validation set discovered (both over the full answer list given — trim
+// to k before calling for @k metrics).
+func Evaluate(answers []string, truth []string) PR {
+	truthSet := make(map[string]bool, len(truth))
+	for _, t := range truth {
+		truthSet[t] = true
+	}
+	correct := 0
+	seen := make(map[string]bool, len(answers))
+	for _, a := range answers {
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		if truthSet[a] {
+			correct++
+		}
+	}
+	var pr PR
+	if len(seen) > 0 {
+		pr.Precision = float64(correct) / float64(len(seen))
+	}
+	if len(truthSet) > 0 {
+		pr.Recall = float64(correct) / float64(len(truthSet))
+	}
+	if pr.Precision+pr.Recall > 0 {
+		pr.F1 = 2 * pr.Precision * pr.Recall / (pr.Precision + pr.Recall)
+	}
+	return pr
+}
+
+// Mean averages a slice of PR results.
+func Mean(prs []PR) PR {
+	if len(prs) == 0 {
+		return PR{}
+	}
+	var out PR
+	for _, p := range prs {
+		out.Precision += p.Precision
+		out.Recall += p.Recall
+		out.F1 += p.F1
+	}
+	n := float64(len(prs))
+	out.Precision /= n
+	out.Recall /= n
+	out.F1 /= n
+	return out
+}
+
+// Jaccard returns |A ∩ B| / |A ∪ B| over two answer sets (Eq. 12). Two
+// empty sets are identical (1).
+func Jaccard(a, b []string) float64 {
+	as := make(map[string]bool, len(a))
+	for _, x := range a {
+		as[x] = true
+	}
+	bs := make(map[string]bool, len(b))
+	for _, x := range b {
+		bs[x] = true
+	}
+	inter := 0
+	for x := range as {
+		if bs[x] {
+			inter++
+		}
+	}
+	union := len(as) + len(bs) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// PCC returns the Pearson correlation coefficient of two equal-length
+// value lists, or 0 when either list has zero variance.
+func PCC(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// UserStudy simulates the crowd-sourced preference study of Section VII-D.
+// The real study presents pairs of answers (from different score groups)
+// to 10 annotators and correlates the system's rank differences with the
+// annotators' preference counts. Here each annotator prefers the
+// better-ranked answer with a probability that grows with the underlying
+// quality gap, plus individual noise — a standard noisy-observer model.
+type UserStudy struct {
+	// Annotators per pair (paper: 10).
+	Annotators int
+	// Pairs sampled per query (paper: 30).
+	Pairs int
+	// Noise is the annotator confusion level in [0, 0.5): 0 = perfectly
+	// quality-aligned annotators, 0.5 = coin flips.
+	Noise float64
+	// Rng drives the simulation.
+	Rng *rand.Rand
+}
+
+// Run simulates the study for one query: quality[i] is the latent quality
+// of the system's i-th ranked answer (best first), e.g. blended from
+// validation membership and match score. It returns the PCC between rank
+// differences and annotator preference differences.
+//
+// As in the paper, answers are grouped by (latent) score and each pair
+// draws its two answers from different groups, so no pair ties.
+func (s UserStudy) Run(quality []float64) float64 {
+	if len(quality) < 2 || s.Rng == nil {
+		return 0
+	}
+	annotators := s.Annotators
+	if annotators <= 0 {
+		annotators = 10
+	}
+	pairs := s.Pairs
+	if pairs <= 0 {
+		pairs = 30
+	}
+	// Group answer indexes by quality value.
+	groupOf := make(map[float64][]int)
+	var keys []float64
+	for i, q := range quality {
+		if _, ok := groupOf[q]; !ok {
+			keys = append(keys, q)
+		}
+		groupOf[q] = append(groupOf[q], i)
+	}
+	if len(keys) < 2 {
+		return 0 // a single score group carries no ranking signal
+	}
+	var xs, ys []float64
+	for p := 0; p < pairs; p++ {
+		ga := keys[s.Rng.Intn(len(keys))]
+		gb := keys[s.Rng.Intn(len(keys))]
+		if ga == gb {
+			continue
+		}
+		i := groupOf[ga][s.Rng.Intn(len(groupOf[ga]))]
+		j := groupOf[gb][s.Rng.Intn(len(groupOf[gb]))]
+		// x: rank difference as the system sees it (positive when i is
+		// ranked better, i.e. appears earlier).
+		x := float64(j - i)
+		// y: annotator preference difference.
+		prefI := 0
+		gap := quality[i] - quality[j]
+		pPreferI := sigmoid(4*gap)*(1-2*s.Noise) + s.Noise
+		for a := 0; a < annotators; a++ {
+			if s.Rng.Float64() < pPreferI {
+				prefI++
+			}
+		}
+		y := float64(prefI - (annotators - prefI))
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	return PCC(xs, ys)
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

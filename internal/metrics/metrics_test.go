@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvaluate(t *testing.T) {
+	truth := []string{"a", "b", "c", "d"}
+	pr := Evaluate([]string{"a", "b", "x", "y"}, truth)
+	if pr.Precision != 0.5 {
+		t.Errorf("P = %v, want 0.5", pr.Precision)
+	}
+	if pr.Recall != 0.5 {
+		t.Errorf("R = %v, want 0.5", pr.Recall)
+	}
+	if pr.F1 != 0.5 {
+		t.Errorf("F1 = %v, want 0.5", pr.F1)
+	}
+}
+
+func TestEvaluatePerfect(t *testing.T) {
+	pr := Evaluate([]string{"a", "b"}, []string{"a", "b"})
+	if pr.Precision != 1 || pr.Recall != 1 || pr.F1 != 1 {
+		t.Errorf("perfect = %+v", pr)
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	if pr := Evaluate(nil, []string{"a"}); pr.Precision != 0 || pr.Recall != 0 || pr.F1 != 0 {
+		t.Errorf("empty answers = %+v", pr)
+	}
+	if pr := Evaluate([]string{"a"}, nil); pr.Recall != 0 {
+		t.Errorf("empty truth = %+v", pr)
+	}
+	// Duplicate answers count once.
+	pr := Evaluate([]string{"a", "a", "a"}, []string{"a", "b"})
+	if pr.Precision != 1 || pr.Recall != 0.5 {
+		t.Errorf("dedup = %+v", pr)
+	}
+}
+
+func TestEvaluateRange(t *testing.T) {
+	f := func(answers, truth []string) bool {
+		pr := Evaluate(answers, truth)
+		return pr.Precision >= 0 && pr.Precision <= 1 &&
+			pr.Recall >= 0 && pr.Recall <= 1 &&
+			pr.F1 >= 0 && pr.F1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	got := Mean([]PR{{1, 1, 1}, {0, 0, 0}})
+	if got.Precision != 0.5 || got.Recall != 0.5 || got.F1 != 0.5 {
+		t.Errorf("Mean = %+v", got)
+	}
+	if (Mean(nil) != PR{}) {
+		t.Error("Mean(nil) should be zero")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if j := Jaccard([]string{"a", "b"}, []string{"a", "b"}); j != 1 {
+		t.Errorf("identical = %v", j)
+	}
+	if j := Jaccard([]string{"a"}, []string{"b"}); j != 0 {
+		t.Errorf("disjoint = %v", j)
+	}
+	if j := Jaccard([]string{"a", "b", "c"}, []string{"b", "c", "d"}); math.Abs(j-0.5) > 1e-12 {
+		t.Errorf("half overlap = %v, want 0.5", j)
+	}
+	if j := Jaccard(nil, nil); j != 1 {
+		t.Errorf("both empty = %v, want 1", j)
+	}
+	if j := Jaccard([]string{"a"}, nil); j != 0 {
+		t.Errorf("one empty = %v, want 0", j)
+	}
+}
+
+func TestJaccardSymmetric(t *testing.T) {
+	f := func(a, b []string) bool {
+		return math.Abs(Jaccard(a, b)-Jaccard(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPCC(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if p := PCC(x, x); math.Abs(p-1) > 1e-12 {
+		t.Errorf("self PCC = %v, want 1", p)
+	}
+	neg := []float64{5, 4, 3, 2, 1}
+	if p := PCC(x, neg); math.Abs(p+1) > 1e-12 {
+		t.Errorf("inverse PCC = %v, want -1", p)
+	}
+	if p := PCC(x, []float64{2, 2, 2, 2, 2}); p != 0 {
+		t.Errorf("zero variance = %v, want 0", p)
+	}
+	if p := PCC(x, []float64{1}); p != 0 {
+		t.Errorf("length mismatch = %v, want 0", p)
+	}
+	if p := PCC(nil, nil); p != 0 {
+		t.Errorf("empty = %v, want 0", p)
+	}
+}
+
+func TestPCCBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(50) + 2
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		p := PCC(x, y)
+		if p < -1-1e-12 || p > 1+1e-12 || math.IsNaN(p) {
+			t.Fatalf("PCC out of range: %v", p)
+		}
+	}
+}
+
+// TestUserStudyAlignedRanking: when the system's ranking agrees with the
+// latent quality, the simulated annotators produce a strong positive
+// correlation — the Table VII regime.
+func TestUserStudyAlignedRanking(t *testing.T) {
+	quality := make([]float64, 40)
+	for i := range quality {
+		quality[i] = 1 - float64(i)*0.02 // rank-aligned, strictly decreasing
+	}
+	s := UserStudy{Rng: rand.New(rand.NewSource(7)), Noise: 0.1}
+	pcc := s.Run(quality)
+	if pcc < 0.5 {
+		t.Errorf("aligned ranking PCC = %v, want strong positive (>= 0.5)", pcc)
+	}
+}
+
+// TestUserStudyRandomRanking: a quality-uncorrelated ranking yields weak
+// correlation.
+func TestUserStudyRandomRanking(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	quality := make([]float64, 40)
+	for i := range quality {
+		quality[i] = rng.Float64()
+	}
+	s := UserStudy{Rng: rand.New(rand.NewSource(9)), Noise: 0.1}
+	pcc := s.Run(quality)
+	if math.Abs(pcc) > 0.45 {
+		t.Errorf("random ranking PCC = %v, want weak", pcc)
+	}
+}
+
+func TestUserStudyDegenerate(t *testing.T) {
+	s := UserStudy{Rng: rand.New(rand.NewSource(1))}
+	if p := s.Run([]float64{1}); p != 0 {
+		t.Errorf("single answer = %v", p)
+	}
+	if p := (UserStudy{}).Run([]float64{1, 0.5}); p != 0 {
+		t.Errorf("nil rng = %v", p)
+	}
+	// All-equal qualities: every pair is skipped.
+	if p := s.Run([]float64{0.5, 0.5, 0.5}); p != 0 {
+		t.Errorf("equal qualities = %v", p)
+	}
+}

@@ -1,0 +1,226 @@
+// Package pqueue implements a generic binary max-heap priority queue.
+//
+// The paper's A* semantic search (Algorithm 1) keeps two max-heaps: the
+// frontier of partial paths ordered by estimated pss, and the match set
+// ordered by exact pss. The TA assembly (Section V-C) keeps candidate final
+// matches ordered by score bounds. This package provides the single heap
+// implementation backing all of them.
+package pqueue
+
+// Max is a max-heap of items with float64 priorities. The zero value is an
+// empty queue ready to use. Ties are broken by insertion order (older items
+// first), which keeps searches deterministic for equal priorities.
+type Max[T any] struct {
+	items []entry[T]
+	seq   uint64
+}
+
+type entry[T any] struct {
+	value    T
+	priority float64
+	seq      uint64
+}
+
+// Len returns the number of items in the queue.
+func (q *Max[T]) Len() int { return len(q.items) }
+
+// Push adds value with the given priority.
+func (q *Max[T]) Push(value T, priority float64) {
+	q.items = append(q.items, entry[T]{value: value, priority: priority, seq: q.seq})
+	q.seq++
+	q.up(len(q.items) - 1)
+}
+
+// Pop removes and returns the item with the greatest priority. It reports
+// ok=false when the queue is empty.
+func (q *Max[T]) Pop() (value T, priority float64, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items[last] = entry[T]{} // release for GC
+	q.items = q.items[:last]
+	if len(q.items) > 0 {
+		q.down(0)
+	}
+	return top.value, top.priority, true
+}
+
+// Peek returns the item with the greatest priority without removing it.
+func (q *Max[T]) Peek() (value T, priority float64, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	return q.items[0].value, q.items[0].priority, true
+}
+
+// Drain removes all items and returns them in non-increasing priority order.
+func (q *Max[T]) Drain() []T {
+	out := make([]T, 0, len(q.items))
+	for {
+		v, _, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// Reset removes all items but keeps the allocated capacity.
+func (q *Max[T]) Reset() {
+	clear(q.items)
+	q.items = q.items[:0]
+}
+
+func (q *Max[T]) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (q *Max[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Max[T]) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && q.less(l, best) {
+			best = l
+		}
+		if r < n && q.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		q.items[i], q.items[best] = q.items[best], q.items[i]
+		i = best
+	}
+}
+
+// Bounded is a max-heap that retains only the top n items by priority.
+// Pushing beyond capacity evicts the current minimum if the new item ranks
+// higher. It is used for fixed-size top-k match sets.
+type Bounded[T any] struct {
+	n     int
+	items []entry[T]
+	seq   uint64
+}
+
+// NewBounded returns a Bounded queue keeping at most n items. n must be > 0.
+func NewBounded[T any](n int) *Bounded[T] {
+	if n <= 0 {
+		panic("pqueue: NewBounded requires n > 0")
+	}
+	return &Bounded[T]{n: n}
+}
+
+// Len returns the number of retained items.
+func (b *Bounded[T]) Len() int { return len(b.items) }
+
+// Min returns the smallest retained priority, or ok=false when empty.
+func (b *Bounded[T]) Min() (priority float64, ok bool) {
+	if len(b.items) == 0 {
+		return 0, false
+	}
+	return b.items[0].priority, true
+}
+
+// Full reports whether the queue holds its maximum number of items.
+func (b *Bounded[T]) Full() bool { return len(b.items) == b.n }
+
+// Push offers value; it is retained if the queue is not full or value
+// outranks the current minimum. It reports whether the value was retained.
+func (b *Bounded[T]) Push(value T, priority float64) bool {
+	// Internally a min-heap on priority, so items[0] is the eviction victim.
+	if len(b.items) < b.n {
+		b.items = append(b.items, entry[T]{value: value, priority: priority, seq: b.seq})
+		b.seq++
+		b.upMin(len(b.items) - 1)
+		return true
+	}
+	if priority <= b.items[0].priority {
+		return false
+	}
+	b.items[0] = entry[T]{value: value, priority: priority, seq: b.seq}
+	b.seq++
+	b.downMin(0)
+	return true
+}
+
+// Drain removes all items and returns them in non-increasing priority order.
+func (b *Bounded[T]) Drain() []T {
+	out := make([]T, len(b.items))
+	for i := len(b.items) - 1; i >= 0; i-- {
+		out[i] = b.popMin()
+	}
+	return out
+}
+
+func (b *Bounded[T]) popMin() T {
+	top := b.items[0]
+	last := len(b.items) - 1
+	b.items[0] = b.items[last]
+	b.items[last] = entry[T]{}
+	b.items = b.items[:last]
+	if len(b.items) > 0 {
+		b.downMin(0)
+	}
+	return top.value
+}
+
+func (b *Bounded[T]) lessMin(i, j int) bool {
+	x, y := b.items[i], b.items[j]
+	if x.priority != y.priority {
+		return x.priority < y.priority
+	}
+	// Among equal priorities evict the newest so earlier finds survive,
+	// matching the stable behaviour of the unbounded heap.
+	return x.seq > y.seq
+}
+
+func (b *Bounded[T]) upMin(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !b.lessMin(i, parent) {
+			return
+		}
+		b.items[i], b.items[parent] = b.items[parent], b.items[i]
+		i = parent
+	}
+}
+
+func (b *Bounded[T]) downMin(i int) {
+	n := len(b.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && b.lessMin(l, best) {
+			best = l
+		}
+		if r < n && b.lessMin(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		b.items[i], b.items[best] = b.items[best], b.items[i]
+		i = best
+	}
+}

@@ -1,0 +1,183 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxBasic(t *testing.T) {
+	var q Max[string]
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue returned ok")
+	}
+	q.Push("b", 2)
+	q.Push("a", 1)
+	q.Push("c", 3)
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	v, p, ok := q.Peek()
+	if !ok || v != "c" || p != 3 {
+		t.Fatalf("Peek = (%q,%v,%v), want (c,3,true)", v, p, ok)
+	}
+	want := []string{"c", "b", "a"}
+	for _, w := range want {
+		v, _, ok := q.Pop()
+		if !ok || v != w {
+			t.Fatalf("Pop = (%q,%v), want %q", v, ok, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", q.Len())
+	}
+}
+
+func TestMaxStableTies(t *testing.T) {
+	var q Max[int]
+	for i := 0; i < 10; i++ {
+		q.Push(i, 1.0)
+	}
+	for i := 0; i < 10; i++ {
+		v, _, _ := q.Pop()
+		if v != i {
+			t.Fatalf("tie order: got %d at position %d", v, i)
+		}
+	}
+}
+
+func TestMaxOrderingProperty(t *testing.T) {
+	f := func(priorities []float64) bool {
+		var q Max[int]
+		for i, p := range priorities {
+			q.Push(i, p)
+		}
+		prev := 0.0
+		first := true
+		for {
+			_, p, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if !first && p > prev {
+				return false
+			}
+			prev, first = p, false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxDrainMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		var q Max[float64]
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+			q.Push(vals[i], vals[i])
+		}
+		got := q.Drain()
+		sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("trial %d: Drain[%d] = %v, want %v", trial, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestMaxReset(t *testing.T) {
+	var q Max[int]
+	q.Push(1, 1)
+	q.Push(2, 2)
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", q.Len())
+	}
+	q.Push(3, 3)
+	if v, _, _ := q.Pop(); v != 3 {
+		t.Fatalf("Pop after Reset = %d, want 3", v)
+	}
+}
+
+func TestBoundedKeepsTopN(t *testing.T) {
+	b := NewBounded[int](3)
+	for i := 0; i < 10; i++ {
+		b.Push(i, float64(i))
+	}
+	if !b.Full() {
+		t.Fatal("queue should be full")
+	}
+	got := b.Drain()
+	want := []int{9, 8, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Drain len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Drain[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBoundedRejectsLow(t *testing.T) {
+	b := NewBounded[string](2)
+	b.Push("hi1", 0.9)
+	b.Push("hi2", 0.8)
+	if b.Push("low", 0.1) {
+		t.Error("Push below minimum of full queue should report false")
+	}
+	if mn, _ := b.Min(); mn != 0.8 {
+		t.Errorf("Min = %v, want 0.8", mn)
+	}
+}
+
+func TestBoundedMinEmpty(t *testing.T) {
+	b := NewBounded[int](1)
+	if _, ok := b.Min(); ok {
+		t.Error("Min on empty queue returned ok")
+	}
+}
+
+func TestBoundedPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBounded(0) did not panic")
+		}
+	}()
+	NewBounded[int](0)
+}
+
+func TestBoundedMatchesSortProperty(t *testing.T) {
+	f := func(priorities []float64, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		b := NewBounded[float64](n)
+		for _, p := range priorities {
+			b.Push(p, p)
+		}
+		got := b.Drain()
+		sorted := append([]float64(nil), priorities...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		if len(sorted) > n {
+			sorted = sorted[:n]
+		}
+		if len(got) != len(sorted) {
+			return false
+		}
+		for i := range got {
+			if got[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

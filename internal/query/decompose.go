@@ -1,0 +1,393 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SubQuery is a path-shaped sub-query graph g_i = v_s...v_p (Definition 6):
+// NodeIDs lists the query nodes along the path (first is the specific
+// anchor, last is always the pivot), Edges the query edges between
+// consecutive nodes (Edges[i] connects NodeIDs[i] and NodeIDs[i+1], in
+// either direction).
+//
+// Following the paper's Figure 16(b), sub-queries walk from each specific
+// node all the way to the pivot; a query edge may therefore appear in more
+// than one sub-query (their union covers E_Q, per Definition 6), which is
+// what makes the non-optimal pivot of Table V produce a 3-edge sub-query.
+type SubQuery struct {
+	NodeIDs []string
+	Edges   []Edge
+}
+
+// Len returns the number of query edges in the sub-query.
+func (s SubQuery) Len() int { return len(s.Edges) }
+
+// Anchor returns the ID of the path's starting (specific) node.
+func (s SubQuery) Anchor() string { return s.NodeIDs[0] }
+
+// End returns the ID of the path's final node (the pivot).
+func (s SubQuery) End() string { return s.NodeIDs[len(s.NodeIDs)-1] }
+
+// Decomposition is the result of splitting a query graph around a pivot.
+type Decomposition struct {
+	Pivot string
+	Subs  []SubQuery
+	// Cost is the estimated total query processing cost (Eq. 1 objective).
+	Cost float64
+}
+
+// CostEstimator supplies the statistics used by the Eq. 1 cost model: how
+// many candidate matches a query node has (|φ(v)|) and the graph's average
+// degree (the branching factor of path search).
+type CostEstimator interface {
+	AnchorCount(name, typeName string) int
+	AvgDegree() float64
+}
+
+// fixedEstimator is the default when no estimator is supplied.
+type fixedEstimator struct{}
+
+func (fixedEstimator) AnchorCount(string, string) int { return 1 }
+func (fixedEstimator) AvgDegree() float64             { return 10 }
+
+// PivotStrategy selects the pivot node for decomposition.
+type PivotStrategy int
+
+const (
+	// MinCost picks the pivot minimizing the Eq. 1 cost objective
+	// (the paper's dynamic-programming solution; with the small query
+	// graphs of the benchmarks, exhaustive evaluation of all target
+	// pivots is exact and cheap).
+	MinCost PivotStrategy = iota
+	// RandomPivot picks a pivot uniformly at random among target nodes
+	// (the Random baseline of Table VI).
+	RandomPivot
+)
+
+// Options configures Decompose.
+type Options struct {
+	Strategy PivotStrategy
+	// Rng is required for RandomPivot; ignored otherwise.
+	Rng *rand.Rand
+	// Estimator supplies cost statistics; nil uses neutral defaults.
+	Estimator CostEstimator
+	// MaxHops is the user-desired path length n̂ used by the cost model
+	// (search space ≈ degree^(n̂·|E_i|)). Zero means 4, the paper default.
+	MaxHops int
+}
+
+// Decompose splits g into sub-query path graphs per Definition 6. The query
+// graph must Validate.
+func Decompose(g *Graph, opts Options) (*Decomposition, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	targets := g.Targets()
+	switch opts.Strategy {
+	case RandomPivot:
+		if opts.Rng == nil {
+			return nil, fmt.Errorf("query: RandomPivot requires Options.Rng")
+		}
+		// Retry a few random picks in case a pivot admits no decomposition.
+		perm := opts.Rng.Perm(len(targets))
+		var lastErr error
+		for _, i := range perm {
+			d, err := DecomposeWithPivot(g, targets[i], opts)
+			if err == nil {
+				return d, nil
+			}
+			lastErr = err
+		}
+		return nil, lastErr
+	case MinCost:
+		var best *Decomposition
+		for _, pivot := range targets {
+			d, err := DecomposeWithPivot(g, pivot, opts)
+			if err != nil {
+				continue
+			}
+			if best == nil || d.Cost < best.Cost ||
+				(d.Cost == best.Cost && d.Pivot < best.Pivot) {
+				best = d
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("query: no valid pivot decomposition")
+		}
+		return best, nil
+	default:
+		return nil, fmt.Errorf("query: unknown pivot strategy %d", opts.Strategy)
+	}
+}
+
+// DecomposeWithPivot decomposes g around an explicit pivot target node.
+// Walks start at specific nodes and always terminate at the pivot; at each
+// step they prefer an uncovered query edge (greedily the one that most
+// reduces the BFS distance to the pivot) and fall back to covered edges
+// strictly along shortest paths to the pivot. Walks repeat until every
+// query edge is covered by at least one sub-query.
+func DecomposeWithPivot(g *Graph, pivot string, opts Options) (*Decomposition, error) {
+	pnode, ok := g.NodeByID(pivot)
+	if !ok {
+		return nil, fmt.Errorf("query: pivot %q not in query graph", pivot)
+	}
+	if pnode.Specific() {
+		return nil, fmt.Errorf("query: pivot %q must be a target node", pivot)
+	}
+	adj := g.adjacency()
+	dist := g.bfsDist(pivot)
+	covered := make([]bool, len(g.Edges))
+	remaining := len(g.Edges)
+
+	walk := func(start string) (SubQuery, bool) {
+		sub := SubQuery{NodeIDs: []string{start}}
+		onPath := map[string]bool{start: true}
+		cur := start
+		usedNew := false
+		// Track coverage taken during this walk so a dead end can roll it
+		// back: edges marked covered by an abandoned walk would otherwise
+		// silently drop out of the decomposition.
+		var taken []int
+		abort := func() (SubQuery, bool) {
+			for _, i := range taken {
+				covered[i] = false
+				remaining++
+			}
+			return SubQuery{}, false
+		}
+		for cur != pivot {
+			// Prefer an uncovered edge to an unvisited node, greedily the
+			// one closest to the pivot.
+			bestEdge, bestDist, bestCov := -1, math.MaxInt, true
+			for _, inc := range adj[cur] {
+				next := g.Edges[inc].other(cur)
+				if onPath[next] {
+					continue
+				}
+				d := dist[next]
+				if covered[inc] {
+					// Covered edges only continue strictly towards the
+					// pivot, so the walk terminates.
+					if d != dist[cur]-1 {
+						continue
+					}
+				}
+				better := false
+				switch {
+				case !covered[inc] && bestCov:
+					better = bestEdge == -1 || d < bestDist || covered[bestEdge]
+				case covered[inc] && !bestCov:
+					better = false
+				default:
+					better = bestEdge == -1 || d < bestDist
+				}
+				if better {
+					bestEdge, bestDist, bestCov = inc, d, covered[inc]
+				}
+			}
+			if bestEdge == -1 {
+				return abort() // dead end before reaching pivot
+			}
+			if !covered[bestEdge] {
+				covered[bestEdge] = true
+				remaining--
+				taken = append(taken, bestEdge)
+				usedNew = true
+			}
+			next := g.Edges[bestEdge].other(cur)
+			sub.Edges = append(sub.Edges, g.Edges[bestEdge])
+			sub.NodeIDs = append(sub.NodeIDs, next)
+			onPath[next] = true
+			cur = next
+		}
+		if !usedNew || len(sub.Edges) == 0 {
+			return abort()
+		}
+		return sub, true
+	}
+
+	var subs []SubQuery
+	progress := true
+	for remaining > 0 && progress {
+		progress = false
+		for _, vs := range g.Specifics() {
+			for hasUncovered(adj[vs], covered) {
+				sub, ok := walk(vs)
+				if !ok {
+					break
+				}
+				subs = append(subs, sub)
+				progress = true
+			}
+		}
+		if remaining > 0 && !progress {
+			// Residual edges not incident to a specific node (branches
+			// hanging between target nodes): force a walk that first moves
+			// towards a residual edge, then to the pivot.
+			for _, vs := range g.Specifics() {
+				sub, ok := walkVia(g, adj, dist, covered, &remaining, vs, pivot)
+				if ok {
+					subs = append(subs, sub)
+					progress = true
+					break
+				}
+			}
+		}
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("query: %d edge(s) cannot be covered by walks from specific nodes to pivot %q", remaining, pivot)
+	}
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("query: decomposition produced no sub-queries")
+	}
+
+	d := &Decomposition{Pivot: pivot, Subs: subs}
+	d.Cost = decompositionCost(g, d, opts)
+	return d, nil
+}
+
+// walkVia builds a sub-query from start that passes through some uncovered
+// edge and then proceeds to the pivot: shortest path start→a, edge (a,b),
+// shortest path b→pivot, rejecting node repeats (sub-queries are path
+// graphs). It tries every uncovered edge in both orientations.
+func walkVia(g *Graph, adj map[string][]int, distPivot map[string]int, covered []bool, remaining *int, start, pivot string) (SubQuery, bool) {
+	for ei, cov := range covered {
+		if cov {
+			continue
+		}
+		e := g.Edges[ei]
+		for _, orient := range [][2]string{{e.From, e.To}, {e.To, e.From}} {
+			a, b := orient[0], orient[1]
+			head, ok1 := shortestPath(g, adj, start, a)
+			tail, ok2 := shortestPath(g, adj, b, pivot)
+			if !ok1 || !ok2 {
+				continue
+			}
+			sub := SubQuery{NodeIDs: head.NodeIDs, Edges: head.Edges}
+			sub.Edges = append(sub.Edges, e)
+			sub.NodeIDs = append(sub.NodeIDs, tail.NodeIDs...)
+			sub.Edges = append(sub.Edges, tail.Edges...)
+			if hasRepeats(sub.NodeIDs) {
+				continue
+			}
+			// Mark every traversed uncovered edge as covered.
+			index := edgeIndex(g)
+			for _, se := range sub.Edges {
+				if i, ok := index[edgeKey(se)]; ok && !covered[i] {
+					covered[i] = true
+					*remaining--
+				}
+			}
+			return sub, true
+		}
+	}
+	return SubQuery{}, false
+}
+
+type pathFrag struct {
+	NodeIDs []string
+	Edges   []Edge
+}
+
+// shortestPath returns a BFS shortest path from src to dst (inclusive of
+// src, exclusive handling left to caller: NodeIDs covers src..dst).
+func shortestPath(g *Graph, adj map[string][]int, src, dst string) (pathFrag, bool) {
+	type crumb struct {
+		node string
+		edge int
+	}
+	prev := map[string]crumb{src: {src, -1}}
+	queue := []string{src}
+	for len(queue) > 0 && prev[dst].node == "" {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, inc := range adj[cur] {
+			next := g.Edges[inc].other(cur)
+			if _, ok := prev[next]; !ok {
+				prev[next] = crumb{cur, inc}
+				queue = append(queue, next)
+			}
+		}
+	}
+	if _, ok := prev[dst]; !ok {
+		return pathFrag{}, false
+	}
+	var nodes []string
+	var edges []Edge
+	for cur := dst; ; {
+		nodes = append([]string{cur}, nodes...)
+		c := prev[cur]
+		if c.edge == -1 {
+			break
+		}
+		edges = append([]Edge{g.Edges[c.edge]}, edges...)
+		cur = c.node
+	}
+	return pathFrag{NodeIDs: nodes, Edges: edges}, true
+}
+
+func hasRepeats(ids []string) bool {
+	seen := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			return true
+		}
+		seen[id] = true
+	}
+	return false
+}
+
+type ekey struct{ f, t, p string }
+
+func edgeKey(e Edge) ekey { return ekey{e.From, e.To, e.Predicate} }
+
+func edgeIndex(g *Graph) map[ekey]int {
+	m := make(map[ekey]int, len(g.Edges))
+	for i, e := range g.Edges {
+		m[edgeKey(e)] = i
+	}
+	return m
+}
+
+func hasUncovered(incident []int, covered []bool) bool {
+	for _, i := range incident {
+		if !covered[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// decompositionCost evaluates the Eq. 1 objective: the summed search-space
+// estimate of the sub-queries. A sub-query anchored at v_s with |E_i| query
+// edges explores about |φ(v_s)| · d̄^(n̂·|E_i|) paths, where d̄ is the
+// average degree and n̂ the per-match hop bound.
+func decompositionCost(g *Graph, d *Decomposition, opts Options) float64 {
+	est := opts.Estimator
+	if est == nil {
+		est = fixedEstimator{}
+	}
+	nhat := opts.MaxHops
+	if nhat <= 0 {
+		nhat = 4
+	}
+	deg := est.AvgDegree()
+	if deg < 1 {
+		deg = 1
+	}
+	var total float64
+	for _, sub := range d.Subs {
+		anchor, _ := g.NodeByID(sub.Anchor())
+		count := est.AnchorCount(anchor.Name, anchor.Type)
+		if count < 1 {
+			count = 1
+		}
+		// Cap the exponent: beyond ~16 levels the relative ordering of
+		// pivots is already decided and float64 would overflow.
+		exp := math.Min(float64(nhat*sub.Len()), 16)
+		total += float64(count) * math.Pow(deg, exp)
+	}
+	return total
+}

@@ -1,0 +1,166 @@
+// Package query models query graphs (Definition 2 of the paper) and their
+// decomposition into sub-query path graphs (Definition 6, Eq. 1).
+//
+// A query graph has specific nodes (known name and type, e.g. Germany) and
+// target nodes (only the type is known, e.g. ?automobile). Decomposition
+// picks a pivot target node and partitions the query edges into path graphs,
+// each walked from a specific node towards the pivot; the engine later joins
+// sub-query matches at the pivot's node match (Section V-C).
+package query
+
+import "fmt"
+
+// Node is a query node. Name == "" marks a target node (unknown entity);
+// a non-empty Name marks a specific node. Type may be empty when unknown.
+type Node struct {
+	ID   string // unique variable id within the query graph, e.g. "v1"
+	Name string // known entity name, or "" for target nodes
+	Type string // entity type name, or "" when unknown
+}
+
+// Specific reports whether the node is a specific (known-entity) node.
+func (n Node) Specific() bool { return n.Name != "" }
+
+// Edge is a query edge with a predicate, connecting two query nodes by ID.
+// Path matching ignores edge direction (paper footnote 1), but the
+// direction is kept for rendering and for the exact-match baselines.
+type Edge struct {
+	From      string
+	To        string
+	Predicate string
+}
+
+// Graph is a query graph G_Q.
+type Graph struct {
+	Nodes []Node
+	Edges []Edge
+}
+
+// NodeByID returns the node with the given id and whether it exists.
+func (g *Graph) NodeByID(id string) (Node, bool) {
+	for _, n := range g.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// Targets returns the IDs of all target nodes, in declaration order.
+func (g *Graph) Targets() []string {
+	var out []string
+	for _, n := range g.Nodes {
+		if !n.Specific() {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Specifics returns the IDs of all specific nodes, in declaration order.
+func (g *Graph) Specifics() []string {
+	var out []string
+	for _, n := range g.Nodes {
+		if n.Specific() {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: non-empty, unique node IDs,
+// edges referencing declared nodes, no self-loop query edges, at least one
+// specific and one target node, and connectivity.
+func (g *Graph) Validate() error {
+	if len(g.Nodes) == 0 {
+		return fmt.Errorf("query: no nodes")
+	}
+	if len(g.Edges) == 0 {
+		return fmt.Errorf("query: no edges")
+	}
+	seen := make(map[string]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.ID == "" {
+			return fmt.Errorf("query: node with empty ID")
+		}
+		if seen[n.ID] {
+			return fmt.Errorf("query: duplicate node ID %q", n.ID)
+		}
+		seen[n.ID] = true
+		if n.Name == "" && n.Type == "" {
+			return fmt.Errorf("query: node %q has neither name nor type", n.ID)
+		}
+	}
+	for i, e := range g.Edges {
+		if !seen[e.From] || !seen[e.To] {
+			return fmt.Errorf("query: edge %d references undeclared node (%q,%q)", i, e.From, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("query: edge %d is a self loop on %q", i, e.From)
+		}
+		if e.Predicate == "" {
+			return fmt.Errorf("query: edge %d has no predicate", i)
+		}
+	}
+	if len(g.Specifics()) == 0 {
+		return fmt.Errorf("query: no specific node (nothing to anchor the search)")
+	}
+	if len(g.Targets()) == 0 {
+		return fmt.Errorf("query: no target node (nothing to search for)")
+	}
+	// Connectivity over the undirected view.
+	adj := g.adjacency()
+	visited := map[string]bool{g.Nodes[0].ID: true}
+	stack := []string{g.Nodes[0].ID}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, inc := range adj[cur] {
+			next := g.Edges[inc].other(cur)
+			if !visited[next] {
+				visited[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	if len(visited) != len(g.Nodes) {
+		return fmt.Errorf("query: graph is disconnected")
+	}
+	return nil
+}
+
+func (e Edge) other(id string) string {
+	if e.From == id {
+		return e.To
+	}
+	return e.From
+}
+
+// adjacency returns, per node ID, the indexes of incident edges.
+func (g *Graph) adjacency() map[string][]int {
+	adj := make(map[string][]int, len(g.Nodes))
+	for i, e := range g.Edges {
+		adj[e.From] = append(adj[e.From], i)
+		adj[e.To] = append(adj[e.To], i)
+	}
+	return adj
+}
+
+// bfsDist returns hop distances from src over the undirected query graph.
+func (g *Graph) bfsDist(src string) map[string]int {
+	adj := g.adjacency()
+	dist := map[string]int{src: 0}
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, inc := range adj[cur] {
+			next := g.Edges[inc].other(cur)
+			if _, ok := dist[next]; !ok {
+				dist[next] = dist[cur] + 1
+				queue = append(queue, next)
+			}
+		}
+	}
+	return dist
+}

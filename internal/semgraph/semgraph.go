@@ -1,0 +1,151 @@
+// Package semgraph materializes the semantic graph SG_Q of the paper
+// (Definition 5, Section IV-B) lazily: instead of weighting every edge of
+// the knowledge graph up front, a Weighter computes the semantic weight
+// w = sim(L_Q(e), L(e')) (Eq. 5) on demand while the A* search explores, and
+// caches the per-node maximum adjacent weight m(u_i) used by the heuristic
+// pss estimation (Eq. 7).
+//
+// A Weighter is bound to one sub-query graph (its sequence of query-edge
+// predicates); create one per sub-query search. It is not safe for
+// concurrent use — each search goroutine owns its Weighter.
+package semgraph
+
+import (
+	"fmt"
+
+	"semkg/internal/embed"
+	"semkg/internal/kg"
+	"semkg/internal/strutil"
+)
+
+// MinWeight is the clamp floor for semantic weights. The pss machinery
+// (Lemma 1, Theorem 1) requires weights in (0, 1]; anything at or below
+// the floor is semantically unrelated and will be pruned by any
+// reasonable τ.
+const MinWeight = 1e-6
+
+// weight maps a cosine similarity in [-1, 1] to the edge weight in (0, 1].
+// The paper applies Eq. 5 (raw cosine) to a space trained on millions of
+// triples, where synonym predicates reach cosines of 0.8-0.98. At
+// reproduction scale cosines land lower for the same semantic
+// relationships, so we use the standard angular normalization
+// (cos+1)/2 — identical ordering, and the τ threshold keeps the paper's
+// absolute semantics (τ = 0.8 keeps near-synonyms, prunes unrelated
+// predicates). See DESIGN.md (Substitutions).
+func weight(cos float64) float64 {
+	return clamp((cos + 1) / 2)
+}
+
+// Weighter computes semantic edge weights for one sub-query graph.
+type Weighter struct {
+	g *kg.Graph
+	// w[seg][pred] is the clamped similarity between the sub-query's
+	// seg-th query edge and graph predicate pred.
+	w [][]float64
+	// suffix[u] caches, per segment s, the maximum over segments s' >= s
+	// of the maximum weight among u's incident edges — the m(u_i) bound
+	// of Lemma 1, generalized to multi-edge sub-queries (see DESIGN.md).
+	suffix map[kg.NodeID][]float64
+}
+
+// NewWeighter builds a Weighter for a sub-query whose query edges carry the
+// given predicates, in path order. Each query predicate is resolved against
+// the graph's predicate vocabulary: exact name match first, then the most
+// string-similar predicate (the paper assumes query predicates come from
+// the KG vocabulary; the fallback keeps mistyped predicates usable).
+func NewWeighter(g *kg.Graph, space *embed.Space, predicates []string) (*Weighter, error) {
+	if space.Len() != g.NumPredicates() {
+		return nil, fmt.Errorf("semgraph: space has %d predicates, graph has %d", space.Len(), g.NumPredicates())
+	}
+	if len(predicates) == 0 {
+		return nil, fmt.Errorf("semgraph: sub-query has no predicates")
+	}
+	wt := &Weighter{
+		g:      g,
+		w:      make([][]float64, len(predicates)),
+		suffix: make(map[kg.NodeID][]float64),
+	}
+	for seg, name := range predicates {
+		qp, err := ResolvePredicate(g, name)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, g.NumPredicates())
+		for p := range row {
+			row[p] = weight(space.Similarity(int(qp), p))
+		}
+		wt.w[seg] = row
+	}
+	return wt, nil
+}
+
+// ResolvePredicate maps a query predicate name to a graph predicate:
+// exact match, else the most string-similar predicate name.
+func ResolvePredicate(g *kg.Graph, name string) (kg.PredID, error) {
+	if p := g.PredByName(name); p >= 0 {
+		return p, nil
+	}
+	best, bestSim := kg.PredID(-1), -1.0
+	for p := 0; p < g.NumPredicates(); p++ {
+		if s := strutil.Similarity(name, g.PredName(kg.PredID(p))); s > bestSim {
+			best, bestSim = kg.PredID(p), s
+		}
+	}
+	if best < 0 {
+		return -1, fmt.Errorf("semgraph: predicate %q cannot be resolved (empty vocabulary)", name)
+	}
+	return best, nil
+}
+
+// Segments returns the number of query edges the Weighter serves.
+func (w *Weighter) Segments() int { return len(w.w) }
+
+// Weight returns the semantic weight of graph predicate p for the seg-th
+// query edge, clamped to (0, 1].
+func (w *Weighter) Weight(p kg.PredID, seg int) float64 { return w.w[seg][p] }
+
+// NodeMax returns the m(u) bound for a search positioned at node u while
+// matching the seg-th query edge: the maximum semantic weight among u's
+// incident edges, taken over the current and all later query edges. This
+// upper-bounds the weight product of any unexplored path suffix (Lemma 1).
+func (w *Weighter) NodeMax(u kg.NodeID, seg int) float64 {
+	sfx, ok := w.suffix[u]
+	if !ok {
+		sfx = w.computeSuffix(u)
+		w.suffix[u] = sfx
+	}
+	return sfx[seg]
+}
+
+func (w *Weighter) computeSuffix(u kg.NodeID) []float64 {
+	segs := len(w.w)
+	perSeg := make([]float64, segs)
+	for i := range perSeg {
+		perSeg[i] = MinWeight
+	}
+	for _, h := range w.g.Neighbors(u) {
+		for s := 0; s < segs; s++ {
+			if wt := w.w[s][h.Pred]; wt > perSeg[s] {
+				perSeg[s] = wt
+			}
+		}
+	}
+	// Suffix maximum so that NodeMax(u, s) bounds weights of the current
+	// and all later segments.
+	for s := segs - 2; s >= 0; s-- {
+		if perSeg[s+1] > perSeg[s] {
+			perSeg[s] = perSeg[s+1]
+		}
+	}
+	return perSeg
+}
+
+func clamp(x float64) float64 {
+	if x < MinWeight {
+		return MinWeight
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

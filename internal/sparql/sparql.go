@@ -1,0 +1,264 @@
+// Package sparql implements a small conjunctive (basic-graph-pattern)
+// query evaluator over the knowledge graph, in the spirit of the SPARQL
+// engines the paper uses as infrastructure: the RDF-3x workload ships
+// SPARQL expressions whose answers form the validation sets (Section
+// VII-A), and the QGA baseline compiles keyword queries into exact
+// conjunctive queries.
+//
+// The evaluator supports variables (prefixed "?"), exact predicate edges
+// with fixed direction, and type constraints, and answers by backtracking
+// joins over the graph's adjacency and type indexes. It is exact and
+// complete — precisely the rigid semantics whose mismatch problems motivate
+// the paper.
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semkg/internal/kg"
+)
+
+// Pattern is one triple pattern: subject/object are entity names or
+// variables ("?x"); predicate is a fixed predicate name, or the reserved
+// kg.TypePredicate for a type constraint (object then names a type).
+type Pattern struct {
+	Subject   string
+	Predicate string
+	Object    string
+}
+
+// IsVar reports whether a term is a variable.
+func IsVar(term string) bool { return strings.HasPrefix(term, "?") }
+
+// Query is a conjunctive query: all patterns must hold simultaneously.
+type Query struct {
+	Patterns []Pattern
+}
+
+// Binding maps variable names (with the "?" prefix) to graph nodes.
+type Binding map[string]kg.NodeID
+
+// Eval returns all bindings of the query's variables, deterministically
+// ordered. The limit caps the number of results (0 = unlimited).
+func Eval(g *kg.Graph, q Query, limit int) ([]Binding, error) {
+	if len(q.Patterns) == 0 {
+		return nil, fmt.Errorf("sparql: empty query")
+	}
+	for _, p := range q.Patterns {
+		if p.Predicate == "" || IsVar(p.Predicate) {
+			return nil, fmt.Errorf("sparql: predicate must be a fixed name, got %q", p.Predicate)
+		}
+		if p.Subject == "" || p.Object == "" {
+			return nil, fmt.Errorf("sparql: empty term in pattern %+v", p)
+		}
+	}
+	// Order patterns greedily: ground terms first (cheap), then patterns
+	// sharing variables with already-processed ones (index joins).
+	patterns := orderPatterns(q.Patterns)
+
+	var out []Binding
+	binding := make(Binding)
+	var backtrack func(i int) bool
+	backtrack = func(i int) bool {
+		if i == len(patterns) {
+			out = append(out, cloneBinding(binding))
+			return limit > 0 && len(out) >= limit
+		}
+		p := patterns[i]
+		if p.Predicate == kg.TypePredicate {
+			return evalType(g, p, binding, func() bool { return backtrack(i + 1) })
+		}
+		return evalEdge(g, p, binding, func() bool { return backtrack(i + 1) })
+	}
+	backtrack(0)
+	sortBindings(out)
+	return out, nil
+}
+
+// evalType enumerates/checks a type constraint.
+func evalType(g *kg.Graph, p Pattern, b Binding, cont func() bool) bool {
+	t := g.TypeByName(p.Object)
+	if t == kg.NoType {
+		return false
+	}
+	if !IsVar(p.Subject) {
+		u := g.NodeByName(p.Subject)
+		if u == kg.NoNode || g.NodeType(u) != t {
+			return false
+		}
+		return cont()
+	}
+	if u, bound := b[p.Subject]; bound {
+		if g.NodeType(u) != t {
+			return false
+		}
+		return cont()
+	}
+	for _, u := range g.NodesOfType(t) {
+		b[p.Subject] = u
+		if cont() {
+			delete(b, p.Subject)
+			return true
+		}
+		delete(b, p.Subject)
+	}
+	return false
+}
+
+// evalEdge enumerates/checks an edge pattern subject -pred-> object.
+func evalEdge(g *kg.Graph, p Pattern, b Binding, cont func() bool) bool {
+	pred := g.PredByName(p.Predicate)
+	if pred < 0 {
+		return false
+	}
+	su, sBound := resolve(g, p.Subject, b)
+	ou, oBound := resolve(g, p.Object, b)
+	if !IsVar(p.Subject) && su == kg.NoNode {
+		return false
+	}
+	if !IsVar(p.Object) && ou == kg.NoNode {
+		return false
+	}
+	switch {
+	case sBound && oBound:
+		for _, h := range g.Neighbors(su) {
+			if h.Out && h.Pred == pred && h.Neighbor == ou {
+				return cont()
+			}
+		}
+		return false
+	case sBound:
+		for _, h := range g.Neighbors(su) {
+			if !h.Out || h.Pred != pred {
+				continue
+			}
+			b[p.Object] = h.Neighbor
+			if cont() {
+				delete(b, p.Object)
+				return true
+			}
+			delete(b, p.Object)
+		}
+		return false
+	case oBound:
+		for _, h := range g.Neighbors(ou) {
+			if h.Out || h.Pred != pred {
+				continue
+			}
+			b[p.Subject] = h.Neighbor
+			if cont() {
+				delete(b, p.Subject)
+				return true
+			}
+			delete(b, p.Subject)
+		}
+		return false
+	default:
+		// Both free: scan all edges with this predicate.
+		for i := 0; i < g.NumEdges(); i++ {
+			e := g.EdgeAt(kg.EdgeID(i))
+			if e.Pred != pred {
+				continue
+			}
+			b[p.Subject] = e.Src
+			b[p.Object] = e.Dst
+			if cont() {
+				delete(b, p.Subject)
+				delete(b, p.Object)
+				return true
+			}
+			delete(b, p.Subject)
+			delete(b, p.Object)
+		}
+		return false
+	}
+}
+
+// resolve returns the node a term denotes under the current binding.
+// bound=true when the term is ground (constant or already-bound variable).
+func resolve(g *kg.Graph, term string, b Binding) (kg.NodeID, bool) {
+	if !IsVar(term) {
+		return g.NodeByName(term), true
+	}
+	if u, ok := b[term]; ok {
+		return u, true
+	}
+	return kg.NoNode, false
+}
+
+// orderPatterns moves type constraints and ground patterns early and keeps
+// join connectivity, a minimal greedy query plan.
+func orderPatterns(ps []Pattern) []Pattern {
+	remaining := append([]Pattern(nil), ps...)
+	var ordered []Pattern
+	boundVars := make(map[string]bool)
+	score := func(p Pattern) int {
+		s := 0
+		for _, term := range []string{p.Subject, p.Object} {
+			if !IsVar(term) || boundVars[term] {
+				s += 2
+			}
+		}
+		if p.Predicate == kg.TypePredicate {
+			s-- // type scans are broad; prefer edge joins when tied
+		}
+		return s
+	}
+	for len(remaining) > 0 {
+		best := 0
+		for i := 1; i < len(remaining); i++ {
+			if score(remaining[i]) > score(remaining[best]) {
+				best = i
+			}
+		}
+		p := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		ordered = append(ordered, p)
+		for _, term := range []string{p.Subject, p.Object} {
+			if IsVar(term) {
+				boundVars[term] = true
+			}
+		}
+	}
+	return ordered
+}
+
+func cloneBinding(b Binding) Binding {
+	out := make(Binding, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+func sortBindings(bs []Binding) {
+	key := func(b Binding) string {
+		keys := make([]string, 0, len(b))
+		for k := range b {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%s=%d;", k, b[k])
+		}
+		return sb.String()
+	}
+	sort.Slice(bs, func(i, j int) bool { return key(bs[i]) < key(bs[j]) })
+}
+
+// Project returns the distinct node values of one variable across bindings,
+// preserving order of first appearance.
+func Project(bs []Binding, variable string) []kg.NodeID {
+	var out []kg.NodeID
+	seen := make(map[kg.NodeID]bool)
+	for _, b := range bs {
+		if u, ok := b[variable]; ok && !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package sparql
+
+import (
+	"testing"
+
+	"semkg/internal/kg"
+)
+
+func carsGraph() *kg.Graph {
+	b := kg.NewBuilder(16, 16)
+	ger := b.AddNode("Germany", "Country")
+	france := b.AddNode("France", "Country")
+	city := b.AddNode("Regensburg", "City")
+	bmw := b.AddNode("BMW_320", "Automobile")
+	audi := b.AddNode("Audi_TT", "Automobile")
+	z4 := b.AddNode("BMW_Z4", "Automobile")
+	clio := b.AddNode("Renault_Clio", "Automobile")
+	b.AddEdge(bmw, ger, "assembly")
+	b.AddEdge(audi, ger, "assembly")
+	b.AddEdge(z4, city, "assembly")
+	b.AddEdge(city, ger, "country")
+	b.AddEdge(clio, france, "assembly")
+	return b.Build()
+}
+
+func TestEvalDirectSchema(t *testing.T) {
+	g := carsGraph()
+	q := Query{Patterns: []Pattern{
+		{Subject: "?car", Predicate: "type", Object: "Automobile"},
+		{Subject: "?car", Predicate: "assembly", Object: "Germany"},
+	}}
+	bs, err := Eval(g, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cars := Project(bs, "?car")
+	if len(cars) != 2 {
+		t.Fatalf("got %d cars, want 2 (BMW_320, Audi_TT)", len(cars))
+	}
+	names := map[string]bool{}
+	for _, u := range cars {
+		names[g.NodeName(u)] = true
+	}
+	if !names["BMW_320"] || !names["Audi_TT"] {
+		t.Errorf("cars = %v", names)
+	}
+}
+
+func TestEvalTwoHopSchema(t *testing.T) {
+	g := carsGraph()
+	q := Query{Patterns: []Pattern{
+		{Subject: "?car", Predicate: "type", Object: "Automobile"},
+		{Subject: "?car", Predicate: "assembly", Object: "?city"},
+		{Subject: "?city", Predicate: "type", Object: "City"},
+		{Subject: "?city", Predicate: "country", Object: "Germany"},
+	}}
+	bs, err := Eval(g, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cars := Project(bs, "?car")
+	if len(cars) != 1 || g.NodeName(cars[0]) != "BMW_Z4" {
+		t.Fatalf("2-hop schema should find only BMW_Z4, got %d results", len(cars))
+	}
+}
+
+func TestEvalDirectionality(t *testing.T) {
+	g := carsGraph()
+	// Reversed direction must not match: Germany -assembly-> ?car.
+	q := Query{Patterns: []Pattern{
+		{Subject: "Germany", Predicate: "assembly", Object: "?car"},
+	}}
+	bs, err := Eval(g, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 0 {
+		t.Errorf("reversed pattern matched %d results, want 0", len(bs))
+	}
+}
+
+func TestEvalGroundPattern(t *testing.T) {
+	g := carsGraph()
+	bs, err := Eval(g, Query{Patterns: []Pattern{
+		{Subject: "BMW_320", Predicate: "assembly", Object: "Germany"},
+	}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 1 {
+		t.Fatalf("ground true pattern: %d results, want 1", len(bs))
+	}
+	bs, err = Eval(g, Query{Patterns: []Pattern{
+		{Subject: "BMW_320", Predicate: "assembly", Object: "France"},
+	}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 0 {
+		t.Error("ground false pattern should yield nothing")
+	}
+}
+
+func TestEvalUnknownTerms(t *testing.T) {
+	g := carsGraph()
+	for _, q := range []Query{
+		{Patterns: []Pattern{{Subject: "?x", Predicate: "nosuchpred", Object: "Germany"}}},
+		{Patterns: []Pattern{{Subject: "?x", Predicate: "type", Object: "Spaceship"}}},
+		{Patterns: []Pattern{{Subject: "Atlantis", Predicate: "assembly", Object: "?x"}}},
+	} {
+		bs, err := Eval(g, q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bs) != 0 {
+			t.Errorf("query %v matched %d, want 0", q, len(bs))
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	g := carsGraph()
+	if _, err := Eval(g, Query{}, 0); err == nil {
+		t.Error("empty query should fail")
+	}
+	if _, err := Eval(g, Query{Patterns: []Pattern{{Subject: "?x", Predicate: "?p", Object: "?y"}}}, 0); err == nil {
+		t.Error("variable predicate should fail")
+	}
+	if _, err := Eval(g, Query{Patterns: []Pattern{{Subject: "", Predicate: "p", Object: "?y"}}}, 0); err == nil {
+		t.Error("empty term should fail")
+	}
+}
+
+func TestEvalLimit(t *testing.T) {
+	g := carsGraph()
+	q := Query{Patterns: []Pattern{
+		{Subject: "?car", Predicate: "type", Object: "Automobile"},
+	}}
+	bs, err := Eval(g, q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 {
+		t.Errorf("limit 2: got %d", len(bs))
+	}
+}
+
+func TestEvalBothVariablesFree(t *testing.T) {
+	g := carsGraph()
+	q := Query{Patterns: []Pattern{
+		{Subject: "?a", Predicate: "assembly", Object: "?b"},
+	}}
+	bs, err := Eval(g, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 4 {
+		t.Errorf("free-free scan found %d, want 4 assembly edges", len(bs))
+	}
+}
+
+func TestEvalDeterministicOrder(t *testing.T) {
+	g := carsGraph()
+	q := Query{Patterns: []Pattern{
+		{Subject: "?car", Predicate: "assembly", Object: "Germany"},
+	}}
+	a, _ := Eval(g, q, 0)
+	b, _ := Eval(g, q, 0)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic result size")
+	}
+	for i := range a {
+		if a[i]["?car"] != b[i]["?car"] {
+			t.Fatal("nondeterministic order")
+		}
+	}
+}
+
+func TestProjectDedup(t *testing.T) {
+	bs := []Binding{{"?x": 1, "?y": 2}, {"?x": 1, "?y": 3}, {"?x": 4}}
+	got := Project(bs, "?x")
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Errorf("Project = %v", got)
+	}
+}

@@ -1,0 +1,115 @@
+// Package strutil provides small string utilities used across the
+// reproduction: edit distance and normalized string similarity (used by the
+// p-hom and S4 baselines and by the transformation library), and identifier
+// normalization for matching entity/type names.
+package strutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Levenshtein returns the edit distance between a and b: the minimum number
+// of single-character insertions, deletions, and substitutions required to
+// turn a into b.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Single-row dynamic program: prev[j] is the distance between
+	// ra[:i] and rb[:j] from the previous outer iteration.
+	prev := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur := prev[0]
+		prev[0] = i
+		for j := 1; j <= len(rb); j++ {
+			sub := cur
+			if ra[i-1] != rb[j-1] {
+				sub++
+			}
+			cur = prev[j]
+			prev[j] = min(sub, min(prev[j]+1, prev[j-1]+1))
+		}
+	}
+	return prev[len(rb)]
+}
+
+// Similarity returns a normalized string similarity in [0,1]:
+// 1 - Levenshtein(a,b)/max(len(a),len(b)). Identical strings score 1;
+// completely disjoint strings approach 0. Both strings are compared
+// case-insensitively after Normalize.
+func Similarity(a, b string) float64 {
+	a, b = Normalize(a), Normalize(b)
+	if a == b {
+		return 1
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	m := max(la, lb)
+	if m == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+// Normalize lower-cases s and converts separators (spaces, underscores,
+// hyphens) to single underscores so that "BMW 320", "bmw_320" and "BMW-320"
+// compare equal.
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	lastSep := false
+	for _, r := range strings.TrimSpace(s) {
+		if r == ' ' || r == '_' || r == '-' || r == '\t' {
+			if !lastSep {
+				b.WriteRune('_')
+				lastSep = true
+			}
+			continue
+		}
+		lastSep = false
+		b.WriteRune(unicode.ToLower(r))
+	}
+	return b.String()
+}
+
+// IsAbbreviationOf reports whether abbr plausibly abbreviates full:
+// either abbr equals the initials of full's words (e.g. "FRG" for
+// "Federal Republic of Germany", skipping stop words is not attempted),
+// or abbr is a prefix of full of length >= 2 (e.g. "GER" for "Germany").
+// The comparison is case-insensitive.
+func IsAbbreviationOf(abbr, full string) bool {
+	a := Normalize(abbr)
+	f := Normalize(full)
+	if len(a) < 2 || len(a) >= len(f) {
+		return false
+	}
+	if strings.HasPrefix(f, a) {
+		return true
+	}
+	// Initials: first rune of each underscore-separated word, computed both
+	// with and without stop words ("FRG" skips the "of" in
+	// "Federal Republic of Germany"; "USA" keeps every word).
+	var all, significant strings.Builder
+	for _, w := range strings.Split(f, "_") {
+		if w == "" {
+			continue
+		}
+		all.WriteByte(w[0])
+		if !stopWords[w] {
+			significant.WriteByte(w[0])
+		}
+	}
+	return all.String() == a || significant.String() == a
+}
+
+// stopWords are skipped when deriving initials-style abbreviations.
+var stopWords = map[string]bool{
+	"of": true, "the": true, "and": true, "for": true, "in": true, "de": true,
+}

@@ -1,0 +1,119 @@
+package strutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"car", "cars", 1},
+		{"Automobile", "Automobiles", 1},
+		{"a", "b", 1},
+		{"ab", "ba", 2},
+		{"intention", "execution", 5},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinIdentity(t *testing.T) {
+	f := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if got := Similarity("Automobile", "Automobile"); got != 1 {
+		t.Errorf("identical similarity = %v, want 1", got)
+	}
+	if got := Similarity("BMW 320", "bmw_320"); got != 1 {
+		t.Errorf("normalized-equal similarity = %v, want 1", got)
+	}
+	if got := Similarity("", ""); got != 1 {
+		t.Errorf("empty similarity = %v, want 1", got)
+	}
+	if s := Similarity("Automobile", "Automobiles"); s <= 0.85 || s >= 1 {
+		t.Errorf("near-identical similarity = %v, want in (0.85,1)", s)
+	}
+	if s := Similarity("xyz", "Automobile"); s > 0.3 {
+		t.Errorf("dissimilar similarity = %v, want <= 0.3", s)
+	}
+}
+
+func TestSimilarityRange(t *testing.T) {
+	f := func(a, b string) bool {
+		s := Similarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"BMW 320", "bmw_320"},
+		{"  Federal Republic of Germany ", "federal_republic_of_germany"},
+		{"a--b__c  d", "a_b_c_d"},
+		{"", ""},
+		{"ALLCAPS", "allcaps"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsAbbreviationOf(t *testing.T) {
+	cases := []struct {
+		abbr, full string
+		want       bool
+	}{
+		{"GER", "Germany", true},
+		{"FRG", "Federal Republic of Germany", true},
+		{"USA", "United States America", true},
+		{"Germany", "GER", false}, // abbr longer than full
+		{"G", "Germany", false},   // too short
+		{"XYZ", "Germany", false}, // unrelated
+		{"auto", "Automobile", true},
+		{"Germany", "Germany", false}, // equal is not an abbreviation
+	}
+	for _, c := range cases {
+		if got := IsAbbreviationOf(c.abbr, c.full); got != c.want {
+			t.Errorf("IsAbbreviationOf(%q,%q) = %v, want %v", c.abbr, c.full, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package ta implements the threshold-algorithm-based final match assembly
+// of Section V-C (Fagin et al.'s TA, in the no-random-access flavour):
+// sub-query match streams are consumed in non-increasing pss order, matches
+// sharing the same pivot node match u^p join into final matches, and per-
+// candidate lower/upper score bounds (Eq. 8-11) let the assembly stop long
+// before exhausting the streams (Theorem 3: stop when L_k >= U_max).
+package ta
+
+import (
+	"sort"
+
+	"semkg/internal/astar"
+	"semkg/internal/kg"
+)
+
+// Stream yields sub-query matches in non-increasing pss order.
+// *astar.Searcher implements it via its Next method.
+type Stream interface {
+	Next() (astar.Match, bool)
+}
+
+// SliceStream adapts a pre-collected, pss-sorted match slice (the
+// time-bounded mode's M̂_i sets) to the Stream interface.
+type SliceStream struct {
+	Matches []astar.Match
+	pos     int
+}
+
+// Next returns the next match in the slice.
+func (s *SliceStream) Next() (astar.Match, bool) {
+	if s.pos >= len(s.Matches) {
+		return astar.Match{}, false
+	}
+	m := s.Matches[s.pos]
+	s.pos++
+	return m, true
+}
+
+// Final is an assembled final match for the whole query graph: one
+// sub-query match per stream, all containing the same pivot node match.
+type Final struct {
+	Pivot kg.NodeID
+	// Score is the match score S_m(u^p): the sum of the parts' pss (Eq. 2).
+	Score float64
+	// Parts holds the joined sub-query matches, indexed by stream.
+	Parts []astar.Match
+}
+
+// Stats reports assembly effort, for the early-termination experiments.
+type Stats struct {
+	// Accesses counts sorted accesses across all streams.
+	Accesses int
+	// Rounds counts round-robin passes.
+	Rounds int
+	// Exhausted reports whether every stream ran dry before termination.
+	Exhausted bool
+}
+
+// candidate tracks the NRA bookkeeping for one pivot node match.
+type candidate struct {
+	pivot kg.NodeID
+	seen  []bool
+	parts []astar.Match
+	lower float64
+	nSeen int
+}
+
+// Assemble runs the TA-based assembly: it consumes the streams in
+// round-robin sorted access, joins matches at their pivot (end) node, and
+// returns the top-k final matches by score together with effort statistics.
+// Only complete candidates — pivots matched in every stream — are returned;
+// a query answer must cover all sub-query graphs.
+//
+// The streams must be in non-increasing pss order; pulling more matches may
+// resume an underlying A* search (the paper's "repeat the A* semantic
+// search until sufficient final matches are returned").
+func Assemble(streams []Stream, k int) ([]Final, Stats) {
+	var stats Stats
+	if k <= 0 || len(streams) == 0 {
+		return nil, stats
+	}
+	n := len(streams)
+	psiCur := make([]float64, n) // pss of latest access per stream (Eq. 11's ψcur)
+	alive := make([]bool, n)
+	for i := range psiCur {
+		psiCur[i] = 1 // pss is bounded by 1 before the first access
+		alive[i] = true
+	}
+	cands := make(map[kg.NodeID]*candidate)
+
+	upper := func(c *candidate) float64 {
+		u := c.lower
+		for i := range streams {
+			if !c.seen[i] {
+				u += psiCur[i]
+			}
+		}
+		return u
+	}
+
+	for {
+		stats.Rounds++
+		anyAlive := false
+		for i, st := range streams {
+			if !alive[i] {
+				continue
+			}
+			m, ok := st.Next()
+			stats.Accesses++
+			if !ok {
+				alive[i] = false
+				psiCur[i] = 0
+				continue
+			}
+			anyAlive = true
+			psiCur[i] = m.PSS
+			p := m.End()
+			c := cands[p]
+			if c == nil {
+				c = &candidate{pivot: p, seen: make([]bool, n), parts: make([]astar.Match, n)}
+				cands[p] = c
+			}
+			if !c.seen[i] {
+				// First (= best) match for this pivot in stream i.
+				c.seen[i] = true
+				c.parts[i] = m
+				c.lower += m.PSS
+				c.nSeen++
+			}
+		}
+
+		// Termination check (Theorem 3): rank complete candidates by
+		// exact score; L_k is the k-th best; U_max is the best upper
+		// bound among everything else, including the virtual never-seen
+		// candidate whose upper bound is Σ ψcur.
+		var complete []*candidate
+		for _, c := range cands {
+			if c.nSeen == n {
+				complete = append(complete, c)
+			}
+		}
+		sort.Slice(complete, func(i, j int) bool {
+			if complete[i].lower != complete[j].lower {
+				return complete[i].lower > complete[j].lower
+			}
+			return complete[i].pivot < complete[j].pivot
+		})
+		if len(complete) >= k || !anyAlive {
+			top := complete
+			if len(top) > k {
+				top = top[:k]
+			}
+			if !anyAlive {
+				stats.Exhausted = true
+				return finalize(top), stats
+			}
+			lk := 0.0
+			if len(top) == k {
+				lk = top[k-1].lower
+			}
+			umax := 0.0
+			for i := range psiCur {
+				umax += psiCur[i] // virtual unseen candidate
+			}
+			inTop := make(map[kg.NodeID]bool, len(top))
+			for _, c := range top {
+				inTop[c.pivot] = true
+			}
+			for _, c := range cands {
+				if inTop[c.pivot] {
+					continue
+				}
+				if u := upper(c); u > umax {
+					umax = u
+				}
+			}
+			if len(top) == k && lk >= umax {
+				return finalize(top), stats
+			}
+		}
+	}
+}
+
+func finalize(cs []*candidate) []Final {
+	out := make([]Final, len(cs))
+	for i, c := range cs {
+		out[i] = Final{Pivot: c.pivot, Score: c.lower, Parts: c.parts}
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package ta
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"semkg/internal/astar"
+	"semkg/internal/kg"
+)
+
+// entry builds a minimal match ending at pivot with the given pss.
+func entry(pivot kg.NodeID, pss float64) astar.Match {
+	return astar.Match{Nodes: []kg.NodeID{pivot}, PSS: pss}
+}
+
+// list builds a SliceStream from (pivot, pss) pairs, sorting by pss desc.
+func list(pairs ...struct {
+	p   kg.NodeID
+	pss float64
+}) *SliceStream {
+	ms := make([]astar.Match, len(pairs))
+	for i, pr := range pairs {
+		ms[i] = entry(pr.p, pr.pss)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].PSS > ms[j].PSS })
+	return &SliceStream{Matches: ms}
+}
+
+type pair = struct {
+	p   kg.NodeID
+	pss float64
+}
+
+func TestAssembleBasicJoin(t *testing.T) {
+	l1 := list(pair{1, 0.9}, pair{2, 0.8}, pair{3, 0.7})
+	l2 := list(pair{2, 0.8}, pair{3, 0.75}, pair{1, 0.5})
+	got, _ := Assemble([]Stream{l1, l2}, 2)
+	if len(got) != 2 {
+		t.Fatalf("got %d finals, want 2", len(got))
+	}
+	// Scores: 1 -> 1.4, 2 -> 1.6, 3 -> 1.45. Top-2 = {2, 3}.
+	if got[0].Pivot != 2 || math.Abs(got[0].Score-1.6) > 1e-12 {
+		t.Errorf("top final = (%d, %v), want (2, 1.6)", got[0].Pivot, got[0].Score)
+	}
+	if got[1].Pivot != 3 || math.Abs(got[1].Score-1.45) > 1e-12 {
+		t.Errorf("second final = (%d, %v), want (3, 1.45)", got[1].Pivot, got[1].Score)
+	}
+	if len(got[0].Parts) != 2 {
+		t.Errorf("final should keep one part per stream")
+	}
+	for i, p := range got[0].Parts {
+		if p.End() != 2 {
+			t.Errorf("part %d ends at %d, want pivot 2", i, p.End())
+		}
+	}
+}
+
+func TestAssembleRequiresCompleteness(t *testing.T) {
+	// Pivot 9 appears only in the first list and must not be returned even
+	// though its single pss is high.
+	l1 := list(pair{9, 0.99}, pair{1, 0.6})
+	l2 := list(pair{1, 0.6})
+	got, stats := Assemble([]Stream{l1, l2}, 5)
+	if len(got) != 1 || got[0].Pivot != 1 {
+		t.Fatalf("got %v, want only pivot 1", got)
+	}
+	if !stats.Exhausted {
+		t.Error("streams should be exhausted when fewer than k finals exist")
+	}
+}
+
+func TestAssembleEdgeCases(t *testing.T) {
+	if got, _ := Assemble(nil, 3); got != nil {
+		t.Error("no streams should yield nil")
+	}
+	if got, _ := Assemble([]Stream{list()}, 0); got != nil {
+		t.Error("k=0 should yield nil")
+	}
+	got, _ := Assemble([]Stream{list(), list()}, 3)
+	if len(got) != 0 {
+		t.Errorf("empty streams should yield no finals, got %v", got)
+	}
+	// Single stream: assembly degenerates to top-k of the stream.
+	got, _ = Assemble([]Stream{list(pair{1, 0.9}, pair{2, 0.7})}, 1)
+	if len(got) != 1 || got[0].Pivot != 1 {
+		t.Errorf("single stream top-1 = %v", got)
+	}
+}
+
+// countingStream counts sorted accesses to prove early termination.
+type countingStream struct {
+	inner *SliceStream
+	n     int
+}
+
+func (c *countingStream) Next() (astar.Match, bool) {
+	c.n++
+	return c.inner.Next()
+}
+
+// TestAssembleEarlyTermination mirrors the paper's Figure 10: termination
+// as soon as L_k >= U_max, long before the tails of the lists are read.
+func TestAssembleEarlyTermination(t *testing.T) {
+	long1 := []pair{{1, 0.9}, {2, 0.85}}
+	long2 := []pair{{1, 0.9}, {2, 0.8}}
+	for i := 0; i < 100; i++ {
+		long1 = append(long1, pair{kg.NodeID(100 + i), 0.2 - float64(i)*0.001})
+		long2 = append(long2, pair{kg.NodeID(500 + i), 0.2 - float64(i)*0.001})
+	}
+	c1 := &countingStream{inner: list(long1...)}
+	c2 := &countingStream{inner: list(long2...)}
+	got, stats := Assemble([]Stream{c1, c2}, 2)
+	if len(got) != 2 || got[0].Pivot != 1 || got[1].Pivot != 2 {
+		t.Fatalf("finals = %v", got)
+	}
+	if stats.Exhausted {
+		t.Error("assembly should terminate early, not exhaust")
+	}
+	if c1.n+c2.n > 20 {
+		t.Errorf("accesses = %d, expected early termination well under 20", c1.n+c2.n)
+	}
+}
+
+// naiveJoin computes the exact top-k by materializing everything.
+func naiveJoin(lists [][]pair, k int) []Final {
+	n := len(lists)
+	type agg struct {
+		score float64
+		seen  int
+	}
+	best := make(map[kg.NodeID]*agg)
+	for _, l := range lists {
+		seenHere := make(map[kg.NodeID]float64)
+		for _, p := range l {
+			if old, ok := seenHere[p.p]; !ok || p.pss > old {
+				seenHere[p.p] = p.pss
+			}
+		}
+		for pivot, pss := range seenHere {
+			a := best[pivot]
+			if a == nil {
+				a = &agg{}
+				best[pivot] = a
+			}
+			a.score += pss
+			a.seen++
+		}
+	}
+	var out []Final
+	for pivot, a := range best {
+		if a.seen == n {
+			out = append(out, Final{Pivot: pivot, Score: a.score})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Pivot < out[j].Pivot
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// TestAssembleMatchesNaiveJoin: on random inputs the TA assembly must agree
+// with the exhaustive join (Theorem 3).
+func TestAssembleMatchesNaiveJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		nLists := rng.Intn(3) + 1
+		k := rng.Intn(5) + 1
+		raw := make([][]pair, nLists)
+		streams := make([]Stream, nLists)
+		for i := range raw {
+			m := rng.Intn(30)
+			for j := 0; j < m; j++ {
+				raw[i] = append(raw[i], pair{kg.NodeID(rng.Intn(12)), rng.Float64()})
+			}
+			// Streams must be deduplicated per pivot (the searcher emits
+			// one match per entity): keep the max.
+			seen := make(map[kg.NodeID]float64)
+			for _, p := range raw[i] {
+				if old, ok := seen[p.p]; !ok || p.pss > old {
+					seen[p.p] = p.pss
+				}
+			}
+			var dedup []pair
+			for piv, pss := range seen {
+				dedup = append(dedup, pair{piv, pss})
+			}
+			raw[i] = dedup
+			streams[i] = list(dedup...)
+		}
+		want := naiveJoin(raw, k)
+		got, _ := Assemble(streams, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d finals, want %d (%v vs %v)", trial, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("trial %d: rank %d score %v, want %v", trial, i, got[i].Score, want[i].Score)
+			}
+		}
+		// Pivot sets of equal-score prefixes must coincide.
+		gotSet := map[kg.NodeID]bool{}
+		wantSet := map[kg.NodeID]bool{}
+		for i := range want {
+			gotSet[got[i].Pivot] = true
+			wantSet[want[i].Pivot] = true
+		}
+		for p := range wantSet {
+			if !gotSet[p] {
+				t.Fatalf("trial %d: pivot %d missing from TA result", trial, p)
+			}
+		}
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	s := &SliceStream{Matches: []astar.Match{entry(1, 0.9), entry(2, 0.8)}}
+	m, ok := s.Next()
+	if !ok || m.End() != 1 {
+		t.Fatalf("first Next = (%v,%v)", m, ok)
+	}
+	if _, ok := s.Next(); !ok {
+		t.Fatal("second Next should succeed")
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("third Next should fail")
+	}
+}

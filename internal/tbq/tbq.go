@@ -1,0 +1,198 @@
+// Package tbq implements the response-time-bounded approximate optimization
+// of Section VI (Algorithms 2 and 3): every sub-query search runs in the
+// eager mode (matches collected the moment they are discovered, Algorithm 2),
+// a synchronized time estimator projects the total query time
+//
+//	T̂ = max{T_A*} + Σ|M̂_i|·t            (Algorithm 3)
+//
+// and the searches stop as soon as T̂ reaches the alert threshold T·r%, so
+// that the TA assembly of the collected non-optimal match sets M̂_i finishes
+// within the user-specified bound T. Given enough time the eager sets cover
+// the optimal sets (Lemmas 6-7), so the result converges to the exact top-k
+// (Theorem 4).
+package tbq
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"semkg/internal/astar"
+	"semkg/internal/kg"
+	"semkg/internal/ta"
+)
+
+// Clock abstracts wall time so tests can run deterministically.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// StepClock is a deterministic Clock advancing by Step on every Now call.
+// With it, a time bound T admits exactly T/Step clock observations, which
+// makes the time-bounded search reproducible in tests.
+type StepClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	Step time.Duration
+}
+
+// Now returns the current logical time and advances it by Step.
+func (c *StepClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(c.Step)
+	return c.t
+}
+
+// Config controls a time-bounded run.
+type Config struct {
+	// Bound is the user-specified time bound T (the desired SRT).
+	Bound time.Duration
+	// AlertRatio is r% of Algorithm 3; search stops when the estimated
+	// total time reaches Bound*AlertRatio. Default 0.8 (the paper's 80%).
+	AlertRatio float64
+	// PerMatchTA is the empirical time t for processing one collected
+	// match during TA assembly. Zero uses a calibrated default.
+	PerMatchTA time.Duration
+	// Clock abstracts time; nil uses the wall clock.
+	Clock Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.AlertRatio <= 0 || c.AlertRatio > 1 {
+		c.AlertRatio = 0.8
+	}
+	if c.PerMatchTA <= 0 {
+		c.PerMatchTA = defaultPerMatch
+	}
+	if c.Clock == nil {
+		c.Clock = realClock{}
+	}
+	return c
+}
+
+// defaultPerMatch is a conservative empirical t; Calibrate refines it.
+const defaultPerMatch = 500 * time.Nanosecond
+
+// Calibrate measures the per-match TA assembly cost t on a synthetic
+// workload (the paper's "simulated TA based assembly").
+func Calibrate() time.Duration {
+	const matches = 4096
+	mk := func() []astar.Match {
+		ms := make([]astar.Match, matches)
+		for i := range ms {
+			ms[i] = astar.Match{Nodes: []kg.NodeID{kg.NodeID(i % 97)}, PSS: 1 - float64(i)/matches}
+		}
+		return ms
+	}
+	start := time.Now()
+	ta.Assemble([]ta.Stream{
+		&ta.SliceStream{Matches: mk()},
+		&ta.SliceStream{Matches: mk()},
+	}, 16)
+	t := time.Since(start) / (2 * matches)
+	if t <= 0 {
+		t = defaultPerMatch
+	}
+	return t
+}
+
+// Result is the outcome of a time-bounded run.
+type Result struct {
+	Finals []ta.Final
+	// Elapsed is the total observed duration of search plus assembly.
+	Elapsed time.Duration
+	// Exhausted reports that every search ran dry before the alert
+	// threshold: the result is then the exact top-k, not an approximation.
+	Exhausted bool
+	// Collected is |M̂_i| per sub-query at assembly time.
+	Collected []int
+}
+
+// Run executes the time-bounded query: searchers (one per sub-query graph,
+// already positioned at their anchors) run concurrently in eager mode until
+// Algorithm 3's estimate reaches the alert threshold, then the collected
+// match sets are assembled into the approximate top-k.
+//
+// ctx cancellation stops the search phase early (the assembly still runs on
+// whatever was collected).
+func Run(ctx context.Context, searchers []*astar.Searcher, k int, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	start := cfg.Clock.Now()
+	var totalMatches atomic.Int64
+	var stopped atomic.Bool
+
+	// stop implements Algorithm 3: T̂ = elapsed search time (all searches
+	// run concurrently, so max{T_A*} is the shared wall elapsed) plus the
+	// projected assembly cost Σ|M̂_i|·t.
+	stop := func() bool {
+		if stopped.Load() {
+			return true
+		}
+		if ctx.Err() != nil {
+			stopped.Store(true)
+			return true
+		}
+		elapsed := cfg.Clock.Now().Sub(start)
+		that := elapsed + time.Duration(totalMatches.Load())*cfg.PerMatchTA
+		if float64(that) >= float64(cfg.Bound)*cfg.AlertRatio {
+			stopped.Store(true)
+			return true
+		}
+		return false
+	}
+
+	type collected struct {
+		best      map[kg.NodeID]astar.Match
+		exhausted bool
+	}
+	results := make([]collected, len(searchers))
+	var wg sync.WaitGroup
+	for i, s := range searchers {
+		wg.Add(1)
+		go func(i int, s *astar.Searcher) {
+			defer wg.Done()
+			best := make(map[kg.NodeID]astar.Match)
+			exhausted := s.RunEager(stop, func(m astar.Match) bool {
+				if old, ok := best[m.End()]; !ok || m.PSS > old.PSS {
+					if !ok {
+						totalMatches.Add(1)
+					}
+					best[m.End()] = m
+				}
+				return true
+			})
+			results[i] = collected{best: best, exhausted: exhausted}
+		}(i, s)
+	}
+	wg.Wait()
+
+	res := Result{Exhausted: true, Collected: make([]int, len(searchers))}
+	streams := make([]ta.Stream, len(searchers))
+	for i, c := range results {
+		ms := make([]astar.Match, 0, len(c.best))
+		for _, m := range c.best {
+			ms = append(ms, m)
+		}
+		sort.Slice(ms, func(a, b int) bool {
+			if ms[a].PSS != ms[b].PSS {
+				return ms[a].PSS > ms[b].PSS
+			}
+			return ms[a].End() < ms[b].End()
+		})
+		streams[i] = &ta.SliceStream{Matches: ms}
+		res.Collected[i] = len(ms)
+		if !c.exhausted {
+			res.Exhausted = false
+		}
+	}
+	res.Finals, _ = ta.Assemble(streams, k)
+	res.Elapsed = cfg.Clock.Now().Sub(start)
+	return res
+}

@@ -1,0 +1,135 @@
+// Package semkg is a semantic-guided, response-time-bounded top-k
+// similarity search engine for knowledge graphs — a from-scratch Go
+// reproduction of Wang et al., "Semantic Guided and Response Times Bounded
+// Top-k Similarity Search over Knowledge Graphs" (ICDE 2020).
+//
+// The engine answers *query graphs* (entities and typed variables connected
+// by predicates) over a knowledge graph. Instead of requiring exact
+// structural matches, it embeds the graph's predicates (TransE), weights
+// knowledge-graph edges by their semantic similarity to the query edges
+// (the semantic graph SG_Q), and runs an A* search that returns the top-k
+// answers by path semantic similarity — so a query edge "product" also
+// finds "assembly" paths, and a 1-hop query edge matches n-hop schemas
+// such as manufacturer→company→locationCountry.
+//
+// # Quick start
+//
+//	g, _ := semkg.LoadTriples(file)                         // or kg via BuildGraph
+//	model, _ := semkg.Train(ctx, g, semkg.TrainConfig{})    // offline, once
+//	eng, _ := semkg.NewEngine(g, model, nil)
+//	res, _ := eng.Search(ctx, &semkg.Query{
+//	    Nodes: []semkg.QueryNode{
+//	        {ID: "car", Type: "Automobile"},
+//	        {ID: "c", Name: "Germany", Type: "Country"},
+//	    },
+//	    Edges: []semkg.QueryEdge{{From: "car", To: "c", Predicate: "assembly"}},
+//	}, semkg.Options{K: 10})
+//
+// For interactive use, set Options.TimeBound to get the best approximate
+// answers within a response-time budget (Section VI of the paper); the
+// result converges to the exact top-k as the budget grows.
+package semkg
+
+import (
+	"context"
+	"io"
+
+	"semkg/internal/core"
+	"semkg/internal/embed"
+	"semkg/internal/kg"
+	"semkg/internal/query"
+	"semkg/internal/transform"
+)
+
+// Graph is an immutable knowledge graph. Build one with NewGraphBuilder or
+// LoadTriples.
+type Graph = kg.Graph
+
+// GraphBuilder assembles a Graph.
+type GraphBuilder = kg.Builder
+
+// NewGraphBuilder returns an empty builder with capacity hints.
+func NewGraphBuilder(nodeHint, edgeHint int) *GraphBuilder {
+	return kg.NewBuilder(nodeHint, edgeHint)
+}
+
+// LoadTriples parses a graph from the tab-separated triple format
+// ("subject\tpredicate\tobject"; the reserved predicate "type" declares an
+// entity type).
+func LoadTriples(r io.Reader) (*Graph, error) { return kg.ReadTriples(r) }
+
+// SaveTriples serializes a graph in the format accepted by LoadTriples.
+func SaveTriples(w io.Writer, g *Graph) error { return kg.WriteTriples(w, g) }
+
+// Query is a query graph: entities (specific nodes, Name set) and typed
+// variables (target nodes, Name empty) connected by predicate edges.
+type Query = query.Graph
+
+// QueryNode is one query-graph node.
+type QueryNode = query.Node
+
+// QueryEdge is one query-graph edge.
+type QueryEdge = query.Edge
+
+// TrainConfig controls the offline TransE embedding.
+type TrainConfig = embed.Config
+
+// Model holds trained embeddings; persist with SaveModel/LoadModel.
+type Model = embed.Model
+
+// Train learns a TransE embedding of g's predicates and entities (the
+// offline phase of the paper's pipeline, Fig. 5).
+func Train(ctx context.Context, g *Graph, cfg TrainConfig) (*Model, error) {
+	return embed.TrainTransE(ctx, g, cfg)
+}
+
+// TrainTransH learns the TransH variant instead (hyperplane projections;
+// useful when relations are strongly one-to-many).
+func TrainTransH(ctx context.Context, g *Graph, cfg TrainConfig) (*Model, error) {
+	return embed.TrainTransH(ctx, g, cfg)
+}
+
+// SaveModel writes a model in a compact binary format.
+func SaveModel(w io.Writer, m *Model) error { return embed.WriteModel(w, m) }
+
+// LoadModel reads a model written by SaveModel.
+func LoadModel(r io.Reader) (*Model, error) { return embed.ReadModel(r) }
+
+// Library is a synonym/abbreviation dictionary used to match query node
+// names and types against the graph (the paper's transformation library).
+type Library = transform.Library
+
+// NewLibrary returns an empty Library.
+func NewLibrary() *Library { return transform.NewLibrary() }
+
+// Options configures a search; see the fields of core.Options. The zero
+// value means top-10, τ = 0.8, n̂ = 4, minCost pivot, exact (unbounded)
+// mode.
+type Options = core.Options
+
+// Answer is one ranked answer with its matched paths and variable bindings.
+type Answer = core.Answer
+
+// Result is a search outcome.
+type Result = core.Result
+
+// Engine answers query graphs over one knowledge graph. Safe for
+// concurrent use.
+type Engine struct {
+	*core.Engine
+}
+
+// NewEngine builds an engine from a graph, a trained model, and an
+// optional library (nil = identical matching plus heuristic
+// abbreviations).
+func NewEngine(g *Graph, model *Model, lib *Library) (*Engine, error) {
+	space, err := model.Space(g)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.NewEngine(g, space, lib)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner}, nil
+}
