@@ -1,13 +1,16 @@
 // Benchmark entry points: one testing.B benchmark per table and figure of
 // the paper's evaluation (Section VII), plus micro-benchmarks of the core
-// building blocks. Each experiment benchmark regenerates its artifact on a
-// cached environment; run the full suite with
+// building blocks and the hot-path before/after pairs (legacy seed
+// implementation vs the index/arena engine). Each experiment benchmark
+// regenerates its artifact on a cached environment; run the full suite
+// with
 //
 //	go test -bench=. -benchmem
 //
 // and the standalone harness with richer output via
 //
 //	go run ./cmd/kgbench -exp all
+//	go run ./cmd/kgbench -exp hotpath   # writes BENCH_hotpath.json
 package semkg_test
 
 import (
@@ -214,6 +217,44 @@ func BenchmarkBaselineGraB(b *testing.B) {
 		sys.Run(q, 20)
 	}
 }
+
+// hotpathPair runs one before/after pair from the hotpath experiment as
+// sub-benchmarks ("legacy" = preserved seed implementation, "engine" =
+// index/arena hot path). kgbench -exp hotpath aggregates the same pairs
+// into BENCH_hotpath.json.
+func hotpathPair(b *testing.B, name string) {
+	env := benchEnv(b, datagen.DBpediaLike(benchScale))
+	cases, err := bench.HotpathCases(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range cases {
+		if c.Name != name {
+			continue
+		}
+		b.Run("legacy", c.Before)
+		b.Run("engine", c.After)
+		return
+	}
+	b.Fatalf("no hotpath case %q", name)
+}
+
+// BenchmarkAStarNext compares a full A* drain (weighter construction +
+// search to exhaustion) between the seed pointer-state searcher and the
+// arena-backed one.
+func BenchmarkAStarNext(b *testing.B) { hotpathPair(b, "AStarNext") }
+
+// BenchmarkNodeMax compares the m(u) bound over every node: adjacency-list
+// scan with map cache vs NodePreds-driven flat slab.
+func BenchmarkNodeMax(b *testing.B) { hotpathPair(b, "NodeMax") }
+
+// BenchmarkMatchNode compares φ resolution over a probe battery: linear
+// name/type scans vs the normalized-name/initials/prefix indexes.
+func BenchmarkMatchNode(b *testing.B) { hotpathPair(b, "MatchNode") }
+
+// BenchmarkSearchEndToEnd compares one exact top-20 query end to end:
+// the replayed seed pipeline vs Engine.Search.
+func BenchmarkSearchEndToEnd(b *testing.B) { hotpathPair(b, "SearchEndToEnd") }
 
 // BenchmarkEngineBuild measures engine construction (matcher + space
 // wiring) excluding training.

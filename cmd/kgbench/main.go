@@ -8,6 +8,11 @@
 //	kgbench -exp all -scale 0.3
 //	kgbench -exp table1
 //	kgbench -exp fig12 -scale 0.5 -epochs 150
+//	kgbench -exp hotpath -out BENCH_hotpath.json
+//
+// The hotpath experiment is not part of "all": it benchmarks the engine's
+// index/arena hot path against the preserved seed implementations and
+// writes the before/after comparison to a JSON artifact.
 package main
 
 import (
@@ -23,11 +28,12 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: table1 | fig12 | fig13 | fig14 | fig15 | table5 | table6 | table7 | noise | table9 | table10 | ablation | all")
+		"experiment: table1 | fig12 | fig13 | fig14 | fig15 | table5 | table6 | table7 | noise | table9 | table10 | ablation | hotpath | all (hotpath runs separately)")
 	scale := flag.Float64("scale", 0.3, "dataset scale")
 	dim := flag.Int("dim", 48, "embedding dimension")
 	epochs := flag.Int("epochs", 120, "embedding epochs")
 	tau := flag.Float64("tau", 0.7, "pss threshold τ")
+	out := flag.String("out", "BENCH_hotpath.json", "output artifact for -exp hotpath")
 	flag.Parse()
 
 	embedCfg := embed.Config{Dim: *dim, Epochs: *epochs, Seed: 3}
@@ -87,6 +93,18 @@ func main() {
 			show(bench.RunTable10(dbp(), 0).Render())
 		case "ablation":
 			show(bench.RunAblation(dbp(), 0).Render())
+		case "hotpath":
+			res, err := bench.RunHotpath(dbp())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kgbench: hotpath: %v\n", err)
+				os.Exit(1)
+			}
+			if err := res.WriteJSON(*out); err != nil {
+				fmt.Fprintf(os.Stderr, "kgbench: hotpath: %v\n", err)
+				os.Exit(1)
+			}
+			show(res.Render())
+			fmt.Printf("wrote %s\n", *out)
 		default:
 			fmt.Fprintf(os.Stderr, "kgbench: unknown experiment %q\n", name)
 			os.Exit(2)

@@ -1,0 +1,3 @@
+module semkg
+
+go 1.24

@@ -18,6 +18,18 @@
 // stop-at-target-match semantics). The m(u) bound is a suffix maximum over
 // the remaining segments, which keeps the estimate admissible and
 // consistent (see internal/semgraph and DESIGN.md).
+//
+// Hot path: search states live in a flat arena ([]state with int32 parent
+// indices) instead of one heap allocation per successor, end-set membership
+// is tested against per-segment bitsets instead of maps, and most
+// τ-pruning decisions skip math.Pow — x^(1/n̂) is monotone in x, so a raw
+// weight product below a precomputed (τ^n̂ minus a safety margin) floor is
+// certainly pruned without evaluating Eq. 7; only successors near the
+// threshold or entering the frontier pay the Pow, with arithmetic
+// bit-identical to the seed so Theorem 2's emission order (including
+// tie-breaks) is preserved exactly (see DESIGN.md, Hot path). The seed
+// implementation is preserved as LegacySearcher for the equivalence tests
+// and before/after benchmarks.
 package astar
 
 import (
@@ -105,24 +117,33 @@ func (m Match) End() kg.NodeID { return m.Nodes[len(m.Nodes)-1] }
 // Len returns the number of knowledge-graph edges in the match.
 func (m Match) Len() int { return len(m.Edges) }
 
-// state is a frontier entry: a partial path positioned at node, currently
+// state is an arena entry: a partial path positioned at node, currently
 // matching query edge seg, having consumed hops graph edges with weight
-// product w. Complete states (seg == Segments) carry their exact pss as
-// the frontier priority.
+// product w. parent indexes the arena; noParent for anchors.
 type state struct {
 	node   kg.NodeID
+	via    kg.EdgeID // edge consumed to arrive; -1 for anchors
+	parent int32
 	seg    int32
 	hops   int32
 	w      float64
-	parent *state
-	via    kg.EdgeID // edge consumed to arrive; -1 for anchors
 }
+
+const noParent int32 = -1
 
 type stateKey struct {
 	node kg.NodeID
 	seg  int32
 	hops int32
 }
+
+// bitset is a fixed-capacity node-membership set; one word per 64 nodes.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i kg.NodeID)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) has(i kg.NodeID) bool { return b[i>>6]>>(uint(i)&63)&1 != 0 }
 
 // Stats counts search work, for the pruning-effectiveness experiments.
 type Stats struct {
@@ -145,11 +166,26 @@ type Searcher struct {
 	sub  SubQuery
 	opts Options
 
-	frontier pqueue.Max[*state]
+	// rows materializes the per-segment weight rows once, so the expansion
+	// inner loop indexes a flat slice instead of calling through the
+	// Weighter interface per successor.
+	rows [][]float64
+	ends []bitset // per-segment φ membership, replacing map lookups
+
+	arena    []state
+	frontier pqueue.Max[int32] // arena indices; capacity persists across Next calls
 	closed   map[stateKey]struct{}
 	emitted  map[kg.NodeID]bool // end-node dedup: one match per answer entity
 	invRoot  float64            // 1/n̂
-	stats    Stats
+	// pruneFloor* are conservative raw-product thresholds: a partial
+	// state's w·m below pruneFloorPartial (≈ τ^n̂) — or a complete h-hop
+	// match's w below pruneFloorComplete[h] (≈ τ^h) — is certainly pruned
+	// by the seed's x^(1/n) < τ test, so math.Pow is skipped. The 1e-9
+	// relative margin keeps borderline states on the exact-arithmetic
+	// path, preserving bit-identical behavior.
+	pruneFloorPartial  float64
+	pruneFloorComplete []float64
+	stats              Stats
 }
 
 // NewSearcher prepares a search for one sub-query graph. The sub-query must
@@ -165,10 +201,37 @@ func NewSearcher(g *kg.Graph, w Weighter, sub SubQuery, opts Options) *Searcher 
 		closed:  make(map[stateKey]struct{}),
 		emitted: make(map[kg.NodeID]bool),
 		invRoot: 1 / float64(opts.MaxHops),
+		arena:   make([]state, 0, 64+len(sub.Anchors)),
 	}
+
+	const margin = 1 - 1e-9
+	s.pruneFloorPartial = math.Pow(opts.Tau, float64(opts.MaxHops)) * margin
+	s.pruneFloorComplete = make([]float64, opts.MaxHops+1)
+	for h := 1; h <= opts.MaxHops; h++ {
+		s.pruneFloorComplete[h] = math.Pow(opts.Tau, float64(h)) * margin
+	}
+
+	segs := sub.Segments()
+	preds := g.NumPredicates()
+	s.rows = make([][]float64, segs)
+	s.ends = make([]bitset, segs)
+	for seg := 0; seg < segs; seg++ {
+		row := make([]float64, preds)
+		for p := 0; p < preds; p++ {
+			row[p] = w.Weight(kg.PredID(p), seg)
+		}
+		s.rows[seg] = row
+		s.ends[seg] = newBitset(g.NumNodes())
+		for u, member := range sub.EndSets[seg] {
+			if member { // false-valued entries are non-members, as in the seed's map test
+				s.ends[seg].set(u)
+			}
+		}
+	}
+
 	for _, u := range sub.Anchors {
-		st := &state{node: u, seg: 0, hops: 0, w: 1, via: -1}
-		s.push(st, s.estimate(st))
+		st := state{node: u, via: -1, parent: noParent, seg: 0, hops: 0, w: 1}
+		s.push(s.alloc(st), s.estimate(st))
 	}
 	return s
 }
@@ -176,8 +239,9 @@ func NewSearcher(g *kg.Graph, w Weighter, sub SubQuery, opts Options) *Searcher 
 // Stats returns search-effort counters accumulated so far.
 func (s *Searcher) Stats() Stats { return s.stats }
 
-// estimate computes ψ̂ for a partial state (Eq. 7).
-func (s *Searcher) estimate(st *state) float64 {
+// estimate computes ψ̂ for a partial state (Eq. 7), with the seed's exact
+// arithmetic.
+func (s *Searcher) estimate(st state) float64 {
 	m := 1.0
 	if !s.opts.NoHeuristic {
 		m = s.w.NodeMax(st.node, int(st.seg))
@@ -185,8 +249,13 @@ func (s *Searcher) estimate(st *state) float64 {
 	return math.Pow(st.w*m, s.invRoot)
 }
 
-func (s *Searcher) push(st *state, priority float64) {
-	s.frontier.Push(st, priority)
+func (s *Searcher) alloc(st state) int32 {
+	s.arena = append(s.arena, st)
+	return int32(len(s.arena) - 1)
+}
+
+func (s *Searcher) push(idx int32, priority float64) {
+	s.frontier.Push(idx, priority)
 	s.stats.Pushed++
 }
 
@@ -194,18 +263,20 @@ func (s *Searcher) push(st *state, priority float64) {
 // non-increasing pss order. ok is false when the search space is exhausted.
 func (s *Searcher) Next() (Match, bool) {
 	for {
-		st, pri, ok := s.frontier.Pop()
+		idx, pri, ok := s.frontier.Pop()
 		if !ok {
 			return Match{}, false
 		}
+		st := s.arena[idx]
 		if st.seg == int32(s.sub.Segments()) {
-			// Complete match popped in global pss order (Theorem 2).
+			// Complete match popped in global pss order (Theorem 2); its
+			// frontier priority is its exact pss.
 			if s.emitted[st.node] {
 				continue
 			}
 			s.emitted[st.node] = true
 			s.stats.Emitted++
-			return s.reconstruct(st, pri), true
+			return s.reconstruct(idx, pri), true
 		}
 		if s.opts.PruneVisited {
 			key := stateKey{st.node, st.seg, st.hops}
@@ -215,7 +286,7 @@ func (s *Searcher) Next() (Match, bool) {
 			s.closed[key] = struct{}{}
 		}
 		s.stats.Popped++
-		s.expand(st, nil)
+		s.expand(idx, nil)
 	}
 }
 
@@ -229,10 +300,11 @@ func (s *Searcher) RunEager(stop func() bool, emit func(Match) bool) bool {
 		if stop != nil && stop() {
 			return false
 		}
-		st, _, ok := s.frontier.Pop()
+		idx, _, ok := s.frontier.Pop()
 		if !ok {
 			return true
 		}
+		st := s.arena[idx]
 		if st.seg == int32(s.sub.Segments()) {
 			continue // already emitted at discovery time
 		}
@@ -245,7 +317,7 @@ func (s *Searcher) RunEager(stop func() bool, emit func(Match) bool) bool {
 		}
 		s.stats.Popped++
 		keepGoing := true
-		s.expand(st, func(m Match) {
+		s.expand(idx, func(m Match) {
 			if keepGoing && !emit(m) {
 				keepGoing = false
 			}
@@ -256,42 +328,45 @@ func (s *Searcher) RunEager(stop func() bool, emit func(Match) bool) bool {
 	}
 }
 
-// expand generates the successor states of st. Completed matches are pushed
-// to the frontier with their exact pss in optimal mode (emitEager == nil),
-// or handed to emitEager immediately in time-bounded mode.
-func (s *Searcher) expand(st *state, emitEager func(Match)) {
+// expand generates the successor states of the arena entry at idx.
+// Completed matches are pushed to the frontier in optimal mode
+// (emitEager == nil), or handed to emitEager immediately in time-bounded
+// mode. Raw weight products below the prune floors skip the math.Pow of
+// Eq. 6/7 entirely; everything else follows the seed's exact arithmetic.
+func (s *Searcher) expand(idx int32, emitEager func(Match)) {
+	st := s.arena[idx] // copy: appends below may grow the arena
 	segs := int32(s.sub.Segments())
 	// Hop budget: after consuming one edge, each remaining segment still
 	// needs at least one edge (hops+1 + (segs-seg-1) <= MaxHops).
 	if int(st.hops)+int(segs-st.seg) > s.opts.MaxHops {
 		return
 	}
-	endSet := s.sub.EndSets[st.seg]
+	ends := s.ends[st.seg]
+	row := s.rows[st.seg]
 	for _, h := range s.g.Neighbors(st.node) {
-		if onPath(st, h.Neighbor) {
+		if s.onPath(idx, h.Neighbor) {
 			continue // matches are simple paths (path graphs, Definition 6)
 		}
-		w := s.w.Weight(h.Pred, int(st.seg))
-		nw := st.w * w
-		next := &state{
-			node:   h.Neighbor,
-			seg:    st.seg,
-			hops:   st.hops + 1,
-			w:      nw,
-			parent: st,
-			via:    h.Edge,
-		}
-		if endSet[h.Neighbor] {
+		nw := st.w * row[h.Pred]
+		nseg := st.seg
+		nhops := st.hops + 1
+		if ends.has(h.Neighbor) {
 			// Segment closed on arrival (paths stop at the first node
 			// matching the segment's end query node).
-			next.seg++
-			if next.seg == segs {
+			nseg++
+			if nseg == segs {
 				// Complete match: exact pss, n = actual path length.
-				pss := math.Pow(nw, 1/float64(next.hops))
+				if nw < s.pruneFloorComplete[nhops] {
+					s.stats.Pruned++
+					continue
+				}
+				pss := math.Pow(nw, 1/float64(nhops))
 				if pss < s.opts.Tau {
 					s.stats.Pruned++
 					continue
 				}
+				next := s.alloc(state{node: h.Neighbor, via: h.Edge, parent: idx,
+					seg: nseg, hops: nhops, w: nw})
 				if emitEager != nil {
 					// Algorithm 2 collects every explored match in M̂_i;
 					// consumers keep the best per answer entity.
@@ -303,20 +378,32 @@ func (s *Searcher) expand(st *state, emitEager func(Match)) {
 				continue
 			}
 		}
-		est := s.estimate(next)
+		m := 1.0
+		if !s.opts.NoHeuristic {
+			m = s.w.NodeMax(h.Neighbor, int(nseg))
+		}
+		x := nw * m
+		if x < s.pruneFloorPartial {
+			s.stats.Pruned++
+			continue
+		}
+		est := math.Pow(x, s.invRoot)
 		if est < s.opts.Tau {
 			s.stats.Pruned++
 			continue
 		}
+		next := s.alloc(state{node: h.Neighbor, via: h.Edge, parent: idx,
+			seg: nseg, hops: nhops, w: nw})
 		s.push(next, est)
 	}
 }
 
-// onPath reports whether node u already lies on the partial path of st.
-// Paths are at most MaxHops long, so the chain walk is O(n̂).
-func onPath(st *state, u kg.NodeID) bool {
-	for cur := st; cur != nil; cur = cur.parent {
-		if cur.node == u {
+// onPath reports whether node u already lies on the partial path ending at
+// arena entry idx. Paths are at most MaxHops long, so the chain walk is
+// O(n̂).
+func (s *Searcher) onPath(idx int32, u kg.NodeID) bool {
+	for cur := idx; cur != noParent; cur = s.arena[cur].parent {
+		if s.arena[cur].node == u {
 			return true
 		}
 	}
@@ -324,16 +411,17 @@ func onPath(st *state, u kg.NodeID) bool {
 }
 
 // reconstruct walks the parent chain to materialize the match path.
-func (s *Searcher) reconstruct(st *state, pss float64) Match {
+func (s *Searcher) reconstruct(idx int32, pss float64) Match {
 	var revNodes []kg.NodeID
 	var revEdges []kg.EdgeID
 	var revSegs []int32
-	for cur := st; cur != nil; cur = cur.parent {
-		revNodes = append(revNodes, cur.node)
-		if cur.via >= 0 {
-			revEdges = append(revEdges, cur.via)
+	for cur := idx; cur != noParent; cur = s.arena[cur].parent {
+		st := &s.arena[cur]
+		revNodes = append(revNodes, st.node)
+		if st.via >= 0 {
+			revEdges = append(revEdges, st.via)
 		}
-		revSegs = append(revSegs, cur.seg)
+		revSegs = append(revSegs, st.seg)
 	}
 	n := len(revNodes)
 	m := Match{

@@ -1,0 +1,162 @@
+package astar
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"semkg/internal/kg"
+)
+
+// randomCaseSegs generalizes randomCase to multi-segment sub-queries so the
+// equivalence check also covers segment-closing and suffix-bound paths.
+func randomCaseSegs(rng *rand.Rand, segs int) (*kg.Graph, *testWeighter, SubQuery) {
+	n := rng.Intn(12) + 6
+	preds := []string{"p0", "p1", "p2", "p3"}
+	b := kg.NewBuilder(n, n*3)
+	ids := make([]kg.NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = b.AddNode(fmt.Sprintf("n%02d", i), "T")
+	}
+	m := rng.Intn(3*n) + n
+	for i := 0; i < m; i++ {
+		b.AddEdge(ids[rng.Intn(n)], ids[rng.Intn(n)], preds[rng.Intn(len(preds))])
+	}
+	g := b.Build()
+
+	perSeg := make([]map[string]float64, segs)
+	for s := range perSeg {
+		w := map[string]float64{}
+		for _, p := range preds {
+			w[p] = 0.05 + 0.95*rng.Float64()
+		}
+		perSeg[s] = w
+	}
+	tw := newTestWeighter(g, perSeg)
+
+	sub := SubQuery{Anchors: []kg.NodeID{ids[0]}}
+	for s := 0; s < segs; s++ {
+		ends := make(map[kg.NodeID]bool)
+		for i := 1; i < n; i++ {
+			if rng.Float64() < 0.3 {
+				ends[ids[i]] = true
+			}
+		}
+		if len(ends) == 0 {
+			ends[ids[1+rng.Intn(n-1)]] = true
+		}
+		// A false-valued entry is a non-member under the seed's map test;
+		// the bitset compile must treat it the same.
+		ends[ids[1+rng.Intn(n-1)]] = false
+		sub.EndSets = append(sub.EndSets, ends)
+	}
+	return g, tw, sub
+}
+
+func matchesEqual(a, b Match) bool {
+	if a.PSS != b.PSS || len(a.Nodes) != len(b.Nodes) || len(a.Edges) != len(b.Edges) || len(a.SegEnds) != len(b.SegEnds) {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			return false
+		}
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			return false
+		}
+	}
+	for i := range a.SegEnds {
+		if a.SegEnds[i] != b.SegEnds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func drainNext(next func() (Match, bool)) []Match {
+	var out []Match
+	for {
+		m, ok := next()
+		if !ok {
+			return out
+		}
+		out = append(out, m)
+	}
+}
+
+// TestArenaMatchesLegacySequence is the arena/seed regression check: on
+// randomized worlds, the arena-backed searcher must emit the exact match
+// sequence (paths, segment ends, and bitwise-identical pss) of the seed
+// implementation, across the option matrix, preserving Theorem 2's
+// emission order. Search-effort stats must agree too — the log-space
+// τ comparisons prune exactly the states the pow-space ones did.
+func TestArenaMatchesLegacySequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		segs := 1 + rng.Intn(3)
+		g, tw, sub := randomCaseSegs(rng, segs)
+		for _, opt := range []Options{
+			{Tau: 0.3, MaxHops: 4},
+			{Tau: 0.3, MaxHops: 4, PruneVisited: true},
+			{Tau: 0.3, MaxHops: 4, NoHeuristic: true},
+			{Tau: 0.6, MaxHops: 3},
+		} {
+			arena := NewSearcher(g, tw, sub, opt)
+			legacy := NewLegacySearcher(g, tw, sub, opt)
+			got := drainNext(arena.Next)
+			want := drainNext(legacy.Next)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d opts %+v: arena emitted %d matches, legacy %d",
+					trial, opt, len(got), len(want))
+			}
+			for i := range got {
+				if !matchesEqual(got[i], want[i]) {
+					t.Fatalf("trial %d opts %+v: match %d differs:\narena  %+v\nlegacy %+v",
+						trial, opt, i, got[i], want[i])
+				}
+			}
+			if arena.Stats() != legacy.Stats() {
+				t.Fatalf("trial %d opts %+v: stats differ: arena %+v, legacy %+v",
+					trial, opt, arena.Stats(), legacy.Stats())
+			}
+		}
+	}
+}
+
+// TestArenaMatchesLegacyEager runs the same comparison for the
+// time-bounded eager mode: discovery order and emitted matches must be
+// identical when both run to exhaustion.
+func TestArenaMatchesLegacyEager(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	for trial := 0; trial < 150; trial++ {
+		segs := 1 + rng.Intn(2)
+		g, tw, sub := randomCaseSegs(rng, segs)
+		opt := Options{Tau: 0.3, MaxHops: 4}
+
+		var got, want []Match
+		arena := NewSearcher(g, tw, sub, opt)
+		if !arena.RunEager(nil, func(m Match) bool { got = append(got, m); return true }) {
+			t.Fatalf("trial %d: arena eager run should exhaust", trial)
+		}
+		legacy := NewLegacySearcher(g, tw, sub, opt)
+		if !legacy.RunEager(nil, func(m Match) bool { want = append(want, m); return true }) {
+			t.Fatalf("trial %d: legacy eager run should exhaust", trial)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: arena emitted %d, legacy %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if !matchesEqual(got[i], want[i]) {
+				t.Fatalf("trial %d: eager match %d differs:\narena  %+v\nlegacy %+v",
+					trial, i, got[i], want[i])
+			}
+		}
+		if arena.Stats() != legacy.Stats() {
+			t.Fatalf("trial %d: stats differ: arena %+v, legacy %+v",
+				trial, arena.Stats(), legacy.Stats())
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package astar
+
+import (
+	"math"
+
+	"semkg/internal/kg"
+	"semkg/internal/pqueue"
+)
+
+// LegacySearcher is the seed implementation of Algorithm 1, preserved
+// verbatim: one heap-allocated *legacyState per successor, map-backed
+// end-set membership, and math.Pow in the expansion inner loop. It exists
+// as the reference side of the arena/seed equivalence tests (Theorem 2's
+// emission order must be preserved by the arena rewrite) and the hotpath
+// before/after benchmarks (cmd/kgbench -exp hotpath); production searches
+// use Searcher.
+type LegacySearcher struct {
+	g    *kg.Graph
+	w    Weighter
+	sub  SubQuery
+	opts Options
+
+	frontier pqueue.Max[*legacyState]
+	closed   map[stateKey]struct{}
+	emitted  map[kg.NodeID]bool
+	invRoot  float64
+	stats    Stats
+}
+
+// legacyState is the seed frontier entry: a partial path positioned at
+// node, currently matching query edge seg, having consumed hops graph
+// edges with weight product w. Complete states (seg == Segments) carry
+// their exact pss as the frontier priority.
+type legacyState struct {
+	node   kg.NodeID
+	seg    int32
+	hops   int32
+	w      float64
+	parent *legacyState
+	via    kg.EdgeID // edge consumed to arrive; -1 for anchors
+}
+
+// NewLegacySearcher prepares a seed-implementation search for one
+// sub-query graph, with the same contract as NewSearcher.
+func NewLegacySearcher(g *kg.Graph, w Weighter, sub SubQuery, opts Options) *LegacySearcher {
+	opts = opts.withDefaults()
+	s := &LegacySearcher{
+		g:       g,
+		w:       w,
+		sub:     sub,
+		opts:    opts,
+		closed:  make(map[stateKey]struct{}),
+		emitted: make(map[kg.NodeID]bool),
+		invRoot: 1 / float64(opts.MaxHops),
+	}
+	for _, u := range sub.Anchors {
+		st := &legacyState{node: u, seg: 0, hops: 0, w: 1, via: -1}
+		s.push(st, s.estimate(st))
+	}
+	return s
+}
+
+// Stats returns search-effort counters accumulated so far.
+func (s *LegacySearcher) Stats() Stats { return s.stats }
+
+// estimate computes ψ̂ for a partial state (Eq. 7).
+func (s *LegacySearcher) estimate(st *legacyState) float64 {
+	m := 1.0
+	if !s.opts.NoHeuristic {
+		m = s.w.NodeMax(st.node, int(st.seg))
+	}
+	return math.Pow(st.w*m, s.invRoot)
+}
+
+func (s *LegacySearcher) push(st *legacyState, priority float64) {
+	s.frontier.Push(st, priority)
+	s.stats.Pushed++
+}
+
+// Next returns the match with the greatest pss not yet returned, in exact
+// non-increasing pss order. ok is false when the search space is exhausted.
+func (s *LegacySearcher) Next() (Match, bool) {
+	for {
+		st, pri, ok := s.frontier.Pop()
+		if !ok {
+			return Match{}, false
+		}
+		if st.seg == int32(s.sub.Segments()) {
+			if s.emitted[st.node] {
+				continue
+			}
+			s.emitted[st.node] = true
+			s.stats.Emitted++
+			return s.reconstruct(st, pri), true
+		}
+		if s.opts.PruneVisited {
+			key := stateKey{st.node, st.seg, st.hops}
+			if _, dup := s.closed[key]; dup {
+				continue
+			}
+			s.closed[key] = struct{}{}
+		}
+		s.stats.Popped++
+		s.expand(st, nil)
+	}
+}
+
+// RunEager drives the search in the time-bounded mode of Algorithm 2, with
+// the same contract as Searcher.RunEager.
+func (s *LegacySearcher) RunEager(stop func() bool, emit func(Match) bool) bool {
+	for {
+		if stop != nil && stop() {
+			return false
+		}
+		st, _, ok := s.frontier.Pop()
+		if !ok {
+			return true
+		}
+		if st.seg == int32(s.sub.Segments()) {
+			continue // already emitted at discovery time
+		}
+		if s.opts.PruneVisited {
+			key := stateKey{st.node, st.seg, st.hops}
+			if _, dup := s.closed[key]; dup {
+				continue
+			}
+			s.closed[key] = struct{}{}
+		}
+		s.stats.Popped++
+		keepGoing := true
+		s.expand(st, func(m Match) {
+			if keepGoing && !emit(m) {
+				keepGoing = false
+			}
+		})
+		if !keepGoing {
+			return false
+		}
+	}
+}
+
+// expand generates the successor states of st exactly as the seed did.
+func (s *LegacySearcher) expand(st *legacyState, emitEager func(Match)) {
+	segs := int32(s.sub.Segments())
+	if int(st.hops)+int(segs-st.seg) > s.opts.MaxHops {
+		return
+	}
+	endSet := s.sub.EndSets[st.seg]
+	for _, h := range s.g.Neighbors(st.node) {
+		if legacyOnPath(st, h.Neighbor) {
+			continue
+		}
+		w := s.w.Weight(h.Pred, int(st.seg))
+		nw := st.w * w
+		next := &legacyState{
+			node:   h.Neighbor,
+			seg:    st.seg,
+			hops:   st.hops + 1,
+			w:      nw,
+			parent: st,
+			via:    h.Edge,
+		}
+		if endSet[h.Neighbor] {
+			next.seg++
+			if next.seg == segs {
+				pss := math.Pow(nw, 1/float64(next.hops))
+				if pss < s.opts.Tau {
+					s.stats.Pruned++
+					continue
+				}
+				if emitEager != nil {
+					s.stats.Emitted++
+					emitEager(s.reconstruct(next, pss))
+				} else {
+					s.push(next, pss)
+				}
+				continue
+			}
+		}
+		est := s.estimate(next)
+		if est < s.opts.Tau {
+			s.stats.Pruned++
+			continue
+		}
+		s.push(next, est)
+	}
+}
+
+func legacyOnPath(st *legacyState, u kg.NodeID) bool {
+	for cur := st; cur != nil; cur = cur.parent {
+		if cur.node == u {
+			return true
+		}
+	}
+	return false
+}
+
+// reconstruct walks the parent chain to materialize the match path.
+func (s *LegacySearcher) reconstruct(st *legacyState, pss float64) Match {
+	var revNodes []kg.NodeID
+	var revEdges []kg.EdgeID
+	var revSegs []int32
+	for cur := st; cur != nil; cur = cur.parent {
+		revNodes = append(revNodes, cur.node)
+		if cur.via >= 0 {
+			revEdges = append(revEdges, cur.via)
+		}
+		revSegs = append(revSegs, cur.seg)
+	}
+	n := len(revNodes)
+	m := Match{
+		Nodes: make([]kg.NodeID, n),
+		Edges: make([]kg.EdgeID, len(revEdges)),
+		PSS:   pss,
+	}
+	for i := range revNodes {
+		m.Nodes[n-1-i] = revNodes[i]
+	}
+	for i := range revEdges {
+		m.Edges[len(revEdges)-1-i] = revEdges[i]
+	}
+	segs := s.sub.Segments()
+	m.SegEnds = make([]int, segs)
+	prevSeg := int32(0)
+	for i := n - 1; i >= 0; i-- {
+		cur := revSegs[i]
+		for sgi := prevSeg; sgi < cur; sgi++ {
+			m.SegEnds[sgi] = n - 1 - i
+		}
+		prevSeg = cur
+	}
+	return m
+}

@@ -8,9 +8,14 @@ import (
 	"semkg/internal/embed"
 )
 
-// testEnv returns a small, cached environment shared by these tests.
+// testEnv returns a small, cached environment shared by these tests. The
+// experiment tests regenerate full evaluation artifacts and train an
+// embedding; they are skipped in -short mode to keep CI fast.
 func testEnv(t *testing.T) *Env {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment environments train embeddings; skipped in -short mode")
+	}
 	env, err := Cached(Config{
 		Profile: datagen.DBpediaLike(0.2),
 		Embed:   embed.Config{Dim: 32, Epochs: 80, Seed: 3},
@@ -201,6 +206,9 @@ func TestRunNoiseShape(t *testing.T) {
 }
 
 func TestRunTable9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability sweep trains embeddings; skipped in -short mode")
+	}
 	res, err := RunTable9([]float64{0.1, 0.2}, []int{5, 10},
 		embed.Config{Dim: 16, Epochs: 30, Seed: 3})
 	if err != nil {

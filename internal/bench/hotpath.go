@@ -1,0 +1,465 @@
+// Hotpath experiment: before/after micro-benchmarks of the allocation-lean,
+// index-backed query hot path against the preserved seed implementations
+// (transform.MatchNodeScan, semgraph.ScanWeighter, astar.LegacySearcher).
+// Each pair measures the same work with the same fixtures, so the deltas
+// isolate the arena/index refactor. Run via `go run ./cmd/kgbench -exp
+// hotpath` (writes BENCH_hotpath.json) or the BenchmarkAStarNext /
+// BenchmarkNodeMax / BenchmarkMatchNode / BenchmarkSearchEndToEnd
+// benchmarks at the repository root.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"semkg/internal/astar"
+	"semkg/internal/core"
+	"semkg/internal/datagen"
+	"semkg/internal/kg"
+	"semkg/internal/query"
+	"semkg/internal/semgraph"
+	"semkg/internal/ta"
+)
+
+// compiledSub is one sub-query compiled to searcher inputs.
+type compiledSub struct {
+	sub   astar.SubQuery
+	preds []string
+}
+
+// matchEstimator adapts a φ-resolution function to query.CostEstimator;
+// the before side plugs in the seed linear scans, the after side the
+// memoized indexed matcher.
+type matchEstimator struct {
+	match func(name, typeName string) []kg.NodeID
+	g     *kg.Graph
+}
+
+func (e matchEstimator) AnchorCount(name, typeName string) int {
+	return len(e.match(name, typeName))
+}
+func (e matchEstimator) AvgDegree() float64 { return e.g.AvgDegree() }
+
+// compileSubQueries decomposes q and resolves its φ sets the way
+// core.Engine.buildSearchers does. With scan=true every resolution goes
+// through the seed linear scans (the "before" side); the two sides produce
+// identical sub-queries by the index/scan equivalence property.
+func compileSubQueries(env *Env, q *query.Graph, scan bool) ([]compiledSub, *query.Decomposition, error) {
+	m := env.Engine.Matcher()
+	match := m.MatchNodeScan
+	if !scan {
+		match = m.Memo().MatchNode
+	}
+	est := matchEstimator{match, env.Dataset.Graph}
+	d, err := query.Decompose(q, query.Options{Estimator: est, MaxHops: env.Cfg.MaxHops})
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []compiledSub
+	for _, sub := range d.Subs {
+		anchorNode, _ := q.NodeByID(sub.Anchor())
+		anchors := match(anchorNode.Name, anchorNode.Type)
+		if len(anchors) == 0 {
+			return nil, nil, fmt.Errorf("bench: sub-query anchor %q unmatched", sub.Anchor())
+		}
+		endSets := make([]map[kg.NodeID]bool, sub.Len())
+		for i := 1; i < len(sub.NodeIDs); i++ {
+			n, _ := q.NodeByID(sub.NodeIDs[i])
+			ids := match(n.Name, n.Type)
+			if len(ids) == 0 {
+				return nil, nil, fmt.Errorf("bench: sub-query node %q unmatched", sub.NodeIDs[i])
+			}
+			set := make(map[kg.NodeID]bool, len(ids))
+			for _, id := range ids {
+				set[id] = true
+			}
+			endSets[i-1] = set
+		}
+		preds := make([]string, sub.Len())
+		for i, edge := range sub.Edges {
+			preds[i] = edge.Predicate
+		}
+		out = append(out, compiledSub{
+			sub:   astar.SubQuery{Anchors: anchors, EndSets: endSets},
+			preds: preds,
+		})
+	}
+	return out, d, nil
+}
+
+// legacyStream resumes a LegacySearcher after its prefetched matches, like
+// core's resumeStream.
+type legacyStream struct {
+	buf    []astar.Match
+	pos    int
+	search *astar.LegacySearcher
+}
+
+func (r *legacyStream) Next() (astar.Match, bool) {
+	if r.pos < len(r.buf) {
+		m := r.buf[r.pos]
+		r.pos++
+		return m, true
+	}
+	return r.search.Next()
+}
+
+// renderLegacyAnswers replicates core.Engine.renderAnswers so the legacy
+// pipeline does the same answer-materialization work the seed engine did
+// (names, path steps, bindings) — without it the end-to-end comparison
+// would unfairly charge rendering to the engine side only.
+func renderLegacyAnswers(env *Env, finals []ta.Final, d *query.Decomposition) []core.Answer {
+	g := env.Dataset.Graph
+	answers := make([]core.Answer, len(finals))
+	for i, f := range finals {
+		a := core.Answer{
+			Pivot:     f.Pivot,
+			PivotName: g.NodeName(f.Pivot),
+			Score:     f.Score,
+			Bindings:  make(map[string]string),
+		}
+		for pi, part := range f.Parts {
+			sm := core.SubMatch{PSS: part.PSS}
+			for _, eid := range part.Edges {
+				edge := g.EdgeAt(eid)
+				sm.Steps = append(sm.Steps, core.PathStep{
+					FromName:  g.NodeName(edge.Src),
+					Predicate: g.PredName(edge.Pred),
+					ToName:    g.NodeName(edge.Dst),
+				})
+			}
+			a.Parts = append(a.Parts, sm)
+			sub := d.Subs[pi]
+			bind := func(qid string, u kg.NodeID) {
+				if _, taken := a.Bindings[qid]; !taken {
+					a.Bindings[qid] = g.NodeName(u)
+				}
+			}
+			bind(sub.NodeIDs[0], part.Nodes[0])
+			for s, pos := range part.SegEnds {
+				bind(sub.NodeIDs[s+1], part.Nodes[pos])
+			}
+		}
+		answers[i] = a
+	}
+	return answers
+}
+
+// runLegacySearch replays the seed Engine.Search exact (non-TBQ) pipeline:
+// scan-based φ resolution, per-call ScanWeighter rows, LegacySearcher per
+// sub-query with concurrent prefetch, TA assembly, and answer rendering.
+func runLegacySearch(env *Env, q *query.Graph, k int) ([]core.Answer, []ta.Final, error) {
+	subs, d, err := compileSubQueries(env, q, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	sopts := astar.Options{Tau: env.Cfg.Tau, MaxHops: env.Cfg.MaxHops}
+	searchers := make([]*astar.LegacySearcher, len(subs))
+	for i, cs := range subs {
+		w, err := semgraph.NewScanWeighter(env.Dataset.Graph, env.Space, cs.preds)
+		if err != nil {
+			return nil, nil, err
+		}
+		searchers[i] = astar.NewLegacySearcher(env.Dataset.Graph, w, cs.sub, sopts)
+	}
+	prefetched := make([][]astar.Match, len(searchers))
+	var wg sync.WaitGroup
+	for i, s := range searchers {
+		wg.Add(1)
+		go func(i int, s *astar.LegacySearcher) {
+			defer wg.Done()
+			for len(prefetched[i]) < k {
+				m, ok := s.Next()
+				if !ok {
+					break
+				}
+				prefetched[i] = append(prefetched[i], m)
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	streams := make([]ta.Stream, len(searchers))
+	for i := range searchers {
+		streams[i] = &legacyStream{buf: prefetched[i], search: searchers[i]}
+	}
+	finals, _ := ta.Assemble(streams, k)
+	return renderLegacyAnswers(env, finals, d), finals, nil
+}
+
+// BenchCase is one before/after hotpath micro-benchmark pair. Before runs
+// the preserved seed implementation, After the index/arena-backed one.
+type BenchCase struct {
+	Name   string
+	Before func(b *testing.B)
+	After  func(b *testing.B)
+}
+
+// HotpathCases builds the four before/after pairs on the environment's
+// first simple query (plus a medium query for end-to-end coverage of
+// multi-sub-query decompositions).
+func HotpathCases(env *Env) ([]BenchCase, error) {
+	g := env.Dataset.Graph
+	q := env.Dataset.Simple[0]
+	subs, _, err := compileSubQueries(env, q.Graph, false)
+	if err != nil {
+		return nil, err
+	}
+	cs := subs[0]
+	sopts := astar.Options{Tau: env.Cfg.Tau, MaxHops: env.Cfg.MaxHops}
+	rows, err := semgraph.NewRowCache(g, env.Space)
+	if err != nil {
+		return nil, err
+	}
+
+	// Node-matching probes: names and types with exact, abbreviated,
+	// initials, and miss outcomes, exercising the fallback paths.
+	var probes [][2]string
+	for _, gq := range env.Dataset.Simple {
+		for _, n := range gq.Graph.Nodes {
+			probes = append(probes, [2]string{n.Name, n.Type})
+		}
+	}
+	probes = append(probes,
+		[2]string{"", "Automobile"},
+		[2]string{"no_such_entity_name", ""},
+	)
+
+	drain := func(next func() (astar.Match, bool)) int {
+		n := 0
+		for {
+			if _, ok := next(); !ok {
+				return n
+			}
+			n++
+		}
+	}
+
+	cases := []BenchCase{
+		{
+			Name: "AStarNext",
+			Before: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					w, err := semgraph.NewScanWeighter(g, env.Space, cs.preds)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if drain(astar.NewLegacySearcher(g, w, cs.sub, sopts).Next) == 0 {
+						b.Fatal("legacy searcher found no matches")
+					}
+				}
+			},
+			After: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					w, err := semgraph.NewWeighterCached(rows, cs.preds)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if drain(astar.NewSearcher(g, w, cs.sub, sopts).Next) == 0 {
+						b.Fatal("arena searcher found no matches")
+					}
+				}
+			},
+		},
+		{
+			Name: "NodeMax",
+			Before: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					w, err := semgraph.NewScanWeighter(g, env.Space, cs.preds)
+					if err != nil {
+						b.Fatal(err)
+					}
+					acc := 0.0
+					for u := 0; u < g.NumNodes(); u++ {
+						acc += w.NodeMax(kg.NodeID(u), 0)
+					}
+					if acc <= 0 {
+						b.Fatal("no bound mass")
+					}
+				}
+			},
+			After: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					w, err := semgraph.NewWeighterCached(rows, cs.preds)
+					if err != nil {
+						b.Fatal(err)
+					}
+					acc := 0.0
+					for u := 0; u < g.NumNodes(); u++ {
+						acc += w.NodeMax(kg.NodeID(u), 0)
+					}
+					if acc <= 0 {
+						b.Fatal("no bound mass")
+					}
+				}
+			},
+		},
+		{
+			Name: "MatchNode",
+			Before: func(b *testing.B) {
+				b.ReportAllocs()
+				m := env.Engine.Matcher()
+				for i := 0; i < b.N; i++ {
+					total := 0
+					for _, pr := range probes {
+						total += len(m.MatchNodeScan(pr[0], pr[1]))
+					}
+					if total == 0 {
+						b.Fatal("no matches")
+					}
+				}
+			},
+			After: func(b *testing.B) {
+				b.ReportAllocs()
+				m := env.Engine.Matcher()
+				for i := 0; i < b.N; i++ {
+					total := 0
+					for _, pr := range probes {
+						total += len(m.MatchNode(pr[0], pr[1]))
+					}
+					if total == 0 {
+						b.Fatal("no matches")
+					}
+				}
+			},
+		},
+		{
+			Name: "SearchEndToEnd",
+			Before: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					answers, _, err := runLegacySearch(env, q.Graph, 20)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(answers) == 0 {
+						b.Fatal("legacy search found no answers")
+					}
+				}
+			},
+			After: func(b *testing.B) {
+				b.ReportAllocs()
+				ctx := context.Background()
+				for i := 0; i < b.N; i++ {
+					res, err := env.Engine.Search(ctx, q.Graph, env.SearchOptions(20))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Answers) == 0 {
+						b.Fatal("search found no answers")
+					}
+				}
+			},
+		},
+	}
+	return cases, nil
+}
+
+// HotpathStat is one measured side of a pair.
+type HotpathStat struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// HotpathRow is one before/after comparison.
+type HotpathRow struct {
+	Name       string      `json:"name"`
+	Before     HotpathStat `json:"before"`
+	After      HotpathStat `json:"after"`
+	Speedup    float64     `json:"speedup"`     // before.ns / after.ns
+	AllocRatio float64     `json:"alloc_ratio"` // before.allocs / after.allocs
+}
+
+// HotpathResult is the experiment artifact (BENCH_hotpath.json).
+type HotpathResult struct {
+	Dataset   string       `json:"dataset"`
+	Scale     string       `json:"scale"`
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	CPUs      int          `json:"cpus"`
+	When      string       `json:"when"`
+	Rows      []HotpathRow `json:"benchmarks"`
+}
+
+func stat(r testing.BenchmarkResult) HotpathStat {
+	return HotpathStat{
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// RunHotpath measures every before/after pair with testing.Benchmark.
+func RunHotpath(env *Env) (*HotpathResult, error) {
+	cases, err := HotpathCases(env)
+	if err != nil {
+		return nil, err
+	}
+	res := &HotpathResult{
+		Dataset:   env.Cfg.Profile.Name,
+		Scale:     fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		When:      time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, c := range cases {
+		before := stat(testing.Benchmark(c.Before))
+		after := stat(testing.Benchmark(c.After))
+		row := HotpathRow{Name: c.Name, Before: before, After: after}
+		if after.NsPerOp > 0 {
+			row.Speedup = before.NsPerOp / after.NsPerOp
+		}
+		if after.AllocsPerOp > 0 {
+			row.AllocRatio = float64(before.AllocsPerOp) / float64(after.AllocsPerOp)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// WriteJSON stores the artifact.
+func (r *HotpathResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render formats the comparison as a text table.
+func (r *HotpathResult) Render() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Hotpath before/after (%s, %s, %s/%s)", r.Dataset, r.Scale, r.GOOS, r.GOARCH),
+		Header: []string{"benchmark", "before ns/op", "after ns/op", "speedup", "before allocs", "after allocs", "alloc ratio"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name,
+			fmt.Sprintf("%.0f", row.Before.NsPerOp),
+			fmt.Sprintf("%.0f", row.After.NsPerOp),
+			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprintf("%d", row.Before.AllocsPerOp),
+			fmt.Sprintf("%d", row.After.AllocsPerOp),
+			fmt.Sprintf("%.2fx", row.AllocRatio),
+		)
+	}
+	return t
+}
+
+// HotpathEnvConfig is the default configuration for the hotpath experiment
+// (shared by kgbench and the root benchmarks so numbers are comparable).
+func HotpathEnvConfig(scale float64) Config {
+	return Config{Profile: datagen.DBpediaLike(scale)}
+}

@@ -33,6 +33,10 @@ type Engine struct {
 	g       *kg.Graph
 	space   *embed.Space
 	matcher *transform.Matcher
+	// rows shares semantic weight rows (per resolved query predicate)
+	// across concurrent searchers and repeated queries for the engine's
+	// lifetime; the rows are query-independent (see semgraph.RowCache).
+	rows *semgraph.RowCache
 
 	calOnce    sync.Once
 	perMatchTA time.Duration
@@ -48,7 +52,11 @@ func NewEngine(g *kg.Graph, space *embed.Space, lib *transform.Library) (*Engine
 	if space.Len() != g.NumPredicates() {
 		return nil, fmt.Errorf("core: space covers %d predicates, graph has %d", space.Len(), g.NumPredicates())
 	}
-	return &Engine{g: g, space: space, matcher: transform.NewMatcher(g, lib)}, nil
+	rows, err := semgraph.NewRowCache(g, space)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{g: g, space: space, matcher: transform.NewMatcher(g, lib), rows: rows}, nil
 }
 
 // Graph returns the engine's knowledge graph.
@@ -171,11 +179,16 @@ func (r *Result) EntitiesOf(nodeID string) []string {
 	return out
 }
 
-// costEstimator adapts the engine to query.CostEstimator (Eq. 1).
-type costEstimator struct{ e *Engine }
+// costEstimator adapts the engine to query.CostEstimator (Eq. 1). It
+// resolves φ through the per-search memo, so buildSearchers reuses the
+// match sets instead of recomputing them.
+type costEstimator struct {
+	e    *Engine
+	memo *transform.Memo
+}
 
 func (c costEstimator) AnchorCount(name, typeName string) int {
-	return len(c.e.matcher.MatchNode(name, typeName))
+	return len(c.memo.MatchNode(name, typeName))
 }
 
 func (c costEstimator) AvgDegree() float64 { return c.e.g.AvgDegree() }
@@ -193,12 +206,16 @@ func (e *Engine) Search(ctx context.Context, q *query.Graph, opts Options) (*Res
 	}
 	start := time.Now()
 
-	d, err := e.decompose(q, opts)
+	// One φ memo per call: the cost estimator (pivot selection) and the
+	// searcher compilation resolve the same query nodes.
+	memo := e.matcher.Memo()
+
+	d, err := e.decompose(q, opts, memo)
 	if err != nil {
 		return nil, err
 	}
 
-	searchers, compiled, err := e.buildSearchers(q, d, opts)
+	searchers, compiled, err := e.buildSearchers(q, d, opts, memo)
 	if err != nil {
 		return nil, err
 	}
@@ -231,11 +248,11 @@ func (e *Engine) Search(ctx context.Context, q *query.Graph, opts Options) (*Res
 	return res, nil
 }
 
-func (e *Engine) decompose(q *query.Graph, opts Options) (*query.Decomposition, error) {
+func (e *Engine) decompose(q *query.Graph, opts Options, memo *transform.Memo) (*query.Decomposition, error) {
 	dopts := query.Options{
 		Strategy:  opts.Strategy,
 		Rng:       opts.Rng,
-		Estimator: costEstimator{e},
+		Estimator: costEstimator{e, memo},
 		MaxHops:   opts.MaxHops,
 	}
 	if opts.PivotNode != "" {
@@ -249,7 +266,7 @@ func (e *Engine) decompose(q *query.Graph, opts Options) (*query.Decomposition, 
 
 // buildSearchers compiles each sub-query (φ sets + weighter) into an A*
 // searcher. ok=false (with nil error) means some query node has no matches.
-func (e *Engine) buildSearchers(q *query.Graph, d *query.Decomposition, opts Options) ([]*astar.Searcher, bool, error) {
+func (e *Engine) buildSearchers(q *query.Graph, d *query.Decomposition, opts Options, memo *transform.Memo) ([]*astar.Searcher, bool, error) {
 	sopts := astar.Options{
 		Tau:          opts.Tau,
 		MaxHops:      opts.MaxHops,
@@ -259,14 +276,14 @@ func (e *Engine) buildSearchers(q *query.Graph, d *query.Decomposition, opts Opt
 	searchers := make([]*astar.Searcher, 0, len(d.Subs))
 	for _, sub := range d.Subs {
 		anchorNode, _ := q.NodeByID(sub.Anchor())
-		anchors := e.matcher.MatchNode(anchorNode.Name, anchorNode.Type)
+		anchors := memo.MatchNode(anchorNode.Name, anchorNode.Type)
 		if len(anchors) == 0 {
 			return nil, false, nil
 		}
 		endSets := make([]map[kg.NodeID]bool, sub.Len())
 		for i := 1; i < len(sub.NodeIDs); i++ {
 			n, _ := q.NodeByID(sub.NodeIDs[i])
-			ids := e.matcher.MatchNode(n.Name, n.Type)
+			ids := memo.MatchNode(n.Name, n.Type)
 			if len(ids) == 0 {
 				return nil, false, nil
 			}
@@ -280,7 +297,7 @@ func (e *Engine) buildSearchers(q *query.Graph, d *query.Decomposition, opts Opt
 		for i, edge := range sub.Edges {
 			preds[i] = edge.Predicate
 		}
-		w, err := semgraph.NewWeighter(e.g, e.space, preds)
+		w, err := semgraph.NewWeighterCached(e.rows, preds)
 		if err != nil {
 			return nil, false, err
 		}

@@ -68,6 +68,14 @@ type Graph struct {
 	halves []Half
 
 	predCount []int // edges per predicate
+
+	// Derived read-only indexes, built once in Build (see index.go):
+	// per-node distinct incident predicates (CSR) and the normalized-name
+	// and initials indexes backing the transformation library's fallback.
+	nodePredOff []int32
+	nodePreds   []PredID
+	nameIdx     nameIndex
+	typeIdx     nameIndex
 }
 
 // NumNodes returns the number of nodes.
@@ -326,6 +334,8 @@ func (b *Builder) Build() *Graph {
 	for i := 0; i < m; i++ {
 		g.predCount[b.preds[i]]++
 	}
+
+	g.buildIndexes()
 
 	b.srcs, b.dsts, b.preds = nil, nil, nil
 	return g

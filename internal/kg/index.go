@@ -1,0 +1,151 @@
+package kg
+
+import (
+	"sort"
+	"strings"
+
+	"semkg/internal/strutil"
+)
+
+// nameIndex accelerates the transformation library's fallback matching
+// (Definition 3: identical / synonym / abbreviation) over one name
+// vocabulary (node names or type names). It is built once in Builder.Build
+// and immutable afterwards, so concurrent searches share it without
+// locking. Three access paths replace the seed's O(|V|) scans:
+//
+//   - norm:     normalized name -> ids, for identity and synonym-class
+//     lookups done on normalized strings rather than exact spellings;
+//   - initials: initials-style abbreviation (both the all-words and the
+//     stop-word-skipping form of strutil.Initials) -> ids of the names it
+//     abbreviates;
+//   - sorted:   sorted distinct normalized names, for prefix-abbreviation
+//     range scans ("ger" -> "germany") by binary search.
+type nameIndex struct {
+	norm      map[string][]int32
+	initials  map[string][]int32
+	sorted    []string
+	sortedIDs [][]int32
+}
+
+func buildNameIndex(names []string) nameIndex {
+	ix := nameIndex{
+		norm:     make(map[string][]int32, len(names)),
+		initials: make(map[string][]int32),
+	}
+	for id, name := range names {
+		n := strutil.Normalize(name)
+		ix.norm[n] = append(ix.norm[n], int32(id))
+		// Only initials that strutil.IsAbbreviationOf could ever accept are
+		// indexed: at least 2 bytes and strictly shorter than the full name.
+		all, sig := strutil.Initials(n)
+		if len(all) >= 2 && len(all) < len(n) {
+			ix.initials[all] = append(ix.initials[all], int32(id))
+		}
+		if sig != all && len(sig) >= 2 && len(sig) < len(n) {
+			ix.initials[sig] = append(ix.initials[sig], int32(id))
+		}
+	}
+	ix.sorted = make([]string, 0, len(ix.norm))
+	for n := range ix.norm {
+		ix.sorted = append(ix.sorted, n)
+	}
+	sort.Strings(ix.sorted)
+	ix.sortedIDs = make([][]int32, len(ix.sorted))
+	for i, n := range ix.sorted {
+		ix.sortedIDs[i] = ix.norm[n]
+	}
+	return ix
+}
+
+// properPrefix returns the ids of all names that have p as a strict prefix
+// (normalized name longer than p), by range scan over the sorted names.
+func (ix *nameIndex) properPrefix(p string) []int32 {
+	var out []int32
+	for i := sort.SearchStrings(ix.sorted, p); i < len(ix.sorted) && strings.HasPrefix(ix.sorted[i], p); i++ {
+		if len(ix.sorted[i]) > len(p) {
+			out = append(out, ix.sortedIDs[i]...)
+		}
+	}
+	return out
+}
+
+func convertIDs[T ~int32](ids []int32) []T {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]T, len(ids))
+	for i, id := range ids {
+		out[i] = T(id)
+	}
+	return out
+}
+
+// NodesByNormName returns the nodes whose strutil.Normalize'd name equals
+// norm (norm must already be normalized), in ascending NodeID order.
+func (g *Graph) NodesByNormName(norm string) []NodeID {
+	return convertIDs[NodeID](g.nameIdx.norm[norm])
+}
+
+// NodesByInitials returns the nodes whose name abbreviates to initials per
+// strutil.Initials (either the all-words or the significant-words form),
+// in ascending NodeID order. Initials shorter than 2 bytes are never
+// indexed, mirroring strutil.IsAbbreviationOf.
+func (g *Graph) NodesByInitials(initials string) []NodeID {
+	return convertIDs[NodeID](g.nameIdx.initials[initials])
+}
+
+// NodesByProperNormPrefix returns the nodes whose normalized name has the
+// given strict prefix (the node name is longer), in ascending NodeID order
+// per prefix-range; callers needing global NodeID order must sort.
+func (g *Graph) NodesByProperNormPrefix(prefix string) []NodeID {
+	return convertIDs[NodeID](g.nameIdx.properPrefix(prefix))
+}
+
+// TypesByNormName is NodesByNormName over the type vocabulary.
+func (g *Graph) TypesByNormName(norm string) []TypeID {
+	return convertIDs[TypeID](g.typeIdx.norm[norm])
+}
+
+// TypesByInitials is NodesByInitials over the type vocabulary.
+func (g *Graph) TypesByInitials(initials string) []TypeID {
+	return convertIDs[TypeID](g.typeIdx.initials[initials])
+}
+
+// TypesByProperNormPrefix is NodesByProperNormPrefix over the type
+// vocabulary.
+func (g *Graph) TypesByProperNormPrefix(prefix string) []TypeID {
+	return convertIDs[TypeID](g.typeIdx.properPrefix(prefix))
+}
+
+// NodePreds returns the distinct predicates incident to u (either
+// direction), in first-occurrence order of u's adjacency list. The semantic
+// m(u) bound is a maximum over edge weights, which only depends on this
+// set, so consumers iterate O(distinct predicates) instead of O(degree) —
+// on dense hub nodes the difference is orders of magnitude. The returned
+// slice is shared; callers must not modify it.
+func (g *Graph) NodePreds(u NodeID) []PredID {
+	return g.nodePreds[g.nodePredOff[u]:g.nodePredOff[u+1]]
+}
+
+// buildIndexes computes the derived read-only indexes; called by Build.
+func (g *Graph) buildIndexes() {
+	n := len(g.names)
+	g.nodePredOff = make([]int32, n+1)
+	g.nodePreds = make([]PredID, 0, n) // >= one distinct pred per non-isolated node
+	mark := make([]int32, len(g.predNames))
+	for i := range mark {
+		mark[i] = -1
+	}
+	for u := 0; u < n; u++ {
+		for _, h := range g.halves[g.adjOff[u]:g.adjOff[u+1]] {
+			if mark[h.Pred] != int32(u) {
+				mark[h.Pred] = int32(u)
+				g.nodePreds = append(g.nodePreds, h.Pred)
+			}
+		}
+		g.nodePredOff[u+1] = int32(len(g.nodePreds))
+	}
+
+	g.nameIdx = buildNameIndex(g.names)
+	g.typeIdx = buildNameIndex(g.typeNames)
+}

@@ -1,0 +1,148 @@
+package kg
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"semkg/internal/strutil"
+)
+
+// randomNamedGraph builds a graph with name shapes that exercise every
+// index path: multi-word names (initials), shared prefixes, case/separator
+// variants, and duplicate normalized forms.
+func randomNamedGraph(rng *rand.Rand) *Graph {
+	words := []string{"federal", "republic", "of", "germany", "auto", "club",
+		"Ger", "GER", "bmw", "BMW-320", "bmw 320", "United", "Union", "u"}
+	types := []string{"Automobile", "Auto Club", "Country", "federal republic", ""}
+	n := rng.Intn(40) + 10
+	b := NewBuilder(n, n*2)
+	ids := make([]NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		parts := rng.Intn(3) + 1
+		name := ""
+		for j := 0; j < parts; j++ {
+			if j > 0 {
+				name += " "
+			}
+			name += words[rng.Intn(len(words))]
+		}
+		// Unique suffix on half the nodes; the rest collide on names and
+		// are deduped by AddNode, leaving colliding *normalized* forms.
+		if rng.Float64() < 0.5 {
+			name = fmt.Sprintf("%s %d", name, i)
+		}
+		ids = append(ids, b.AddNode(name, types[rng.Intn(len(types))]))
+	}
+	preds := []string{"p0", "p1", "p2"}
+	m := rng.Intn(3*n) + n
+	for i := 0; i < m; i++ {
+		b.AddEdge(ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))], preds[rng.Intn(len(preds))])
+	}
+	return b.Build()
+}
+
+func TestNodePredsMatchesNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		g := randomNamedGraph(rng)
+		for u := 0; u < g.NumNodes(); u++ {
+			want := map[PredID]bool{}
+			for _, h := range g.Neighbors(NodeID(u)) {
+				want[h.Pred] = true
+			}
+			got := g.NodePreds(NodeID(u))
+			if len(got) != len(want) {
+				t.Fatalf("trial %d node %d: NodePreds %v, adjacency has %d distinct", trial, u, got, len(want))
+			}
+			seen := map[PredID]bool{}
+			for _, p := range got {
+				if !want[p] || seen[p] {
+					t.Fatalf("trial %d node %d: NodePreds %v has wrong/duplicate %d", trial, u, got, p)
+				}
+				seen[p] = true
+			}
+		}
+	}
+}
+
+func TestNameIndexMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		g := randomNamedGraph(rng)
+		// Probe with every node's normalized name, its prefixes, and its
+		// initials, plus junk.
+		probes := map[string]bool{"": true, "x": true, "zz": true}
+		for u := 0; u < g.NumNodes(); u++ {
+			n := strutil.Normalize(g.NodeName(NodeID(u)))
+			probes[n] = true
+			if len(n) >= 3 {
+				probes[n[:2]] = true
+				probes[n[:len(n)-1]] = true
+			}
+			all, sig := strutil.Initials(n)
+			probes[all] = true
+			probes[sig] = true
+		}
+		for probe := range probes {
+			var wantNorm, wantInit, wantPrefix []NodeID
+			for u := 0; u < g.NumNodes(); u++ {
+				n := strutil.Normalize(g.NodeName(NodeID(u)))
+				if n == probe {
+					wantNorm = append(wantNorm, NodeID(u))
+				}
+				all, sig := strutil.Initials(n)
+				if len(probe) >= 2 && len(probe) < len(n) && (all == probe || sig == probe) {
+					wantInit = append(wantInit, NodeID(u))
+				}
+				if len(n) > len(probe) && n[:len(probe)] == probe {
+					wantPrefix = append(wantPrefix, NodeID(u))
+				}
+			}
+			checkIDs(t, "NodesByNormName", probe, g.NodesByNormName(probe), wantNorm, false)
+			checkIDs(t, "NodesByInitials", probe, g.NodesByInitials(probe), wantInit, false)
+			checkIDs(t, "NodesByProperNormPrefix", probe, g.NodesByProperNormPrefix(probe), wantPrefix, true)
+		}
+	}
+}
+
+func checkIDs(t *testing.T, fn, probe string, got, want []NodeID, sortFirst bool) {
+	t.Helper()
+	if sortFirst {
+		got = append([]NodeID(nil), got...)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s(%q) = %v, want %v", fn, probe, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s(%q) = %v, want %v", fn, probe, got, want)
+		}
+	}
+}
+
+func TestTypeIndexMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := randomNamedGraph(rng)
+	for i := 0; i < g.NumTypes(); i++ {
+		n := strutil.Normalize(g.TypeName(TypeID(i)))
+		got := g.TypesByNormName(n)
+		found := false
+		for _, tid := range got {
+			if tid == TypeID(i) {
+				found = true
+			}
+			if strutil.Normalize(g.TypeName(tid)) != n {
+				t.Fatalf("TypesByNormName(%q) returned non-matching type %q", n, g.TypeName(tid))
+			}
+		}
+		if !found {
+			t.Fatalf("TypesByNormName(%q) missed type %q", n, g.TypeName(TypeID(i)))
+		}
+	}
+	if got := g.TypesByNormName("no_such_type_name"); got != nil {
+		t.Fatalf("TypesByNormName(junk) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,91 @@
+package semgraph
+
+import (
+	"fmt"
+
+	"semkg/internal/embed"
+	"semkg/internal/kg"
+)
+
+// ScanWeighter is the seed implementation of the Weighter contract,
+// preserved verbatim: per-call weight rows, a map-backed suffix cache, and
+// m(u) computed by scanning the full adjacency list. It exists as the
+// reference side of the index/scan equivalence tests and the hotpath
+// before/after benchmarks (cmd/kgbench -exp hotpath); production searches
+// use Weighter.
+type ScanWeighter struct {
+	g *kg.Graph
+	// w[seg][pred] is the clamped similarity between the sub-query's
+	// seg-th query edge and graph predicate pred.
+	w [][]float64
+	// suffix[u] caches, per segment s, the maximum over segments s' >= s
+	// of the maximum weight among u's incident edges.
+	suffix map[kg.NodeID][]float64
+}
+
+// NewScanWeighter builds the reference weighter exactly as the seed
+// NewWeighter did.
+func NewScanWeighter(g *kg.Graph, space *embed.Space, predicates []string) (*ScanWeighter, error) {
+	if space.Len() != g.NumPredicates() {
+		return nil, fmt.Errorf("semgraph: space has %d predicates, graph has %d", space.Len(), g.NumPredicates())
+	}
+	if len(predicates) == 0 {
+		return nil, fmt.Errorf("semgraph: sub-query has no predicates")
+	}
+	wt := &ScanWeighter{
+		g:      g,
+		w:      make([][]float64, len(predicates)),
+		suffix: make(map[kg.NodeID][]float64),
+	}
+	for seg, name := range predicates {
+		qp, err := ResolvePredicate(g, name)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, g.NumPredicates())
+		for p := range row {
+			row[p] = weight(space.Similarity(int(qp), p))
+		}
+		wt.w[seg] = row
+	}
+	return wt, nil
+}
+
+// Segments returns the number of query edges the weighter serves.
+func (w *ScanWeighter) Segments() int { return len(w.w) }
+
+// Weight returns the semantic weight of graph predicate p for the seg-th
+// query edge.
+func (w *ScanWeighter) Weight(p kg.PredID, seg int) float64 { return w.w[seg][p] }
+
+// NodeMax returns the m(u) suffix bound, computed by adjacency-list scan
+// with a per-node map cache (the seed hot path).
+func (w *ScanWeighter) NodeMax(u kg.NodeID, seg int) float64 {
+	sfx, ok := w.suffix[u]
+	if !ok {
+		sfx = w.computeSuffix(u)
+		w.suffix[u] = sfx
+	}
+	return sfx[seg]
+}
+
+func (w *ScanWeighter) computeSuffix(u kg.NodeID) []float64 {
+	segs := len(w.w)
+	perSeg := make([]float64, segs)
+	for i := range perSeg {
+		perSeg[i] = MinWeight
+	}
+	for _, h := range w.g.Neighbors(u) {
+		for s := 0; s < segs; s++ {
+			if wt := w.w[s][h.Pred]; wt > perSeg[s] {
+				perSeg[s] = wt
+			}
+		}
+	}
+	for s := segs - 2; s >= 0; s-- {
+		if perSeg[s+1] > perSeg[s] {
+			perSeg[s] = perSeg[s+1]
+		}
+	}
+	return perSeg
+}

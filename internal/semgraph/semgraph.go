@@ -5,13 +5,21 @@
 // caches the per-node maximum adjacent weight m(u_i) used by the heuristic
 // pss estimation (Eq. 7).
 //
+// The per-predicate weight rows w[seg][pred] depend only on the resolved
+// query predicate, not on the query as a whole, so an engine-lifetime
+// RowCache shares them across concurrent searchers and repeated queries
+// instead of recomputing NumPredicates similarities per query edge per
+// call (see DESIGN.md, Hot path).
+//
 // A Weighter is bound to one sub-query graph (its sequence of query-edge
 // predicates); create one per sub-query search. It is not safe for
-// concurrent use — each search goroutine owns its Weighter.
+// concurrent use — each search goroutine owns its Weighter. The RowCache
+// it draws rows from is safe for concurrent use.
 package semgraph
 
 import (
 	"fmt"
+	"sync"
 
 	"semkg/internal/embed"
 	"semkg/internal/kg"
@@ -36,23 +44,105 @@ func weight(cos float64) float64 {
 	return clamp((cos + 1) / 2)
 }
 
+// row is one cached weight row: the clamped similarity of every graph
+// predicate against one resolved query predicate.
+type row []float64
+
+func computeRow(g *kg.Graph, space *embed.Space, qp kg.PredID) row {
+	n := g.NumPredicates()
+	r := make(row, n)
+	for p := 0; p < n; p++ {
+		r[p] = weight(space.Similarity(int(qp), p))
+	}
+	return r
+}
+
+// RowCache shares weight rows and predicate resolutions across every
+// Weighter of one engine. Rows are immutable once computed; the cache is
+// safe for concurrent use.
+type RowCache struct {
+	g     *kg.Graph
+	space *embed.Space
+
+	mu       sync.RWMutex
+	resolved map[string]kg.PredID
+	rows     map[kg.PredID]row
+}
+
+// NewRowCache builds an empty cache over g and its predicate space.
+func NewRowCache(g *kg.Graph, space *embed.Space) (*RowCache, error) {
+	if space.Len() != g.NumPredicates() {
+		return nil, fmt.Errorf("semgraph: space has %d predicates, graph has %d", space.Len(), g.NumPredicates())
+	}
+	return &RowCache{
+		g:        g,
+		space:    space,
+		resolved: make(map[string]kg.PredID),
+		rows:     make(map[kg.PredID]row),
+	}, nil
+}
+
+// Resolve maps a query predicate name to a graph predicate as
+// ResolvePredicate does, memoizing the (potentially O(P·|name|))
+// string-similarity fallback for mistyped predicates.
+func (c *RowCache) Resolve(name string) (kg.PredID, error) {
+	c.mu.RLock()
+	qp, ok := c.resolved[name]
+	c.mu.RUnlock()
+	if ok {
+		return qp, nil
+	}
+	qp, err := ResolvePredicate(c.g, name)
+	if err != nil {
+		return -1, err
+	}
+	c.mu.Lock()
+	c.resolved[name] = qp
+	c.mu.Unlock()
+	return qp, nil
+}
+
+// rowFor returns the (computed-once) weight row of a resolved predicate.
+func (c *RowCache) rowFor(qp kg.PredID) row {
+	c.mu.RLock()
+	r, ok := c.rows[qp]
+	c.mu.RUnlock()
+	if ok {
+		return r
+	}
+	r = computeRow(c.g, c.space, qp)
+	c.mu.Lock()
+	// A racing goroutine may have stored the row first; rows for the same
+	// predicate are identical, so last-write-wins is fine.
+	c.rows[qp] = r
+	c.mu.Unlock()
+	return r
+}
+
 // Weighter computes semantic edge weights for one sub-query graph.
 type Weighter struct {
 	g *kg.Graph
 	// w[seg][pred] is the clamped similarity between the sub-query's
-	// seg-th query edge and graph predicate pred.
+	// seg-th query edge and graph predicate pred. Rows may be shared
+	// through a RowCache and must not be mutated.
 	w [][]float64
-	// suffix[u] caches, per segment s, the maximum over segments s' >= s
-	// of the maximum weight among u's incident edges — the m(u_i) bound
-	// of Lemma 1, generalized to multi-edge sub-queries (see DESIGN.md).
-	suffix map[kg.NodeID][]float64
+	// suffix slab: slab[u*segs+s] caches, per segment s, the maximum over
+	// segments s' >= s of the maximum weight among u's incident edges — the
+	// m(u_i) bound of Lemma 1, generalized to multi-edge sub-queries (see
+	// DESIGN.md). One flat allocation indexed by NodeID with a seen mark
+	// replaces the seed's map[NodeID][]float64; suffixes derive from
+	// kg.NodePreds (O(distinct predicates), not O(degree)).
+	slab []float64
+	seen []bool
 }
 
 // NewWeighter builds a Weighter for a sub-query whose query edges carry the
-// given predicates, in path order. Each query predicate is resolved against
-// the graph's predicate vocabulary: exact name match first, then the most
-// string-similar predicate (the paper assumes query predicates come from
-// the KG vocabulary; the fallback keeps mistyped predicates usable).
+// given predicates, in path order, computing its weight rows from scratch.
+// Each query predicate is resolved against the graph's predicate
+// vocabulary: exact name match first, then the most string-similar
+// predicate (the paper assumes query predicates come from the KG
+// vocabulary; the fallback keeps mistyped predicates usable). Engine-driven
+// searches share rows through NewWeighterCached instead.
 func NewWeighter(g *kg.Graph, space *embed.Space, predicates []string) (*Weighter, error) {
 	if space.Len() != g.NumPredicates() {
 		return nil, fmt.Errorf("semgraph: space has %d predicates, graph has %d", space.Len(), g.NumPredicates())
@@ -60,23 +150,42 @@ func NewWeighter(g *kg.Graph, space *embed.Space, predicates []string) (*Weighte
 	if len(predicates) == 0 {
 		return nil, fmt.Errorf("semgraph: sub-query has no predicates")
 	}
-	wt := &Weighter{
-		g:      g,
-		w:      make([][]float64, len(predicates)),
-		suffix: make(map[kg.NodeID][]float64),
-	}
+	wt := newWeighter(g, len(predicates))
 	for seg, name := range predicates {
 		qp, err := ResolvePredicate(g, name)
 		if err != nil {
 			return nil, err
 		}
-		row := make([]float64, g.NumPredicates())
-		for p := range row {
-			row[p] = weight(space.Similarity(int(qp), p))
-		}
-		wt.w[seg] = row
+		wt.w[seg] = computeRow(g, space, qp)
 	}
 	return wt, nil
+}
+
+// NewWeighterCached builds a Weighter whose weight rows come from (and are
+// retained by) the shared cache.
+func NewWeighterCached(cache *RowCache, predicates []string) (*Weighter, error) {
+	if len(predicates) == 0 {
+		return nil, fmt.Errorf("semgraph: sub-query has no predicates")
+	}
+	wt := newWeighter(cache.g, len(predicates))
+	for seg, name := range predicates {
+		qp, err := cache.Resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		wt.w[seg] = cache.rowFor(qp)
+	}
+	return wt, nil
+}
+
+func newWeighter(g *kg.Graph, segs int) *Weighter {
+	n := g.NumNodes()
+	return &Weighter{
+		g:    g,
+		w:    make([][]float64, segs),
+		slab: make([]float64, n*segs),
+		seen: make([]bool, n),
+	}
 }
 
 // ResolvePredicate maps a query predicate name to a graph predicate:
@@ -109,35 +218,34 @@ func (w *Weighter) Weight(p kg.PredID, seg int) float64 { return w.w[seg][p] }
 // incident edges, taken over the current and all later query edges. This
 // upper-bounds the weight product of any unexplored path suffix (Lemma 1).
 func (w *Weighter) NodeMax(u kg.NodeID, seg int) float64 {
-	sfx, ok := w.suffix[u]
-	if !ok {
-		sfx = w.computeSuffix(u)
-		w.suffix[u] = sfx
+	base := int(u) * len(w.w)
+	if !w.seen[u] {
+		w.computeSuffix(u, base)
 	}
-	return sfx[seg]
+	return w.slab[base+seg]
 }
 
-func (w *Weighter) computeSuffix(u kg.NodeID) []float64 {
+func (w *Weighter) computeSuffix(u kg.NodeID, base int) {
 	segs := len(w.w)
-	perSeg := make([]float64, segs)
-	for i := range perSeg {
-		perSeg[i] = MinWeight
+	sfx := w.slab[base : base+segs]
+	for s := range sfx {
+		sfx[s] = MinWeight
 	}
-	for _, h := range w.g.Neighbors(u) {
+	for _, p := range w.g.NodePreds(u) {
 		for s := 0; s < segs; s++ {
-			if wt := w.w[s][h.Pred]; wt > perSeg[s] {
-				perSeg[s] = wt
+			if wt := w.w[s][p]; wt > sfx[s] {
+				sfx[s] = wt
 			}
 		}
 	}
 	// Suffix maximum so that NodeMax(u, s) bounds weights of the current
 	// and all later segments.
 	for s := segs - 2; s >= 0; s-- {
-		if perSeg[s+1] > perSeg[s] {
-			perSeg[s] = perSeg[s+1]
+		if sfx[s+1] > sfx[s] {
+			sfx[s] = sfx[s+1]
 		}
 	}
-	return perSeg
+	w.seen[u] = true
 }
 
 func clamp(x float64) float64 {

@@ -93,20 +93,28 @@ func IsAbbreviationOf(abbr, full string) bool {
 	if strings.HasPrefix(f, a) {
 		return true
 	}
-	// Initials: first rune of each underscore-separated word, computed both
-	// with and without stop words ("FRG" skips the "of" in
-	// "Federal Republic of Germany"; "USA" keeps every word).
-	var all, significant strings.Builder
-	for _, w := range strings.Split(f, "_") {
+	all, significant := Initials(f)
+	return all == a || significant == a
+}
+
+// Initials derives the two initials-style abbreviations of an already
+// normalized string: the first byte of every underscore-separated word
+// (all), and the same skipping stop words (significant) — "FRG" skips the
+// "of" in "federal_republic_of_germany"; "USA" keeps every word. The kg
+// name indexes precompute these per node so abbreviation matching never
+// scans all nodes; keep this in lockstep with IsAbbreviationOf.
+func Initials(normalized string) (all, significant string) {
+	var a, s strings.Builder
+	for _, w := range strings.Split(normalized, "_") {
 		if w == "" {
 			continue
 		}
-		all.WriteByte(w[0])
+		a.WriteByte(w[0])
 		if !stopWords[w] {
-			significant.WriteByte(w[0])
+			s.WriteByte(w[0])
 		}
 	}
-	return all.String() == a || significant.String() == a
+	return a.String(), s.String()
 }
 
 // stopWords are skipped when deriving initials-style abbreviations.
