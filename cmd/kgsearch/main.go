@@ -1,23 +1,36 @@
 // Command kgsearch answers query graphs over a knowledge graph with the
-// semantic-guided (SGQ) or time-bounded (TBQ) search.
+// semantic-guided (SGQ) or time-bounded (TBQ) search, either locally or
+// against a running semkgd server.
 //
 // Single-edge queries come from flags:
 //
 //	kgsearch -graph g.tsv -model m.bin -type Automobile -entity Germany -pred assembly -k 10
 //
-// General query graphs come from a JSON file (the query.Graph shape):
+// General query graphs come from a JSON file (the api.Query wire shape,
+// the same document semkgd accepts; unknown fields are rejected):
 //
 //	kgsearch -graph g.tsv -model m.bin -queryfile q.json -k 10 -bound 50ms
+//
+// Client mode sends the query to a semkgd server instead of loading the
+// graph locally, streaming NDJSON events and printing provisional top-k
+// updates as they arrive:
+//
+//	kgsearch -server http://localhost:8375 -queryfile q.json -bound 50ms
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"time"
 
+	"semkg/internal/api"
 	"semkg/internal/core"
 	"semkg/internal/embed"
 	"semkg/internal/kg"
@@ -25,8 +38,9 @@ import (
 )
 
 func main() {
-	graphFile := flag.String("graph", "", "triple file (required)")
-	modelFile := flag.String("model", "", "embedding model file (required)")
+	graphFile := flag.String("graph", "", "triple file (local mode)")
+	modelFile := flag.String("model", "", "embedding model file (local mode)")
+	server := flag.String("server", "", "semkgd base URL (client mode, e.g. http://localhost:8375)")
 	queryFile := flag.String("queryfile", "", "JSON query graph file")
 	focusType := flag.String("type", "", "focus entity type (single-edge query)")
 	entity := flag.String("entity", "", "anchor entity name (single-edge query)")
@@ -37,8 +51,21 @@ func main() {
 	bound := flag.Duration("bound", 0, "response time bound (0 = exact SGQ)")
 	flag.Parse()
 
+	q, err := buildQuery(*queryFile, *focusType, *entity, *pred)
+	if err != nil {
+		fail(err)
+	}
+	opts := core.Options{K: *k, Tau: *tau, MaxHops: *maxHops, TimeBound: *bound}
+
+	if *server != "" {
+		if err := remoteSearch(*server, q, opts); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	if *graphFile == "" || *modelFile == "" {
-		fmt.Fprintln(os.Stderr, "kgsearch: -graph and -model are required")
+		fmt.Fprintln(os.Stderr, "kgsearch: -graph and -model are required (or use -server)")
 		os.Exit(2)
 	}
 	g := loadGraph(*graphFile)
@@ -51,48 +78,105 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-
-	var q query.Graph
-	switch {
-	case *queryFile != "":
-		data, err := os.ReadFile(*queryFile)
-		if err != nil {
-			fail(err)
-		}
-		if err := json.Unmarshal(data, &q); err != nil {
-			fail(fmt.Errorf("parsing query: %w", err))
-		}
-	case *focusType != "" && *entity != "" && *pred != "":
-		q = query.Graph{
-			Nodes: []query.Node{
-				{ID: "v1", Type: *focusType},
-				{ID: "v2", Name: *entity},
-			},
-			Edges: []query.Edge{{From: "v1", To: "v2", Predicate: *pred}},
-		}
-	default:
-		fmt.Fprintln(os.Stderr, "kgsearch: provide -queryfile or -type/-entity/-pred")
-		os.Exit(2)
-	}
-
-	res, err := engine.Search(context.Background(), &q, core.Options{
-		K: *k, Tau: *tau, MaxHops: *maxHops, TimeBound: *bound,
-	})
+	res, err := engine.Search(context.Background(), q, opts)
 	if err != nil {
 		fail(err)
 	}
+	printResult(api.ResultFrom(res), *bound)
+}
+
+// buildQuery assembles the query graph from -queryfile (the strict api
+// wire codec — the identical document semkgd accepts) or the single-edge
+// flags.
+func buildQuery(queryFile, focusType, entity, pred string) (*query.Graph, error) {
+	switch {
+	case queryFile != "":
+		data, err := os.ReadFile(queryFile)
+		if err != nil {
+			return nil, err
+		}
+		return api.DecodeQuery(data)
+	case focusType != "" && entity != "" && pred != "":
+		return &query.Graph{
+			Nodes: []query.Node{
+				{ID: "v1", Type: focusType},
+				{ID: "v2", Name: entity},
+			},
+			Edges: []query.Edge{{From: "v1", To: "v2", Predicate: pred}},
+		}, nil
+	default:
+		fmt.Fprintln(os.Stderr, "kgsearch: provide -queryfile or -type/-entity/-pred")
+		os.Exit(2)
+		panic("unreachable")
+	}
+}
+
+// remoteSearch streams the query through semkgd's /v1/stream endpoint,
+// narrating progress to stderr and printing the final result like the
+// local mode.
+func remoteSearch(base string, q *query.Graph, opts core.Options) error {
+	body, err := json.Marshal(api.SearchRequest{
+		Query:   api.QueryFrom(q),
+		Options: api.OptionsFrom(opts),
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("server: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var final *api.Result
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := api.DecodeEvent(line)
+		if err != nil {
+			return err
+		}
+		switch ev.Event {
+		case api.EventPhase:
+			fmt.Fprintf(os.Stderr, "· phase %s\n", ev.Phase)
+		case api.EventTopK:
+			fmt.Fprintf(os.Stderr, "· provisional top-k: %d answer(s), L_k=%.3f U_max=%.3f (round %d)\n",
+				len(ev.Answers), ev.LowerK, ev.UpperMax, ev.Round)
+		case api.EventResult:
+			final = ev.Result
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if final == nil {
+		return fmt.Errorf("stream ended without a result event")
+	}
+	printResult(*final, opts.TimeBound)
+	return nil
+}
+
+func printResult(res api.Result, bound time.Duration) {
 	mode := "SGQ (exact)"
-	if *bound > 0 {
-		mode = fmt.Sprintf("TBQ (bound %s, approximate=%v)", *bound, res.Approximate)
+	if bound > 0 {
+		mode = fmt.Sprintf("TBQ (bound %s, approximate=%v)", bound, res.Approximate)
 	}
 	fmt.Printf("%s answered in %s — %d answer(s)\n", mode,
-		res.Elapsed.Round(time.Microsecond), len(res.Answers))
+		time.Duration(res.Elapsed).Round(time.Microsecond), len(res.Answers))
 	for i, a := range res.Answers {
-		fmt.Printf("%2d. %-24s score=%.3f\n", i+1, a.PivotName, a.Score)
+		fmt.Printf("%2d. %-24s score=%.3f\n", i+1, a.Entity, a.Score)
 		for _, p := range a.Parts {
 			fmt.Printf("      pss=%.3f:", p.PSS)
 			for _, s := range p.Steps {
-				fmt.Printf(" %s-[%s]->%s", s.FromName, s.Predicate, s.ToName)
+				fmt.Printf(" %s-[%s]->%s", s.From, s.Predicate, s.To)
 			}
 			fmt.Println()
 		}

@@ -1,0 +1,84 @@
+// Command semkgd serves semantic-guided top-k search over HTTP. It loads
+// a knowledge graph and a trained embedding model once, then answers
+// query-graph searches on two endpoints:
+//
+//	POST /v1/search   batch: one JSON result when the search finishes
+//	POST /v1/stream   streaming: NDJSON events — phase transitions,
+//	                  per-sub-query progress, provisional top-k snapshots
+//	                  with TA bounds, and a terminal result line
+//
+// plus GET /healthz (liveness and graph shape) and GET /debug/vars
+// (expvar counters). Request bodies are api.SearchRequest documents; bad
+// queries and out-of-range options return 400 with a JSON error.
+//
+//	semkgd -graph g.tsv -model m.bin -addr :8375
+//
+// The streaming endpoint is the wire form of the paper's anytime
+// behaviour (Section VI, Theorem 4): in time-bounded mode clients render
+// provisional answers while the search refines them. See DESIGN.md,
+// "Wire protocol".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"semkg/internal/core"
+	"semkg/internal/embed"
+	"semkg/internal/kg"
+)
+
+func main() {
+	graphFile := flag.String("graph", "", "triple file (required)")
+	modelFile := flag.String("model", "", "embedding model file (required)")
+	addr := flag.String("addr", ":8375", "listen address")
+	flag.Parse()
+
+	if *graphFile == "" || *modelFile == "" {
+		fmt.Fprintln(os.Stderr, "semkgd: -graph and -model are required")
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	g, err := loadGraph(*graphFile)
+	if err != nil {
+		log.Fatalf("semkgd: %v", err)
+	}
+	model, err := loadModel(*modelFile)
+	if err != nil {
+		log.Fatalf("semkgd: %v", err)
+	}
+	space, err := model.Space(g)
+	if err != nil {
+		log.Fatalf("semkgd: %v", err)
+	}
+	eng, err := core.NewEngine(g, space, nil)
+	if err != nil {
+		log.Fatalf("semkgd: %v", err)
+	}
+	log.Printf("semkgd: %d nodes, %d edges, %d predicates loaded in %s; listening on %s",
+		g.NumNodes(), g.NumEdges(), g.NumPredicates(), time.Since(start).Round(time.Millisecond), *addr)
+	log.Fatal(http.ListenAndServe(*addr, newMux(eng)))
+}
+
+func loadGraph(path string) (*kg.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return kg.ReadTriples(f)
+}
+
+func loadModel(path string) (*embed.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return embed.ReadModel(f)
+}

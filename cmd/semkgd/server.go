@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"net/http"
+
+	"semkg/internal/api"
+	"semkg/internal/core"
+	"semkg/internal/query"
+)
+
+// Service counters, exported through expvar (GET /debug/vars).
+var (
+	statSearches     = expvar.NewInt("semkgd_searches_total")
+	statStreams      = expvar.NewInt("semkgd_streams_total")
+	statStreamEvents = expvar.NewInt("semkgd_stream_events_total")
+	statBadRequests  = expvar.NewInt("semkgd_bad_requests_total")
+	statErrors       = expvar.NewInt("semkgd_errors_total")
+)
+
+// server routes search traffic onto one engine.
+type server struct {
+	eng *core.Engine
+}
+
+// newMux builds the service's routing table:
+//
+//	POST /v1/search   batch search, JSON result
+//	POST /v1/stream   streaming search, NDJSON events
+//	GET  /healthz     liveness + graph shape
+//	GET  /debug/vars  expvar counters
+func newMux(eng *core.Engine) *http.ServeMux {
+	s := &server{eng: eng}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/stream", s.handleStream)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// decodeRequest parses and validates a search request. A non-nil error has
+// already been written to w as a 400.
+func (s *server) decodeRequest(w http.ResponseWriter, r *http.Request) (ok bool, q *query.Graph, opts core.Options) {
+	g, opts, err := api.DecodeSearchRequest(r.Body)
+	if err != nil {
+		s.badRequest(w, err)
+		return false, nil, opts
+	}
+	if err := g.Validate(); err != nil {
+		s.badRequest(w, err)
+		return false, nil, opts
+	}
+	if err := opts.Validate(); err != nil {
+		s.badRequest(w, err)
+		return false, nil, opts
+	}
+	return true, g, opts
+}
+
+func (s *server) badRequest(w http.ResponseWriter, err error) {
+	statBadRequests.Add(1)
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+}
+
+// searchError classifies an Engine.Search/Stream error: caller-caused
+// errors (core.BadRequestError — e.g. a pivot option naming a node that
+// is not a query target) are 400s, everything else is a 500.
+func (s *server) searchError(w http.ResponseWriter, err error) {
+	var bad core.BadRequestError
+	if errors.As(err, &bad) {
+		s.badRequest(w, err)
+		return
+	}
+	statErrors.Add(1)
+	writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	ok, q, opts := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	statSearches.Add(1)
+	res, err := s.eng.Search(r.Context(), q, opts)
+	if err != nil {
+		s.searchError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.ResultFrom(res))
+}
+
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	ok, q, opts := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	statStreams.Add(1)
+	// r.Context() makes a dropped client cancel the search (anytime
+	// semantics: the pipeline still terminates and is cleaned up).
+	st, err := s.eng.Stream(r.Context(), q, opts)
+	if err != nil {
+		s.searchError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // defeat reverse-proxy buffering
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	for ev := range st.Events() {
+		line, err := api.EncodeEvent(ev)
+		if err != nil {
+			statErrors.Add(1)
+			continue
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return // client gone; context cancellation winds down the search
+		}
+		statStreamEvents.Add(1)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	g := s.eng.Graph()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"nodes":      g.NumNodes(),
+		"edges":      g.NumEdges(),
+		"predicates": g.NumPredicates(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past this point mean the client is gone; the status
+	// line is already out, so there is nothing useful left to report.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,256 @@
+// Package api defines the stable wire representation of queries, options,
+// answers and stream events — the one JSON vocabulary shared by the
+// semkgd HTTP service, the kgsearch CLI and any other client. Decoders are
+// strict (unknown fields are rejected), so a typo in a query document
+// fails loudly instead of silently matching nothing; field matching is
+// case-insensitive per encoding/json, which keeps pre-existing documents
+// with Go-style capitalized keys working.
+//
+// See DESIGN.md, "Wire protocol", for the full request/response and
+// NDJSON event specification.
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"semkg/internal/core"
+	"semkg/internal/query"
+)
+
+// Duration marshals as a Go duration string ("50ms", "1.5s") and accepts
+// either a duration string or a JSON number of nanoseconds.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "50ms"-style strings and integer nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("api: bad duration %q: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("api: duration must be a string like %q or integer nanoseconds", "50ms")
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Node is the wire form of one query-graph node.
+type Node struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"` // empty marks a target (variable) node
+	Type string `json:"type,omitempty"`
+}
+
+// Edge is the wire form of one query-graph edge.
+type Edge struct {
+	From      string `json:"from"`
+	To        string `json:"to"`
+	Predicate string `json:"predicate"`
+}
+
+// Query is the wire form of a query graph.
+type Query struct {
+	Nodes []Node `json:"nodes"`
+	Edges []Edge `json:"edges"`
+}
+
+// Graph converts the wire query into the engine's query graph.
+func (q Query) Graph() *query.Graph {
+	g := &query.Graph{
+		Nodes: make([]query.Node, len(q.Nodes)),
+		Edges: make([]query.Edge, len(q.Edges)),
+	}
+	for i, n := range q.Nodes {
+		g.Nodes[i] = query.Node{ID: n.ID, Name: n.Name, Type: n.Type}
+	}
+	for i, e := range q.Edges {
+		g.Edges[i] = query.Edge{From: e.From, To: e.To, Predicate: e.Predicate}
+	}
+	return g
+}
+
+// QueryFrom converts an engine query graph into its wire form.
+func QueryFrom(g *query.Graph) Query {
+	q := Query{
+		Nodes: make([]Node, len(g.Nodes)),
+		Edges: make([]Edge, len(g.Edges)),
+	}
+	for i, n := range g.Nodes {
+		q.Nodes[i] = Node{ID: n.ID, Name: n.Name, Type: n.Type}
+	}
+	for i, e := range g.Edges {
+		q.Edges[i] = Edge{From: e.From, To: e.To, Predicate: e.Predicate}
+	}
+	return q
+}
+
+// decodeStrict decodes exactly one JSON value from r into v, rejecting
+// unknown fields and trailing data.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("api: trailing data after JSON document")
+	}
+	return nil
+}
+
+// DecodeQuery parses a query document strictly: unknown fields and
+// trailing data are errors. It does not run query.Graph.Validate — the
+// caller decides whether structural validation failures are fatal.
+func DecodeQuery(data []byte) (*query.Graph, error) {
+	var q Query
+	if err := decodeStrict(bytes.NewReader(data), &q); err != nil {
+		return nil, fmt.Errorf("api: parsing query: %w", err)
+	}
+	return q.Graph(), nil
+}
+
+// EncodeQuery renders a query graph as its canonical wire document.
+func EncodeQuery(g *query.Graph) ([]byte, error) {
+	return json.Marshal(QueryFrom(g))
+}
+
+// Options is the wire form of the search options. Absent fields mean the
+// engine defaults; Clock and Rng have no wire form (they are process-local
+// test hooks).
+type Options struct {
+	K            int      `json:"k,omitempty"`
+	Tau          float64  `json:"tau,omitempty"`
+	MaxHops      int      `json:"max_hops,omitempty"`
+	PivotNode    string   `json:"pivot,omitempty"`
+	PruneVisited bool     `json:"prune_visited,omitempty"`
+	NoHeuristic  bool     `json:"no_heuristic,omitempty"`
+	TimeBound    Duration `json:"time_bound,omitempty"`
+	AlertRatio   float64  `json:"alert_ratio,omitempty"`
+}
+
+// Core converts the wire options into engine options.
+func (o Options) Core() core.Options {
+	return core.Options{
+		K:            o.K,
+		Tau:          o.Tau,
+		MaxHops:      o.MaxHops,
+		PivotNode:    o.PivotNode,
+		PruneVisited: o.PruneVisited,
+		NoHeuristic:  o.NoHeuristic,
+		TimeBound:    time.Duration(o.TimeBound),
+		AlertRatio:   o.AlertRatio,
+	}
+}
+
+// OptionsFrom converts engine options into their wire form.
+func OptionsFrom(o core.Options) Options {
+	return Options{
+		K:            o.K,
+		Tau:          o.Tau,
+		MaxHops:      o.MaxHops,
+		PivotNode:    o.PivotNode,
+		PruneVisited: o.PruneVisited,
+		NoHeuristic:  o.NoHeuristic,
+		TimeBound:    Duration(o.TimeBound),
+		AlertRatio:   o.AlertRatio,
+	}
+}
+
+// SearchRequest is the body of the service's search endpoints.
+type SearchRequest struct {
+	Query   Query   `json:"query"`
+	Options Options `json:"options"`
+}
+
+// DecodeSearchRequest parses a request body strictly and returns the
+// engine-level query and options. Neither is validated here.
+func DecodeSearchRequest(r io.Reader) (*query.Graph, core.Options, error) {
+	var req SearchRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return nil, core.Options{}, fmt.Errorf("api: parsing search request: %w", err)
+	}
+	return req.Query.Graph(), req.Options.Core(), nil
+}
+
+// PathStep is the wire form of one knowledge-graph edge of an answer path.
+type PathStep struct {
+	From      string `json:"from"`
+	Predicate string `json:"predicate"`
+	To        string `json:"to"`
+}
+
+// SubMatch is the wire form of one sub-query's matched path.
+type SubMatch struct {
+	PSS   float64    `json:"pss"`
+	Steps []PathStep `json:"steps"`
+}
+
+// Answer is the wire form of one ranked answer.
+type Answer struct {
+	Entity   string            `json:"entity"` // the pivot entity name
+	Score    float64           `json:"score"`
+	Bindings map[string]string `json:"bindings,omitempty"`
+	Parts    []SubMatch        `json:"parts,omitempty"`
+}
+
+// AnswerFrom converts an engine answer into its wire form.
+func AnswerFrom(a core.Answer) Answer {
+	out := Answer{Entity: a.PivotName, Score: a.Score, Bindings: a.Bindings}
+	for _, p := range a.Parts {
+		sm := SubMatch{PSS: p.PSS, Steps: make([]PathStep, len(p.Steps))}
+		for i, st := range p.Steps {
+			sm.Steps[i] = PathStep{From: st.FromName, Predicate: st.Predicate, To: st.ToName}
+		}
+		out.Parts = append(out.Parts, sm)
+	}
+	return out
+}
+
+// AnswersFrom converts a ranked answer slice into its wire form.
+func AnswersFrom(answers []core.Answer) []Answer {
+	out := make([]Answer, len(answers))
+	for i, a := range answers {
+		out[i] = AnswerFrom(a)
+	}
+	return out
+}
+
+// Result is the wire form of a search outcome.
+type Result struct {
+	Answers []Answer `json:"answers"`
+	// Pivot is the query node the decomposition joined the answers at.
+	Pivot       string   `json:"pivot,omitempty"`
+	Approximate bool     `json:"approximate,omitempty"`
+	Elapsed     Duration `json:"elapsed"`
+	// Collected is |M̂_i| per sub-query (time-bounded mode only).
+	Collected []int `json:"collected,omitempty"`
+}
+
+// ResultFrom converts an engine result into its wire form.
+func ResultFrom(r *core.Result) Result {
+	out := Result{
+		Answers:     AnswersFrom(r.Answers),
+		Approximate: r.Approximate,
+		Elapsed:     Duration(r.Elapsed),
+		Collected:   r.Collected,
+	}
+	if r.Decomposition != nil {
+		out.Pivot = r.Decomposition.Pivot
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package api
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"semkg/internal/core"
+	"semkg/internal/query"
+)
+
+func sampleGraph() *query.Graph {
+	return &query.Graph{
+		Nodes: []query.Node{
+			{ID: "v1", Type: "Automobile"},
+			{ID: "v2", Name: "Germany", Type: "Country"},
+		},
+		Edges: []query.Edge{{From: "v1", To: "v2", Predicate: "assembly"}},
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	want := sampleGraph()
+	data, err := EncodeQuery(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeQuery(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestDecodeQueryLegacyCapitalizedKeys(t *testing.T) {
+	// Pre-api query documents used Go-style field names; encoding/json
+	// matches case-insensitively, so they keep working.
+	doc := `{"Nodes":[{"ID":"v1","Type":"Automobile"},{"ID":"v2","Name":"Germany"}],
+	         "Edges":[{"From":"v1","To":"v2","Predicate":"assembly"}]}`
+	g, err := DecodeQuery([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 2 || g.Nodes[0].ID != "v1" || g.Edges[0].Predicate != "assembly" {
+		t.Fatalf("legacy decode: %+v", g)
+	}
+}
+
+func TestDecodeQueryRejectsUnknownFields(t *testing.T) {
+	bad := []string{
+		`{"nodes":[],"edges":[],"extra":1}`,
+		`{"nodes":[{"id":"v1","typ":"Automobile"}],"edges":[]}`,
+		`{"nodes":[{"id":"v1","type":"A"}],"edges":[{"from":"a","to":"b","pred":"x"}]}`,
+		`{"nodes":[]} trailing`,
+	}
+	for _, doc := range bad {
+		if _, err := DecodeQuery([]byte(doc)); err == nil {
+			t.Errorf("decoded %q without error", doc)
+		}
+	}
+}
+
+func TestOptionsRoundTrip(t *testing.T) {
+	want := core.Options{
+		K: 7, Tau: 0.65, MaxHops: 3, PivotNode: "v1",
+		PruneVisited: true, NoHeuristic: true,
+		TimeBound: 50 * time.Millisecond, AlertRatio: 0.9,
+	}
+	data, err := json.Marshal(OptionsFrom(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire Options
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if got := wire.Core(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestDurationForms(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte(`"1.5ms"`), &d); err != nil || time.Duration(d) != 1500*time.Microsecond {
+		t.Errorf("string form: %v %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(`2500`), &d); err != nil || time.Duration(d) != 2500 {
+		t.Errorf("numeric (ns) form: %v %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &d); err == nil {
+		t.Error("bogus duration accepted")
+	}
+	out, err := json.Marshal(Duration(50 * time.Millisecond))
+	if err != nil || string(out) != `"50ms"` {
+		t.Errorf("marshal: %s %v", out, err)
+	}
+}
+
+func TestDecodeSearchRequest(t *testing.T) {
+	doc := `{"query":{"nodes":[{"id":"v1","type":"Automobile"},{"id":"v2","name":"Germany"}],
+	                  "edges":[{"from":"v1","to":"v2","predicate":"assembly"}]},
+	         "options":{"k":5,"tau":0.7,"time_bound":"25ms"}}`
+	g, opts, err := DecodeSearchRequest(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 2 || opts.K != 5 || opts.Tau != 0.7 || opts.TimeBound != 25*time.Millisecond {
+		t.Fatalf("decode: %+v %+v", g, opts)
+	}
+	if _, _, err := DecodeSearchRequest(strings.NewReader(`{"query":{},"options":{"kk":1}}`)); err == nil {
+		t.Error("unknown option field accepted")
+	}
+}
+
+func TestEventWireForms(t *testing.T) {
+	cases := []core.Event{
+		core.ProgressEvent{Sub: 0, Collected: 3},
+		core.ProgressEvent{Sub: 2, Collected: 9, Done: true},
+		core.PhaseEvent{Phase: core.PhaseSearch},
+		core.PhaseEvent{Phase: core.PhaseAlert, Elapsed: time.Millisecond, Projected: 2 * time.Millisecond},
+		core.PhaseEvent{Phase: core.PhaseAssemble, Collected: []int{4, 7}},
+		core.TopKEvent{Round: 3, LowerK: 1.2, UpperMax: 1.9, Answers: []core.Answer{{PivotName: "BMW_320", Score: 0.9}}},
+		core.ResultEvent{Result: &core.Result{Answers: []core.Answer{{PivotName: "X", Score: 1}}, Approximate: true}},
+	}
+	kinds := []string{EventProgress, EventProgress, EventPhase, EventPhase, EventPhase, EventTopK, EventResult}
+	for i, ev := range cases {
+		line, err := EncodeEvent(ev)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		wire, err := DecodeEvent(line)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if wire.Event != kinds[i] {
+			t.Errorf("case %d: kind %q, want %q", i, wire.Event, kinds[i])
+		}
+	}
+	// Sub survives as an explicit 0 (pointer field, not omitempty-dropped).
+	line, _ := EncodeEvent(core.ProgressEvent{Sub: 0, Collected: 1})
+	wire, _ := DecodeEvent(line)
+	if wire.Sub == nil || *wire.Sub != 0 {
+		t.Errorf("sub 0 lost on the wire: %s", line)
+	}
+	if _, err := DecodeEvent([]byte(`{"collected":3}`)); err == nil {
+		t.Error("event without discriminator accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"semkg/internal/core"
+)
+
+// Wire event discriminators (the "event" field of an NDJSON line).
+const (
+	EventProgress = "progress"
+	EventTopK     = "topk"
+	EventPhase    = "phase"
+	EventResult   = "result"
+)
+
+// Event is the wire form of one stream event: a single struct with an
+// "event" discriminator, so every NDJSON line is self-describing. Only the
+// fields of the discriminated kind are populated:
+//
+//   - progress: sub, collected, done
+//   - phase:    phase, plus elapsed/projected (alert) or sizes (assemble)
+//   - topk:     round, lower_k, upper_max, answers
+//   - result:   result
+type Event struct {
+	Event string `json:"event"`
+
+	// progress
+	Sub       *int `json:"sub,omitempty"`
+	Collected int  `json:"collected,omitempty"`
+	Done      bool `json:"done,omitempty"`
+
+	// phase
+	Phase     string   `json:"phase,omitempty"`
+	Elapsed   Duration `json:"elapsed,omitempty"`
+	Projected Duration `json:"projected,omitempty"`
+	Sizes     []int    `json:"sizes,omitempty"`
+
+	// topk
+	Round    int      `json:"round,omitempty"`
+	LowerK   float64  `json:"lower_k,omitempty"`
+	UpperMax float64  `json:"upper_max,omitempty"`
+	Answers  []Answer `json:"answers,omitempty"`
+
+	// result
+	Result *Result `json:"result,omitempty"`
+}
+
+// EventFrom converts a core stream event into its wire form.
+func EventFrom(ev core.Event) (Event, error) {
+	switch e := ev.(type) {
+	case core.ProgressEvent:
+		sub := e.Sub
+		return Event{Event: EventProgress, Sub: &sub, Collected: e.Collected, Done: e.Done}, nil
+	case core.PhaseEvent:
+		return Event{
+			Event:     EventPhase,
+			Phase:     string(e.Phase),
+			Elapsed:   Duration(e.Elapsed),
+			Projected: Duration(e.Projected),
+			Sizes:     e.Collected,
+		}, nil
+	case core.TopKEvent:
+		return Event{
+			Event:    EventTopK,
+			Round:    e.Round,
+			LowerK:   e.LowerK,
+			UpperMax: e.UpperMax,
+			Answers:  AnswersFrom(e.Answers),
+		}, nil
+	case core.ResultEvent:
+		r := ResultFrom(e.Result)
+		return Event{Event: EventResult, Result: &r}, nil
+	default:
+		return Event{}, fmt.Errorf("api: unknown event type %T", ev)
+	}
+}
+
+// EncodeEvent renders one stream event as a single NDJSON line (without
+// the trailing newline).
+func EncodeEvent(ev core.Event) ([]byte, error) {
+	w, err := EventFrom(ev)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(w)
+}
+
+// DecodeEvent parses one NDJSON event line.
+func DecodeEvent(line []byte) (Event, error) {
+	var ev Event
+	if err := json.Unmarshal(line, &ev); err != nil {
+		return Event{}, fmt.Errorf("api: parsing event: %w", err)
+	}
+	if ev.Event == "" {
+		return Event{}, fmt.Errorf("api: event line missing %q discriminator", "event")
+	}
+	return ev, nil
+}

@@ -97,6 +97,50 @@ type Options struct {
 	Clock tbq.Clock
 }
 
+// BadRequestError marks an error as caused by the caller's query or
+// options (validation, decomposition, pivot selection) rather than by the
+// engine: an HTTP front end maps it to a 400, not a 500. Unwrap exposes
+// the underlying error.
+type BadRequestError struct{ Err error }
+
+func (e BadRequestError) Error() string { return e.Err.Error() }
+
+// Unwrap supports errors.Is/As.
+func (e BadRequestError) Unwrap() error { return e.Err }
+
+// badRequest wraps err as a BadRequestError (nil stays nil).
+func badRequest(err error) error {
+	if err == nil {
+		return nil
+	}
+	return BadRequestError{Err: err}
+}
+
+// Validate reports out-of-range option values with explicit errors instead
+// of the silent clamping the fields would otherwise fall through to. Zero
+// values are valid and mean "use the default" (K=10, τ=0.8, n̂=4,
+// r%=0.8); Search, Stream and the HTTP service all validate before
+// running, so a bad request fails fast instead of searching with
+// surprising parameters.
+func (o Options) Validate() error {
+	if o.K < 0 {
+		return fmt.Errorf("core: K = %d out of range (must be positive, or 0 for the default 10)", o.K)
+	}
+	if o.Tau < 0 || o.Tau > 1 {
+		return fmt.Errorf("core: Tau = %v out of range (must be in (0,1], or 0 for the default 0.8)", o.Tau)
+	}
+	if o.MaxHops < 0 {
+		return fmt.Errorf("core: MaxHops = %d out of range (must be positive, or 0 for the default 4)", o.MaxHops)
+	}
+	if o.TimeBound < 0 {
+		return fmt.Errorf("core: TimeBound = %v out of range (must be non-negative; 0 selects the exact SGQ mode)", o.TimeBound)
+	}
+	if o.AlertRatio < 0 || o.AlertRatio > 1 {
+		return fmt.Errorf("core: AlertRatio = %v out of range (must be in (0,1], or 0 for the default 0.8)", o.AlertRatio)
+	}
+	return nil
+}
+
 func (o Options) withDefaults() Options {
 	if o.K <= 0 {
 		o.K = 10
@@ -195,57 +239,18 @@ func (c costEstimator) AvgDegree() float64 { return c.e.g.AvgDegree() }
 
 // Search runs the semantic-guided graph query (SGQ), or the time-bounded
 // variant (TBQ) when opts.TimeBound > 0, and returns the top-k answers.
+// It is the batch form of Stream: the same pipeline, consumed to
+// completion, with the event stream discarded.
 //
 // A query node that matches nothing in the knowledge graph (the paper's
 // G1_Q mismatch case) yields an empty answer set, not an error: the query
 // is well-formed, the graph just has no matches.
 func (e *Engine) Search(ctx context.Context, q *query.Graph, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	if opts.TimeBound > 0 {
-		e.perMatchCost() // calibrate outside the timed window
-	}
-	start := time.Now()
-
-	// One φ memo per call: the cost estimator (pivot selection) and the
-	// searcher compilation resolve the same query nodes.
-	memo := e.matcher.Memo()
-
-	d, err := e.decompose(q, opts, memo)
+	s, err := e.stream(ctx, q, opts, true)
 	if err != nil {
 		return nil, err
 	}
-
-	searchers, compiled, err := e.buildSearchers(q, d, opts, memo)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Decomposition: d}
-	if !compiled {
-		res.Elapsed = time.Since(start)
-		return res, nil // some query node has no matches: no answers
-	}
-
-	var finals []ta.Final
-	if opts.TimeBound > 0 {
-		cfg := tbq.Config{
-			Bound:      opts.TimeBound,
-			AlertRatio: opts.AlertRatio,
-			PerMatchTA: e.perMatchCost(),
-			Clock:      opts.Clock,
-		}
-		out := tbq.Run(ctx, searchers, opts.K, cfg)
-		finals = out.Finals
-		res.Approximate = !out.Exhausted
-		res.Collected = out.Collected
-	} else {
-		finals = e.assembleOptimal(ctx, searchers, opts.K)
-	}
-	for _, s := range searchers {
-		res.SearchStats = append(res.SearchStats, s.Stats())
-	}
-	res.Answers = e.renderAnswers(finals, d)
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return s.Result(), nil
 }
 
 func (e *Engine) decompose(q *query.Graph, opts Options, memo *transform.Memo) (*query.Decomposition, error) {
@@ -307,39 +312,6 @@ func (e *Engine) buildSearchers(q *query.Graph, d *query.Decomposition, opts Opt
 		}, sopts))
 	}
 	return searchers, true, nil
-}
-
-// assembleOptimal runs the exact pipeline: each searcher prefetches its
-// first k matches concurrently (one goroutine per sub-query graph, as in
-// the paper), then the TA assembly pulls further matches on demand.
-func (e *Engine) assembleOptimal(ctx context.Context, searchers []*astar.Searcher, k int) []ta.Final {
-	prefetched := make([][]astar.Match, len(searchers))
-	var wg sync.WaitGroup
-	for i, s := range searchers {
-		wg.Add(1)
-		go func(i int, s *astar.Searcher) {
-			defer wg.Done()
-			for len(prefetched[i]) < k && ctx.Err() == nil {
-				m, ok := s.Next()
-				if !ok {
-					break
-				}
-				prefetched[i] = append(prefetched[i], m)
-			}
-		}(i, s)
-	}
-	wg.Wait()
-
-	streams := make([]ta.Stream, len(searchers))
-	for i := range searchers {
-		streams[i] = &resumeStream{
-			ctx:    ctx,
-			buf:    prefetched[i],
-			search: searchers[i],
-		}
-	}
-	finals, _ := ta.Assemble(streams, k)
-	return finals
 }
 
 // resumeStream serves prefetched matches first, then resumes the underlying

@@ -375,6 +375,120 @@ func TestAnswerRendering(t *testing.T) {
 	}
 }
 
+// TestEntitiesOf pins the dedup-in-rank-order contract: duplicates keep
+// their first (best-ranked) position, answers without the binding are
+// skipped, and an unknown node ID yields nil.
+func TestEntitiesOf(t *testing.T) {
+	r := &Result{Answers: []Answer{
+		{PivotName: "P1", Bindings: map[string]string{"v": "A", "w": "X"}},
+		{PivotName: "P2", Bindings: map[string]string{"v": "B"}},
+		{PivotName: "P3", Bindings: map[string]string{"w": "Y"}}, // no "v" binding
+		{PivotName: "P4", Bindings: map[string]string{"v": "A"}}, // duplicate of rank 1
+		{PivotName: "P5", Bindings: map[string]string{"v": "C"}},
+	}}
+	got := r.EntitiesOf("v")
+	want := []string{"A", "B", "C"}
+	if len(got) != len(want) {
+		t.Fatalf("EntitiesOf(v) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EntitiesOf(v) = %v, want %v", got, want)
+		}
+	}
+	if r.EntitiesOf("nope") != nil {
+		t.Errorf("unknown node should yield nil, got %v", r.EntitiesOf("nope"))
+	}
+}
+
+// TestBindingsFirstSubQueryWins exercises the documented precedence rule:
+// when two sub-queries share a non-pivot query node but their matched
+// paths pass through different entities, the first sub-query's assignment
+// wins (consistency is only enforced at the pivot, as in the paper).
+func TestBindingsFirstSubQueryWins(t *testing.T) {
+	// Two anchors reach the same pivot entity P1 through *different*
+	// middle entities: s1 -p-> M1 -q-> P1 and s2 -p-> M2 -q-> P1. The
+	// query shares one middle target node "mid" between both sub-queries.
+	b := kg.NewBuilder(16, 16)
+	a1 := b.AddNode("Anchor1", "A")
+	a2 := b.AddNode("Anchor2", "A")
+	m1 := b.AddNode("M1", "M")
+	m2 := b.AddNode("M2", "M")
+	p1 := b.AddNode("P1", "P")
+	b.AddEdge(a1, m1, "p")
+	b.AddEdge(a2, m2, "p")
+	b.AddEdge(m1, p1, "q")
+	b.AddEdge(m2, p1, "q")
+	g := b.Build()
+
+	names := g.Predicates()
+	vecs := make([]embed.Vector, len(names))
+	for i, n := range names {
+		switch n {
+		case "p":
+			vecs[i] = embed.Vector{1, 0, 0}
+		case "q":
+			vecs[i] = embed.Vector{0, 1, 0}
+		}
+	}
+	sp, err := embed.NewSpace(names, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := &query.Graph{
+		Nodes: []query.Node{
+			{ID: "s1", Name: "Anchor1", Type: "A"},
+			{ID: "s2", Name: "Anchor2", Type: "A"},
+			{ID: "mid", Type: "M"},
+			{ID: "piv", Type: "P"},
+		},
+		Edges: []query.Edge{
+			{From: "s1", To: "mid", Predicate: "p"},
+			{From: "s2", To: "mid", Predicate: "p"},
+			{From: "mid", To: "piv", Predicate: "q"},
+		},
+	}
+	res, err := e.Search(context.Background(), q, Options{K: 3, Tau: 0.5, MaxHops: 2, PivotNode: "piv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 {
+		t.Fatalf("answers = %+v, want exactly one (P1)", res.Answers)
+	}
+	a := res.Answers[0]
+	if a.PivotName != "P1" {
+		t.Fatalf("pivot = %q, want P1", a.PivotName)
+	}
+	if len(a.Parts) != 2 {
+		t.Fatalf("parts = %d, want 2 sub-queries", len(a.Parts))
+	}
+	// The sub-queries genuinely disagree: sub 1 (from s1) runs through M1,
+	// sub 2 (from s2) through M2.
+	through := func(part SubMatch, name string) bool {
+		for _, s := range part.Steps {
+			if s.FromName == name || s.ToName == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !through(a.Parts[0], "M1") || !through(a.Parts[1], "M2") {
+		t.Fatalf("expected sub 1 via M1 and sub 2 via M2, got %+v", a.Parts)
+	}
+	// First sub-query wins the shared "mid" binding.
+	if a.Bindings["mid"] != "M1" {
+		t.Errorf(`Bindings["mid"] = %q, want "M1" (first sub-query wins)`, a.Bindings["mid"])
+	}
+	if a.Bindings["s1"] != "Anchor1" || a.Bindings["s2"] != "Anchor2" || a.Bindings["piv"] != "P1" {
+		t.Errorf("bindings incomplete: %+v", a.Bindings)
+	}
+}
+
 // TestEndToEndWithTransE runs the full offline+online pipeline: train a
 // real TransE embedding on the graph, then query through it.
 func TestEndToEndWithTransE(t *testing.T) {

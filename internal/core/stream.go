@@ -1,0 +1,379 @@
+// Streaming search: the anytime, event-driven form of the pipeline. The
+// paper's response-time-bounded mode (Section VI, Theorem 4) refines its
+// answer monotonically as the budget grows; Stream exposes that refinement
+// — and the exact mode's TA assembly rounds — as typed events, so callers
+// can render provisional top-k answers while the search is still running.
+// The batch Search is a thin consumer of this pipeline.
+
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"semkg/internal/astar"
+	"semkg/internal/kg"
+	"semkg/internal/query"
+	"semkg/internal/ta"
+	"semkg/internal/tbq"
+)
+
+// EventKind discriminates stream events.
+type EventKind int
+
+const (
+	// KindProgress is a per-sub-query search progress update.
+	KindProgress EventKind = iota
+	// KindTopK is a provisional top-k snapshot with TA bounds.
+	KindTopK
+	// KindPhase marks a pipeline phase transition.
+	KindPhase
+	// KindResult is the terminal event carrying the final Result.
+	KindResult
+)
+
+// Event is one typed stream notification. The concrete types are
+// ProgressEvent, TopKEvent, PhaseEvent and ResultEvent.
+type Event interface {
+	Kind() EventKind
+}
+
+// Phase names a pipeline stage for PhaseEvent.
+type Phase string
+
+const (
+	// PhaseSearch marks the start of the per-sub-query A* searches.
+	PhaseSearch Phase = "search"
+	// PhaseAlert marks Algorithm 3's estimator reaching the alert
+	// threshold T·r% (TBQ only): the searches stop so that the assembly
+	// of the collected sets finishes within the bound.
+	PhaseAlert Phase = "alert"
+	// PhaseAssemble marks the start of the TA final-match assembly.
+	PhaseAssemble Phase = "assemble"
+)
+
+// ProgressEvent reports per-sub-query search effort: Collected counts the
+// matches gathered so far for sub-query Sub (prefetched in the exact mode,
+// eager-collected distinct entities in TBQ mode). Done marks the end of
+// the sub-query's search phase.
+type ProgressEvent struct {
+	Sub       int
+	Collected int
+	Done      bool
+}
+
+// Kind implements Event.
+func (ProgressEvent) Kind() EventKind { return KindProgress }
+
+// TopKEvent is a provisional top-k snapshot taken between TA assembly
+// rounds. Answers are complete candidates in rank order (at most k);
+// LowerK is L_k, the exact score of the k-th candidate (0 until k
+// complete candidates exist), and UpperMax is U_max, the best upper bound
+// of any candidate outside the current top-k (Eq. 8-11). The assembly
+// terminates when L_k >= U_max (Theorem 3), so the gap measures how far
+// the provisional ranking may still move. The last TopKEvent of a stream
+// always carries the final ranking.
+type TopKEvent struct {
+	Answers  []Answer
+	LowerK   float64
+	UpperMax float64
+	// Round is the assembly round that produced this snapshot.
+	Round int
+}
+
+// Kind implements Event.
+func (TopKEvent) Kind() EventKind { return KindTopK }
+
+// PhaseEvent marks a pipeline phase transition. For PhaseAlert, Elapsed is
+// the search time consumed and Projected is Algorithm 3's estimate T̂ that
+// tripped the threshold. For PhaseAssemble, Collected holds |M̂_i| per
+// sub-query (TBQ) or the prefetched match counts (exact mode).
+type PhaseEvent struct {
+	Phase     Phase
+	Elapsed   time.Duration
+	Projected time.Duration
+	Collected []int
+}
+
+// Kind implements Event.
+func (PhaseEvent) Kind() EventKind { return KindPhase }
+
+// ResultEvent is the terminal event: the same *Result that Stream.Result
+// returns. Exactly one ResultEvent is delivered, after which the event
+// channel is closed.
+type ResultEvent struct {
+	Result *Result
+}
+
+// Kind implements Event.
+func (ResultEvent) Kind() EventKind { return KindResult }
+
+// streamBuffer sizes the event channel. Advisory events (progress, topk,
+// phase) are dropped rather than blocking the search when the consumer
+// falls this far behind; the terminal ResultEvent is never dropped.
+const streamBuffer = 256
+
+// Stream is a running search emitting Events. Consume Events until the
+// channel closes, or call Result to block until the terminal result; both
+// are safe from any goroutine. Cancel the context passed to Engine.Stream
+// to abandon the search early — the stream then terminates with whatever
+// was found (anytime semantics, as in batch Search).
+type Stream struct {
+	events chan Event
+	done   chan struct{}
+	res    *Result
+	// quiet disables all event emission: the batch Search path runs the
+	// identical pipeline without paying for events nobody consumes.
+	quiet bool
+
+	// Provisional-ranking state, touched only by the pipeline goroutine.
+	lastTopK []provisionalKey
+	lk, umax float64
+	round    int
+}
+
+// Events returns the event channel. Advisory events are best-effort: when
+// the consumer lags behind streamBuffer of them, older advisory events are
+// discarded. The terminal ResultEvent is always the last event delivered,
+// and the channel is closed after it.
+func (s *Stream) Events() <-chan Event { return s.events }
+
+// Result blocks until the search terminates and returns the final result.
+// It does not require the Events channel to be drained.
+func (s *Stream) Result() *Result {
+	<-s.done
+	return s.res
+}
+
+// emit delivers ev without ever blocking the pipeline: when the buffer is
+// full, the *oldest* buffered event is discarded to make room. Dropping
+// from the front keeps the newest events — in particular the closing
+// top-k snapshot and the terminal result always survive a backlogged
+// consumer, preserving the ordering guarantees (channel FIFO order is
+// unaffected by front drops). Safe for concurrent emitters: every select
+// is atomic and the loop always makes progress.
+func (s *Stream) emit(ev Event) {
+	if s.quiet {
+		return
+	}
+	for {
+		select {
+		case s.events <- ev:
+			return
+		default:
+			select {
+			case <-s.events:
+			default:
+			}
+		}
+	}
+}
+
+// Stream starts the search pipeline and returns immediately with a Stream
+// emitting typed events: phase transitions, per-sub-query progress,
+// provisional top-k snapshots with TA bounds, and a terminal result.
+// Option and query validation errors are returned synchronously (wrapped
+// as BadRequestError — the caller's fault, not the engine's); after a nil
+// error the stream always terminates with a ResultEvent. Consuming a
+// Stream to completion yields a Result identical to Engine.Search with
+// the same arguments.
+func (e *Engine) Stream(ctx context.Context, q *query.Graph, opts Options) (*Stream, error) {
+	return e.stream(ctx, q, opts, false)
+}
+
+// stream sets up the pipeline. In quiet mode (the batch Search path) no
+// events are emitted and the pipeline runs synchronously — same search,
+// none of the event or goroutine overhead.
+func (e *Engine) stream(ctx context.Context, q *query.Graph, opts Options, quiet bool) (*Stream, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, badRequest(err)
+	}
+	opts = opts.withDefaults()
+	if opts.TimeBound > 0 {
+		e.perMatchCost() // calibrate outside the timed window
+	}
+	start := time.Now()
+
+	// One φ memo per call: the cost estimator (pivot selection) and the
+	// searcher compilation resolve the same query nodes.
+	memo := e.matcher.Memo()
+	d, err := e.decompose(q, opts, memo)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	searchers, compiled, err := e.buildSearchers(q, d, opts, memo)
+	if err != nil {
+		return nil, err
+	}
+
+	buffer := streamBuffer
+	if quiet {
+		buffer = 0 // no events will be emitted
+	}
+	s := &Stream{events: make(chan Event, buffer), done: make(chan struct{}), quiet: quiet}
+	if quiet {
+		e.runStream(ctx, s, d, searchers, compiled, opts, start)
+	} else {
+		go e.runStream(ctx, s, d, searchers, compiled, opts, start)
+	}
+	return s, nil
+}
+
+// runStream is the pipeline goroutine behind Stream.
+func (e *Engine) runStream(ctx context.Context, s *Stream, d *query.Decomposition,
+	searchers []*astar.Searcher, compiled bool, opts Options, start time.Time) {
+	res := &Result{Decomposition: d}
+	if compiled {
+		var finals []ta.Final
+		if opts.TimeBound > 0 {
+			finals = e.streamTBQ(ctx, s, searchers, opts, res, d)
+		} else {
+			finals = e.streamOptimal(ctx, s, searchers, opts.K, d)
+		}
+		for _, sr := range searchers {
+			res.SearchStats = append(res.SearchStats, sr.Stats())
+		}
+		res.Answers = e.renderAnswers(finals, d)
+		// The closing top-k snapshot: guaranteed even when no provisional
+		// round changed the ranking, so consumers always see the final
+		// ranking as the last TopKEvent before the terminal result.
+		lk, umax, round := s.lastBounds()
+		s.emit(TopKEvent{Answers: res.Answers, LowerK: lk, UpperMax: umax, Round: round})
+	}
+	res.Elapsed = time.Since(start)
+	s.res = res
+	s.emit(ResultEvent{Result: res})
+	close(s.events)
+	close(s.done)
+}
+
+// lastBounds returns the bounds of the most recent assembly round observed
+// by emitProvisional (zero values when the assembly never ran a round).
+func (s *Stream) lastBounds() (lk, umax float64, round int) {
+	return s.lk, s.umax, s.round
+}
+
+// emitProvisional emits a TopKEvent when the provisional ranking changed
+// since the last emission, and records the round's bounds.
+func (s *Stream) emitProvisional(e *Engine, d *query.Decomposition, finals []ta.Final, lk, umax float64, round int) {
+	s.lk, s.umax, s.round = lk, umax, round
+	sig := make([]provisionalKey, len(finals))
+	for i, f := range finals {
+		sig[i] = provisionalKey{pivot: f.Pivot, score: f.Score}
+	}
+	if provisionalEqual(sig, s.lastTopK) {
+		return
+	}
+	s.lastTopK = sig
+	s.emit(TopKEvent{Answers: e.renderAnswers(finals, d), LowerK: lk, UpperMax: umax, Round: round})
+}
+
+// streamOptimal is the exact pipeline (the former assembleOptimal) with
+// events threaded through: each searcher prefetches its first k matches
+// concurrently (one goroutine per sub-query graph, as in the paper), then
+// the TA assembly pulls further matches on demand, emitting a provisional
+// top-k snapshot whenever a round changes the ranking.
+func (e *Engine) streamOptimal(ctx context.Context, s *Stream, searchers []*astar.Searcher, k int, d *query.Decomposition) []ta.Final {
+	s.emit(PhaseEvent{Phase: PhaseSearch})
+	prefetched := make([][]astar.Match, len(searchers))
+	var wg sync.WaitGroup
+	quiet := s.quiet // hoisted: the per-match emit would otherwise box an event just to drop it
+	for i, sr := range searchers {
+		wg.Add(1)
+		go func(i int, sr *astar.Searcher) {
+			defer wg.Done()
+			for len(prefetched[i]) < k && ctx.Err() == nil {
+				m, ok := sr.Next()
+				if !ok {
+					break
+				}
+				prefetched[i] = append(prefetched[i], m)
+				if !quiet {
+					s.emit(ProgressEvent{Sub: i, Collected: len(prefetched[i])})
+				}
+			}
+			if !quiet {
+				s.emit(ProgressEvent{Sub: i, Collected: len(prefetched[i]), Done: true})
+			}
+		}(i, sr)
+	}
+	wg.Wait()
+
+	counts := make([]int, len(searchers))
+	streams := make([]ta.Stream, len(searchers))
+	for i := range searchers {
+		counts[i] = len(prefetched[i])
+		streams[i] = &resumeStream{
+			ctx:    ctx,
+			buf:    prefetched[i],
+			search: searchers[i],
+		}
+	}
+	s.emit(PhaseEvent{Phase: PhaseAssemble, Collected: counts})
+
+	asm := ta.NewAssembler(streams, k)
+	var onRound func(int)
+	if !s.quiet {
+		onRound = func(r int) {
+			lk, umax := asm.Bounds()
+			s.emitProvisional(e, d, asm.Provisional(), lk, umax, r)
+		}
+	}
+	return asm.Run(onRound)
+}
+
+// streamTBQ runs the time-bounded pipeline with tbq's phases threaded
+// through the event channel.
+func (e *Engine) streamTBQ(ctx context.Context, s *Stream, searchers []*astar.Searcher, opts Options, res *Result, d *query.Decomposition) []ta.Final {
+	cfg := tbq.Config{
+		Bound:      opts.TimeBound,
+		AlertRatio: opts.AlertRatio,
+		PerMatchTA: e.perMatchCost(),
+		Clock:      opts.Clock,
+	}
+	s.emit(PhaseEvent{Phase: PhaseSearch})
+	var hooks tbq.Hooks
+	if !s.quiet {
+		hooks = tbq.Hooks{
+			OnCollected: func(sub, total int) {
+				s.emit(ProgressEvent{Sub: sub, Collected: total})
+			},
+			OnSubDone: func(sub, total int) {
+				s.emit(ProgressEvent{Sub: sub, Collected: total, Done: true})
+			},
+			OnAlert: func(elapsed, projected time.Duration) {
+				s.emit(PhaseEvent{Phase: PhaseAlert, Elapsed: elapsed, Projected: projected})
+			},
+			OnAssembly: func(collected []int) {
+				s.emit(PhaseEvent{Phase: PhaseAssemble, Collected: collected})
+			},
+			OnProvisional: func(finals []ta.Final, lk, umax float64, round int) {
+				s.emitProvisional(e, d, finals, lk, umax, round)
+			},
+		}
+	}
+	out := tbq.RunHooked(ctx, searchers, opts.K, cfg, hooks)
+	res.Approximate = !out.Exhausted
+	res.Collected = out.Collected
+	return out.Finals
+}
+
+// provisionalKey identifies one provisional ranking entry for change
+// detection between assembly rounds.
+type provisionalKey struct {
+	pivot kg.NodeID
+	score float64
+}
+
+func provisionalEqual(a, b []provisionalKey) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

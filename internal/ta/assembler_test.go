@@ -1,0 +1,117 @@
+package ta
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"semkg/internal/astar"
+	"semkg/internal/kg"
+)
+
+// TestAssemblerMatchesAssemble drives an Assembler step by step over random
+// stream sets and checks that finals and stats are identical to the
+// one-shot Assemble on equal inputs.
+func TestAssemblerMatchesAssemble(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nStreams := 1 + rng.Intn(4)
+		k := 1 + rng.Intn(5)
+		mk := func() ([]Stream, []Stream) {
+			a := make([]Stream, nStreams)
+			b := make([]Stream, nStreams)
+			for i := range a {
+				n := rng.Intn(12)
+				ms := make([]astar.Match, n)
+				for j := range ms {
+					ms[j] = entry(kg.NodeID(rng.Intn(8)), float64(rng.Intn(100))/100)
+				}
+				sortMatches(ms)
+				ms2 := make([]astar.Match, n)
+				copy(ms2, ms)
+				a[i] = &SliceStream{Matches: ms}
+				b[i] = &SliceStream{Matches: ms2}
+			}
+			return a, b
+		}
+		sa, sb := mk()
+		wantFinals, wantStats := Assemble(sa, k)
+
+		asm := NewAssembler(sb, k)
+		steps := 0
+		for asm.Step() {
+			if asm.Done() {
+				t.Fatal("Step returned true on a done assembler")
+			}
+			steps++
+			if steps > 10000 {
+				t.Fatal("assembler did not terminate")
+			}
+			// Provisional ranking is always ≤ k and sorted by score.
+			prov := asm.Provisional()
+			if len(prov) > k {
+				t.Fatalf("provisional has %d > k=%d entries", len(prov), k)
+			}
+			for i := 1; i < len(prov); i++ {
+				if prov[i].Score > prov[i-1].Score {
+					t.Fatalf("provisional not sorted: %v", prov)
+				}
+			}
+		}
+		if !asm.Done() {
+			t.Fatal("assembler not done after Step returned false")
+		}
+		if !reflect.DeepEqual(asm.Finals(), wantFinals) {
+			t.Fatalf("trial %d: finals differ:\n asm: %+v\n one-shot: %+v", trial, asm.Finals(), wantFinals)
+		}
+		if asm.Stats() != wantStats {
+			t.Fatalf("trial %d: stats differ: %+v vs %+v", trial, asm.Stats(), wantStats)
+		}
+		// The final provisional snapshot equals the finals (modulo the
+		// defensive parts copy).
+		prov := asm.Provisional()
+		if !reflect.DeepEqual(prov, wantFinals) && (len(prov) != 0 || len(wantFinals) != 0) {
+			t.Fatalf("trial %d: final provisional %+v != finals %+v", trial, prov, wantFinals)
+		}
+	}
+}
+
+func sortMatches(ms []astar.Match) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].PSS > ms[j-1].PSS; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+// TestAssemblerBounds checks the L_k/U_max view: the gap closes and the
+// terminal condition L_k >= U_max holds when termination was by bounds.
+func TestAssemblerBounds(t *testing.T) {
+	l1 := list(pair{1, 0.9}, pair{2, 0.8}, pair{3, 0.7}, pair{4, 0.2})
+	l2 := list(pair{2, 0.8}, pair{3, 0.75}, pair{1, 0.5}, pair{4, 0.1})
+	asm := NewAssembler([]Stream{l1, l2}, 2)
+	for asm.Step() {
+	}
+	lk, umax := asm.Bounds()
+	if lk < umax {
+		t.Errorf("terminated with L_k=%v < U_max=%v without exhaustion = %v",
+			lk, umax, asm.Stats().Exhausted)
+	}
+	if len(asm.Finals()) != 2 {
+		t.Fatalf("finals = %+v, want 2", asm.Finals())
+	}
+}
+
+// TestAssemblerEdgeCases mirrors Assemble's degenerate inputs.
+func TestAssemblerEdgeCases(t *testing.T) {
+	if a := NewAssembler(nil, 3); !a.Done() || a.Step() || a.Finals() != nil {
+		t.Error("no streams should be born terminated with nil finals")
+	}
+	if a := NewAssembler([]Stream{list()}, 0); !a.Done() || a.Step() {
+		t.Error("k=0 should be born terminated")
+	}
+	// Provisional on a virgin assembler is empty, not nil-panic.
+	if got := NewAssembler(nil, 3).Provisional(); len(got) != 0 {
+		t.Errorf("virgin provisional = %v", got)
+	}
+}

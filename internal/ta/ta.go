@@ -65,6 +65,227 @@ type candidate struct {
 	nSeen int
 }
 
+// Assembler is the incremental form of the TA assembly: each Step consumes
+// one round-robin round of sorted accesses and re-evaluates the Theorem 3
+// termination condition, so a caller can observe the provisional top-k and
+// its lower/upper bounds between rounds (the anytime view that the
+// streaming API exposes as events). Assemble drives an Assembler to
+// completion and is byte-identical to the seed's one-shot implementation.
+//
+// An Assembler is not safe for concurrent use.
+type Assembler struct {
+	streams []Stream
+	k       int
+	psiCur  []float64 // pss of latest access per stream (Eq. 11's ψcur)
+	alive   []bool
+	cands   map[kg.NodeID]*candidate
+	stats   Stats
+	done    bool
+	finals  []Final
+
+	// Round snapshot, refreshed by Step: the current best complete
+	// candidates (≤ k). Bounds are computed lazily (boundsDirty) so that
+	// rounds nobody observes — the batch path — pay nothing beyond the
+	// seed's per-round work.
+	top         []*candidate
+	lk, umax    float64
+	boundsDirty bool
+}
+
+// NewAssembler prepares an assembly over the given sorted streams. With
+// k <= 0 or no streams the assembler is born terminated with no finals,
+// mirroring Assemble's edge cases.
+func NewAssembler(streams []Stream, k int) *Assembler {
+	a := &Assembler{streams: streams, k: k}
+	if k <= 0 || len(streams) == 0 {
+		a.done = true
+		return a
+	}
+	n := len(streams)
+	a.psiCur = make([]float64, n)
+	a.alive = make([]bool, n)
+	for i := range a.psiCur {
+		a.psiCur[i] = 1 // pss is bounded by 1 before the first access
+		a.alive[i] = true
+	}
+	a.cands = make(map[kg.NodeID]*candidate)
+	return a
+}
+
+// upper is the Eq. 11 upper bound of a candidate: its known lower bound
+// plus ψcur for every stream it has not appeared in yet.
+func (a *Assembler) upper(c *candidate) float64 {
+	u := c.lower
+	for i := range a.streams {
+		if !c.seen[i] {
+			u += a.psiCur[i]
+		}
+	}
+	return u
+}
+
+// Step runs one round-robin round of sorted accesses and the termination
+// check. It returns false once the assembly has terminated (Theorem 3
+// satisfied or every stream exhausted); Finals then holds the result.
+func (a *Assembler) Step() bool {
+	if a.done {
+		return false
+	}
+	n := len(a.streams)
+	a.stats.Rounds++
+	anyAlive := false
+	for i, st := range a.streams {
+		if !a.alive[i] {
+			continue
+		}
+		m, ok := st.Next()
+		a.stats.Accesses++
+		if !ok {
+			a.alive[i] = false
+			a.psiCur[i] = 0
+			continue
+		}
+		anyAlive = true
+		a.psiCur[i] = m.PSS
+		p := m.End()
+		c := a.cands[p]
+		if c == nil {
+			c = &candidate{pivot: p, seen: make([]bool, n), parts: make([]astar.Match, n)}
+			a.cands[p] = c
+		}
+		if !c.seen[i] {
+			// First (= best) match for this pivot in stream i.
+			c.seen[i] = true
+			c.parts[i] = m
+			c.lower += m.PSS
+			c.nSeen++
+		}
+	}
+
+	// Termination check (Theorem 3): rank complete candidates by exact
+	// score; the L_k/U_max comparison itself is evaluated only when it
+	// can terminate the assembly, exactly as the one-shot loop did (the
+	// bound computation is O(|candidates|) and would otherwise turn the
+	// assembly quadratic).
+	var complete []*candidate
+	for _, c := range a.cands {
+		if c.nSeen == n {
+			complete = append(complete, c)
+		}
+	}
+	sort.Slice(complete, func(i, j int) bool {
+		if complete[i].lower != complete[j].lower {
+			return complete[i].lower > complete[j].lower
+		}
+		return complete[i].pivot < complete[j].pivot
+	})
+	top := complete
+	if len(top) > a.k {
+		top = top[:a.k]
+	}
+	a.top = top
+	a.boundsDirty = true
+
+	if len(complete) >= a.k || !anyAlive {
+		if !anyAlive {
+			a.stats.Exhausted = true
+			a.finals = finalize(top)
+			a.done = true
+			return false
+		}
+		lk, umax := a.bounds()
+		if len(top) == a.k && lk >= umax {
+			a.finals = finalize(top)
+			a.done = true
+			return false
+		}
+	}
+	return true
+}
+
+// bounds computes (and caches per round) L_k — the k-th best complete
+// score, 0 until k complete candidates exist — and U_max — the best
+// Eq. 11 upper bound among everything outside the current top, including
+// the virtual never-seen candidate whose upper bound is Σ ψcur.
+func (a *Assembler) bounds() (float64, float64) {
+	if !a.boundsDirty {
+		return a.lk, a.umax
+	}
+	lk := 0.0
+	if len(a.top) == a.k {
+		lk = a.top[a.k-1].lower
+	}
+	umax := 0.0
+	for i := range a.psiCur {
+		umax += a.psiCur[i] // virtual unseen candidate
+	}
+	inTop := make(map[kg.NodeID]bool, len(a.top))
+	for _, c := range a.top {
+		inTop[c.pivot] = true
+	}
+	for _, c := range a.cands {
+		if inTop[c.pivot] {
+			continue
+		}
+		if u := a.upper(c); u > umax {
+			umax = u
+		}
+	}
+	a.lk, a.umax = lk, umax
+	a.boundsDirty = false
+	return lk, umax
+}
+
+// Run drives the assembler to completion and returns the finals. onRound,
+// when non-nil, is invoked after every completed round — including the
+// terminal one — so a caller can observe Provisional/Bounds between
+// rounds; both streaming consumers (exact and time-bounded) share this
+// loop.
+func (a *Assembler) Run(onRound func(round int)) []Final {
+	prev := a.stats.Rounds
+	for {
+		more := a.Step()
+		if r := a.stats.Rounds; r > prev {
+			prev = r
+			if onRound != nil {
+				onRound(r)
+			}
+		}
+		if !more {
+			return a.finals
+		}
+	}
+}
+
+// Done reports whether the assembly has terminated.
+func (a *Assembler) Done() bool { return a.done }
+
+// Finals returns the assembled top-k once Done; nil before termination.
+func (a *Assembler) Finals() []Final { return a.finals }
+
+// Stats returns the effort counters accumulated so far.
+func (a *Assembler) Stats() Stats { return a.stats }
+
+// Bounds returns the current L_k (the k-th best complete score; 0 until k
+// complete candidates exist) and U_max (the best upper bound among
+// non-top candidates, including the virtual never-seen one). Valid after
+// the first Step; computed lazily, so only callers observing the bounds
+// pay for them.
+func (a *Assembler) Bounds() (lk, umax float64) { return a.bounds() }
+
+// Provisional returns a snapshot of the current best complete candidates
+// (at most k, in final rank order). The parts slices are copied, so the
+// snapshot stays valid while the assembly continues.
+func (a *Assembler) Provisional() []Final {
+	out := make([]Final, len(a.top))
+	for i, c := range a.top {
+		parts := make([]astar.Match, len(c.parts))
+		copy(parts, c.parts)
+		out[i] = Final{Pivot: c.pivot, Score: c.lower, Parts: parts}
+	}
+	return out
+}
+
 // Assemble runs the TA-based assembly: it consumes the streams in
 // round-robin sorted access, joins matches at their pivot (end) node, and
 // returns the top-k final matches by score together with effort statistics.
@@ -75,110 +296,9 @@ type candidate struct {
 // resume an underlying A* search (the paper's "repeat the A* semantic
 // search until sufficient final matches are returned").
 func Assemble(streams []Stream, k int) ([]Final, Stats) {
-	var stats Stats
-	if k <= 0 || len(streams) == 0 {
-		return nil, stats
-	}
-	n := len(streams)
-	psiCur := make([]float64, n) // pss of latest access per stream (Eq. 11's ψcur)
-	alive := make([]bool, n)
-	for i := range psiCur {
-		psiCur[i] = 1 // pss is bounded by 1 before the first access
-		alive[i] = true
-	}
-	cands := make(map[kg.NodeID]*candidate)
-
-	upper := func(c *candidate) float64 {
-		u := c.lower
-		for i := range streams {
-			if !c.seen[i] {
-				u += psiCur[i]
-			}
-		}
-		return u
-	}
-
-	for {
-		stats.Rounds++
-		anyAlive := false
-		for i, st := range streams {
-			if !alive[i] {
-				continue
-			}
-			m, ok := st.Next()
-			stats.Accesses++
-			if !ok {
-				alive[i] = false
-				psiCur[i] = 0
-				continue
-			}
-			anyAlive = true
-			psiCur[i] = m.PSS
-			p := m.End()
-			c := cands[p]
-			if c == nil {
-				c = &candidate{pivot: p, seen: make([]bool, n), parts: make([]astar.Match, n)}
-				cands[p] = c
-			}
-			if !c.seen[i] {
-				// First (= best) match for this pivot in stream i.
-				c.seen[i] = true
-				c.parts[i] = m
-				c.lower += m.PSS
-				c.nSeen++
-			}
-		}
-
-		// Termination check (Theorem 3): rank complete candidates by
-		// exact score; L_k is the k-th best; U_max is the best upper
-		// bound among everything else, including the virtual never-seen
-		// candidate whose upper bound is Σ ψcur.
-		var complete []*candidate
-		for _, c := range cands {
-			if c.nSeen == n {
-				complete = append(complete, c)
-			}
-		}
-		sort.Slice(complete, func(i, j int) bool {
-			if complete[i].lower != complete[j].lower {
-				return complete[i].lower > complete[j].lower
-			}
-			return complete[i].pivot < complete[j].pivot
-		})
-		if len(complete) >= k || !anyAlive {
-			top := complete
-			if len(top) > k {
-				top = top[:k]
-			}
-			if !anyAlive {
-				stats.Exhausted = true
-				return finalize(top), stats
-			}
-			lk := 0.0
-			if len(top) == k {
-				lk = top[k-1].lower
-			}
-			umax := 0.0
-			for i := range psiCur {
-				umax += psiCur[i] // virtual unseen candidate
-			}
-			inTop := make(map[kg.NodeID]bool, len(top))
-			for _, c := range top {
-				inTop[c.pivot] = true
-			}
-			for _, c := range cands {
-				if inTop[c.pivot] {
-					continue
-				}
-				if u := upper(c); u > umax {
-					umax = u
-				}
-			}
-			if len(top) == k && lk >= umax {
-				return finalize(top), stats
-			}
-		}
-	}
+	a := NewAssembler(streams, k)
+	finals := a.Run(nil)
+	return finals, a.Stats()
 }
 
 func finalize(cs []*candidate) []Final {

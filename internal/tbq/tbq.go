@@ -115,6 +115,31 @@ type Result struct {
 	Collected []int
 }
 
+// Hooks receives phase notifications during a time-bounded run, so a
+// streaming consumer can observe the run as it unfolds. Every field is
+// optional (nil = no notification). OnCollected is invoked from the
+// per-sub-query search goroutines and must be safe for concurrent use;
+// the remaining hooks fire from at most one goroutine at a time.
+type Hooks struct {
+	// OnCollected fires when sub-query sub's eager set M̂_sub grows to
+	// total distinct answer entities.
+	OnCollected func(sub, total int)
+	// OnSubDone fires when sub-query sub's eager search ends (exhausted
+	// or stopped), with the final |M̂_sub|. Like OnCollected it is
+	// invoked from the search goroutines.
+	OnSubDone func(sub, total int)
+	// OnAlert fires once, when Algorithm 3's estimate T̂ = elapsed +
+	// Σ|M̂_i|·t first reaches the alert threshold Bound·AlertRatio.
+	// It does not fire on context cancellation or exhaustion.
+	OnAlert func(elapsed, projected time.Duration)
+	// OnAssembly fires when the search phase has ended and the TA
+	// assembly of the collected sets begins; collected holds |M̂_i|.
+	OnAssembly func(collected []int)
+	// OnProvisional fires after every TA assembly round with the current
+	// provisional top-k and its L_k/U_max bounds (Theorem 3's state).
+	OnProvisional func(finals []ta.Final, lk, umax float64, round int)
+}
+
 // Run executes the time-bounded query: searchers (one per sub-query graph,
 // already positioned at their anchors) run concurrently in eager mode until
 // Algorithm 3's estimate reaches the alert threshold, then the collected
@@ -123,6 +148,12 @@ type Result struct {
 // ctx cancellation stops the search phase early (the assembly still runs on
 // whatever was collected).
 func Run(ctx context.Context, searchers []*astar.Searcher, k int, cfg Config) Result {
+	return RunHooked(ctx, searchers, k, cfg, Hooks{})
+}
+
+// RunHooked is Run with phase notifications threaded through hooks. With
+// the zero Hooks it behaves exactly like Run.
+func RunHooked(ctx context.Context, searchers []*astar.Searcher, k int, cfg Config, hooks Hooks) Result {
 	cfg = cfg.withDefaults()
 	start := cfg.Clock.Now()
 	var totalMatches atomic.Int64
@@ -142,7 +173,9 @@ func Run(ctx context.Context, searchers []*astar.Searcher, k int, cfg Config) Re
 		elapsed := cfg.Clock.Now().Sub(start)
 		that := elapsed + time.Duration(totalMatches.Load())*cfg.PerMatchTA
 		if float64(that) >= float64(cfg.Bound)*cfg.AlertRatio {
-			stopped.Store(true)
+			if stopped.CompareAndSwap(false, true) && hooks.OnAlert != nil {
+				hooks.OnAlert(elapsed, that)
+			}
 			return true
 		}
 		return false
@@ -163,12 +196,18 @@ func Run(ctx context.Context, searchers []*astar.Searcher, k int, cfg Config) Re
 				if old, ok := best[m.End()]; !ok || m.PSS > old.PSS {
 					if !ok {
 						totalMatches.Add(1)
+						if hooks.OnCollected != nil {
+							hooks.OnCollected(i, len(best)+1)
+						}
 					}
 					best[m.End()] = m
 				}
 				return true
 			})
 			results[i] = collected{best: best, exhausted: exhausted}
+			if hooks.OnSubDone != nil {
+				hooks.OnSubDone(i, len(best))
+			}
 		}(i, s)
 	}
 	wg.Wait()
@@ -192,7 +231,18 @@ func Run(ctx context.Context, searchers []*astar.Searcher, k int, cfg Config) Re
 			res.Exhausted = false
 		}
 	}
-	res.Finals, _ = ta.Assemble(streams, k)
+	if hooks.OnAssembly != nil {
+		hooks.OnAssembly(res.Collected)
+	}
+	asm := ta.NewAssembler(streams, k)
+	var onRound func(int)
+	if hooks.OnProvisional != nil {
+		onRound = func(r int) {
+			lk, umax := asm.Bounds()
+			hooks.OnProvisional(asm.Provisional(), lk, umax, r)
+		}
+	}
+	res.Finals = asm.Run(onRound)
 	res.Elapsed = cfg.Clock.Now().Sub(start)
 	return res
 }

@@ -104,7 +104,7 @@ func NewLibrary() *Library { return transform.NewLibrary() }
 
 // Options configures a search; see the fields of core.Options. The zero
 // value means top-10, τ = 0.8, n̂ = 4, minCost pivot, exact (unbounded)
-// mode.
+// mode. Options.Validate reports out-of-range values explicitly.
 type Options = core.Options
 
 // Answer is one ranked answer with its matched paths and variable bindings.
@@ -112,6 +112,46 @@ type Answer = core.Answer
 
 // Result is a search outcome.
 type Result = core.Result
+
+// Stream is a running search emitting typed events; see Engine.Stream.
+type Stream = core.Stream
+
+// Event is one stream notification; the concrete types are ProgressEvent,
+// TopKEvent, PhaseEvent and ResultEvent.
+type Event = core.Event
+
+// EventKind discriminates stream events.
+type EventKind = core.EventKind
+
+// Stream event kinds.
+const (
+	KindProgress = core.KindProgress
+	KindTopK     = core.KindTopK
+	KindPhase    = core.KindPhase
+	KindResult   = core.KindResult
+)
+
+// ProgressEvent reports per-sub-query search progress.
+type ProgressEvent = core.ProgressEvent
+
+// TopKEvent is a provisional top-k snapshot with TA lower/upper bounds.
+type TopKEvent = core.TopKEvent
+
+// PhaseEvent marks a pipeline phase transition (search/alert/assemble).
+type PhaseEvent = core.PhaseEvent
+
+// ResultEvent is the terminal event carrying the final Result.
+type ResultEvent = core.ResultEvent
+
+// Phase names a pipeline stage for PhaseEvent.
+type Phase = core.Phase
+
+// Pipeline phases.
+const (
+	PhaseSearch   = core.PhaseSearch
+	PhaseAlert    = core.PhaseAlert
+	PhaseAssemble = core.PhaseAssemble
+)
 
 // Engine answers query graphs over one knowledge graph. Safe for
 // concurrent use.

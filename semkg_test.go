@@ -96,6 +96,58 @@ func TestPublicAPITimeBounded(t *testing.T) {
 	}
 }
 
+// TestPublicAPIStream exercises the streaming facade: typed events arrive
+// in documented order and the drained stream equals batch Search.
+func TestPublicAPIStream(t *testing.T) {
+	eng, _ := buildEngine(t)
+	q := &semkg.Query{
+		Nodes: []semkg.QueryNode{
+			{ID: "car", Type: "Automobile"},
+			{ID: "c", Name: "Germany", Type: "Country"},
+		},
+		Edges: []semkg.QueryEdge{{From: "car", To: "c", Predicate: "assembly"}},
+	}
+	opts := semkg.Options{K: 10, Tau: 0.25, MaxHops: 3, TimeBound: 2 * time.Second}
+
+	st, err := eng.Stream(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawTopK, sawResult bool
+	var final *semkg.Result
+	for ev := range st.Events() {
+		switch e := ev.(type) {
+		case semkg.TopKEvent:
+			if sawResult {
+				t.Error("topk event after terminal result")
+			}
+			sawTopK = true
+		case semkg.ResultEvent:
+			sawResult = true
+			final = e.Result
+		}
+	}
+	if !sawTopK || !sawResult {
+		t.Fatalf("event coverage: topk=%v result=%v", sawTopK, sawResult)
+	}
+	if final != st.Result() {
+		t.Error("terminal event does not carry Stream.Result")
+	}
+
+	batch, err := eng.Search(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Answers) != len(final.Answers) {
+		t.Fatalf("stream found %d answers, batch %d", len(final.Answers), len(batch.Answers))
+	}
+	for i := range batch.Answers {
+		if batch.Answers[i].PivotName != final.Answers[i].PivotName {
+			t.Errorf("answer %d: %s vs %s", i, final.Answers[i].PivotName, batch.Answers[i].PivotName)
+		}
+	}
+}
+
 func TestModelRoundTripThroughFacade(t *testing.T) {
 	g, err := semkg.LoadTriples(strings.NewReader(sampleTriples))
 	if err != nil {
