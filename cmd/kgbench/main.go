@@ -26,14 +26,21 @@ import (
 	"semkg/internal/embed"
 )
 
+// artifact is an experiment that writes a JSON artifact and renders a
+// table (bench.HotpathResult, bench.ServeResult).
+type artifact interface {
+	WriteJSON(path string) error
+	Render() *bench.Table
+}
+
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: table1 | fig12 | fig13 | fig14 | fig15 | table5 | table6 | table7 | noise | table9 | table10 | ablation | hotpath | all (hotpath runs separately)")
+		"experiment: table1 | fig12 | fig13 | fig14 | fig15 | table5 | table6 | table7 | noise | table9 | table10 | ablation | hotpath | serve | all (hotpath and serve run separately)")
 	scale := flag.Float64("scale", 0.3, "dataset scale")
 	dim := flag.Int("dim", 48, "embedding dimension")
 	epochs := flag.Int("epochs", 120, "embedding epochs")
 	tau := flag.Float64("tau", 0.7, "pss threshold τ")
-	out := flag.String("out", "BENCH_hotpath.json", "output artifact for -exp hotpath")
+	out := flag.String("out", "", "output artifact for -exp hotpath/serve (default BENCH_<exp>.json)")
 	flag.Parse()
 
 	embedCfg := embed.Config{Dim: *dim, Epochs: *epochs, Seed: 3}
@@ -51,6 +58,24 @@ func main() {
 		for _, t := range tables {
 			fmt.Println(t)
 		}
+	}
+	// runArtifact runs an artifact-writing experiment (hotpath, serve):
+	// measure, write the JSON artifact (default BENCH_<name>.json), render.
+	runArtifact := func(name, path string, run func() (artifact, error)) {
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", name)
+		}
+		res, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kgbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if err := res.WriteJSON(path); err != nil {
+			fmt.Fprintf(os.Stderr, "kgbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		show(res.Render())
+		fmt.Printf("wrote %s\n", path)
 	}
 	run := func(name string) {
 		switch name {
@@ -94,17 +119,9 @@ func main() {
 		case "ablation":
 			show(bench.RunAblation(dbp(), 0).Render())
 		case "hotpath":
-			res, err := bench.RunHotpath(dbp())
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "kgbench: hotpath: %v\n", err)
-				os.Exit(1)
-			}
-			if err := res.WriteJSON(*out); err != nil {
-				fmt.Fprintf(os.Stderr, "kgbench: hotpath: %v\n", err)
-				os.Exit(1)
-			}
-			show(res.Render())
-			fmt.Printf("wrote %s\n", *out)
+			runArtifact(name, *out, func() (artifact, error) { return bench.RunHotpath(dbp()) })
+		case "serve":
+			runArtifact(name, *out, func() (artifact, error) { return bench.RunServe(dbp()) })
 		default:
 			fmt.Fprintf(os.Stderr, "kgbench: unknown experiment %q\n", name)
 			os.Exit(2)

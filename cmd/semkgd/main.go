@@ -11,7 +11,15 @@
 // (expvar counters). Request bodies are api.SearchRequest documents; bad
 // queries and out-of-range options return 400 with a JSON error.
 //
-//	semkgd -graph g.tsv -model m.bin -addr :8375
+// Requests pass through the engine-level serving layer (internal/serve):
+// a result cache and a plan cache absorb repeated queries, concurrent
+// identical requests collapse to one pipeline execution, and a bounded
+// worker pool sheds overload — a shed request gets 429 with a Retry-After
+// header instead of queueing past its time bound. Cache and admission
+// counters are exported under the "semkgd_serve" expvar key.
+//
+//	semkgd -graph g.tsv -model m.bin -addr :8375 \
+//	       -workers 8 -queue 32 -result-cache 1024 -plan-cache 256
 //
 // The streaming endpoint is the wire form of the paper's anytime
 // behaviour (Section VI, Theorem 4): in time-bounded mode clients render
@@ -30,12 +38,17 @@ import (
 	"semkg/internal/core"
 	"semkg/internal/embed"
 	"semkg/internal/kg"
+	"semkg/internal/serve"
 )
 
 func main() {
 	graphFile := flag.String("graph", "", "triple file (required)")
 	modelFile := flag.String("model", "", "embedding model file (required)")
 	addr := flag.String("addr", ":8375", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent pipeline executions (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max queued requests (0 = 4x workers, -1 = none: shed when busy)")
+	resultCache := flag.Int("result-cache", 0, "result cache entries (0 = 1024, -1 = disabled)")
+	planCache := flag.Int("plan-cache", 0, "plan cache entries (0 = 256, -1 = disabled)")
 	flag.Parse()
 
 	if *graphFile == "" || *modelFile == "" {
@@ -60,9 +73,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("semkgd: %v", err)
 	}
+	srv := serve.New(eng, serve.Config{
+		ResultCache: *resultCache,
+		PlanCache:   *planCache,
+		Workers:     *workers,
+		Queue:       *queue,
+	})
 	log.Printf("semkgd: %d nodes, %d edges, %d predicates loaded in %s; listening on %s",
 		g.NumNodes(), g.NumEdges(), g.NumPredicates(), time.Since(start).Round(time.Millisecond), *addr)
-	log.Fatal(http.ListenAndServe(*addr, newMux(eng)))
+	log.Fatal(http.ListenAndServe(*addr, newMux(srv)))
 }
 
 func loadGraph(path string) (*kg.Graph, error) {

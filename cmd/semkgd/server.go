@@ -5,34 +5,54 @@ import (
 	"errors"
 	"expvar"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 
 	"semkg/internal/api"
 	"semkg/internal/core"
 	"semkg/internal/query"
+	"semkg/internal/serve"
 )
 
-// Service counters, exported through expvar (GET /debug/vars).
+// Service counters, exported through expvar (GET /debug/vars). The serving
+// layer's own counters (caches, singleflight, admission) are published
+// under "semkgd_serve"; see serve.Stats for the fields.
 var (
 	statSearches     = expvar.NewInt("semkgd_searches_total")
 	statStreams      = expvar.NewInt("semkgd_streams_total")
 	statStreamEvents = expvar.NewInt("semkgd_stream_events_total")
 	statBadRequests  = expvar.NewInt("semkgd_bad_requests_total")
+	statOverloaded   = expvar.NewInt("semkgd_overloaded_total")
 	statErrors       = expvar.NewInt("semkgd_errors_total")
+
+	// currentServe backs the semkgd_serve expvar; newMux swaps it so
+	// httptest servers observe their own serving layer.
+	currentServe atomic.Pointer[serve.Engine]
 )
 
-// server routes search traffic onto one engine.
+func init() {
+	expvar.Publish("semkgd_serve", expvar.Func(func() any {
+		if s := currentServe.Load(); s != nil {
+			return s.Stats()
+		}
+		return nil
+	}))
+}
+
+// server routes search traffic onto one serving engine.
 type server struct {
-	eng *core.Engine
+	srv *serve.Engine
 }
 
 // newMux builds the service's routing table:
 //
-//	POST /v1/search   batch search, JSON result
-//	POST /v1/stream   streaming search, NDJSON events
+//	POST /v1/search   batch search, JSON result (429 when shed)
+//	POST /v1/stream   streaming search, NDJSON events (429 when shed)
 //	GET  /healthz     liveness + graph shape
 //	GET  /debug/vars  expvar counters
-func newMux(eng *core.Engine) *http.ServeMux {
-	s := &server{eng: eng}
+func newMux(srv *serve.Engine) *http.ServeMux {
+	currentServe.Store(srv)
+	s := &server{srv: srv}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/stream", s.handleStream)
@@ -65,13 +85,29 @@ func (s *server) badRequest(w http.ResponseWriter, err error) {
 	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 }
 
-// searchError classifies an Engine.Search/Stream error: caller-caused
-// errors (core.BadRequestError — e.g. a pivot option naming a node that
-// is not a query target) are 400s, everything else is a 500.
+// searchError classifies a serving-layer error: caller-caused errors
+// (core.BadRequestError) are 400s, admission shedding (OverloadedError) is
+// a 429 with a Retry-After header, everything else is a 500.
 func (s *server) searchError(w http.ResponseWriter, err error) {
 	var bad core.BadRequestError
 	if errors.As(err, &bad) {
 		s.badRequest(w, err)
+		return
+	}
+	var over *serve.OverloadedError
+	if errors.As(err, &over) {
+		statOverloaded.Add(1)
+		// Retry-After is whole seconds, rounded up so clients never retry
+		// before the projected wait has elapsed.
+		secs := int64((over.RetryAfter + 999_999_999) / 1_000_000_000)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{
+			"error":       err.Error(),
+			"retry_after": strconv.FormatInt(secs, 10),
+		})
 		return
 	}
 	statErrors.Add(1)
@@ -84,7 +120,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	statSearches.Add(1)
-	res, err := s.eng.Search(r.Context(), q, opts)
+	res, err := s.srv.Search(r.Context(), q, opts)
 	if err != nil {
 		s.searchError(w, err)
 		return
@@ -98,9 +134,10 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	statStreams.Add(1)
-	// r.Context() makes a dropped client cancel the search (anytime
-	// semantics: the pipeline still terminates and is cleaned up).
-	st, err := s.eng.Stream(r.Context(), q, opts)
+	// r.Context() makes a dropped client cancel its participation; the
+	// underlying pipeline is cancelled only when no other request shares
+	// it. Admission shedding surfaces here, before the 200 header.
+	st, err := s.srv.Stream(r.Context(), q, opts)
 	if err != nil {
 		s.searchError(w, err)
 		return
@@ -126,7 +163,7 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	g := s.eng.Graph()
+	g := s.srv.Engine().Graph()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"nodes":      g.NumNodes(),

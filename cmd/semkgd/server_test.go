@@ -13,7 +13,16 @@ import (
 	"semkg/internal/core"
 	"semkg/internal/embed"
 	"semkg/internal/kg"
+	"semkg/internal/serve"
 )
+
+// testServer wraps a fresh serving layer around the test engine.
+func testServer(t *testing.T, cfg serve.Config) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newMux(serve.New(testEngine(t), cfg)))
+	t.Cleanup(srv.Close)
+	return srv
+}
 
 // testEngine builds a small motivating-example engine with hand-crafted
 // predicate vectors (no training): cars related to Germany through three
@@ -76,8 +85,7 @@ func post(t *testing.T, srv *httptest.Server, path, body string) *http.Response 
 }
 
 func TestSearchEndpoint(t *testing.T) {
-	srv := httptest.NewServer(newMux(testEngine(t)))
-	defer srv.Close()
+	srv := testServer(t, serve.Config{})
 
 	resp := post(t, srv, "/v1/search", strings.Replace(q117Body, "%s", "", 1))
 	defer resp.Body.Close()
@@ -106,8 +114,7 @@ func TestSearchEndpoint(t *testing.T) {
 }
 
 func TestBadRequests(t *testing.T) {
-	srv := httptest.NewServer(newMux(testEngine(t)))
-	defer srv.Close()
+	srv := testServer(t, serve.Config{})
 
 	cases := []struct {
 		name, path, body string
@@ -142,8 +149,7 @@ func TestBadRequests(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
-	srv := httptest.NewServer(newMux(testEngine(t)))
-	defer srv.Close()
+	srv := testServer(t, serve.Config{})
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -162,8 +168,7 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestExpvarExported(t *testing.T) {
-	srv := httptest.NewServer(newMux(testEngine(t)))
-	defer srv.Close()
+	srv := testServer(t, serve.Config{})
 	resp, err := http.Get(srv.URL + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)
@@ -184,8 +189,7 @@ func TestExpvarExported(t *testing.T) {
 // query over /v1/stream emits at least one provisional top-k event before
 // the terminal result, and the terminal result matches the batch endpoint.
 func TestStreamEndpointTimeBounded(t *testing.T) {
-	srv := httptest.NewServer(newMux(testEngine(t)))
-	defer srv.Close()
+	srv := testServer(t, serve.Config{})
 
 	body := strings.Replace(q117Body, "%s", `,"time_bound":"2s"`, 1)
 	resp := post(t, srv, "/v1/stream", body)
@@ -256,5 +260,94 @@ func TestStreamEndpointTimeBounded(t *testing.T) {
 	}
 	if lastTopK == nil || len(lastTopK.Answers) != len(last.Result.Answers) {
 		t.Fatalf("last topk %+v does not carry the final ranking", lastTopK)
+	}
+}
+
+// TestCachedSearchBodyIdentical: the second identical request is served
+// from the result cache with a byte-identical response body.
+func TestCachedSearchBodyIdentical(t *testing.T) {
+	srv := testServer(t, serve.Config{})
+	body := strings.Replace(q117Body, "%s", "", 1)
+
+	read := func() []byte {
+		resp := post(t, srv, "/v1/search", body)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cold := read()
+	warm := read()
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("cached body differs from cold body:\n%s\nvs\n%s", warm, cold)
+	}
+
+	// The serve expvar reflects the hit.
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Serve serve.Stats `json:"semkgd_serve"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Serve.ResultHits != 1 || vars.Serve.PipelineRuns != 1 {
+		t.Fatalf("serve stats = %+v, want 1 hit / 1 pipeline run", vars.Serve)
+	}
+}
+
+// TestOverloaded429: with one worker, no queue, and the worker pinned by
+// an in-flight request, a second distinct request is shed with 429 and a
+// Retry-After header.
+func TestOverloaded429(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	cfg := serve.Config{Workers: 1, Queue: -1, BeforeRun: func() {
+		started <- struct{}{}
+		<-release
+	}}
+	srv := testServer(t, cfg)
+
+	firstDone := make(chan int, 1)
+	go func() {
+		resp := post(t, srv, "/v1/search", strings.Replace(q117Body, "%s", "", 1))
+		defer resp.Body.Close()
+		firstDone <- resp.StatusCode
+	}()
+	<-started // the worker is now pinned
+
+	distinct := strings.Replace(strings.Replace(q117Body, "%s", "", 1), "Germany", "France", 1)
+	resp := post(t, srv, "/v1/search", distinct)
+	var msg map[string]string
+	_ = json.NewDecoder(resp.Body).Decode(&msg)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (%v)", resp.StatusCode, msg)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("missing Retry-After header")
+	}
+	if msg["error"] == "" {
+		t.Error("missing JSON error body")
+	}
+
+	// Streaming requests are shed the same way, before the 200 header.
+	streamResp := post(t, srv, "/v1/stream", distinct)
+	streamResp.Body.Close()
+	if streamResp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("stream status = %d, want 429", streamResp.StatusCode)
+	}
+
+	close(release)
+	if code := <-firstDone; code != http.StatusOK {
+		t.Fatalf("pinned request finished with %d", code)
 	}
 }

@@ -1,0 +1,130 @@
+// Native fuzz tests for the strict JSON codec: whatever bytes arrive on
+// the wire, the decoders must never panic, and every document they accept
+// must survive an encode→decode round trip unchanged (the codec is the one
+// vocabulary shared by semkgd, kgsearch and external clients, so a lossy
+// or asymmetric corner is a protocol bug). Run the seeds with plain
+// `go test`; CI additionally runs each target briefly under `-fuzz`.
+
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func FuzzDecodeQuery(f *testing.F) {
+	seeds := []string{
+		`{"nodes":[{"id":"v1","type":"Automobile"},{"id":"v2","name":"Germany","type":"Country"}],
+		  "edges":[{"from":"v1","to":"v2","predicate":"assembly"}]}`,
+		`{"nodes":[],"edges":[]}`,
+		`{"nodes":[{"id":"a"}],"edges":[{"from":"a","to":"a","predicate":"p"}]}`,
+		`{"Nodes":[{"ID":"v1","Name":"X","Type":"T"}],"Edges":[]}`, // Go-style caps match case-insensitively
+		`{"nodes":[{"id":"v1","bogus":1}]}`,                        // unknown field: must error, not panic
+		`{"nodes":[]} trailing`,
+		`[]`, `null`, `{`, `0`, `"str"`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := DecodeQuery(data)
+		if err != nil {
+			return // rejected input: only absence of panics matters
+		}
+		enc, err := EncodeQuery(g)
+		if err != nil {
+			t.Fatalf("accepted query failed to encode: %v", err)
+		}
+		g2, err := DecodeQuery(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(g, g2) {
+			t.Fatalf("round trip changed the query:\n%+v\nvs\n%+v", g, g2)
+		}
+		enc2, err := EncodeQuery(g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not a fixed point:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}
+
+func FuzzDecodeSearchRequest(f *testing.F) {
+	seeds := []string{
+		`{"query":{"nodes":[{"id":"v1","type":"Automobile"}],"edges":[]},
+		  "options":{"k":10,"tau":0.75,"max_hops":4}}`,
+		`{"query":{"nodes":[],"edges":[]},"options":{"time_bound":"50ms","alert_ratio":0.8}}`,
+		`{"query":{"nodes":[],"edges":[]},"options":{"time_bound":1500000}}`, // integer nanoseconds
+		`{"query":{"nodes":[],"edges":[]},"options":{"pivot":"v9","prune_visited":true,"no_heuristic":true}}`,
+		`{"query":{"nodes":[],"edges":[]},"options":{"k":-3}}`, // invalid values still decode; Validate rejects later
+		`{"options":{}}`,
+		`{"query":{},"options":{},"bogus":0}`,
+		`{"query":{"nodes":[],"edges":[]},"options":{"time_bound":"not-a-duration"}}`,
+		`{}`, `[]`, `{`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, opts, err := DecodeSearchRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		enc, err := json.Marshal(SearchRequest{Query: QueryFrom(g), Options: OptionsFrom(opts)})
+		if err != nil {
+			t.Fatalf("accepted request failed to encode: %v", err)
+		}
+		g2, opts2, err := DecodeSearchRequest(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(g, g2) {
+			t.Fatalf("round trip changed the query:\n%+v\nvs\n%+v", g, g2)
+		}
+		if opts != opts2 {
+			t.Fatalf("round trip changed the options:\n%+v\nvs\n%+v", opts, opts2)
+		}
+	})
+}
+
+func FuzzEventRoundTrip(f *testing.F) {
+	seeds := []string{
+		`{"event":"progress","sub":0,"collected":3}`,
+		`{"event":"progress","sub":2,"collected":17,"done":true}`,
+		`{"event":"phase","phase":"search"}`,
+		`{"event":"phase","phase":"alert","elapsed":"12ms","projected":"40ms"}`,
+		`{"event":"phase","phase":"assemble","sizes":[4,9]}`,
+		`{"event":"topk","round":3,"lower_k":0.81,"upper_max":0.93,
+		  "answers":[{"entity":"BMW_320","score":0.9,"bindings":{"v1":"BMW_320"},
+		  "parts":[{"pss":0.9,"steps":[{"from":"BMW_320","predicate":"assembly","to":"Germany"}]}]}]}`,
+		`{"event":"result","result":{"answers":[],"elapsed":"1ms"}}`,
+		`{"event":""}`,
+		`{"event":"unknown-kind"}`, // decodes: the discriminator is free-form on the wire
+		`{}`, `[]`, `{`, `null`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, err := DecodeEvent(data)
+		if err != nil {
+			return
+		}
+		enc, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatalf("accepted event failed to encode: %v", err)
+		}
+		ev2, err := DecodeEvent(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(ev, ev2) {
+			t.Fatalf("round trip changed the event:\n%+v\nvs\n%+v", ev, ev2)
+		}
+	})
+}

@@ -1,0 +1,315 @@
+// Serve experiment: throughput and latency of the engine-level serving
+// layer (internal/serve) under multi-query workloads — the production
+// metric the single-query experiments of Section VII do not cover. Three
+// workloads: a repeated hot query (result-cache effect on p50), a
+// zipf-skewed mixed workload with concurrent clients (cache hit rate and
+// QPS under realistic popularity), and a burst of concurrent identical
+// cold requests (singleflight collapse). Run via `go run ./cmd/kgbench
+// -exp serve` (writes BENCH_serve.json).
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"semkg/internal/core"
+	"semkg/internal/query"
+	"semkg/internal/serve"
+)
+
+// ServeRow is one measured workload.
+type ServeRow struct {
+	Workload string `json:"workload"`
+	Requests int    `json:"requests"`
+	Clients  int    `json:"clients"`
+	// Latency percentiles in microseconds.
+	P50Us float64 `json:"p50_us"`
+	P95Us float64 `json:"p95_us"`
+	// BaselineP50Us is the p50 of the same workload against the bare
+	// engine (no serving layer); Speedup = baseline / serving p50.
+	BaselineP50Us float64 `json:"baseline_p50_us,omitempty"`
+	Speedup       float64 `json:"speedup,omitempty"`
+	QPS           float64 `json:"qps"`
+	// Serving-layer counters observed after the workload.
+	ResultHits   uint64 `json:"result_hits"`
+	PlanHits     uint64 `json:"plan_hits"`
+	PipelineRuns uint64 `json:"pipeline_runs"`
+	FlightShared uint64 `json:"flight_shared"`
+}
+
+// ServeResult is the experiment artifact (BENCH_serve.json).
+type ServeResult struct {
+	Dataset   string     `json:"dataset"`
+	Scale     string     `json:"scale"`
+	GoVersion string     `json:"go_version"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	CPUs      int        `json:"cpus"`
+	When      string     `json:"when"`
+	Rows      []ServeRow `json:"workloads"`
+}
+
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Microsecond)
+}
+
+func sortedLatencies(lat []time.Duration) []time.Duration {
+	out := append([]time.Duration(nil), lat...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// serveQueries gathers the generated workload queries by popularity rank:
+// simple first (the hot head of the zipf distribution), then medium and
+// complex shapes in the tail.
+func serveQueries(env *Env) []*query.Graph {
+	var out []*query.Graph
+	for _, gq := range env.Dataset.Simple {
+		out = append(out, gq.Graph)
+	}
+	for _, gq := range env.Dataset.Medium {
+		out = append(out, gq.Graph)
+	}
+	for _, gq := range env.Dataset.Complex {
+		out = append(out, gq.Graph)
+	}
+	return out
+}
+
+// RunServe measures the serving layer on this environment.
+func RunServe(env *Env) (*ServeResult, error) {
+	qs := serveQueries(env)
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("bench: environment has no workload queries")
+	}
+	opts := env.SearchOptions(10)
+	ctx := context.Background()
+	res := &ServeResult{
+		Dataset:   env.Cfg.Profile.Name,
+		Scale:     fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		When:      time.Now().UTC().Format(time.RFC3339),
+	}
+
+	repeated, err := runRepeated(ctx, env, qs[0], opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, repeated)
+
+	zipf, err := runZipf(ctx, env, qs, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, zipf)
+
+	burst, err := runBurst(ctx, env, qs[0], opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, burst)
+	return res, nil
+}
+
+// runRepeated measures the hot-query p50: the bare engine re-runs the
+// pipeline every time, the serving layer answers from the warm result
+// cache.
+func runRepeated(ctx context.Context, env *Env, q *query.Graph, opts core.Options) (ServeRow, error) {
+	const n = 200
+	baseline := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if _, err := env.Engine.Search(ctx, q, opts); err != nil {
+			return ServeRow{}, err
+		}
+		baseline = append(baseline, time.Since(start))
+	}
+
+	srv := serve.New(env.Engine, serve.Config{})
+	if _, err := srv.Search(ctx, q, opts); err != nil { // prime the cache
+		return ServeRow{}, err
+	}
+	warm := make([]time.Duration, 0, n)
+	wallStart := time.Now()
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if _, err := srv.Search(ctx, q, opts); err != nil {
+			return ServeRow{}, err
+		}
+		warm = append(warm, time.Since(start))
+	}
+	wall := time.Since(wallStart)
+
+	sb, sw := sortedLatencies(baseline), sortedLatencies(warm)
+	st := srv.Stats()
+	row := ServeRow{
+		Workload:      "repeated-query",
+		Requests:      n,
+		Clients:       1,
+		P50Us:         percentile(sw, 0.5),
+		P95Us:         percentile(sw, 0.95),
+		BaselineP50Us: percentile(sb, 0.5),
+		QPS:           float64(n) / wall.Seconds(),
+		ResultHits:    st.ResultHits,
+		PlanHits:      st.PlanHits,
+		PipelineRuns:  st.PipelineRuns,
+		FlightShared:  st.FlightShared,
+	}
+	if row.P50Us > 0 {
+		row.Speedup = row.BaselineP50Us / row.P50Us
+	}
+	return row, nil
+}
+
+// runZipf replays a zipf-skewed mixed workload from concurrent clients:
+// the head queries hit the result cache, the tail exercises the plan cache
+// and the full pipeline under the worker pool.
+func runZipf(ctx context.Context, env *Env, qs []*query.Graph, opts core.Options) (ServeRow, error) {
+	const (
+		clients    = 8
+		perClient  = 100
+		zipfS      = 1.2
+		zipfV      = 1.0
+		workerSeed = 7
+	)
+	// Queue sized for the client count: this workload measures cache and
+	// dedup behaviour under load, not shedding (the admission tests cover
+	// that), so no request should be rejected.
+	srv := serve.New(env.Engine, serve.Config{Queue: 2 * clients})
+	latencies := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	wallStart := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(workerSeed + int64(c)))
+			zipf := rand.NewZipf(rng, zipfS, zipfV, uint64(len(qs)-1))
+			for i := 0; i < perClient; i++ {
+				q := qs[zipf.Uint64()]
+				start := time.Now()
+				if _, err := srv.Search(ctx, q, opts); err != nil {
+					errs[c] = err
+					return
+				}
+				latencies[c] = append(latencies[c], time.Since(start))
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+	var all []time.Duration
+	for c := range latencies {
+		if errs[c] != nil {
+			return ServeRow{}, errs[c]
+		}
+		all = append(all, latencies[c]...)
+	}
+	sorted := sortedLatencies(all)
+	st := srv.Stats()
+	return ServeRow{
+		Workload:     "zipf-mixed",
+		Requests:     len(all),
+		Clients:      clients,
+		P50Us:        percentile(sorted, 0.5),
+		P95Us:        percentile(sorted, 0.95),
+		QPS:          float64(len(all)) / wall.Seconds(),
+		ResultHits:   st.ResultHits,
+		PlanHits:     st.PlanHits,
+		PipelineRuns: st.PipelineRuns,
+		FlightShared: st.FlightShared,
+	}, nil
+}
+
+// runBurst fires concurrent identical cold requests: singleflight should
+// collapse them to (near) one pipeline execution.
+func runBurst(ctx context.Context, env *Env, q *query.Graph, opts core.Options) (ServeRow, error) {
+	const clients = 32
+	srv := serve.New(env.Engine, serve.Config{Queue: 2 * clients})
+	latencies := make([]time.Duration, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	wallStart := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			start := time.Now()
+			_, errs[c] = srv.Search(ctx, q, opts)
+			latencies[c] = time.Since(start)
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+	for _, err := range errs {
+		if err != nil {
+			return ServeRow{}, err
+		}
+	}
+	sorted := sortedLatencies(latencies)
+	st := srv.Stats()
+	return ServeRow{
+		Workload:     "burst-identical",
+		Requests:     clients,
+		Clients:      clients,
+		P50Us:        percentile(sorted, 0.5),
+		P95Us:        percentile(sorted, 0.95),
+		QPS:          float64(clients) / wall.Seconds(),
+		ResultHits:   st.ResultHits,
+		PlanHits:     st.PlanHits,
+		PipelineRuns: st.PipelineRuns,
+		FlightShared: st.FlightShared,
+	}, nil
+}
+
+// WriteJSON stores the artifact.
+func (r *ServeResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render formats the comparison as a text table.
+func (r *ServeResult) Render() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Serving layer (%s, %s, %s/%s)", r.Dataset, r.Scale, r.GOOS, r.GOARCH),
+		Header: []string{"workload", "reqs", "clients", "p50 µs", "p95 µs",
+			"baseline p50", "speedup", "QPS", "hits", "runs", "shared"},
+	}
+	for _, row := range r.Rows {
+		baseline, speedup := "-", "-"
+		if row.BaselineP50Us > 0 {
+			baseline = fmt.Sprintf("%.0f", row.BaselineP50Us)
+			speedup = fmt.Sprintf("%.1fx", row.Speedup)
+		}
+		t.AddRow(row.Workload,
+			fmt.Sprintf("%d", row.Requests),
+			fmt.Sprintf("%d", row.Clients),
+			fmt.Sprintf("%.0f", row.P50Us),
+			fmt.Sprintf("%.0f", row.P95Us),
+			baseline, speedup,
+			fmt.Sprintf("%.0f", row.QPS),
+			fmt.Sprintf("%d", row.ResultHits),
+			fmt.Sprintf("%d", row.PipelineRuns),
+			fmt.Sprintf("%d", row.FlightShared),
+		)
+	}
+	return t
+}

@@ -1,0 +1,65 @@
+package bench
+
+import "testing"
+
+// TestRunServeShape runs the serving-layer experiment end to end and
+// checks the acceptance properties: the repeated-query workload shows a
+// ≥5x p50 improvement from the warm result cache, and the burst workload
+// collapses its 32 identical requests to (nearly) one pipeline execution.
+// Skipped in -short mode (the environment trains an embedding).
+func TestRunServeShape(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunServe(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("serve rows = %d, want 3", len(res.Rows))
+	}
+	byName := map[string]ServeRow{}
+	for _, row := range res.Rows {
+		byName[row.Workload] = row
+		if row.P50Us <= 0 || row.QPS <= 0 {
+			t.Errorf("%s: non-positive measurements: %+v", row.Workload, row)
+		}
+	}
+
+	repeated, ok := byName["repeated-query"]
+	if !ok {
+		t.Fatal("missing repeated-query workload")
+	}
+	if repeated.Speedup < 5 {
+		t.Errorf("repeated-query warm-cache speedup = %.1fx, want >= 5x (p50 %0.f µs vs baseline %.0f µs)",
+			repeated.Speedup, repeated.P50Us, repeated.BaselineP50Us)
+	}
+	if repeated.ResultHits == 0 || repeated.PipelineRuns != 1 {
+		t.Errorf("repeated-query cache counters off: %+v", repeated)
+	}
+
+	zipf, ok := byName["zipf-mixed"]
+	if !ok {
+		t.Fatal("missing zipf-mixed workload")
+	}
+	if zipf.ResultHits == 0 {
+		t.Errorf("zipf workload never hit the cache: %+v", zipf)
+	}
+	if zipf.PipelineRuns+zipf.ResultHits+zipf.FlightShared < uint64(zipf.Requests) {
+		t.Errorf("zipf accounting: runs %d + hits %d + shared %d < requests %d",
+			zipf.PipelineRuns, zipf.ResultHits, zipf.FlightShared, zipf.Requests)
+	}
+
+	burst, ok := byName["burst-identical"]
+	if !ok {
+		t.Fatal("missing burst-identical workload")
+	}
+	// All 32 identical requests are answered by at most a couple of
+	// pipeline executions (requests that arrive after the leader published
+	// count as cache hits, not flights — both avoid re-running).
+	if burst.PipelineRuns > 2 {
+		t.Errorf("burst collapsed to %d pipeline runs, want <= 2", burst.PipelineRuns)
+	}
+
+	if res.Render().String() == "" {
+		t.Error("empty render")
+	}
+}

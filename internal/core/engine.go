@@ -154,6 +154,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Normalized returns the options with the engine defaults applied to the
+// zero fields (K=10, τ=0.8, n̂=4). Two option values that normalize
+// equally run the identical pipeline, so cache keys should be computed
+// from the normalized form — "K unset" and "K: 10" then share an entry.
+func (o Options) Normalized() Options { return o.withDefaults() }
+
 // PathStep is one knowledge-graph edge of an answer path, rendered with
 // names for display.
 type PathStep struct {
@@ -269,51 +275,6 @@ func (e *Engine) decompose(q *query.Graph, opts Options, memo *transform.Memo) (
 	return query.Decompose(q, dopts)
 }
 
-// buildSearchers compiles each sub-query (φ sets + weighter) into an A*
-// searcher. ok=false (with nil error) means some query node has no matches.
-func (e *Engine) buildSearchers(q *query.Graph, d *query.Decomposition, opts Options, memo *transform.Memo) ([]*astar.Searcher, bool, error) {
-	sopts := astar.Options{
-		Tau:          opts.Tau,
-		MaxHops:      opts.MaxHops,
-		NoHeuristic:  opts.NoHeuristic,
-		PruneVisited: opts.PruneVisited,
-	}
-	searchers := make([]*astar.Searcher, 0, len(d.Subs))
-	for _, sub := range d.Subs {
-		anchorNode, _ := q.NodeByID(sub.Anchor())
-		anchors := memo.MatchNode(anchorNode.Name, anchorNode.Type)
-		if len(anchors) == 0 {
-			return nil, false, nil
-		}
-		endSets := make([]map[kg.NodeID]bool, sub.Len())
-		for i := 1; i < len(sub.NodeIDs); i++ {
-			n, _ := q.NodeByID(sub.NodeIDs[i])
-			ids := memo.MatchNode(n.Name, n.Type)
-			if len(ids) == 0 {
-				return nil, false, nil
-			}
-			set := make(map[kg.NodeID]bool, len(ids))
-			for _, id := range ids {
-				set[id] = true
-			}
-			endSets[i-1] = set
-		}
-		preds := make([]string, sub.Len())
-		for i, edge := range sub.Edges {
-			preds[i] = edge.Predicate
-		}
-		w, err := semgraph.NewWeighterCached(e.rows, preds)
-		if err != nil {
-			return nil, false, err
-		}
-		searchers = append(searchers, astar.NewSearcher(e.g, w, astar.SubQuery{
-			Anchors: anchors,
-			EndSets: endSets,
-		}, sopts))
-	}
-	return searchers, true, nil
-}
-
 // resumeStream serves prefetched matches first, then resumes the underlying
 // searcher ("we repeat the A* semantic search for each g_i until sufficient
 // final matches for G_Q are returned"). Context cancellation ends the
@@ -382,3 +343,8 @@ func (e *Engine) perMatchCost() time.Duration {
 	e.calOnce.Do(func() { e.perMatchTA = tbq.Calibrate() })
 	return e.perMatchTA
 }
+
+// PerMatchCost exposes the calibrated per-match TA assembly time t of
+// Algorithm 3. The serving layer seeds its queue-wait estimator from it
+// before any request has completed.
+func (e *Engine) PerMatchCost() time.Duration { return e.perMatchCost() }

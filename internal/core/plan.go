@@ -1,0 +1,203 @@
+// Plan compilation: the query-dependent, run-independent front half of the
+// pipeline. Compile resolves a query graph into a decomposition plus one
+// searcher blueprint per sub-query (φ match sets and query predicates);
+// StreamPlan/SearchPlan then run the pipeline from the compiled form. The
+// split exists for the serving layer (internal/serve): repeated query
+// shapes cache the Plan and skip decomposition and φ resolution entirely,
+// while each run still gets fresh searcher state (A* arenas and weighter
+// slabs are mutable and must not be shared across concurrent runs).
+
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"semkg/internal/astar"
+	"semkg/internal/kg"
+	"semkg/internal/query"
+	"semkg/internal/semgraph"
+	"semkg/internal/transform"
+)
+
+// compileOpts are the Options fields that affect compilation (pivot
+// selection, decomposition, φ resolution and searcher pruning). Runtime
+// fields — K, TimeBound, AlertRatio, Clock — are deliberately absent, so
+// one Plan serves any K or time budget. The struct is comparable: a plan
+// cache can use it (plus the query) as a key, and StreamPlan uses it to
+// reject a plan/options mismatch.
+type compileOpts struct {
+	tau          float64
+	maxHops      int
+	strategy     query.PivotStrategy
+	pivotNode    string
+	noHeuristic  bool
+	pruneVisited bool
+}
+
+func compileOptsOf(o Options) compileOpts {
+	return compileOpts{
+		tau:          o.Tau,
+		maxHops:      o.MaxHops,
+		strategy:     o.Strategy,
+		pivotNode:    o.PivotNode,
+		noHeuristic:  o.NoHeuristic,
+		pruneVisited: o.PruneVisited,
+	}
+}
+
+// planSub is one sub-query's searcher blueprint: the compiled φ sets and
+// the query predicates whose weight rows the per-run weighter materializes.
+// Anchors and EndSets are read-only after compilation and safe to share
+// across concurrent runs.
+type planSub struct {
+	sub   astar.SubQuery
+	preds []string
+}
+
+// Plan is a compiled query: the decomposition and per-sub-query searcher
+// blueprints. A Plan is immutable, tied to the engine that compiled it,
+// and safe for concurrent reuse — every StreamPlan/SearchPlan call builds
+// fresh searchers from the blueprints.
+type Plan struct {
+	eng      *Engine
+	d        *query.Decomposition
+	subs     []planSub
+	compiled bool
+	copts    compileOpts
+}
+
+// Pivot returns the decomposition's pivot query node ID.
+func (p *Plan) Pivot() string { return p.d.Pivot }
+
+// Compiled reports whether every query node matched at least one graph
+// entity. A non-compiled plan is still runnable — it yields the empty
+// answer set (the paper's G1_Q mismatch case), not an error.
+func (p *Plan) Compiled() bool { return p.compiled }
+
+// CompiledBy reports whether e compiled this plan. The serving layer's
+// plan cache uses it to discard entries that survived an engine swap.
+func (p *Plan) CompiledBy(e *Engine) bool { return p != nil && p.eng == e }
+
+// Compile resolves q into a reusable Plan under the compile-relevant
+// options (Tau, MaxHops, Strategy/PivotNode, NoHeuristic, PruneVisited).
+// Validation and decomposition errors are wrapped as BadRequestError,
+// exactly as in Search/Stream.
+func (e *Engine) Compile(q *query.Graph, opts Options) (*Plan, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, badRequest(err)
+	}
+	opts = opts.withDefaults()
+
+	// One φ memo per compilation: the cost estimator (pivot selection) and
+	// the blueprint compilation resolve the same query nodes.
+	memo := e.matcher.Memo()
+	d, err := e.decompose(q, opts, memo)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	p := &Plan{eng: e, d: d, copts: compileOptsOf(opts)}
+	subs, compiled, err := e.compileSubs(q, d, memo)
+	if err != nil {
+		return nil, err
+	}
+	p.subs, p.compiled = subs, compiled
+	return p, nil
+}
+
+// compileSubs resolves each sub-query's φ sets and predicates into a
+// searcher blueprint. compiled=false (with nil error) means some query
+// node has no matches.
+func (e *Engine) compileSubs(q *query.Graph, d *query.Decomposition, memo *transform.Memo) ([]planSub, bool, error) {
+	subs := make([]planSub, 0, len(d.Subs))
+	for _, sub := range d.Subs {
+		anchorNode, _ := q.NodeByID(sub.Anchor())
+		anchors := memo.MatchNode(anchorNode.Name, anchorNode.Type)
+		if len(anchors) == 0 {
+			return nil, false, nil
+		}
+		endSets := make([]map[kg.NodeID]bool, sub.Len())
+		for i := 1; i < len(sub.NodeIDs); i++ {
+			n, _ := q.NodeByID(sub.NodeIDs[i])
+			ids := memo.MatchNode(n.Name, n.Type)
+			if len(ids) == 0 {
+				return nil, false, nil
+			}
+			set := make(map[kg.NodeID]bool, len(ids))
+			for _, id := range ids {
+				set[id] = true
+			}
+			endSets[i-1] = set
+		}
+		preds := make([]string, sub.Len())
+		for i, edge := range sub.Edges {
+			preds[i] = edge.Predicate
+		}
+		// Resolve the predicates now so a vocabulary problem surfaces at
+		// compile time (the rows are retained by the engine's RowCache, so
+		// this also pre-warms the per-run weighter).
+		if _, err := semgraph.NewWeighterCached(e.rows, preds); err != nil {
+			return nil, false, err
+		}
+		subs = append(subs, planSub{
+			sub:   astar.SubQuery{Anchors: anchors, EndSets: endSets},
+			preds: preds,
+		})
+	}
+	return subs, true, nil
+}
+
+// searchersFor instantiates fresh searchers from the plan's blueprints.
+// Weighters and searchers hold per-run mutable state, so every run gets
+// its own; the φ sets and weight rows are shared.
+func (e *Engine) searchersFor(p *Plan) ([]*astar.Searcher, error) {
+	if !p.compiled {
+		return nil, nil
+	}
+	sopts := astar.Options{
+		Tau:          p.copts.tau,
+		MaxHops:      p.copts.maxHops,
+		NoHeuristic:  p.copts.noHeuristic,
+		PruneVisited: p.copts.pruneVisited,
+	}
+	searchers := make([]*astar.Searcher, 0, len(p.subs))
+	for _, ps := range p.subs {
+		w, err := semgraph.NewWeighterCached(e.rows, ps.preds)
+		if err != nil {
+			return nil, err
+		}
+		searchers = append(searchers, astar.NewSearcher(e.g, w, ps.sub, sopts))
+	}
+	return searchers, nil
+}
+
+// SearchPlan is Search over a pre-compiled plan: the same pipeline with
+// decomposition and φ resolution skipped. The plan must come from this
+// engine's Compile, under options whose compile-relevant fields match.
+func (e *Engine) SearchPlan(ctx context.Context, p *Plan, opts Options) (*Result, error) {
+	s, err := e.streamPlan(ctx, p, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	return s.Result(), nil
+}
+
+// StreamPlan is Stream over a pre-compiled plan; see SearchPlan.
+func (e *Engine) StreamPlan(ctx context.Context, p *Plan, opts Options) (*Stream, error) {
+	return e.streamPlan(ctx, p, opts, false)
+}
+
+// planMismatch explains a plan/options incompatibility.
+func (p *Plan) check(e *Engine, opts Options) error {
+	if p == nil {
+		return fmt.Errorf("core: nil plan")
+	}
+	if p.eng != e {
+		return fmt.Errorf("core: plan was compiled by a different engine")
+	}
+	if p.copts != compileOptsOf(opts) {
+		return badRequest(fmt.Errorf("core: plan incompatible with options: compiled with %+v, run with %+v",
+			p.copts, compileOptsOf(opts)))
+	}
+	return nil
+}

@@ -182,27 +182,44 @@ func (e *Engine) Stream(ctx context.Context, q *query.Graph, opts Options) (*Str
 	return e.stream(ctx, q, opts, false)
 }
 
-// stream sets up the pipeline. In quiet mode (the batch Search path) no
-// events are emitted and the pipeline runs synchronously — same search,
-// none of the event or goroutine overhead.
+// stream sets up the pipeline: a one-shot Compile followed by the planned
+// run. In quiet mode (the batch Search path) no events are emitted and the
+// pipeline runs synchronously — same search, none of the event or
+// goroutine overhead. Compile already validated and normalized the
+// options, so the run skips straight to startStream.
 func (e *Engine) stream(ctx context.Context, q *query.Graph, opts Options, quiet bool) (*Stream, error) {
+	p, err := e.Compile(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.startStream(ctx, p, opts.withDefaults(), quiet)
+}
+
+// streamPlan is the externally-compiled-plan entry (SearchPlan /
+// StreamPlan): the plan comes from an earlier Compile — possibly another
+// engine's, possibly under different options — so validate and check
+// before running.
+func (e *Engine) streamPlan(ctx context.Context, p *Plan, opts Options, quiet bool) (*Stream, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, badRequest(err)
 	}
 	opts = opts.withDefaults()
+	if err := p.check(e, opts); err != nil {
+		return nil, err
+	}
+	return e.startStream(ctx, p, opts, quiet)
+}
+
+// startStream runs the pipeline from a compiled plan with normalized,
+// validated options; see Compile. The timed window (Result.Elapsed)
+// covers the run, not the compilation — a plan-cache hit in the serving
+// layer pays neither.
+func (e *Engine) startStream(ctx context.Context, p *Plan, opts Options, quiet bool) (*Stream, error) {
 	if opts.TimeBound > 0 {
 		e.perMatchCost() // calibrate outside the timed window
 	}
 	start := time.Now()
-
-	// One φ memo per call: the cost estimator (pivot selection) and the
-	// searcher compilation resolve the same query nodes.
-	memo := e.matcher.Memo()
-	d, err := e.decompose(q, opts, memo)
-	if err != nil {
-		return nil, badRequest(err)
-	}
-	searchers, compiled, err := e.buildSearchers(q, d, opts, memo)
+	searchers, err := e.searchersFor(p)
 	if err != nil {
 		return nil, err
 	}
@@ -213,9 +230,9 @@ func (e *Engine) stream(ctx context.Context, q *query.Graph, opts Options, quiet
 	}
 	s := &Stream{events: make(chan Event, buffer), done: make(chan struct{}), quiet: quiet}
 	if quiet {
-		e.runStream(ctx, s, d, searchers, compiled, opts, start)
+		e.runStream(ctx, s, p.d, searchers, p.compiled, opts, start)
 	} else {
-		go e.runStream(ctx, s, d, searchers, compiled, opts, start)
+		go e.runStream(ctx, s, p.d, searchers, p.compiled, opts, start)
 	}
 	return s, nil
 }

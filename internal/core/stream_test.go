@@ -12,6 +12,7 @@ import (
 	"semkg/internal/datagen"
 	"semkg/internal/embed"
 	"semkg/internal/query"
+	"semkg/internal/semgraph"
 	"semkg/internal/ta"
 	"semkg/internal/tbq"
 )
@@ -31,9 +32,23 @@ func seedSearch(e *Engine, ctx context.Context, q *query.Graph, opts Options) (*
 	if err != nil {
 		return nil, err
 	}
-	searchers, compiled, err := e.buildSearchers(q, d, opts, memo)
+	subs, compiled, err := e.compileSubs(q, d, memo)
 	if err != nil {
 		return nil, err
+	}
+	sopts := astar.Options{
+		Tau:          opts.Tau,
+		MaxHops:      opts.MaxHops,
+		NoHeuristic:  opts.NoHeuristic,
+		PruneVisited: opts.PruneVisited,
+	}
+	searchers := make([]*astar.Searcher, 0, len(subs))
+	for _, ps := range subs {
+		w, err := semgraph.NewWeighterCached(e.rows, ps.preds)
+		if err != nil {
+			return nil, err
+		}
+		searchers = append(searchers, astar.NewSearcher(e.g, w, ps.sub, sopts))
 	}
 	res := &Result{Decomposition: d}
 	if !compiled {

@@ -1,0 +1,349 @@
+// Package serve is the engine-level serving layer: it turns one
+// core.Engine into a component fit for heavy concurrent traffic.
+//
+//   - Result cache: an LRU keyed by a canonical hash of (query graph,
+//     normalized options). A hit skips the whole pipeline — including the
+//     recorded event log, so streamed replays are byte-identical to the
+//     original run.
+//   - Plan cache: an LRU of compiled core.Plans (decomposition + searcher
+//     blueprints) keyed by the compile-relevant options only, so repeated
+//     query shapes skip decomposition and φ resolution for any K or time
+//     budget.
+//   - Singleflight: N concurrent identical requests run the pipeline once;
+//     followers share the leader's result and replay its event log.
+//   - Admission control: a bounded worker pool with deadline-aware
+//     shedding — a request whose TimeBound cannot cover its projected
+//     queue wait is rejected with OverloadedError (HTTP 429/Retry-After)
+//     instead of blowing its bound in the queue.
+//
+// Caches invalidate wholesale on Rebuild (engine swap). Every cache and
+// the dedup layer are bypassed for non-deterministic requests (random
+// pivot, test clocks); admission control applies to every pipeline run.
+//
+// See DESIGN.md, "Serving layer: caches, dedup, admission".
+package serve
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"semkg/internal/core"
+	"semkg/internal/query"
+)
+
+// Config sizes the serving layer. The zero value gives production-ready
+// defaults; negative sizes disable the corresponding component.
+type Config struct {
+	// ResultCache is the result-cache capacity in entries.
+	// 0 = default 1024; < 0 disables the cache.
+	ResultCache int
+	// PlanCache is the plan-cache capacity in entries.
+	// 0 = default 256; < 0 disables the cache.
+	PlanCache int
+	// Workers bounds concurrent pipeline executions. 0 = GOMAXPROCS.
+	Workers int
+	// Queue bounds requests waiting for a worker. 0 = 4×Workers;
+	// < 0 admits nothing beyond the workers (shed immediately when busy).
+	Queue int
+	// EstimatedRun seeds the queue-wait estimator before any request has
+	// completed; 0 derives the seed from the engine's calibrated tbq
+	// per-match TA cost. Observed service times take over via EWMA.
+	EstimatedRun time.Duration
+
+	// BeforeRun, when non-nil, is invoked by the flight leader after
+	// admission, immediately before the pipeline runs. Test
+	// instrumentation only (it gates concurrency tests deterministically);
+	// leave nil in production.
+	BeforeRun func()
+}
+
+func (c Config) withDefaults() Config {
+	switch {
+	case c.ResultCache == 0:
+		c.ResultCache = 1024
+	case c.ResultCache < 0:
+		c.ResultCache = 0
+	}
+	switch {
+	case c.PlanCache == 0:
+		c.PlanCache = 256
+	case c.PlanCache < 0:
+		c.PlanCache = 0
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.Queue == 0:
+		c.Queue = 4 * c.Workers
+	case c.Queue < 0:
+		c.Queue = 0
+	}
+	return c
+}
+
+// cachedResult is one result-cache entry: the terminal result plus the
+// recorded event log that produced it, stamped with the engine generation
+// it was computed on. The stamp is checked again at Get time: the
+// publish-side generation check and the Add are not atomic with Rebuild's
+// purge, so a racing leader could otherwise resurrect a result computed on
+// a superseded engine.
+type cachedResult struct {
+	res    *core.Result
+	events []core.Event
+	gen    uint64
+}
+
+// Engine is a serving wrapper around one core.Engine. Safe for concurrent
+// use. Results returned from it are shared across callers and must be
+// treated as read-only.
+type Engine struct {
+	cfg Config
+	adm *admission
+
+	mu  sync.RWMutex // guards eng and gen
+	eng *core.Engine
+	gen uint64
+
+	results *lruCache[*cachedResult]
+	plans   *lruCache[*core.Plan]
+
+	fmu     sync.Mutex
+	flights map[string]*flight
+
+	stats stats
+}
+
+// New wraps eng in a serving layer sized by cfg.
+func New(eng *core.Engine, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	seed := cfg.EstimatedRun
+	if seed <= 0 {
+		seed = eng.PerMatchCost() * estSeedMatches
+	}
+	return &Engine{
+		cfg:     cfg,
+		adm:     newAdmission(cfg.Workers, cfg.Queue, seed),
+		eng:     eng,
+		results: newLRU[*cachedResult](cfg.ResultCache),
+		plans:   newLRU[*core.Plan](cfg.PlanCache),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Engine returns the currently-served core engine.
+func (e *Engine) Engine() *core.Engine {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.eng
+}
+
+func (e *Engine) engineGen() (*core.Engine, uint64) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.eng, e.gen
+}
+
+func (e *Engine) currentGen() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.gen
+}
+
+// Rebuild swaps in a new engine (a re-loaded graph or re-trained space)
+// and invalidates both caches: entries computed against the old engine
+// must never answer for the new one. In-flight requests finish on the old
+// engine; their results are not cached.
+func (e *Engine) Rebuild(eng *core.Engine) {
+	e.mu.Lock()
+	e.eng = eng
+	e.gen++
+	e.mu.Unlock()
+	e.results.Purge()
+	e.plans.Purge()
+	e.stats.rebuilds.Add(1)
+}
+
+// Search answers one batch request through the serving layer: result
+// cache, then singleflight, then the admission-controlled pipeline. The
+// returned Result is shared (possibly with other callers and the cache)
+// and must be treated as read-only.
+func (e *Engine) Search(ctx context.Context, q *query.Graph, opts core.Options) (*core.Result, error) {
+	entry, fl, err := e.resolve(ctx, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	if entry != nil {
+		return entry.res, nil
+	}
+	defer fl.leave()
+	select {
+	case <-fl.done():
+		return fl.log.outcome()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Stream answers one streaming request through the serving layer. A cache
+// hit replays the recorded event log of the original execution; a
+// deduplicated request replays the leader's log (catching up on the
+// prefix, then following live). Validation, compile and admission errors
+// are returned synchronously, before any event is delivered.
+func (e *Engine) Stream(ctx context.Context, q *query.Graph, opts core.Options) (*Stream, error) {
+	entry, fl, err := e.resolve(ctx, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	if entry != nil {
+		return subscribe(ctx, closedLog(entry.events, entry.res), sealedNow, nil), nil
+	}
+	// Surface pre-pipeline failures (bad request, overload) synchronously.
+	select {
+	case <-fl.admitted:
+	case <-fl.done():
+		if _, err := fl.log.outcome(); err != nil {
+			fl.leave()
+			return nil, err
+		}
+	case <-ctx.Done():
+		fl.leave()
+		return nil, ctx.Err()
+	}
+	return subscribe(ctx, fl.log, fl.sealed, fl.leave), nil
+}
+
+// resolve routes one request: a result-cache hit returns the entry; a
+// non-nil flight means the caller participates in a (possibly shared)
+// pipeline execution and must leave() it when done.
+func (e *Engine) resolve(ctx context.Context, q *query.Graph, opts core.Options) (*cachedResult, *flight, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, core.BadRequestError{Err: err}
+	}
+	if err := q.Validate(); err != nil {
+		return nil, nil, core.BadRequestError{Err: err}
+	}
+	eng, gen := e.engineGen()
+	if !cacheable(opts) {
+		e.stats.uncacheable.Add(1)
+		fl := newFlight(gen)
+		go e.lead(fl, "", q, opts, false, eng)
+		return nil, fl, nil
+	}
+	key := resultKey(q, opts)
+	if entry, ok := e.results.Get(key); ok && entry.gen == gen {
+		e.stats.resultHits.Add(1)
+		return entry, nil, nil
+	}
+	e.stats.resultMisses.Add(1)
+
+	// Join the in-flight execution only while it is live AND from the
+	// current engine generation: a flight whose last participant already
+	// left is cancelled and will yield a partial anytime result, and one
+	// started before a Rebuild answers for the retired engine — a fresh
+	// request must be served neither, so it starts a new flight
+	// (replacing the old one in the map).
+	e.fmu.Lock()
+	if fl, ok := e.flights[key]; ok && fl.gen == gen && fl.join() {
+		e.fmu.Unlock()
+		e.stats.flightShared.Add(1)
+		return nil, fl, nil
+	}
+	fl := newFlight(gen)
+	e.flights[key] = fl
+	e.fmu.Unlock()
+	go e.lead(fl, key, q, opts, true, eng)
+	return nil, fl, nil
+}
+
+// lead is the flight leader: compile (through the plan cache), admission,
+// pipeline, publication. key == "" marks an unregistered (uncacheable)
+// flight. eng is the engine captured when the flight was created — the
+// flight's generation stamp refers to it.
+func (e *Engine) lead(fl *flight, key string, q *query.Graph, opts core.Options, cache bool, eng *core.Engine) {
+	gen := fl.gen
+	res, err := e.run(fl, eng, gen, q, opts, cache && key != "")
+	if key != "" {
+		// Publish only complete results computed on the current engine: a
+		// cancelled flight carries a partial (anytime) result, and a
+		// racing Rebuild means the result answers for a graph the cache no
+		// longer serves. Publish before deregistering the flight, so a
+		// request arriving in between finds either the cache entry or the
+		// still-sealed flight, never a gap that would re-run the pipeline.
+		if err == nil && res != nil && fl.ctx.Err() == nil && e.currentGen() == gen {
+			e.results.Add(key, &cachedResult{res: res, events: e.snapshotLog(fl), gen: gen})
+		}
+		e.fmu.Lock()
+		// Deregister only our own flight: a request that found this flight
+		// dying may already have replaced it with a fresh one.
+		if cur, ok := e.flights[key]; ok && cur == fl {
+			delete(e.flights, key)
+		}
+		e.fmu.Unlock()
+	}
+	fl.finish(res, err)
+}
+
+// snapshotLog returns the flight's recorded events (the log is complete —
+// run has consumed the pipeline to its end — but not yet sealed).
+func (e *Engine) snapshotLog(fl *flight) []core.Event {
+	evs, _, _ := fl.log.since(0)
+	return evs
+}
+
+// run executes the pipeline for one flight: plan (cached), admission,
+// stream consumption into the flight log.
+func (e *Engine) run(fl *flight, eng *core.Engine, gen uint64, q *query.Graph, opts core.Options, usePlanCache bool) (*core.Result, error) {
+	plan, err := e.planFor(eng, gen, q, opts, usePlanCache)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.adm.acquire(fl.ctx, opts.TimeBound); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	defer func() { e.adm.release(time.Since(start)) }()
+	close(fl.admitted)
+	if e.cfg.BeforeRun != nil {
+		e.cfg.BeforeRun()
+	}
+	e.stats.pipelineRuns.Add(1)
+
+	st, err := eng.StreamPlan(fl.ctx, plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	for ev := range st.Events() {
+		fl.log.append(ev)
+	}
+	return st.Result(), nil
+}
+
+// planFor compiles q, going through the plan cache when the request allows
+// it. Plans compiled against a superseded engine generation are not
+// cached (Rebuild already purged the cache; a late Add would resurrect a
+// stale plan).
+func (e *Engine) planFor(eng *core.Engine, gen uint64, q *query.Graph, opts core.Options, useCache bool) (*core.Plan, error) {
+	if !useCache {
+		return eng.Compile(q, opts)
+	}
+	key := planKey(q, opts)
+	// A hit must have been compiled by the engine we are about to run on:
+	// an entry that survived a racing Rebuild (Get between the generation
+	// bump and the purge) is treated as a miss.
+	if p, ok := e.plans.Get(key); ok && p.CompiledBy(eng) {
+		e.stats.planHits.Add(1)
+		return p, nil
+	}
+	e.stats.planMisses.Add(1)
+	p, err := eng.Compile(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	if e.currentGen() == gen {
+		e.plans.Add(key, p)
+	}
+	return p, nil
+}

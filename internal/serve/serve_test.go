@@ -1,0 +1,670 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"semkg/internal/api"
+	"semkg/internal/core"
+	"semkg/internal/embed"
+	"semkg/internal/kg"
+	"semkg/internal/query"
+	"semkg/internal/tbq"
+)
+
+// testEngine builds a small motivating-example engine with hand-crafted
+// predicate vectors (no training): cars related to Germany through three
+// schemas, plus French distractors.
+func testEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	return buildEngine(t, true)
+}
+
+// buildEngine optionally drops one schema so Rebuild tests can observe a
+// changed graph through the cache.
+func buildEngine(t *testing.T, withX6 bool) *core.Engine {
+	t.Helper()
+	b := kg.NewBuilder(32, 64)
+	ger := b.AddNode("Germany", "Country")
+	france := b.AddNode("France", "Country")
+	munich := b.AddNode("Munich", "City")
+	co := b.AddNode("BMW_Co", "Company")
+	b.AddEdge(munich, ger, "country")
+	b.AddEdge(co, ger, "locationCountry")
+	for _, name := range []string{"BMW_320", "Audi_TT"} {
+		b.AddEdge(b.AddNode(name, "Automobile"), ger, "assembly")
+	}
+	b.AddEdge(b.AddNode("BMW_Z4", "Automobile"), munich, "assembly")
+	if withX6 {
+		b.AddEdge(b.AddNode("BMW_X6", "Automobile"), co, "manufacturer")
+	} else {
+		b.AddEdge(b.AddNode("BMW_X6", "Automobile"), france, "assembly")
+	}
+	b.AddEdge(b.AddNode("Clio", "Automobile"), france, "assembly")
+	g := b.Build()
+
+	vecs := map[string]embed.Vector{
+		"assembly":        {1.00, 0.05, 0.02},
+		"manufacturer":    {0.95, 0.20, 0.05},
+		"country":         {0.90, 0.10, 0.30},
+		"locationCountry": {0.90, 0.12, 0.28},
+	}
+	names := g.Predicates()
+	ordered := make([]embed.Vector, len(names))
+	for i, n := range names {
+		v, ok := vecs[n]
+		if !ok {
+			t.Fatalf("no vector for predicate %q", n)
+		}
+		ordered[i] = v
+	}
+	sp, err := embed.NewSpace(names, ordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(g, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func q117() *query.Graph {
+	return &query.Graph{
+		Nodes: []query.Node{
+			{ID: "v1", Type: "Automobile"},
+			{ID: "v2", Name: "Germany", Type: "Country"},
+		},
+		Edges: []query.Edge{{From: "v1", To: "v2", Predicate: "assembly"}},
+	}
+}
+
+func clubQuery() *query.Graph {
+	return &query.Graph{
+		Nodes: []query.Node{
+			{ID: "v1", Type: "Automobile"},
+			{ID: "v2", Name: "France", Type: "Country"},
+		},
+		Edges: []query.Edge{{From: "v1", To: "v2", Predicate: "assembly"}},
+	}
+}
+
+func testOpts() core.Options { return core.Options{K: 10, Tau: 0.75} }
+
+// wireJSON renders a result in its wire form for byte-level comparison.
+func wireJSON(t *testing.T, res *core.Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(api.ResultFrom(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// answersJSON renders only the answers (excluding timings) for comparison
+// across independent executions.
+func answersJSON(t *testing.T, res *core.Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(api.AnswersFrom(res.Answers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestColdCachedByteIdentical is half of the acceptance criterion: the
+// cold pipeline run and the warm cache hit return byte-identical wire
+// results, and both match the answers of an unwrapped core.Engine.Search.
+func TestColdCachedByteIdentical(t *testing.T) {
+	eng := testEngine(t)
+	srv := New(eng, Config{})
+	ctx := context.Background()
+
+	direct, err := eng.Search(ctx, q117(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := srv.Search(ctx, q117(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := srv.Search(ctx, q117(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wireJSON(t, cold), wireJSON(t, cached)) {
+		t.Fatal("cached result differs from the cold run")
+	}
+	if !bytes.Equal(answersJSON(t, direct), answersJSON(t, cold)) {
+		t.Fatalf("serving-layer answers differ from core.Engine.Search:\n%s\nvs\n%s",
+			answersJSON(t, cold), answersJSON(t, direct))
+	}
+	st := srv.Stats()
+	if st.ResultHits != 1 || st.ResultMisses != 1 || st.PipelineRuns != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 run", st)
+	}
+}
+
+// TestSingleflightCollapses32 is the acceptance criterion: 32 concurrent
+// identical requests run the pipeline exactly once and all return
+// byte-identical results. The BeforeRun gate holds the leader inside the
+// pipeline until every other request has joined its flight, so the
+// collapse is deterministic, not timing-dependent.
+func TestSingleflightCollapses32(t *testing.T) {
+	const n = 32
+	eng := testEngine(t)
+	release := make(chan struct{})
+	srv := New(eng, Config{BeforeRun: func() { <-release }})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	results := make([]*core.Result, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = srv.Search(ctx, q117(), testOpts())
+		}(i)
+	}
+	// Wait until the other 31 requests have joined the leader's flight.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().FlightShared < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests joined the flight", srv.Stats().FlightShared, n-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	want := wireJSON(t, results[0])
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(wireJSON(t, results[i]), want) {
+			t.Fatalf("request %d returned a different result", i)
+		}
+	}
+	st := srv.Stats()
+	if st.PipelineRuns != 1 {
+		t.Fatalf("pipeline ran %d times, want 1", st.PipelineRuns)
+	}
+	if st.FlightShared != n-1 {
+		t.Fatalf("FlightShared = %d, want %d", st.FlightShared, n-1)
+	}
+}
+
+// eventLines encodes a stream's events for comparison.
+func eventLines(t *testing.T, events []core.Event) []string {
+	t.Helper()
+	out := make([]string, len(events))
+	for i, ev := range events {
+		b, err := api.EncodeEvent(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+func drainStream(t *testing.T, s *Stream) []core.Event {
+	t.Helper()
+	var events []core.Event
+	for ev := range s.Events() {
+		events = append(events, ev)
+	}
+	if _, err := s.Result(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestStreamReplayIdentical: the leader's live stream, a deduplicated
+// follower joining mid-flight, and a later result-cache replay all deliver
+// the identical event sequence.
+func TestStreamReplayIdentical(t *testing.T) {
+	eng := testEngine(t)
+	release := make(chan struct{})
+	srv := New(eng, Config{BeforeRun: func() { <-release }})
+	ctx := context.Background()
+	opts := testOpts()
+	opts.TimeBound = 2 * time.Second // TBQ emits rich event sequences
+
+	leader, err := srv.Stream(ctx, q117(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := srv.Stream(ctx, q117(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats().FlightShared; got != 1 {
+		t.Fatalf("FlightShared = %d, want 1 (follower joined)", got)
+	}
+	close(release)
+
+	leaderEvents := drainStream(t, leader)
+	followerEvents := drainStream(t, follower)
+	cachedStream, err := srv.Stream(ctx, q117(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedEvents := drainStream(t, cachedStream)
+
+	want := eventLines(t, leaderEvents)
+	if len(want) == 0 {
+		t.Fatal("no events")
+	}
+	if got := eventLines(t, followerEvents); !reflect.DeepEqual(got, want) {
+		t.Fatalf("follower events differ:\n%v\nvs\n%v", got, want)
+	}
+	if got := eventLines(t, cachedEvents); !reflect.DeepEqual(got, want) {
+		t.Fatalf("cached replay events differ:\n%v\nvs\n%v", got, want)
+	}
+	if srv.Stats().PipelineRuns != 1 {
+		t.Fatalf("pipeline ran %d times, want 1", srv.Stats().PipelineRuns)
+	}
+	// The terminal results of all three paths are the same shared object.
+	lr, _ := leader.Result()
+	fr, _ := follower.Result()
+	cr, _ := cachedStream.Result()
+	if lr != fr || lr != cr {
+		t.Fatal("stream paths returned different result objects")
+	}
+}
+
+// TestPlanCacheSharedAcrossK: K is a runtime option, so two requests that
+// differ only in K miss the result cache but share the compiled plan.
+func TestPlanCacheSharedAcrossK(t *testing.T) {
+	srv := New(testEngine(t), Config{})
+	ctx := context.Background()
+	optsA := testOpts()
+	optsB := testOpts()
+	optsB.K = 3
+
+	if _, err := srv.Search(ctx, q117(), optsA); err != nil {
+		t.Fatal(err)
+	}
+	resB, err := srv.Search(ctx, q117(), optsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resB.Answers) > 3 {
+		t.Fatalf("K=3 returned %d answers", len(resB.Answers))
+	}
+	st := srv.Stats()
+	if st.PlanMisses != 1 || st.PlanHits != 1 {
+		t.Fatalf("plan stats = %d hits / %d misses, want 1/1", st.PlanHits, st.PlanMisses)
+	}
+	if st.ResultMisses != 2 {
+		t.Fatalf("result misses = %d, want 2 (different K)", st.ResultMisses)
+	}
+}
+
+// TestRebuildInvalidates: swapping the engine flushes both caches, and the
+// next identical request answers from the new graph.
+func TestRebuildInvalidates(t *testing.T) {
+	srv := New(buildEngine(t, true), Config{})
+	ctx := context.Background()
+
+	before, err := srv.Search(ctx, q117(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasAnswer(before, "BMW_X6") {
+		t.Fatalf("expected BMW_X6 via manufacturer schema, got %v", before.Entities())
+	}
+	srv.Rebuild(buildEngine(t, false)) // X6 now assembled in France
+	after, err := srv.Search(ctx, q117(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasAnswer(after, "BMW_X6") {
+		t.Fatalf("stale cached answer after rebuild: %v", after.Entities())
+	}
+	st := srv.Stats()
+	if st.Rebuilds != 1 || st.ResultEntries == 0 {
+		t.Fatalf("stats after rebuild = %+v", st)
+	}
+	if st.PipelineRuns != 2 {
+		t.Fatalf("pipeline runs = %d, want 2 (cache flushed)", st.PipelineRuns)
+	}
+}
+
+func hasAnswer(res *core.Result, entity string) bool {
+	for _, a := range res.Answers {
+		if a.PivotName == entity {
+			return true
+		}
+	}
+	return false
+}
+
+// TestUncacheableBypass: requests carrying process-local hooks (test
+// clock) bypass cache and dedup — every request runs the pipeline.
+func TestUncacheableBypass(t *testing.T) {
+	srv := New(testEngine(t), Config{})
+	ctx := context.Background()
+	opts := testOpts()
+	opts.TimeBound = time.Second
+	opts.Clock = &tbq.StepClock{Step: 50 * time.Microsecond}
+
+	for i := 0; i < 2; i++ {
+		if _, err := srv.Search(ctx, q117(), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	if st.Uncacheable != 2 || st.PipelineRuns != 2 || st.ResultHits != 0 {
+		t.Fatalf("stats = %+v, want 2 uncacheable pipeline runs", st)
+	}
+}
+
+// TestAdmissionShedsQueueFull: with one worker and no queue, a request
+// arriving while the worker is busy is shed with a Retry-After hint.
+func TestAdmissionShedsQueueFull(t *testing.T) {
+	eng := testEngine(t)
+	release := make(chan struct{})
+	srv := New(eng, Config{Workers: 1, Queue: -1, BeforeRun: func() { <-release }})
+	ctx := context.Background()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Search(ctx, q117(), testOpts())
+		done <- err
+	}()
+	waitBusy(t, srv, 1)
+
+	_, err := srv.Search(ctx, clubQuery(), testOpts())
+	var over *OverloadedError
+	if !errors.As(err, &over) {
+		t.Fatalf("err = %v, want OverloadedError", err)
+	}
+	if over.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0", over.RetryAfter)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats().RejectedQueue; got != 1 {
+		t.Fatalf("RejectedQueue = %d, want 1", got)
+	}
+}
+
+// TestAdmissionShedsDeadline: a queued request whose TimeBound cannot
+// cover the projected queue wait is rejected immediately; one with an
+// ample bound waits and completes.
+func TestAdmissionShedsDeadline(t *testing.T) {
+	eng := testEngine(t)
+	release := make(chan struct{})
+	srv := New(eng, Config{
+		Workers:      1,
+		Queue:        8,
+		EstimatedRun: 100 * time.Millisecond,
+		BeforeRun:    func() { <-release },
+	})
+	ctx := context.Background()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Search(ctx, q117(), testOpts())
+		done <- err
+	}()
+	waitBusy(t, srv, 1)
+
+	// Projected wait (1 waiter × 100ms / 1 worker) exceeds this bound.
+	tight := testOpts()
+	tight.TimeBound = 50 * time.Millisecond
+	_, err := srv.Search(ctx, clubQuery(), tight)
+	var over *OverloadedError
+	if !errors.As(err, &over) || over.Reason != "deadline" {
+		t.Fatalf("err = %v, want deadline OverloadedError", err)
+	}
+
+	// An ample bound queues and completes once the worker frees up.
+	ample := testOpts()
+	ample.TimeBound = 10 * time.Second
+	queued := make(chan error, 1)
+	go func() {
+		_, err := srv.Search(ctx, clubQuery(), ample)
+		queued <- err
+	}()
+	waitQueued(t, srv, 1)
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-queued; err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.RejectedDeadline != 1 {
+		t.Fatalf("RejectedDeadline = %d, want 1", st.RejectedDeadline)
+	}
+}
+
+func waitBusy(t *testing.T, srv *Engine, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().BusyWorkers < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never became busy (stats %+v)", srv.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func waitQueued(t *testing.T, srv *Engine, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().QueueDepth < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("request never queued (stats %+v)", srv.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBadRequests: validation failures surface as BadRequestError without
+// touching the pipeline or caches.
+func TestBadRequests(t *testing.T) {
+	srv := New(testEngine(t), Config{})
+	ctx := context.Background()
+
+	var bad core.BadRequestError
+	if _, err := srv.Search(ctx, &query.Graph{}, testOpts()); !errors.As(err, &bad) {
+		t.Fatalf("empty query: err = %v, want BadRequestError", err)
+	}
+	opts := testOpts()
+	opts.Tau = 1.5
+	if _, err := srv.Search(ctx, q117(), opts); !errors.As(err, &bad) {
+		t.Fatalf("bad tau: err = %v, want BadRequestError", err)
+	}
+	if _, err := srv.Stream(ctx, q117(), opts); !errors.As(err, &bad) {
+		t.Fatalf("bad tau stream: err = %v, want BadRequestError", err)
+	}
+	if st := srv.Stats(); st.PipelineRuns != 0 {
+		t.Fatalf("bad requests ran the pipeline: %+v", st)
+	}
+}
+
+// TestSearchContextCancelled: a caller abandoning a shared flight gets its
+// context error; the flight itself is cancelled once the last participant
+// leaves.
+func TestSearchContextCancelled(t *testing.T) {
+	eng := testEngine(t)
+	release := make(chan struct{})
+	defer close(release)
+	srv := New(eng, Config{BeforeRun: func() { <-release }})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Search(ctx, q117(), testOpts())
+		done <- err
+	}()
+	waitBusy(t, srv, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestDeadFlightNotJoined is the regression test for joining a flight
+// whose last participant already left: that flight is cancelled and will
+// produce a partial anytime result, so a fresh request arriving while the
+// dying leader is still winding down must start a new pipeline execution
+// instead — and receive the complete answer set.
+func TestDeadFlightNotJoined(t *testing.T) {
+	eng := testEngine(t)
+	release := make(chan struct{})
+	srv := New(eng, Config{Workers: 2, BeforeRun: func() { <-release }})
+
+	want, err := eng.Search(context.Background(), q117(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First request: cancelled while its (gated) flight is in-flight. Its
+	// departure drops the flight's refs to zero, cancelling the pipeline.
+	ctxA, cancelA := context.WithCancel(context.Background())
+	doneA := make(chan error, 1)
+	go func() {
+		_, err := srv.Search(ctxA, q117(), testOpts())
+		doneA <- err
+	}()
+	waitBusy(t, srv, 1)
+	cancelA()
+	if err := <-doneA; !errors.Is(err, context.Canceled) {
+		t.Fatalf("first request: err = %v, want context.Canceled", err)
+	}
+
+	// Second identical request: the dying flight is still registered (its
+	// leader is blocked in the gate), but it must not be joined.
+	doneB := make(chan *core.Result, 1)
+	go func() {
+		res, err := srv.Search(context.Background(), q117(), testOpts())
+		if err != nil {
+			t.Errorf("second request: %v", err)
+		}
+		doneB <- res
+	}()
+	waitBusy(t, srv, 2) // B runs its own pipeline on the second worker
+	close(release)
+	res := <-doneB
+	if res == nil || !bytes.Equal(answersJSON(t, res), answersJSON(t, want)) {
+		t.Fatalf("second request got a partial result: %+v", res)
+	}
+	st := srv.Stats()
+	if st.PipelineRuns != 2 {
+		t.Fatalf("pipeline runs = %d, want 2 (no dead-flight join)", st.PipelineRuns)
+	}
+	if st.FlightShared != 0 {
+		t.Fatalf("FlightShared = %d, want 0", st.FlightShared)
+	}
+}
+
+// TestStreamResultWithoutDraining: Result() must not depend on event
+// delivery — a consumer that never touches Events() still gets the
+// terminal outcome even when the recorded log far exceeds the delivery
+// channel buffer.
+func TestStreamResultWithoutDraining(t *testing.T) {
+	events := make([]core.Event, 0, 4*streamBuffer)
+	for i := 0; i < 4*streamBuffer; i++ {
+		events = append(events, core.ProgressEvent{Sub: 0, Collected: i + 1})
+	}
+	want := &core.Result{}
+	s := subscribe(context.Background(), closedLog(events, want), sealedNow, nil)
+
+	got := make(chan *core.Result, 1)
+	go func() {
+		res, err := s.Result()
+		if err != nil {
+			t.Errorf("Result: %v", err)
+		}
+		got <- res
+	}()
+	select {
+	case res := <-got:
+		if res != want {
+			t.Fatal("Result returned a different object")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Result() deadlocked with undrained Events")
+	}
+}
+
+// TestRebuildNotJoinedMidFlight: a request arriving after Rebuild must not
+// join a flight started on the previous engine generation — it runs its
+// own pipeline against the new engine.
+func TestRebuildNotJoinedMidFlight(t *testing.T) {
+	release := make(chan struct{})
+	srv := New(buildEngine(t, true), Config{Workers: 2, BeforeRun: func() { <-release }})
+
+	oldDone := make(chan *core.Result, 1)
+	go func() {
+		res, err := srv.Search(context.Background(), q117(), testOpts())
+		if err != nil {
+			t.Errorf("pre-rebuild request: %v", err)
+		}
+		oldDone <- res
+	}()
+	waitBusy(t, srv, 1)
+
+	srv.Rebuild(buildEngine(t, false)) // X6 moves to France
+
+	newDone := make(chan *core.Result, 1)
+	go func() {
+		res, err := srv.Search(context.Background(), q117(), testOpts())
+		if err != nil {
+			t.Errorf("post-rebuild request: %v", err)
+		}
+		newDone <- res
+	}()
+	waitBusy(t, srv, 2) // the post-rebuild request leads its own flight
+	close(release)
+
+	oldRes, newRes := <-oldDone, <-newDone
+	if !hasAnswer(oldRes, "BMW_X6") {
+		t.Errorf("pre-rebuild request should answer from the old graph: %v", oldRes.Entities())
+	}
+	if hasAnswer(newRes, "BMW_X6") {
+		t.Errorf("post-rebuild request served the retired engine's flight: %v", newRes.Entities())
+	}
+	st := srv.Stats()
+	if st.FlightShared != 0 || st.PipelineRuns != 2 {
+		t.Fatalf("stats = %+v, want 2 independent pipeline runs", st)
+	}
+}
+
+// TestKeyCanonicalization: option values that run the identical pipeline
+// share cache keys (alert-ratio default in TBQ mode, alert ratio ignored
+// in exact mode, strategy overridden by an explicit pivot).
+func TestKeyCanonicalization(t *testing.T) {
+	q := q117()
+	tbqA, tbqB := testOpts(), testOpts()
+	tbqA.TimeBound, tbqB.TimeBound = time.Second, time.Second
+	tbqB.AlertRatio = 0.8 // tbq default == unset
+	if resultKey(q, tbqA) != resultKey(q, tbqB) {
+		t.Error("TBQ alert ratio 0 vs default 0.8 should share a key")
+	}
+	exactA, exactB := testOpts(), testOpts()
+	exactB.AlertRatio = 0.5 // ignored without a time bound
+	if resultKey(q, exactA) != resultKey(q, exactB) {
+		t.Error("exact-mode requests differing only in alert ratio should share a key")
+	}
+	tbqB.AlertRatio = 0.5 // a real TBQ difference must not collide
+	if resultKey(q, tbqA) == resultKey(q, tbqB) {
+		t.Error("TBQ alert ratio 0.8 vs 0.5 must not share a key")
+	}
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"semkg/internal/core"
+)
+
+// eventLog is an append-only record of one pipeline execution's stream
+// events plus its terminal outcome. The leader appends; any number of
+// subscribers replay from the start concurrently — a follower that joins
+// mid-run first catches up on the recorded prefix, then follows live. The
+// closed log doubles as the result-cache entry's replay source, so cached,
+// deduplicated and cold streams all deliver the identical event sequence.
+type eventLog struct {
+	mu      sync.Mutex
+	events  []core.Event
+	closed  bool
+	res     *core.Result
+	err     error
+	changed chan struct{} // closed and replaced on every append/close
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{changed: make(chan struct{})}
+}
+
+// append records one event and wakes the subscribers.
+func (l *eventLog) append(ev core.Event) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	close(l.changed)
+	l.changed = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// close seals the log with the terminal outcome (exactly one of res, err).
+func (l *eventLog) close(res *core.Result, err error) {
+	l.mu.Lock()
+	l.closed = true
+	l.res, l.err = res, err
+	close(l.changed)
+	l.mu.Unlock()
+}
+
+// since returns the events from index i on, whether the log is sealed, and
+// a channel that closes on the next change (valid only while !sealed).
+func (l *eventLog) since(i int) (evs []core.Event, sealed bool, changed <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.events[i:], l.closed, l.changed
+}
+
+// outcome returns the terminal result; valid once sealed.
+func (l *eventLog) outcome() (*core.Result, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.res, l.err
+}
+
+// closedLog wraps an already-recorded event sequence (a result-cache hit)
+// as a sealed log for replay.
+func closedLog(events []core.Event, res *core.Result) *eventLog {
+	l := newEventLog()
+	l.events = events
+	l.closed = true
+	l.res = res
+	return l
+}
+
+// flight is one in-flight pipeline execution shared by every concurrent
+// identical request (singleflight). The first request becomes the leader
+// and owns the execution goroutine; later identical requests join as
+// followers and replay the leader's event log. The flight's context stays
+// alive while any participant remains; when the last one leaves, the
+// pipeline is cancelled (anytime semantics, as for a single dropped
+// client) and the partial result is not cached.
+type flight struct {
+	log *eventLog
+	ctx context.Context
+
+	// admitted closes when the leader has compiled the plan and acquired a
+	// worker slot — the point past which bad-request and overload errors
+	// can no longer occur, so Stream waits on it to surface those
+	// synchronously (an HTTP handler needs them before the 200 header).
+	admitted chan struct{}
+	// sealed closes when the log is sealed with the terminal outcome.
+	sealed chan struct{}
+	// gen is the engine generation the flight executes on; requests from a
+	// later generation must not join it (Rebuild invalidation).
+	gen uint64
+
+	mu     sync.Mutex
+	refs   int
+	cancel context.CancelFunc
+}
+
+func newFlight(gen uint64) *flight {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &flight{
+		log:      newEventLog(),
+		ctx:      ctx,
+		admitted: make(chan struct{}),
+		sealed:   make(chan struct{}),
+		gen:      gen,
+		refs:     1,
+		cancel:   cancel,
+	}
+}
+
+// finish seals the log with the terminal outcome and signals the waiters.
+func (f *flight) finish(res *core.Result, err error) {
+	f.log.close(res, err)
+	close(f.sealed)
+}
+
+// join registers one more participant. It fails once the last participant
+// has left (the flight is cancelled at that point and its result may be
+// partial); the caller must then start a fresh flight.
+func (f *flight) join() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.refs == 0 {
+		return false
+	}
+	f.refs++
+	return true
+}
+
+// leave deregisters a participant; the last one out cancels the pipeline.
+// The cancel happens under the mutex so join can never observe refs == 0
+// with the context still live.
+func (f *flight) leave() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.refs--
+	if f.refs == 0 {
+		f.cancel()
+	}
+}
+
+// done returns the channel that closes when the flight's log seals.
+func (f *flight) done() <-chan struct{} { return f.sealed }

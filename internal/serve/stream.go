@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"context"
+
+	"semkg/internal/core"
+)
+
+// Stream is a serving-layer event stream: a live pipeline subscription, a
+// singleflight replay of the leader's log, or a result-cache replay — the
+// consumer cannot tell the difference, and the event sequence is identical
+// in all three cases. Consume Events until the channel closes, or call
+// Result to block for the terminal outcome.
+type Stream struct {
+	events chan core.Event
+	log    *eventLog
+	sealed <-chan struct{}
+	ctx    context.Context
+}
+
+// Events returns the event channel; it closes after the terminal
+// ResultEvent (or after the subscriber's context is cancelled). A consumer
+// that abandons the channel without draining should cancel its context,
+// which releases the delivery goroutine (and the stream's flight
+// reference).
+func (s *Stream) Events() <-chan core.Event { return s.events }
+
+// Result blocks until the underlying execution terminates and returns the
+// terminal outcome. It does not require Events to be drained — it waits on
+// the execution's log, not on event delivery. The error is non-nil only
+// when the execution failed or the subscriber's context was cancelled
+// first.
+func (s *Stream) Result() (*core.Result, error) {
+	// Prefer the sealed outcome when both it and the cancellation are
+	// ready: a consumer that cancels after completion still gets the
+	// result it already paid for.
+	select {
+	case <-s.sealed:
+		return s.log.outcome()
+	default:
+	}
+	select {
+	case <-s.sealed:
+		return s.log.outcome()
+	case <-s.ctx.Done():
+		return nil, s.ctx.Err()
+	}
+}
+
+// subscribe replays log into a new Stream: recorded prefix first, then
+// live events as the leader appends them. sealed closes when the log holds
+// its terminal outcome. onDone (may be nil) runs exactly once when event
+// delivery ends — the flight-reference release.
+func subscribe(ctx context.Context, log *eventLog, sealed <-chan struct{}, onDone func()) *Stream {
+	s := &Stream{events: make(chan core.Event, streamBuffer), log: log, sealed: sealed, ctx: ctx}
+	go func() {
+		defer func() {
+			if onDone != nil {
+				onDone()
+			}
+			close(s.events)
+		}()
+		i := 0
+		for {
+			evs, done, changed := log.since(i)
+			for _, ev := range evs {
+				select {
+				case s.events <- ev:
+					i++
+				case <-ctx.Done():
+					return
+				}
+			}
+			if done {
+				return
+			}
+			select {
+			case <-changed:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// streamBuffer sizes a subscriber's event channel. Unlike the engine-level
+// stream, nothing is dropped here: the log holds the full sequence and the
+// delivery goroutine blocks until the consumer catches up or its context
+// dies (Result never depends on delivery).
+const streamBuffer = 64
+
+// sealedNow is a pre-closed channel for replays of already-complete logs.
+var sealedNow = func() <-chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()

@@ -1,0 +1,155 @@
+// Textual form of the conjunctive queries: a minimal basic-graph-pattern
+// syntax, one triple pattern per statement —
+//
+//	?car type Automobile .
+//	?car assembly Germany .
+//
+// Terms are whitespace-separated; "#" starts a comment to end of line; a
+// "." terminates each pattern (the final one may omit it). Terms that
+// contain whitespace, quotes, "#", or equal "." are written as Go-quoted
+// strings ("New York"). Render emits the canonical form — one pattern per
+// line, terms bare when possible, a trailing " ." — and Parse(Render(q))
+// is the identity for any valid query, which the golden-file tests pin
+// down for the query shapes internal/datagen emits.
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Render formats q in the canonical textual form.
+func Render(q Query) string {
+	var sb strings.Builder
+	for _, p := range q.Patterns {
+		sb.WriteString(renderTerm(p.Subject))
+		sb.WriteByte(' ')
+		sb.WriteString(renderTerm(p.Predicate))
+		sb.WriteByte(' ')
+		sb.WriteString(renderTerm(p.Object))
+		sb.WriteString(" .\n")
+	}
+	return sb.String()
+}
+
+// String implements fmt.Stringer with the canonical rendering.
+func (q Query) String() string { return Render(q) }
+
+// renderTerm writes a term bare when the tokenizer would read it back
+// unchanged, quoted otherwise.
+func renderTerm(term string) string {
+	if needsQuotes(term) {
+		return strconv.Quote(term)
+	}
+	return term
+}
+
+func needsQuotes(term string) bool {
+	if term == "" || term == "." {
+		return true
+	}
+	for _, r := range term {
+		switch r {
+		case ' ', '\t', '\n', '\r', '"', '#':
+			return true
+		}
+	}
+	return false
+}
+
+// Parse reads the textual form back into a Query. It is the inverse of
+// Render and also accepts freer layouts: multiple patterns on one line,
+// missing final ".", comments, and blank lines.
+func Parse(src string) (Query, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return Query{}, err
+	}
+	var q Query
+	var terms []string
+	flush := func() error {
+		if len(terms) == 0 {
+			return nil
+		}
+		if len(terms) != 3 {
+			return fmt.Errorf("sparql: pattern %d has %d terms %v, want subject predicate object",
+				len(q.Patterns), len(terms), terms)
+		}
+		q.Patterns = append(q.Patterns, Pattern{Subject: terms[0], Predicate: terms[1], Object: terms[2]})
+		terms = terms[:0]
+		return nil
+	}
+	for _, tok := range toks {
+		if !tok.quoted && tok.text == "." {
+			if err := flush(); err != nil {
+				return Query{}, err
+			}
+			continue
+		}
+		// Patterns are exactly three terms, so a fourth term starts the
+		// next pattern — the "." separator is optional everywhere.
+		if len(terms) == 3 {
+			if err := flush(); err != nil {
+				return Query{}, err
+			}
+		}
+		terms = append(terms, tok.text)
+	}
+	if err := flush(); err != nil {
+		return Query{}, err
+	}
+	if len(q.Patterns) == 0 {
+		return Query{}, fmt.Errorf("sparql: no patterns")
+	}
+	return q, nil
+}
+
+// token is one lexical item; quoted distinguishes the literal term "."
+// from the pattern terminator.
+type token struct {
+	text   string
+	quoted bool
+}
+
+func tokenize(src string) ([]token, error) {
+	var toks []token
+	for i := 0; i < len(src); {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			quoted, err := strconv.QuotedPrefix(src[i:])
+			if err != nil {
+				return nil, fmt.Errorf("sparql: bad quoted term at byte %d: %w", i, err)
+			}
+			text, err := strconv.Unquote(quoted)
+			if err != nil {
+				return nil, fmt.Errorf("sparql: bad quoted term at byte %d: %w", i, err)
+			}
+			toks = append(toks, token{text: text, quoted: true})
+			i += len(quoted)
+		default:
+			j := i
+			for j < len(src) && !isBreak(src[j]) {
+				j++
+			}
+			toks = append(toks, token{text: src[i:j]})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func isBreak(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', '"', '#':
+		return true
+	}
+	return false
+}

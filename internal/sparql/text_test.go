@@ -1,0 +1,136 @@
+package sparql
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"semkg/internal/kg"
+)
+
+// TestGoldenRoundTrip pins the canonical textual form: every golden file
+// under testdata is already canonical (Render(Parse(file)) == file), and
+// parse → render → parse is stable. The golden set mirrors the query
+// shapes internal/datagen emits for its validation workloads (type
+// constraint + forward predicate chains of 1–3 hops) plus quoted-term
+// edge cases.
+func TestGoldenRoundTrip(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.sparql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("found only %d golden files, expected the full set", len(files))
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := Parse(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			rendered := Render(q)
+			if rendered != string(src) {
+				t.Fatalf("golden file is not canonical:\n--- file ---\n%s--- render ---\n%s", src, rendered)
+			}
+			q2, err := Parse(rendered)
+			if err != nil {
+				t.Fatalf("re-parse: %v", err)
+			}
+			if !reflect.DeepEqual(q, q2) {
+				t.Fatalf("parse → render → parse changed the query:\n%+v\nvs\n%+v", q, q2)
+			}
+		})
+	}
+}
+
+// TestGoldenEvaluable: the datagen-shaped golden queries (everything
+// except the quoted edge-case file) must be accepted by Eval — the same
+// path datagen uses to build validation sets.
+func TestGoldenEvaluable(t *testing.T) {
+	b := kg.NewBuilder(8, 8)
+	auto := b.AddNode("Car_1", "Automobile")
+	ctr := b.AddNode("Country_3", "Country")
+	b.AddEdge(auto, ctr, "assembly")
+	g := b.Build()
+
+	files, _ := filepath.Glob(filepath.Join("testdata", "*.sparql"))
+	for _, file := range files {
+		if strings.Contains(file, "quoted") {
+			continue
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := Parse(string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Eval(g, q, 0); err != nil {
+			t.Errorf("%s: Eval rejected the parsed query: %v", file, err)
+		}
+	}
+}
+
+// TestParseFreeForm: the parser accepts looser layouts than the canonical
+// renderer emits.
+func TestParseFreeForm(t *testing.T) {
+	q, err := Parse("# leading comment\n?x type T . ?x p Y  # trailing comment\n\n?y q ?x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Query{Patterns: []Pattern{
+		{Subject: "?x", Predicate: "type", Object: "T"},
+		{Subject: "?x", Predicate: "p", Object: "Y"},
+		{Subject: "?y", Predicate: "q", Object: "?x"},
+	}}
+	if !reflect.DeepEqual(q, want) {
+		t.Fatalf("Parse = %+v, want %+v", q, want)
+	}
+}
+
+// TestParseQuotedDot: a quoted "." is a term; a bare "." terminates.
+func TestParseQuotedDot(t *testing.T) {
+	q, err := Parse(`"." p O .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Patterns[0].Subject != "." {
+		t.Fatalf("quoted dot parsed as %q", q.Patterns[0].Subject)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",                  // no patterns
+		"a b .",             // 2 terms
+		"a b c d .",         // 4 terms
+		"a b c . x y",       // trailing incomplete... actually valid 3+2? no: x y flushes at EOF with 2 terms
+		`"unterminated p o`, // bad quote
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// TestRenderQuoting: terms round-trip through quoting exactly.
+func TestRenderQuoting(t *testing.T) {
+	q := Query{Patterns: []Pattern{
+		{Subject: "New York", Predicate: "has #1", Object: `say "hi"`},
+		{Subject: ".", Predicate: "p", Object: "tab\there"},
+	}}
+	q2, err := Parse(Render(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q, q2) {
+		t.Fatalf("quoting round trip changed the query:\n%+v\nvs\n%+v", q, q2)
+	}
+}

@@ -1,0 +1,131 @@
+package tbq
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"semkg/internal/astar"
+)
+
+// TestRunHookedConcurrentHooks is the RunHooked stress test: many
+// sub-queries search eagerly in parallel, with hooks recording from the
+// concurrent search goroutines, under a deterministic StepClock. Run with
+// -race. Asserted invariants, per iteration:
+//
+//   - OnAlert fires at most once (the CAS in Algorithm 3's estimator), and
+//     never on an exhausted run;
+//   - per sub-query, OnCollected totals are consecutive (1,2,3,…) — each
+//     call reports one newly collected distinct entity;
+//   - OnSubDone's final total, OnAssembly's sizes and Result.Collected all
+//     agree with the last OnCollected total.
+func TestRunHookedConcurrentHooks(t *testing.T) {
+	const (
+		nSubs = 8
+		k     = 10
+		iters = 10
+	)
+	g, sw, sub := hubGraph(20, 60)
+
+	for iter := 0; iter < iters; iter++ {
+		// A short bound so the alert path trips while several sub-query
+		// goroutines are still collecting concurrently.
+		bound := time.Duration(2+iter) * time.Millisecond
+		searchers := make([]*astar.Searcher, nSubs)
+		for i := range searchers {
+			searchers[i] = astar.NewSearcher(g, sw, sub, searchOpts())
+		}
+
+		var alerts atomic.Int32
+		collected := make([][]int, nSubs) // appended to only by sub i's goroutine
+		done := make([]int, nSubs)
+		var doneMu sync.Mutex
+		var assemblySizes []int
+
+		hooks := Hooks{
+			OnCollected: func(sub, total int) {
+				collected[sub] = append(collected[sub], total)
+			},
+			OnSubDone: func(sub, total int) {
+				doneMu.Lock()
+				done[sub] = total
+				doneMu.Unlock()
+			},
+			OnAlert: func(elapsed, projected time.Duration) {
+				if elapsed < 0 || projected <= 0 {
+					t.Errorf("iter %d: OnAlert(%v, %v) out of range", iter, elapsed, projected)
+				}
+				alerts.Add(1)
+			},
+			OnAssembly: func(sizes []int) {
+				assemblySizes = append([]int(nil), sizes...)
+			},
+		}
+		res := RunHooked(context.Background(), searchers, k, Config{
+			Bound:      bound,
+			Clock:      &StepClock{Step: 20 * time.Microsecond},
+			PerMatchTA: time.Microsecond,
+		}, hooks)
+
+		if n := alerts.Load(); n > 1 {
+			t.Fatalf("iter %d: OnAlert fired %d times, want at most once", iter, n)
+		}
+		if res.Exhausted && alerts.Load() != 0 {
+			t.Fatalf("iter %d: exhausted run still alerted", iter)
+		}
+		if len(res.Collected) != nSubs || len(assemblySizes) != nSubs {
+			t.Fatalf("iter %d: collected sizes %d / assembly %d, want %d",
+				iter, len(res.Collected), len(assemblySizes), nSubs)
+		}
+		for s := 0; s < nSubs; s++ {
+			for i, total := range collected[s] {
+				if total != i+1 {
+					t.Fatalf("iter %d sub %d: OnCollected totals %v not consecutive", iter, s, collected[s])
+				}
+			}
+			final := len(collected[s])
+			if done[s] != final {
+				t.Fatalf("iter %d sub %d: OnSubDone total %d != last OnCollected %d", iter, s, done[s], final)
+			}
+			if res.Collected[s] != final || assemblySizes[s] != final {
+				t.Fatalf("iter %d sub %d: Result.Collected %d / OnAssembly %d != OnCollected %d",
+					iter, s, res.Collected[s], assemblySizes[s], final)
+			}
+		}
+	}
+}
+
+// TestRunHookedAmpleBoundNoAlert: with a bound the searches cannot
+// consume, every sub-query exhausts, no alert fires, and the hooks'
+// accounting still matches the result.
+func TestRunHookedAmpleBoundNoAlert(t *testing.T) {
+	g, sw, sub := hubGraph(6, 15)
+	const nSubs = 4
+	searchers := make([]*astar.Searcher, nSubs)
+	for i := range searchers {
+		searchers[i] = astar.NewSearcher(g, sw, sub, searchOpts())
+	}
+	var alerts atomic.Int32
+	totals := make([]atomic.Int64, nSubs)
+	res := RunHooked(context.Background(), searchers, 5, Config{
+		Bound:      time.Hour,
+		Clock:      &StepClock{Step: 10 * time.Microsecond},
+		PerMatchTA: time.Nanosecond,
+	}, Hooks{
+		OnCollected: func(sub, total int) { totals[sub].Store(int64(total)) },
+		OnAlert:     func(time.Duration, time.Duration) { alerts.Add(1) },
+	})
+	if !res.Exhausted {
+		t.Fatal("ample bound should exhaust")
+	}
+	if alerts.Load() != 0 {
+		t.Fatalf("OnAlert fired %d times on an exhausted run", alerts.Load())
+	}
+	for s := 0; s < nSubs; s++ {
+		if got := totals[s].Load(); int(got) != res.Collected[s] {
+			t.Fatalf("sub %d: last OnCollected %d != Collected %d", s, got, res.Collected[s])
+		}
+	}
+}

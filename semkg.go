@@ -38,6 +38,7 @@ import (
 	"semkg/internal/embed"
 	"semkg/internal/kg"
 	"semkg/internal/query"
+	"semkg/internal/serve"
 	"semkg/internal/transform"
 )
 
@@ -152,6 +153,37 @@ const (
 	PhaseAlert    = core.PhaseAlert
 	PhaseAssemble = core.PhaseAssemble
 )
+
+// Serving is the engine-level serving layer for heavy concurrent traffic:
+// an LRU result cache and plan cache, singleflight deduplication of
+// concurrent identical requests, and a bounded worker pool with
+// deadline-aware admission control. Wrap an engine with NewServing and
+// route traffic through Serving.Search/Stream; see the semkgd command for
+// the HTTP form.
+type Serving = serve.Engine
+
+// ServeConfig sizes the serving layer (caches, workers, queue). The zero
+// value gives production-ready defaults.
+type ServeConfig = serve.Config
+
+// ServeStats is a snapshot of the serving layer's cache, dedup and
+// admission counters.
+type ServeStats = serve.Stats
+
+// OverloadedError is returned by a Serving engine when admission control
+// sheds a request; RetryAfter is the projected wait until a worker frees
+// up (HTTP front ends map it to 429/Retry-After).
+type OverloadedError = serve.OverloadedError
+
+// ServeStream is a serving-layer event stream: a live pipeline
+// subscription, a dedup replay, or a cache replay — identical event
+// sequences in all three cases.
+type ServeStream = serve.Stream
+
+// NewServing wraps an engine in a serving layer sized by cfg.
+func NewServing(e *Engine, cfg ServeConfig) *Serving {
+	return serve.New(e.Engine, cfg)
+}
 
 // Engine answers query graphs over one knowledge graph. Safe for
 // concurrent use.
