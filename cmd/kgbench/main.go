@@ -35,12 +35,13 @@ type artifact interface {
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: table1 | fig12 | fig13 | fig14 | fig15 | table5 | table6 | table7 | noise | table9 | table10 | ablation | hotpath | serve | all (hotpath and serve run separately)")
+		"experiment: table1 | fig12 | fig13 | fig14 | fig15 | table5 | table6 | table7 | noise | table9 | table10 | ablation | hotpath | serve | ingest | all (hotpath, serve and ingest run separately)")
 	scale := flag.Float64("scale", 0.3, "dataset scale")
 	dim := flag.Int("dim", 48, "embedding dimension")
 	epochs := flag.Int("epochs", 120, "embedding epochs")
 	tau := flag.Float64("tau", 0.7, "pss threshold τ")
-	out := flag.String("out", "", "output artifact for -exp hotpath/serve (default BENCH_<exp>.json)")
+	out := flag.String("out", "", "output artifact for -exp hotpath/serve/ingest (default BENCH_<exp>.json)")
+	short := flag.Bool("short", false, "trim iteration counts (CI smoke runs of -exp ingest)")
 	flag.Parse()
 
 	embedCfg := embed.Config{Dim: *dim, Epochs: *epochs, Seed: 3}
@@ -122,6 +123,8 @@ func main() {
 			runArtifact(name, *out, func() (artifact, error) { return bench.RunHotpath(dbp()) })
 		case "serve":
 			runArtifact(name, *out, func() (artifact, error) { return bench.RunServe(dbp()) })
+		case "ingest":
+			runArtifact(name, *out, func() (artifact, error) { return bench.RunIngest(dbp(), *short) })
 		default:
 			fmt.Fprintf(os.Stderr, "kgbench: unknown experiment %q\n", name)
 			os.Exit(2)

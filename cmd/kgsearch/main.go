@@ -189,7 +189,9 @@ func loadGraph(path string) *kg.Graph {
 		fail(err)
 	}
 	defer f.Close()
-	g, err := kg.ReadTriples(f)
+	// Either storage format works: TSV triples or a binary snapshot
+	// (kggen -snapshot / semkgd -save-snapshot), sniffed by magic.
+	g, err := kg.ReadGraph(f)
 	if err != nil {
 		fail(err)
 	}

@@ -21,6 +21,22 @@
 //	semkgd -graph g.tsv -model m.bin -addr :8375 \
 //	       -workers 8 -queue 32 -result-cache 1024 -plan-cache 256
 //
+// The storage layer (see DESIGN.md, "Storage layer") adds live ingestion
+// and binary cold starts:
+//
+//	POST /v1/ingest   NDJSON triples {"s":..,"p":..,"o":..}; the batch
+//	                  commits as one delta against the served graph and
+//	                  swaps the engine generation (both caches invalidate
+//	                  exactly once)
+//
+//	semkgd -snapshot g.snap -model m.bin            # binary cold start
+//	semkgd -graph g.tsv -save-snapshot g.snap ...   # convert on boot
+//
+// -graph accepts either format (the snapshot magic is sniffed);
+// -snapshot insists on the binary format. -save-snapshot writes the
+// loaded graph back out as a snapshot, so the next start skips the TSV
+// parse and index build entirely.
+//
 // The streaming endpoint is the wire form of the paper's anytime
 // behaviour (Section VI, Theorem 4): in time-bounded mode clients render
 // provisional answers while the search refines them. See DESIGN.md,
@@ -30,6 +46,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -42,34 +59,45 @@ import (
 )
 
 func main() {
-	graphFile := flag.String("graph", "", "triple file (required)")
+	graphFile := flag.String("graph", "", "graph file, TSV triples or binary snapshot (this or -snapshot is required)")
+	snapshotFile := flag.String("snapshot", "", "binary graph snapshot file (this or -graph is required)")
+	saveSnapshot := flag.String("save-snapshot", "", "write the loaded graph as a binary snapshot to this path and continue serving")
 	modelFile := flag.String("model", "", "embedding model file (required)")
 	addr := flag.String("addr", ":8375", "listen address")
 	workers := flag.Int("workers", 0, "max concurrent pipeline executions (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "max queued requests (0 = 4x workers, -1 = none: shed when busy)")
 	resultCache := flag.Int("result-cache", 0, "result cache entries (0 = 1024, -1 = disabled)")
 	planCache := flag.Int("plan-cache", 0, "plan cache entries (0 = 256, -1 = disabled)")
+	maxIngest := flag.Int64("max-ingest-bytes", defaultMaxIngestBytes, "max /v1/ingest request body size in bytes (0 = unlimited)")
 	flag.Parse()
 
-	if *graphFile == "" || *modelFile == "" {
-		fmt.Fprintln(os.Stderr, "semkgd: -graph and -model are required")
+	if (*graphFile == "") == (*snapshotFile == "") || *modelFile == "" {
+		fmt.Fprintln(os.Stderr, "semkgd: -model and exactly one of -graph / -snapshot are required")
 		os.Exit(2)
 	}
 
 	start := time.Now()
-	g, err := loadGraph(*graphFile)
+	var g *kg.Graph
+	var err error
+	if *snapshotFile != "" {
+		g, err = loadGraph(*snapshotFile, kg.ReadSnapshot)
+	} else {
+		g, err = loadGraph(*graphFile, kg.ReadGraph)
+	}
 	if err != nil {
 		log.Fatalf("semkgd: %v", err)
+	}
+	if *saveSnapshot != "" {
+		if err := writeSnapshot(*saveSnapshot, g); err != nil {
+			log.Fatalf("semkgd: %v", err)
+		}
+		log.Printf("semkgd: wrote snapshot %s", *saveSnapshot)
 	}
 	model, err := loadModel(*modelFile)
 	if err != nil {
 		log.Fatalf("semkgd: %v", err)
 	}
-	space, err := model.Space(g)
-	if err != nil {
-		log.Fatalf("semkgd: %v", err)
-	}
-	eng, err := core.NewEngine(g, space, nil)
+	eng, err := core.BuildEngine(g, model, nil)
 	if err != nil {
 		log.Fatalf("semkgd: %v", err)
 	}
@@ -78,19 +106,36 @@ func main() {
 		PlanCache:   *planCache,
 		Workers:     *workers,
 		Queue:       *queue,
+		// Live ingestion rebuilds the engine over the committed graph;
+		// SpaceFor pads vectors for predicates the model never saw.
+		Build: func(g2 *kg.Graph) (*core.Engine, error) {
+			return core.BuildEngine(g2, model, nil)
+		},
 	})
 	log.Printf("semkgd: %d nodes, %d edges, %d predicates loaded in %s; listening on %s",
 		g.NumNodes(), g.NumEdges(), g.NumPredicates(), time.Since(start).Round(time.Millisecond), *addr)
-	log.Fatal(http.ListenAndServe(*addr, newMux(srv)))
+	log.Fatal(http.ListenAndServe(*addr, newMuxLimits(srv, *maxIngest)))
 }
 
-func loadGraph(path string) (*kg.Graph, error) {
+func loadGraph(path string, read func(io.Reader) (*kg.Graph, error)) (*kg.Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return kg.ReadTriples(f)
+	return read(f)
+}
+
+func writeSnapshot(path string, g *kg.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := kg.WriteSnapshot(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadModel(path string) (*embed.Model, error) {

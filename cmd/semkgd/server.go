@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"expvar"
+	"fmt"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -18,12 +21,14 @@ import (
 // layer's own counters (caches, singleflight, admission) are published
 // under "semkgd_serve"; see serve.Stats for the fields.
 var (
-	statSearches     = expvar.NewInt("semkgd_searches_total")
-	statStreams      = expvar.NewInt("semkgd_streams_total")
-	statStreamEvents = expvar.NewInt("semkgd_stream_events_total")
-	statBadRequests  = expvar.NewInt("semkgd_bad_requests_total")
-	statOverloaded   = expvar.NewInt("semkgd_overloaded_total")
-	statErrors       = expvar.NewInt("semkgd_errors_total")
+	statSearches      = expvar.NewInt("semkgd_searches_total")
+	statStreams       = expvar.NewInt("semkgd_streams_total")
+	statStreamEvents  = expvar.NewInt("semkgd_stream_events_total")
+	statBadRequests   = expvar.NewInt("semkgd_bad_requests_total")
+	statOverloaded    = expvar.NewInt("semkgd_overloaded_total")
+	statErrors        = expvar.NewInt("semkgd_errors_total")
+	statIngests       = expvar.NewInt("semkgd_ingests_total")
+	statIngestTriples = expvar.NewInt("semkgd_ingest_triples_total")
 
 	// currentServe backs the semkgd_serve expvar; newMux swaps it so
 	// httptest servers observe their own serving layer.
@@ -39,23 +44,40 @@ func init() {
 	}))
 }
 
+// defaultMaxIngestBytes caps one /v1/ingest request body: the whole
+// batch accumulates in one in-memory delta before it commits, so an
+// unbounded body would let a single request exhaust the process.
+const defaultMaxIngestBytes = 64 << 20
+
 // server routes search traffic onto one serving engine.
 type server struct {
 	srv *serve.Engine
+	// maxIngestBytes bounds one ingest request body; <= 0 disables the
+	// cap.
+	maxIngestBytes int64
 }
 
 // newMux builds the service's routing table:
 //
 //	POST /v1/search   batch search, JSON result (429 when shed)
 //	POST /v1/stream   streaming search, NDJSON events (429 when shed)
-//	GET  /healthz     liveness + graph shape
+//	POST /v1/ingest   NDJSON triples, batched delta commit (409 when
+//	                  racing another commit)
+//	GET  /healthz     liveness + graph shape + generation
 //	GET  /debug/vars  expvar counters
 func newMux(srv *serve.Engine) *http.ServeMux {
+	return newMuxLimits(srv, defaultMaxIngestBytes)
+}
+
+// newMuxLimits is newMux with an explicit ingest body cap (semkgd wires
+// -max-ingest-bytes through it; tests use small caps).
+func newMuxLimits(srv *serve.Engine, maxIngestBytes int64) *http.ServeMux {
 	currentServe.Store(srv)
-	s := &server{srv: srv}
+	s := &server{srv: srv, maxIngestBytes: maxIngestBytes}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
@@ -162,6 +184,88 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleIngest applies one NDJSON batch of triples as a single delta
+// commit: every line parses and validates before anything is published,
+// so a malformed line rejects the whole batch (400) and the served graph
+// is unchanged. A successful batch swaps the engine generation exactly
+// once, however many triples it carries. A concurrent commit that
+// supersedes this one's base graph is a 409 — the client re-sends the
+// batch, which then applies against the newer generation.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	statIngests.Add(1)
+	if s.maxIngestBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxIngestBytes)
+	}
+	d := s.srv.NewDelta()
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo, triples := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		tr, err := api.DecodeIngestTriple(line)
+		if err != nil {
+			// A body-size overrun truncates the final line, which then
+			// fails to parse; report the cap, not the parse artifact.
+			if s.ingestTooLarge(w, sc) {
+				return
+			}
+			s.badRequest(w, fmt.Errorf("line %d: %w", lineNo, err))
+			return
+		}
+		if err := d.ApplyTriple(tr.S, tr.P, tr.O); err != nil {
+			s.badRequest(w, fmt.Errorf("line %d: %w", lineNo, err))
+			return
+		}
+		triples++
+	}
+	if err := sc.Err(); err != nil {
+		if s.ingestTooLarge(w, sc) {
+			return
+		}
+		s.badRequest(w, fmt.Errorf("reading ingest body: %w", err))
+		return
+	}
+	info, err := s.srv.Apply(d)
+	if err != nil {
+		if errors.Is(err, serve.ErrStaleDelta) {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+			return
+		}
+		statErrors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	statIngestTriples.Add(int64(triples))
+	writeJSON(w, http.StatusOK, api.IngestResult{
+		Triples:    triples,
+		AddedNodes: info.AddedNodes,
+		AddedEdges: info.AddedEdges,
+		Retyped:    info.Retyped,
+		Nodes:      info.Nodes,
+		Edges:      info.Edges,
+		Generation: info.Generation,
+		CommitTime: api.Duration(info.CommitTime),
+		BuildTime:  api.Duration(info.BuildTime),
+	})
+}
+
+// ingestTooLarge writes a 413 and reports true when the scanner stopped
+// because the request body exceeded the ingest cap.
+func (s *server) ingestTooLarge(w http.ResponseWriter, sc *bufio.Scanner) bool {
+	var tooBig *http.MaxBytesError
+	if !errors.As(sc.Err(), &tooBig) {
+		return false
+	}
+	writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{
+		"error": fmt.Sprintf("ingest body exceeds %d bytes; split the batch", tooBig.Limit),
+	})
+	return true
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	g := s.srv.Engine().Graph()
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -169,6 +273,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"nodes":      g.NumNodes(),
 		"edges":      g.NumEdges(),
 		"predicates": g.NumPredicates(),
+		"generation": s.srv.Generation(),
 	})
 }
 

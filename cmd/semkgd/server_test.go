@@ -16,12 +16,49 @@ import (
 	"semkg/internal/serve"
 )
 
-// testServer wraps a fresh serving layer around the test engine.
+// testServer wraps a fresh serving layer around the test engine. The
+// engine builder backs /v1/ingest (rebuilds over committed graphs).
 func testServer(t *testing.T, cfg serve.Config) *httptest.Server {
 	t.Helper()
+	if cfg.Build == nil {
+		cfg.Build = testEngineBuilder(t)
+	}
 	srv := httptest.NewServer(newMux(serve.New(testEngine(t), cfg)))
 	t.Cleanup(srv.Close)
 	return srv
+}
+
+// testEngineBuilder rebuilds an engine over a committed graph with the
+// test predicate vectors, padding a neutral direction for ingested
+// predicates the hand-crafted space lacks.
+func testEngineBuilder(t *testing.T) func(*kg.Graph) (*core.Engine, error) {
+	t.Helper()
+	vecs := testVectors()
+	return func(g *kg.Graph) (*core.Engine, error) {
+		names := g.Predicates()
+		ordered := make([]embed.Vector, len(names))
+		for i, n := range names {
+			if v, ok := vecs[n]; ok {
+				ordered[i] = v
+			} else {
+				ordered[i] = embed.Vector{0.30, 0.90, 0.30}
+			}
+		}
+		sp, err := embed.NewSpace(names, ordered)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewEngine(g, sp, nil)
+	}
+}
+
+func testVectors() map[string]embed.Vector {
+	return map[string]embed.Vector{
+		"assembly":        {1.00, 0.05, 0.02},
+		"manufacturer":    {0.95, 0.20, 0.05},
+		"country":         {0.90, 0.10, 0.30},
+		"locationCountry": {0.90, 0.12, 0.28},
+	}
 }
 
 // testEngine builds a small motivating-example engine with hand-crafted
@@ -44,26 +81,7 @@ func testEngine(t *testing.T) *core.Engine {
 	b.AddEdge(b.AddNode("Clio", "Automobile"), france, "assembly")
 	g := b.Build()
 
-	vecs := map[string]embed.Vector{
-		"assembly":        {1.00, 0.05, 0.02},
-		"manufacturer":    {0.95, 0.20, 0.05},
-		"country":         {0.90, 0.10, 0.30},
-		"locationCountry": {0.90, 0.12, 0.28},
-	}
-	names := g.Predicates()
-	ordered := make([]embed.Vector, len(names))
-	for i, n := range names {
-		v, ok := vecs[n]
-		if !ok {
-			t.Fatalf("no vector for predicate %q", n)
-		}
-		ordered[i] = v
-	}
-	sp, err := embed.NewSpace(names, ordered)
-	if err != nil {
-		t.Fatal(err)
-	}
-	eng, err := core.NewEngine(g, sp, nil)
+	eng, err := testEngineBuilder(t)(g)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,59 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// IngestTriple is one NDJSON line of a POST /v1/ingest body: a raw triple
+// in the TSV/ingest convention — the reserved predicate "type" declares
+// the subject's entity type (first type wins), anything else adds an
+// edge, creating unseen endpoint nodes on the fly.
+type IngestTriple struct {
+	S string `json:"s"`
+	P string `json:"p"`
+	O string `json:"o"`
+}
+
+// DecodeIngestTriple parses one ingest line strictly: unknown fields,
+// trailing data and empty components are errors.
+func DecodeIngestTriple(line []byte) (IngestTriple, error) {
+	var t IngestTriple
+	if err := decodeStrict(bytes.NewReader(line), &t); err != nil {
+		return t, fmt.Errorf("api: parsing ingest triple: %w", err)
+	}
+	if t.S == "" || t.P == "" || t.O == "" {
+		return t, fmt.Errorf("api: ingest triple needs non-empty s, p and o")
+	}
+	return t, nil
+}
+
+// EncodeIngestTriple renders one ingest line (without the newline).
+func EncodeIngestTriple(t IngestTriple) ([]byte, error) {
+	return json.Marshal(t)
+}
+
+// IngestResult is the response body of POST /v1/ingest: what the batched
+// commit changed and the engine generation now serving it.
+type IngestResult struct {
+	// Triples is the number of NDJSON lines applied.
+	Triples int `json:"triples"`
+	// AddedNodes/AddedEdges/Retyped are the delta's mutation counts.
+	// Node and type declarations are idempotent (a known node keeps its
+	// id, first type wins), but edge triples always append: the graph is
+	// a multigraph, exactly as when the same TSV stream is loaded twice,
+	// so re-sending an already-applied batch duplicates its edges.
+	AddedNodes int `json:"added_nodes"`
+	AddedEdges int `json:"added_edges"`
+	Retyped    int `json:"retyped"`
+	// Nodes and Edges are the committed graph's totals.
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// Generation is the serving generation after the commit.
+	Generation uint64 `json:"generation"`
+	// CommitTime and BuildTime cover the delta commit and the engine
+	// rebuild.
+	CommitTime Duration `json:"commit_time"`
+	BuildTime  Duration `json:"build_time"`
+}

@@ -1,0 +1,33 @@
+package api
+
+import "testing"
+
+func TestIngestTripleRoundTrip(t *testing.T) {
+	in := IngestTriple{S: "BMW_i8", P: "assembly", O: "Germany"}
+	line, err := EncodeIngestTriple(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeIngestTriple(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestDecodeIngestTripleStrict(t *testing.T) {
+	cases := []struct{ name, line string }{
+		{"unknown field", `{"s":"a","p":"b","o":"c","x":1}`},
+		{"trailing data", `{"s":"a","p":"b","o":"c"}{"s":"d","p":"e","o":"f"}`},
+		{"empty subject", `{"s":"","p":"b","o":"c"}`},
+		{"missing object", `{"s":"a","p":"b"}`},
+		{"not an object", `["a","b","c"]`},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeIngestTriple([]byte(tc.line)); err == nil {
+			t.Errorf("%s: accepted %s", tc.name, tc.line)
+		}
+	}
+}

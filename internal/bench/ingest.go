@@ -1,0 +1,331 @@
+// Ingest experiment: the storage layer's production metrics. Three
+// measurements: cold-start load time of the binary snapshot codec against
+// the TSV parse + index build it replaces (the ≥10x acceptance bar),
+// delta-commit latency as a function of delta size, and end-to-end search
+// throughput while a background applier publishes commits through
+// serve.Apply (generation swaps racing live queries). Run via `go run
+// ./cmd/kgbench -exp ingest` (writes BENCH_ingest.json).
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"semkg/internal/core"
+	"semkg/internal/kg"
+	"semkg/internal/serve"
+)
+
+// LoadComparison is the snapshot-vs-TSV cold-start measurement.
+type LoadComparison struct {
+	TSVBytes      int64   `json:"tsv_bytes"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	TSVLoadUs     float64 `json:"tsv_load_us"`
+	SnapshotUs    float64 `json:"snapshot_load_us"`
+	Speedup       float64 `json:"speedup"`
+	Iters         int     `json:"iters"`
+}
+
+// CommitPoint is one delta-size latency measurement.
+type CommitPoint struct {
+	DeltaEdges int     `json:"delta_edges"`
+	NewNodes   int     `json:"new_nodes"`
+	CommitUs   float64 `json:"commit_us"`
+	PerEdgeUs  float64 `json:"per_edge_us"`
+}
+
+// LiveIngest is the search-while-ingest workload measurement.
+type LiveIngest struct {
+	Clients      int     `json:"clients"`
+	DurationMs   float64 `json:"duration_ms"`
+	Requests     int     `json:"requests"`
+	QPS          float64 `json:"qps"`
+	Commits      int     `json:"commits"`
+	Generation   uint64  `json:"generation"`
+	ResultHits   uint64  `json:"result_hits"`
+	PipelineRuns uint64  `json:"pipeline_runs"`
+}
+
+// IngestResult is the experiment artifact (BENCH_ingest.json).
+type IngestResult struct {
+	Dataset   string         `json:"dataset"`
+	Scale     string         `json:"scale"`
+	GoVersion string         `json:"go_version"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	CPUs      int            `json:"cpus"`
+	When      string         `json:"when"`
+	Load      LoadComparison `json:"load"`
+	Commits   []CommitPoint  `json:"commits"`
+	Live      LiveIngest     `json:"live"`
+}
+
+// RunIngest measures the storage layer on this environment. short trims
+// iteration counts for CI smoke runs.
+func RunIngest(env *Env, short bool) (*IngestResult, error) {
+	res := &IngestResult{
+		Dataset:   env.Cfg.Profile.Name,
+		Scale:     fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		When:      time.Now().UTC().Format(time.RFC3339),
+	}
+	load, err := measureLoad(env.Dataset.Graph, short)
+	if err != nil {
+		return nil, err
+	}
+	res.Load = load
+
+	sizes := []int{10, 100, 1000}
+	if short {
+		sizes = []int{10, 100}
+	}
+	for _, size := range sizes {
+		pt, err := measureCommit(env.Dataset.Graph, size, short)
+		if err != nil {
+			return nil, err
+		}
+		res.Commits = append(res.Commits, pt)
+	}
+
+	live, err := measureLive(env, short)
+	if err != nil {
+		return nil, err
+	}
+	res.Live = live
+	return res, nil
+}
+
+// measureLoad compares a cold start from the TSV triple format (parse +
+// Build + index derivation) against the binary snapshot codec, both from
+// memory so disk speed does not pollute the comparison. The minimum over
+// the iterations is reported — load time is a floor-bound metric — and
+// a collection runs between iterations, outside the timed region, so an
+// incidental GC cycle does not land in one side's timings (a real cold
+// start runs long before the first collection).
+func measureLoad(g *kg.Graph, short bool) (LoadComparison, error) {
+	var tsv, snap bytes.Buffer
+	if err := kg.WriteTriples(&tsv, g); err != nil {
+		return LoadComparison{}, err
+	}
+	if err := kg.WriteSnapshot(&snap, g); err != nil {
+		return LoadComparison{}, err
+	}
+	iters := 11
+	if short {
+		iters = 9 // the load pair is cheap; a stable minimum matters more
+	}
+	best := func(load func() error) (time.Duration, error) {
+		var min time.Duration
+		for i := 0; i < iters; i++ {
+			runtime.GC()
+			start := time.Now()
+			if err := load(); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); min == 0 || d < min {
+				min = d
+			}
+		}
+		return min, nil
+	}
+	tsvTime, err := best(func() error {
+		_, err := kg.ReadTriples(bytes.NewReader(tsv.Bytes()))
+		return err
+	})
+	if err != nil {
+		return LoadComparison{}, err
+	}
+	snapTime, err := best(func() error {
+		_, err := kg.ReadSnapshot(bytes.NewReader(snap.Bytes()))
+		return err
+	})
+	if err != nil {
+		return LoadComparison{}, err
+	}
+	out := LoadComparison{
+		TSVBytes:      int64(tsv.Len()),
+		SnapshotBytes: int64(snap.Len()),
+		TSVLoadUs:     float64(tsvTime) / float64(time.Microsecond),
+		SnapshotUs:    float64(snapTime) / float64(time.Microsecond),
+		Iters:         iters,
+	}
+	if snapTime > 0 {
+		out.Speedup = float64(tsvTime) / float64(snapTime)
+	}
+	return out, nil
+}
+
+// ingestDelta builds a synthetic delta against g: size edges, half
+// linking existing nodes, half attaching brand-new typed nodes (reusing
+// existing predicates so the trained space still covers the commit).
+func ingestDelta(g *kg.Graph, size int, seed int64) (*kg.Delta, error) {
+	rng := rand.New(rand.NewSource(seed))
+	d := kg.NewDelta(g)
+	preds := g.Predicates()
+	n := g.NumNodes()
+	for i := 0; i < size; i++ {
+		pred := preds[rng.Intn(len(preds))]
+		if i%2 == 0 {
+			if _, err := d.AddEdge(kg.NodeID(rng.Intn(n)), kg.NodeID(rng.Intn(n)), pred); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		node, err := d.AddNode(fmt.Sprintf("ingested_%d_%d", seed, i), "IngestedThing")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := d.AddEdge(node, kg.NodeID(rng.Intn(n)), pred); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// measureCommit times Delta.Commit for one delta size (averaged; a fresh
+// delta is built per iteration since deltas are single-shot).
+func measureCommit(g *kg.Graph, size int, short bool) (CommitPoint, error) {
+	iters := 7
+	if short {
+		iters = 3
+	}
+	var total time.Duration
+	var newNodes int
+	for i := 0; i < iters; i++ {
+		d, err := ingestDelta(g, size, int64(1000+i))
+		if err != nil {
+			return CommitPoint{}, err
+		}
+		newNodes = d.AddedNodes()
+		start := time.Now()
+		d.Commit()
+		total += time.Since(start)
+	}
+	avg := float64(total) / float64(iters) / float64(time.Microsecond)
+	return CommitPoint{
+		DeltaEdges: size,
+		NewNodes:   newNodes,
+		CommitUs:   avg,
+		PerEdgeUs:  avg / float64(size),
+	}, nil
+}
+
+// measureLive runs concurrent search clients against a serving engine
+// while an applier publishes delta commits: the QPS under generation
+// churn, with every request completing against a consistent snapshot.
+func measureLive(env *Env, short bool) (LiveIngest, error) {
+	qs := serveQueries(env)
+	if len(qs) == 0 {
+		return LiveIngest{}, fmt.Errorf("bench: environment has no workload queries")
+	}
+	const clients = 4
+	duration := 1500 * time.Millisecond
+	if short {
+		duration = 400 * time.Millisecond
+	}
+	opts := env.SearchOptions(10)
+	// The applier reuses the trained space: ingestDelta only adds edges
+	// over existing predicates, so the predicate set is stable.
+	srv := serve.New(env.Engine, serve.Config{
+		Queue: 4 * clients,
+		Build: func(g *kg.Graph) (*core.Engine, error) {
+			return core.NewEngine(g, env.Space, env.Dataset.Library)
+		},
+	})
+	ctx := context.Background()
+	deadline := time.Now().Add(duration)
+
+	var requests atomic.Int64
+	errs := make([]error, clients+1)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(77 + c)))
+			for time.Now().Before(deadline) {
+				if _, err := srv.Search(ctx, qs[rng.Intn(len(qs))], opts); err != nil {
+					errs[c] = err
+					return
+				}
+				requests.Add(1)
+			}
+		}(c)
+	}
+	commits := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for seed := int64(1); time.Now().Before(deadline); seed++ {
+			d, err := ingestDelta(srv.Engine().Graph(), 50, 5000+seed)
+			if err != nil {
+				errs[clients] = err
+				return
+			}
+			if _, err := srv.Apply(d); err != nil {
+				errs[clients] = err
+				return
+			}
+			commits++
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return LiveIngest{}, err
+		}
+	}
+	st := srv.Stats()
+	return LiveIngest{
+		Clients:      clients,
+		DurationMs:   float64(duration) / float64(time.Millisecond),
+		Requests:     int(requests.Load()),
+		QPS:          float64(requests.Load()) / duration.Seconds(),
+		Commits:      commits,
+		Generation:   st.Generation,
+		ResultHits:   st.ResultHits,
+		PipelineRuns: st.PipelineRuns,
+	}, nil
+}
+
+// WriteJSON stores the artifact.
+func (r *IngestResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render formats the measurements as a text table.
+func (r *IngestResult) Render() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Storage layer (%s, %s, %s/%s)", r.Dataset, r.Scale, r.GOOS, r.GOARCH),
+		Header: []string{"measurement", "value", "detail"},
+	}
+	t.AddRow("tsv load", fmt.Sprintf("%.0f µs", r.Load.TSVLoadUs),
+		fmt.Sprintf("%d bytes", r.Load.TSVBytes))
+	t.AddRow("snapshot load", fmt.Sprintf("%.0f µs", r.Load.SnapshotUs),
+		fmt.Sprintf("%d bytes", r.Load.SnapshotBytes))
+	t.AddRow("load speedup", fmt.Sprintf("%.1fx", r.Load.Speedup), "snapshot vs tsv")
+	for _, c := range r.Commits {
+		t.AddRow(fmt.Sprintf("commit %d edges", c.DeltaEdges),
+			fmt.Sprintf("%.0f µs", c.CommitUs),
+			fmt.Sprintf("%.2f µs/edge, %d new nodes", c.PerEdgeUs, c.NewNodes))
+	}
+	t.AddRow("search-while-ingest", fmt.Sprintf("%.0f QPS", r.Live.QPS),
+		fmt.Sprintf("%d reqs, %d commits, gen %d", r.Live.Requests, r.Live.Commits, r.Live.Generation))
+	return t
+}

@@ -1,0 +1,42 @@
+package bench
+
+import "testing"
+
+// TestRunIngestShape runs the storage-layer experiment end to end and
+// checks the acceptance properties: an order-of-magnitude snapshot cold
+// start over the TSV parse + index build, commit latency measured per
+// delta size, and the live workload completing queries while generations
+// swap. Skipped in -short mode (the environment trains an embedding).
+//
+// The ≥10x acceptance bar is measured at kgbench's default scale
+// (BENCH_ingest.json, committed: 11-13x); this test runs a smaller world
+// where fixed costs weigh more and timing noise on a busy single-core CI
+// runner is larger, so it asserts 8x as the regression floor.
+func TestRunIngestShape(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunIngest(env, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Load.TSVLoadUs <= 0 || res.Load.SnapshotUs <= 0 {
+		t.Fatalf("non-positive load measurements: %+v", res.Load)
+	}
+	if res.Load.Speedup < 8 {
+		t.Errorf("snapshot load speedup = %.1fx, want >= 8x at test scale (tsv %.0f µs vs snapshot %.0f µs)",
+			res.Load.Speedup, res.Load.TSVLoadUs, res.Load.SnapshotUs)
+	}
+	if len(res.Commits) == 0 {
+		t.Fatal("no commit measurements")
+	}
+	for _, c := range res.Commits {
+		if c.CommitUs <= 0 {
+			t.Errorf("commit %d edges: non-positive latency", c.DeltaEdges)
+		}
+	}
+	if res.Live.Requests == 0 || res.Live.QPS <= 0 {
+		t.Errorf("live workload made no progress: %+v", res.Live)
+	}
+	if res.Live.Commits == 0 || res.Live.Generation == 0 {
+		t.Errorf("live workload published no generations: %+v", res.Live)
+	}
+}

@@ -1,1 +1,39 @@
 package core
+
+import (
+	"fmt"
+	"io"
+
+	"semkg/internal/embed"
+	"semkg/internal/kg"
+	"semkg/internal/transform"
+)
+
+// BuildEngine constructs an engine over g from a trained model, deriving
+// the predicate space with Model.SpaceFor: predicates ingested after the
+// offline training run get deterministic placeholder vectors instead of
+// failing the build. This is the construction path the storage layer uses
+// — cold starts from snapshots and serve.Apply rebuilds after a delta
+// commit both go through it.
+func BuildEngine(g *kg.Graph, model *embed.Model, lib *transform.Library) (*Engine, error) {
+	if model == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	space, err := model.SpaceFor(g)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(g, space, lib)
+}
+
+// EngineFromSnapshot loads a binary graph snapshot (kg.ReadSnapshot) and
+// builds an engine over it: the snapshot already carries the derived
+// search indexes, so construction skips the parse and index build of the
+// TSV path entirely.
+func EngineFromSnapshot(r io.Reader, model *embed.Model, lib *transform.Library) (*Engine, error) {
+	g, err := kg.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return BuildEngine(g, model, lib)
+}

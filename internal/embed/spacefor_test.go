@@ -1,0 +1,70 @@
+package embed
+
+import (
+	"testing"
+
+	"semkg/internal/kg"
+)
+
+func spaceForGraph(extra int) *kg.Graph {
+	b := kg.NewBuilder(4, 4)
+	a := b.AddNode("a", "")
+	c := b.AddNode("c", "")
+	b.AddEdge(a, c, "p0")
+	b.AddEdge(c, a, "p1")
+	for i := 0; i < extra; i++ {
+		b.AddEdge(a, c, "extra"+string(rune('a'+i)))
+	}
+	return b.Build()
+}
+
+// TestSpaceForPadsUnknownPredicates: a graph that grew predicates after
+// training still gets a space — trained vectors by position, stable
+// pseudo-random unit vectors for the rest.
+func TestSpaceForPadsUnknownPredicates(t *testing.T) {
+	m := &Model{Relations: []Vector{{1, 0, 0}, {0, 1, 0}}}
+
+	exact, err := m.SpaceFor(spaceForGraph(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Len() != 2 || exact.Vector(0)[0] != 1 {
+		t.Fatalf("exact space mangled: len=%d", exact.Len())
+	}
+
+	grown := spaceForGraph(2)
+	sp1, err := m.SpaceFor(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp1.Len() != 4 {
+		t.Fatalf("padded space has %d predicates, want 4", sp1.Len())
+	}
+	// Padding is deterministic: a restarted process derives the same
+	// vectors, so cached results stay comparable.
+	sp2, err := m.SpaceFor(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 2; p < 4; p++ {
+		for j := range sp1.Vector(p) {
+			if sp1.Vector(p)[j] != sp2.Vector(p)[j] {
+				t.Fatalf("padded vector %d not deterministic", p)
+			}
+		}
+	}
+	// Unit length (cosine stays well-defined).
+	var sum float64
+	for _, x := range sp1.Vector(2) {
+		sum += x * x
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("padded vector not normalized: |v|^2 = %v", sum)
+	}
+
+	// A model covering MORE predicates than the graph is a pairing
+	// mistake, not growth.
+	if _, err := (&Model{Relations: []Vector{{1}, {0}, {1}}}).SpaceFor(spaceForGraph(0)); err == nil {
+		t.Fatal("SpaceFor accepted a graph with fewer predicates than the model")
+	}
+}

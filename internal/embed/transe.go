@@ -54,9 +54,60 @@ type Model struct {
 }
 
 // Space returns the predicate semantic space of the model, labelled with
-// the graph's predicate names.
+// the graph's predicate names. The graph must have exactly the predicates
+// the model was trained on; use SpaceFor when the graph may have grown
+// since training (live ingestion).
 func (m *Model) Space(g *kg.Graph) (*Space, error) {
 	return NewSpace(g.Predicates(), m.Relations)
+}
+
+// SpaceFor builds the predicate space for g, tolerating predicates the
+// model has never seen: when g carries more predicates than the model
+// trained on (entities and relations ingested after the offline embedding
+// run), each unknown predicate gets a deterministic pseudo-random unit
+// vector derived from its name. Random directions in a high-dimensional
+// space are nearly orthogonal to every trained vector, so an unknown
+// predicate participates weakly in semantic matching instead of failing
+// the engine rebuild; the next offline re-train gives it a learned
+// position. A graph with FEWER predicates than the model is still an
+// error — that is a graph/model pairing mistake, not growth.
+func (m *Model) SpaceFor(g *kg.Graph) (*Space, error) {
+	names := g.Predicates()
+	if len(names) <= len(m.Relations) {
+		return m.Space(g)
+	}
+	dim := 0
+	if len(m.Relations) > 0 {
+		dim = len(m.Relations[0])
+	} else if m.Cfg.Dim > 0 {
+		dim = m.Cfg.Dim
+	}
+	if dim == 0 {
+		return nil, fmt.Errorf("embed: model has no relations and no configured dimension")
+	}
+	vectors := make([]Vector, len(names))
+	copy(vectors, m.Relations)
+	for i := len(m.Relations); i < len(names); i++ {
+		vectors[i] = seededVector(names[i], dim)
+	}
+	return NewSpace(names, vectors)
+}
+
+// seededVector derives a unit vector from a name, stable across processes
+// so a restarted server reproduces the same padded space.
+func seededVector(name string, dim int) Vector {
+	var h uint64 = 14695981039346656037 // FNV-1a 64
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	rng := rand.New(rand.NewSource(int64(h)))
+	v := make(Vector, dim)
+	for j := range v {
+		v[j] = rng.Float64()*2 - 1
+	}
+	Normalize(v)
+	return v
 }
 
 // TrainTransE trains a TransE model (Bordes et al., NIPS 2013) on the edges

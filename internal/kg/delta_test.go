@@ -1,0 +1,301 @@
+package kg
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// triple is one raw statement in the TSV/ingest convention (predicate
+// "type" declares a type).
+type triple struct{ s, p, o string }
+
+// randomTriples generates a deterministic statement stream with repeated
+// nodes, late type declarations, conflicting types and multi-word names.
+func randomTriples(seed int64, n int) []triple {
+	rng := rand.New(rand.NewSource(seed))
+	words := []string{"United", "Motor", "Works", "Germany", "Auto", "Club"}
+	typeNames := []string{"Country", "Automobile", "Company", "Person"}
+	preds := []string{"assembly", "product", "manufacturer", "designer"}
+	name := func(i int) string {
+		if i%3 == 0 {
+			return fmt.Sprintf("%s %s %d", words[i%len(words)], words[(i*7)%len(words)], i%17)
+		}
+		return fmt.Sprintf("entity_%d", i%23)
+	}
+	out := make([]triple, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) == 0 {
+			out = append(out, triple{name(rng.Intn(40)), TypePredicate, typeNames[rng.Intn(len(typeNames))]})
+			continue
+		}
+		out = append(out, triple{name(rng.Intn(40)), preds[rng.Intn(len(preds))], name(rng.Intn(40))})
+	}
+	return out
+}
+
+func triplesTSV(ts []triple) string {
+	var sb strings.Builder
+	for _, tr := range ts {
+		fmt.Fprintf(&sb, "%s\t%s\t%s\n", tr.s, tr.p, tr.o)
+	}
+	return sb.String()
+}
+
+func mustReadTriples(t *testing.T, tsv string) *Graph {
+	t.Helper()
+	g, err := ReadTriples(strings.NewReader(tsv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestDeltaCommitEquivalence is the delta-commit acceptance property:
+// committing a random split of a statement stream as (base graph, delta)
+// yields a graph structurally identical to loading the whole stream at
+// once — same ids, same CSR layout, same index contents — for several
+// seeds and split ratios, including the all-in-delta (empty base) and
+// all-in-base (empty delta) extremes.
+func TestDeltaCommitEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 9, 33} {
+		for _, ratio := range []float64{0, 0.3, 0.7, 1} {
+			all := randomTriples(seed, 300)
+			rng := rand.New(rand.NewSource(seed * 101))
+			var base, rest []triple
+			for _, tr := range all {
+				if rng.Float64() < ratio {
+					base = append(base, tr)
+				} else {
+					rest = append(rest, tr)
+				}
+			}
+			// The reference graph loads the SAME statement order the
+			// split pipeline sees: base statements, then delta statements.
+			want := mustReadTriples(t, triplesTSV(base)+triplesTSV(rest))
+
+			d := NewDelta(mustReadTriples(t, triplesTSV(base)))
+			for _, tr := range rest {
+				if err := d.ApplyTriple(tr.s, tr.p, tr.o); err != nil {
+					t.Fatalf("seed %d ratio %g: ApplyTriple(%v): %v", seed, ratio, tr, err)
+				}
+			}
+			got := d.Commit()
+			assertGraphsIdentical(t, got, want)
+		}
+	}
+}
+
+// TestDeltaCommitSnapshotRoundTrip: a committed graph survives the binary
+// codec like any built graph.
+func TestDeltaCommitSnapshotRoundTrip(t *testing.T) {
+	base := randomWorld(5, 60, 150)
+	d := NewDelta(base)
+	if _, err := d.AddTriple("Fresh Node One", "assembly", base.NodeName(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddNode("Fresh Node Two", "Country"); err != nil {
+		t.Fatal(err)
+	}
+	g := d.Commit()
+	g2, err := ReadSnapshot(strings.NewReader(string(snapshotBytes(t, g))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsIdentical(t, g2, g)
+}
+
+// TestTypeFirstWins pins the documented overwrite rule in both loaders:
+// the first declared type sticks, later conflicting declarations are
+// ignored, and typing a previously untyped node succeeds.
+func TestTypeFirstWins(t *testing.T) {
+	t.Run("ReadTriples", func(t *testing.T) {
+		g := mustReadTriples(t,
+			"A\ttype\tCountry\n"+
+				"A\ttype\tCity\n"+ // conflicting: ignored
+				"A\tborders\tB\n"+
+				"B\ttype\tCity\n") // late type for an edge-introduced node
+		if got := g.TypeName(g.NodeType(g.NodeByName("A"))); got != "Country" {
+			t.Fatalf("A's type = %q, want Country (first wins)", got)
+		}
+		if got := g.TypeName(g.NodeType(g.NodeByName("B"))); got != "City" {
+			t.Fatalf("B's type = %q, want City", got)
+		}
+	})
+	t.Run("Delta", func(t *testing.T) {
+		base := mustReadTriples(t, "A\ttype\tCountry\nA\tborders\tB\n")
+		d := NewDelta(base)
+		changed, err := d.SetType("A", "City")
+		if err != nil || changed {
+			t.Fatalf("SetType on typed node: changed=%v err=%v, want false,nil", changed, err)
+		}
+		changed, err = d.SetType("B", "City")
+		if err != nil || !changed {
+			t.Fatalf("SetType on untyped node: changed=%v err=%v, want true,nil", changed, err)
+		}
+		// The conflicting declaration is also ignored via the triple path.
+		if err := d.ApplyTriple("A", TypePredicate, "Village"); err != nil {
+			t.Fatal(err)
+		}
+		g := d.Commit()
+		if got := g.TypeName(g.NodeType(g.NodeByName("A"))); got != "Country" {
+			t.Fatalf("A's type = %q, want Country", got)
+		}
+		if got := g.TypeName(g.NodeType(g.NodeByName("B"))); got != "City" {
+			t.Fatalf("B's type = %q, want City", got)
+		}
+		// The retyped node must appear mid-bucket, in ascending id order.
+		city := g.TypeByName("City")
+		nodes := g.NodesOfType(city)
+		for i := 1; i < len(nodes); i++ {
+			if nodes[i-1] >= nodes[i] {
+				t.Fatalf("NodesOfType(City) not ascending: %v", nodes)
+			}
+		}
+	})
+}
+
+// TestDeltaRejectsInvalidInput: untrusted-input validation returns errors
+// (never panics) for separator characters, empty names, unknown nodes.
+// The comment marker '#' is invalid only for node names (they open TSV
+// lines); predicates and type names tolerate it.
+func TestDeltaRejectsInvalidInput(t *testing.T) {
+	base := mustReadTriples(t, "A\tp\tB\n")
+	d := NewDelta(base)
+	for _, bad := range []string{"", "tab\tname", "line\nname", "cr\rname"} {
+		if _, err := d.AddNode(bad, ""); err == nil {
+			t.Errorf("AddNode(%q) accepted", bad)
+		}
+		if _, err := d.AddTriple("A", bad, "B"); err == nil && bad != "" {
+			t.Errorf("AddTriple with predicate %q accepted", bad)
+		}
+		if bad != "" { // empty typeName legitimately means NoType
+			if _, err := d.AddNode("ok", bad); err == nil {
+				t.Errorf("AddNode with type %q accepted", bad)
+			}
+		}
+		if err := d.ApplyTriple(bad, "p", "B"); err == nil {
+			t.Errorf("ApplyTriple with subject %q accepted", bad)
+		}
+	}
+	if _, err := d.AddNode("#comment", ""); err == nil {
+		t.Error("AddNode with a leading '#' accepted (would be dropped as a comment on re-read)")
+	}
+	if err := d.ApplyTriple("#x", "p", "B"); err == nil {
+		t.Error("ApplyTriple with a '#'-leading subject accepted")
+	}
+	if err := d.ApplyTriple("A", "p", "#x"); err == nil {
+		t.Error("ApplyTriple with a '#'-leading edge object (a node name) accepted")
+	}
+	if _, err := d.AddEdge(NodeID(99), 0, "p"); err == nil {
+		t.Error("AddEdge with unknown src accepted")
+	}
+	if _, err := d.AddEdge(0, -1, "p"); err == nil {
+		t.Error("AddEdge with negative dst accepted")
+	}
+	if _, err := d.SetType("missing", "T"); err == nil {
+		t.Error("SetType on unknown node accepted")
+	}
+	if !d.Empty() {
+		t.Error("rejected mutations must leave the delta empty")
+	}
+}
+
+// TestDeltaEmptyCountsInternedLabels: a conflicting type declaration whose
+// type NAME is new mutates nothing visible (first type wins) but interns
+// the name — an at-once build of the combined stream would too, so the
+// delta must not report Empty, and committing it must intern the type.
+func TestDeltaEmptyCountsInternedLabels(t *testing.T) {
+	base := mustReadTriples(t, "A\ttype\tCountry\nA\tp\tB\n")
+	d := NewDelta(base)
+	if err := d.ApplyTriple("A", TypePredicate, "BrandNewType"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Empty() {
+		t.Fatal("delta interned a new type name but reports Empty")
+	}
+	g := d.Commit()
+	if g.TypeByName("BrandNewType") == NoType {
+		t.Fatal("committed graph lost the interned type name")
+	}
+	// Equivalence with the at-once build of the same stream.
+	want := mustReadTriples(t, "A\ttype\tCountry\nA\tp\tB\nA\ttype\tBrandNewType\n")
+	assertGraphsIdentical(t, g, want)
+}
+
+// TestDeltaSpentAfterCommit: the delta is single-shot.
+func TestDeltaSpentAfterCommit(t *testing.T) {
+	d := NewDelta(mustReadTriples(t, "A\tp\tB\n"))
+	if _, err := d.AddTriple("C", "p", "A"); err != nil {
+		t.Fatal(err)
+	}
+	d.Commit()
+	if _, err := d.AddNode("D", ""); err == nil {
+		t.Error("AddNode after Commit accepted")
+	}
+	if _, err := d.AddEdge(0, 1, "p"); err == nil {
+		t.Error("AddEdge after Commit accepted")
+	}
+	if err := d.ApplyTriple("X", "p", "Y"); err == nil {
+		t.Error("ApplyTriple after Commit accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("second Commit did not panic")
+		}
+	}()
+	d.Commit()
+}
+
+// TestDeltaIndexesPatched: the committed graph's derived indexes reflect
+// the delta — new names are findable by normalized form, initials and
+// prefix, and an existing node's NodePreds gains newly incident
+// predicates.
+func TestDeltaIndexesPatched(t *testing.T) {
+	base := mustReadTriples(t, "Audi_TT\ttype\tAutomobile\nAudi_TT\tassembly\tGermany\n")
+	d := NewDelta(base)
+	if _, err := d.AddNode("Bayerische Motoren Werke", "Company"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddTriple("Audi_TT", "designCompany", "Bayerische Motoren Werke"); err != nil {
+		t.Fatal(err)
+	}
+	g := d.Commit()
+
+	bmw := g.NodeByName("Bayerische Motoren Werke")
+	if bmw == NoNode {
+		t.Fatal("new node missing")
+	}
+	if ids := g.NodesByNormName("bayerische_motoren_werke"); !eqSlices(ids, []NodeID{bmw}) {
+		t.Errorf("NodesByNormName = %v, want [%d]", ids, bmw)
+	}
+	if ids := g.NodesByInitials("bmw"); !eqSlices(ids, []NodeID{bmw}) {
+		t.Errorf("NodesByInitials(bmw) = %v, want [%d]", ids, bmw)
+	}
+	found := false
+	for _, id := range g.NodesByProperNormPrefix("bayerische") {
+		if id == bmw {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("prefix index does not surface the new node")
+	}
+	// Audi_TT had only "assembly"; the delta adds "designCompany".
+	audi := g.NodeByName("Audi_TT")
+	preds := g.NodePreds(audi)
+	want := []PredID{g.PredByName("assembly"), g.PredByName("designCompany")}
+	if !eqSlices(preds, want) {
+		t.Errorf("NodePreds(Audi_TT) = %v, want %v", preds, want)
+	}
+	// The untouched base node shares its span semantics.
+	ger := g.NodeByName("Germany")
+	if got := g.NodePreds(ger); len(got) != 1 || got[0] != g.PredByName("assembly") {
+		t.Errorf("NodePreds(Germany) = %v", got)
+	}
+	// New type visible through the type vocabulary index.
+	if ids := g.TypesByNormName("company"); len(ids) != 1 || ids[0] != g.TypeByName("Company") {
+		t.Errorf("TypesByNormName(company) = %v", ids)
+	}
+}

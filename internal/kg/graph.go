@@ -9,7 +9,10 @@
 // adjacency lists expose both outgoing and incoming halves of every edge.
 package kg
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // NodeID identifies a node (entity) in a Graph.
 type NodeID int32
@@ -30,6 +33,37 @@ const NoNode NodeID = -1
 // probabilistic entity-typing model when missing; our loader assigns NoType
 // and the transformation library treats it as matching nothing.
 const NoType TypeID = -1
+
+// ValidLabel reports whether s may be used as a predicate or type name:
+// non-empty and free of tabs, newlines and carriage returns — the field
+// and record separators of the TSV triple format. A label violating this
+// would not survive a WriteTriples / ReadTriples round trip (the triple
+// would be split or merged), so every construction path (Builder, Delta,
+// ReadTriples) rejects it up front instead of corrupting the file later.
+func ValidLabel(s string) error {
+	if s == "" {
+		return fmt.Errorf("kg: empty name")
+	}
+	if strings.ContainsAny(s, "\t\n\r") {
+		return fmt.Errorf("kg: name %q contains a tab, newline or carriage return", s)
+	}
+	return nil
+}
+
+// ValidName is ValidLabel plus the node-name-only rule: no leading '#'.
+// Node names open TSV lines (as edge subjects or type-declaration
+// subjects), where a leading '#' would turn the triple into a comment
+// and silently drop it on re-read; predicates and type names never lead
+// a line, so ValidLabel suffices for them.
+func ValidName(s string) error {
+	if err := ValidLabel(s); err != nil {
+		return err
+	}
+	if s[0] == '#' {
+		return fmt.Errorf("kg: name %q starts with the comment marker '#'", s)
+	}
+	return nil
+}
 
 // Edge is a directed labelled edge (a triple <src, pred, dst>).
 type Edge struct {
@@ -221,8 +255,14 @@ func NewBuilder(nodeHint, edgeHint int) *Builder {
 // AddNode registers a node with the given name and type name. An empty
 // typeName yields NoType. If the node already exists its type is set when it
 // was previously NoType; a conflicting non-empty type is ignored (first type
-// wins), matching the one-type-per-entity assumption of the paper.
+// wins, see TypePredicate), matching the one-type-per-entity assumption of
+// the paper. Names must satisfy ValidName; like AddEdge with an unknown
+// node, an invalid name is a programming error and panics (Delta offers the
+// error-returning form for untrusted input).
 func (b *Builder) AddNode(name, typeName string) NodeID {
+	if err := ValidName(name); err != nil {
+		panic("kg: AddNode: " + err.Error())
+	}
 	t := NoType
 	if typeName != "" {
 		t = b.internType(typeName)
@@ -265,6 +305,9 @@ func (b *Builder) internType(name string) TypeID {
 	if id, ok := b.g.typeIndex[name]; ok {
 		return id
 	}
+	if err := ValidLabel(name); err != nil {
+		panic("kg: type name: " + err.Error())
+	}
 	id := TypeID(len(b.g.typeNames))
 	b.g.typeNames = append(b.g.typeNames, name)
 	b.g.typeIndex[name] = id
@@ -274,6 +317,9 @@ func (b *Builder) internType(name string) TypeID {
 func (b *Builder) internPred(name string) PredID {
 	if id, ok := b.g.predIndex[name]; ok {
 		return id
+	}
+	if err := ValidLabel(name); err != nil {
+		panic("kg: predicate name: " + err.Error())
 	}
 	id := PredID(len(b.g.predNames))
 	b.g.predNames = append(b.g.predNames, name)

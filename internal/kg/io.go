@@ -10,6 +10,13 @@ import (
 // TypePredicate is the reserved predicate used in the TSV triple format to
 // declare a node's entity type: "<name>\ttype\t<TypeName>". All other lines
 // declare ordinary edges.
+//
+// Type overwrite rule: the FIRST type declared for a node wins. A later
+// "type" triple for an already-typed node is silently ignored — it neither
+// errors nor overwrites — matching the one-type-per-entity assumption of
+// the paper. ReadTriples, Builder.AddNode and Delta.SetType all apply the
+// same rule, so a triple stream produces the same graph whether it is
+// loaded at once or split across a base graph and committed deltas.
 const TypePredicate = "type"
 
 // ReadTriples parses a graph from the tab-separated triple format:
@@ -18,7 +25,10 @@ const TypePredicate = "type"
 //
 // Lines starting with '#' and blank lines are skipped. The reserved
 // predicate "type" assigns the object as the subject's entity type instead
-// of creating an edge.
+// of creating an edge (first type wins; see TypePredicate). Fields must
+// satisfy ValidName — a carriage return inside a field is reported as a
+// line error rather than being stored in a graph it would later corrupt on
+// WriteTriples.
 func ReadTriples(r io.Reader) (*Graph, error) {
 	b := NewBuilder(1024, 4096)
 	sc := bufio.NewScanner(r)
@@ -37,6 +47,22 @@ func ReadTriples(r io.Reader) (*Graph, error) {
 		s, p, o := parts[0], parts[1], parts[2]
 		if s == "" || p == "" || o == "" {
 			return nil, fmt.Errorf("kg: line %d: empty field", lineNo)
+		}
+		// Subjects are node names (they open the line: ValidName); so are
+		// objects of edge triples (they could open a line elsewhere).
+		// Predicates and type names never lead a line: ValidLabel.
+		if err := ValidName(s); err != nil {
+			return nil, fmt.Errorf("kg: line %d: %w", lineNo, err)
+		}
+		if err := ValidLabel(p); err != nil {
+			return nil, fmt.Errorf("kg: line %d: %w", lineNo, err)
+		}
+		objRule := ValidName
+		if p == TypePredicate {
+			objRule = ValidLabel
+		}
+		if err := objRule(o); err != nil {
+			return nil, fmt.Errorf("kg: line %d: %w", lineNo, err)
 		}
 		if p == TypePredicate {
 			b.AddNode(s, o)

@@ -25,11 +25,14 @@ package serve
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"semkg/internal/core"
+	"semkg/internal/kg"
 	"semkg/internal/query"
 )
 
@@ -51,6 +54,13 @@ type Config struct {
 	// completed; 0 derives the seed from the engine's calibrated tbq
 	// per-match TA cost. Observed service times take over via EWMA.
 	EstimatedRun time.Duration
+
+	// Build constructs a core engine over a newly committed graph; it is
+	// required by Apply (live ingestion) and unused otherwise. semkgd
+	// supplies a builder that re-derives the predicate space from the
+	// loaded embedding model (core.BuildEngine), padding vectors for
+	// predicates the model has never seen.
+	Build func(*kg.Graph) (*core.Engine, error)
 
 	// BeforeRun, when non-nil, is invoked by the flight leader after
 	// admission, immediately before the pipeline runs. Test
@@ -107,6 +117,13 @@ type Engine struct {
 	eng *core.Engine
 	gen uint64
 
+	// applyMu serializes engine publications (Apply and Rebuild): two
+	// racing commits would otherwise each extend the same base graph and
+	// silently drop one another's triples, and a direct Rebuild landing
+	// between Apply's staleness check and its publication would be
+	// overwritten by an engine built from the superseded graph.
+	applyMu sync.Mutex
+
 	results *lruCache[*cachedResult]
 	plans   *lruCache[*core.Plan]
 
@@ -155,8 +172,17 @@ func (e *Engine) currentGen() uint64 {
 // Rebuild swaps in a new engine (a re-loaded graph or re-trained space)
 // and invalidates both caches: entries computed against the old engine
 // must never answer for the new one. In-flight requests finish on the old
-// engine; their results are not cached.
+// engine; their results are not cached. Rebuild serializes with Apply, so
+// a swap can never be silently overwritten by a delta committed against
+// the graph it replaced.
 func (e *Engine) Rebuild(eng *core.Engine) {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	e.rebuildLocked(eng)
+}
+
+// rebuildLocked publishes eng; the caller holds applyMu.
+func (e *Engine) rebuildLocked(eng *core.Engine) {
 	e.mu.Lock()
 	e.eng = eng
 	e.gen++
@@ -164,6 +190,85 @@ func (e *Engine) Rebuild(eng *core.Engine) {
 	e.results.Purge()
 	e.plans.Purge()
 	e.stats.rebuilds.Add(1)
+}
+
+// Generation returns the current engine generation. It increments on
+// every Rebuild (and therefore on every non-empty Apply); results cached
+// under an older generation are never served.
+func (e *Engine) Generation() uint64 { return e.currentGen() }
+
+// ErrStaleDelta is returned by Apply for a delta whose base is no longer
+// the served graph: another Apply or Rebuild published a newer generation
+// after the delta was created. The caller re-reads the graph with
+// NewDelta and re-applies its mutations.
+var ErrStaleDelta = errors.New("serve: delta base is not the served graph (superseded by a newer generation)")
+
+// ApplyInfo describes a completed Apply.
+type ApplyInfo struct {
+	// AddedNodes, AddedEdges and Retyped are the delta's mutation counts.
+	AddedNodes int `json:"added_nodes"`
+	AddedEdges int `json:"added_edges"`
+	Retyped    int `json:"retyped"`
+	// Nodes and Edges are the committed graph's totals.
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// Generation is the engine generation now serving the committed
+	// graph.
+	Generation uint64 `json:"generation"`
+	// CommitTime covers Delta.Commit, BuildTime the engine construction.
+	CommitTime time.Duration `json:"commit_ns"`
+	BuildTime  time.Duration `json:"build_ns"`
+}
+
+// Apply commits a delta created with NewDelta, builds an engine over the
+// committed graph with Config.Build, and publishes it through the
+// generation-gated Rebuild — so both caches invalidate exactly once and
+// searches in flight finish against the generation they started on. An
+// empty delta is a no-op that reports the current state without bumping
+// the generation. Apply calls are serialized; a delta whose base graph
+// was superseded while it was being filled fails with ErrStaleDelta.
+func (e *Engine) Apply(d *kg.Delta) (ApplyInfo, error) {
+	if e.cfg.Build == nil {
+		return ApplyInfo{}, fmt.Errorf("serve: Apply requires an engine builder (Config.Build)")
+	}
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	cur, gen := e.engineGen()
+	if d.Base() != cur.Graph() {
+		return ApplyInfo{}, ErrStaleDelta
+	}
+	info := ApplyInfo{
+		AddedNodes: d.AddedNodes(),
+		AddedEdges: d.AddedEdges(),
+		Retyped:    d.Retyped(),
+	}
+	if d.Empty() {
+		info.Nodes = cur.Graph().NumNodes()
+		info.Edges = cur.Graph().NumEdges()
+		info.Generation = gen
+		return info, nil
+	}
+	start := time.Now()
+	g := d.Commit()
+	info.CommitTime = time.Since(start)
+	start = time.Now()
+	eng, err := e.cfg.Build(g)
+	if err != nil {
+		return ApplyInfo{}, fmt.Errorf("serve: building engine for committed graph: %w", err)
+	}
+	info.BuildTime = time.Since(start)
+	e.rebuildLocked(eng)
+	e.stats.applies.Add(1)
+	info.Nodes = g.NumNodes()
+	info.Edges = g.NumEdges()
+	info.Generation = e.currentGen()
+	return info, nil
+}
+
+// NewDelta returns an empty delta over the currently-served graph, for
+// use with Apply.
+func (e *Engine) NewDelta() *kg.Delta {
+	return kg.NewDelta(e.Engine().Graph())
 }
 
 // Search answers one batch request through the serving layer: result

@@ -15,6 +15,7 @@ type stats struct {
 	pipelineRuns atomic.Uint64
 	uncacheable  atomic.Uint64
 	rebuilds     atomic.Uint64
+	applies      atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of the serving layer's counters and
@@ -39,6 +40,11 @@ type Stats struct {
 	Uncacheable uint64 `json:"uncacheable"`
 	// Rebuilds counts engine swaps (each flushes both caches).
 	Rebuilds uint64 `json:"rebuilds"`
+	// Applies counts non-empty delta commits published via Apply (a
+	// subset of Rebuilds).
+	Applies uint64 `json:"applies"`
+	// Generation is the current engine generation.
+	Generation uint64 `json:"generation"`
 	// Admission control.
 	Admitted         uint64 `json:"admitted"`
 	Queued           uint64 `json:"queued"`
@@ -64,6 +70,8 @@ func (e *Engine) Stats() Stats {
 		PipelineRuns:     e.stats.pipelineRuns.Load(),
 		Uncacheable:      e.stats.uncacheable.Load(),
 		Rebuilds:         e.stats.rebuilds.Load(),
+		Applies:          e.stats.applies.Load(),
+		Generation:       e.currentGen(),
 		Admitted:         e.adm.admitted.Load(),
 		Queued:           e.adm.queued.Load(),
 		RejectedQueue:    e.adm.rejectedQueue.Load(),

@@ -56,11 +56,38 @@ func NewGraphBuilder(nodeHint, edgeHint int) *GraphBuilder {
 
 // LoadTriples parses a graph from the tab-separated triple format
 // ("subject\tpredicate\tobject"; the reserved predicate "type" declares an
-// entity type).
+// entity type, first type wins).
 func LoadTriples(r io.Reader) (*Graph, error) { return kg.ReadTriples(r) }
 
 // SaveTriples serializes a graph in the format accepted by LoadTriples.
 func SaveTriples(w io.Writer, g *Graph) error { return kg.WriteTriples(w, g) }
+
+// SaveSnapshot serializes a graph in the versioned, checksummed binary
+// snapshot format: the built graph with its derived search indexes, which
+// LoadSnapshot reads back an order of magnitude faster than LoadTriples
+// re-parses (see DESIGN.md, "Storage layer").
+func SaveSnapshot(w io.Writer, g *Graph) error { return kg.WriteSnapshot(w, g) }
+
+// LoadSnapshot reads a graph written by SaveSnapshot. Malformed input
+// yields typed errors (kg.ErrSnapshotTruncated and friends), never a
+// panic.
+func LoadSnapshot(r io.Reader) (*Graph, error) { return kg.ReadSnapshot(r) }
+
+// LoadGraph reads a graph in either storage format, sniffing the snapshot
+// magic: binary snapshots go through LoadSnapshot, anything else through
+// LoadTriples.
+func LoadGraph(r io.Reader) (*Graph, error) { return kg.ReadGraph(r) }
+
+// Delta accumulates AddNode/AddEdge/SetType/ApplyTriple mutations against
+// an immutable base graph; Commit materializes a new immutable graph with
+// only the affected index buckets patched. Mutators return errors (never
+// panic), making Delta the construction surface for untrusted input.
+type Delta = kg.Delta
+
+// NewDelta opens an empty delta over base. Commit the delta and pass the
+// result to a new engine — or hand the delta to Serving.Apply, which
+// commits, rebuilds and swaps generations in one step.
+func NewDelta(base *Graph) *Delta { return kg.NewDelta(base) }
 
 // Query is a query graph: entities (specific nodes, Name set) and typed
 // variables (target nodes, Name empty) connected by predicate edges.
@@ -175,6 +202,15 @@ type ServeStats = serve.Stats
 // up (HTTP front ends map it to 429/Retry-After).
 type OverloadedError = serve.OverloadedError
 
+// ApplyInfo describes a completed Serving.Apply: mutation counts, the
+// committed graph's totals, the new generation and commit/build timings.
+type ApplyInfo = serve.ApplyInfo
+
+// ErrStaleDelta is returned by Serving.Apply for a delta whose base graph
+// was superseded by a newer generation; re-open the delta with
+// Serving.NewDelta and re-apply the mutations.
+var ErrStaleDelta = serve.ErrStaleDelta
+
 // ServeStream is a serving-layer event stream: a live pipeline
 // subscription, a dedup replay, or a cache replay — identical event
 // sequences in all three cases.
@@ -193,13 +229,21 @@ type Engine struct {
 
 // NewEngine builds an engine from a graph, a trained model, and an
 // optional library (nil = identical matching plus heuristic
-// abbreviations).
+// abbreviations). Predicates the model has never seen (live ingestion
+// after training) get deterministic placeholder vectors.
 func NewEngine(g *Graph, model *Model, lib *Library) (*Engine, error) {
-	space, err := model.Space(g)
+	inner, err := core.BuildEngine(g, model, lib)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.NewEngine(g, space, lib)
+	return &Engine{inner}, nil
+}
+
+// NewEngineFromSnapshot builds an engine directly from a binary graph
+// snapshot (SaveSnapshot): the fast cold-start path — the snapshot
+// already carries the derived search indexes.
+func NewEngineFromSnapshot(r io.Reader, model *Model, lib *Library) (*Engine, error) {
+	inner, err := core.EngineFromSnapshot(r, model, lib)
 	if err != nil {
 		return nil, err
 	}
