@@ -69,6 +69,8 @@ func main() {
 	resultCache := flag.Int("result-cache", 0, "result cache entries (0 = 1024, -1 = disabled)")
 	planCache := flag.Int("plan-cache", 0, "plan cache entries (0 = 256, -1 = disabled)")
 	maxIngest := flag.Int64("max-ingest-bytes", defaultMaxIngestBytes, "max /v1/ingest request body size in bytes (0 = unlimited)")
+	shards := flag.Int("shards", 0, "partition the graph into N shards and serve scatter-gather searches (0/1 = single engine)")
+	shardHalo := flag.Int("shard-halo", 0, "shard replication radius in hops; bounds servable max_hops (0 = default 4)")
 	flag.Parse()
 
 	if (*graphFile == "") == (*snapshotFile == "") || *modelFile == "" {
@@ -97,9 +99,33 @@ func main() {
 	if err != nil {
 		log.Fatalf("semkgd: %v", err)
 	}
-	eng, err := core.BuildEngine(g, model, nil)
+	shardCfg := core.ShardConfig{Shards: *shards, Halo: *shardHalo}
+	buildEngine := func(g2 *kg.Graph) (core.Queryer, error) {
+		if *shards > 1 {
+			se, err := core.BuildShardedEngine(g2, model, nil, shardCfg)
+			if err != nil {
+				return nil, err
+			}
+			// Rebuilds (live ingestion) replace the engine wholesale; keep
+			// the expvar counters monotonic across generations.
+			if cur := currentServe.Load(); cur != nil {
+				if prev, ok := cur.Engine().(*core.ShardedEngine); ok {
+					se.InheritStats(prev)
+				}
+			}
+			return se, nil
+		}
+		return core.BuildEngine(g2, model, nil)
+	}
+	eng, err := buildEngine(g)
 	if err != nil {
 		log.Fatalf("semkgd: %v", err)
+	}
+	if sharded, ok := eng.(*core.ShardedEngine); ok {
+		publishShardStats()
+		st := sharded.Stats()
+		log.Printf("semkgd: sharded scatter-gather: %d shards, halo %d, replication factor %.2f",
+			st.Shards, st.Halo, st.ReplicationFactor)
 	}
 	srv := serve.New(eng, serve.Config{
 		ResultCache: *resultCache,
@@ -107,10 +133,10 @@ func main() {
 		Workers:     *workers,
 		Queue:       *queue,
 		// Live ingestion rebuilds the engine over the committed graph;
-		// SpaceFor pads vectors for predicates the model never saw.
-		Build: func(g2 *kg.Graph) (*core.Engine, error) {
-			return core.BuildEngine(g2, model, nil)
-		},
+		// SpaceFor pads vectors for predicates the model never saw. When
+		// serving sharded, the committed graph is re-partitioned too, so
+		// ingested entities are owned and searchable immediately.
+		Build: buildEngine,
 	})
 	log.Printf("semkgd: %d nodes, %d edges, %d predicates loaded in %s; listening on %s",
 		g.NumNodes(), g.NumEdges(), g.NumPredicates(), time.Since(start).Round(time.Millisecond), *addr)

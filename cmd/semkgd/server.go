@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"semkg/internal/api"
@@ -42,6 +43,27 @@ func init() {
 		}
 		return nil
 	}))
+}
+
+// publishShardOnce guards the "semkgd_shard" expvar registration
+// (expvar.Publish panics on duplicates; tests build many muxes).
+var publishShardOnce sync.Once
+
+// publishShardStats exports the sharded engine's partition shape and
+// counters under the "semkgd_shard" expvar key. Reads go through the
+// current serving engine, so the numbers track generation swaps from live
+// ingestion (each Apply re-partitions the committed graph).
+func publishShardStats() {
+	publishShardOnce.Do(func() {
+		expvar.Publish("semkgd_shard", expvar.Func(func() any {
+			if s := currentServe.Load(); s != nil {
+				if se, ok := s.Engine().(*core.ShardedEngine); ok {
+					return se.Stats()
+				}
+			}
+			return nil
+		}))
+	})
 }
 
 // defaultMaxIngestBytes caps one /v1/ingest request body: the whole
@@ -267,14 +289,19 @@ func (s *server) ingestTooLarge(w http.ResponseWriter, sc *bufio.Scanner) bool {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	g := s.srv.Engine().Graph()
-	writeJSON(w, http.StatusOK, map[string]any{
+	eng := s.srv.Engine()
+	g := eng.Graph()
+	resp := map[string]any{
 		"status":     "ok",
 		"nodes":      g.NumNodes(),
 		"edges":      g.NumEdges(),
 		"predicates": g.NumPredicates(),
 		"generation": s.srv.Generation(),
-	})
+	}
+	if se, ok := eng.(*core.ShardedEngine); ok {
+		resp["shards"] = se.Set().Len()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"semkg/internal/api"
+	"semkg/internal/core"
+	"semkg/internal/serve"
+)
+
+// shardedTestServer serves the motivating example through a 2-shard
+// scatter-gather engine, as `semkgd -shards 2` would.
+func shardedTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	base := testEngine(t).(*core.Engine)
+	se, err := core.NewShardedEngine(base, core.ShardConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newMux(serve.New(se, serve.Config{})))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestShardedSearchEndpoint: the HTTP surface is oblivious to sharding —
+// same request, same answers as the single-engine server.
+func TestShardedSearchEndpoint(t *testing.T) {
+	single := searchEntities(t, testServer(t, serve.Config{}))
+	sharded := searchEntities(t, shardedTestServer(t))
+	if len(sharded) != len(single) {
+		t.Fatalf("sharded answers %v, single %v", sharded, single)
+	}
+	for e := range single {
+		if !sharded[e] {
+			t.Fatalf("entity %q missing from sharded answers %v", e, sharded)
+		}
+	}
+}
+
+// TestShardedStreamEndpoint: the NDJSON stream carries per-shard progress
+// attribution and ends with a result line.
+func TestShardedStreamEndpoint(t *testing.T) {
+	srv := shardedTestServer(t)
+	resp := post(t, srv, "/v1/stream", strings.Replace(q117Body, "%s", "", 1))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sawShard, sawResult := false, false
+	for sc.Scan() {
+		ev, err := api.DecodeEvent(sc.Bytes())
+		if err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		switch ev.Event {
+		case api.EventProgress:
+			if ev.Shard > 0 {
+				sawShard = true
+			}
+		case api.EventResult:
+			sawResult = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawShard {
+		t.Fatal("no progress line carried a shard attribution")
+	}
+	if !sawResult {
+		t.Fatal("stream ended without a result line")
+	}
+}
+
+// TestShardedHealthz reports the shard count.
+func TestShardedHealthz(t *testing.T) {
+	srv := shardedTestServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["shards"] != float64(2) {
+		t.Fatalf("healthz shards = %v, want 2", body["shards"])
+	}
+}

@@ -51,21 +51,35 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 
 // Node is the wire form of one query-graph node.
 type Node struct {
-	ID   string `json:"id"`
-	Name string `json:"name,omitempty"` // empty marks a target (variable) node
+	// ID names the node within the query document; edges reference it.
+	ID string `json:"id"`
+	// Name anchors a specific node at a knowledge-graph entity (matched
+	// through the transformation library); empty marks a target
+	// (variable) node whose bindings are discovered.
+	Name string `json:"name,omitempty"`
+	// Type constrains matches to an entity type (synonyms and
+	// abbreviations included); empty accepts any type.
 	Type string `json:"type,omitempty"`
 }
 
 // Edge is the wire form of one query-graph edge.
 type Edge struct {
-	From      string `json:"from"`
-	To        string `json:"to"`
+	// From references a node ID declared in the same document.
+	From string `json:"from"`
+	// To references a node ID declared in the same document.
+	To string `json:"to"`
+	// Predicate is the intended relation; the engine also follows
+	// semantically similar predicates (that is the point of the paper).
 	Predicate string `json:"predicate"`
 }
 
-// Query is the wire form of a query graph.
+// Query is the wire form of a query graph. Declaration order is
+// semantically relevant: decomposition walks nodes and edges in order,
+// and the serving layer keys its caches on the ordered document.
 type Query struct {
+	// Nodes declares the query's entities and variables.
 	Nodes []Node `json:"nodes"`
+	// Edges connects the declared nodes with predicates.
 	Edges []Edge `json:"edges"`
 }
 
@@ -131,16 +145,36 @@ func EncodeQuery(g *query.Graph) ([]byte, error) {
 
 // Options is the wire form of the search options. Absent fields mean the
 // engine defaults; Clock and Rng have no wire form (they are process-local
-// test hooks).
+// test hooks). Out-of-range values are rejected with a 400 by the service
+// (core.Options.Validate), never silently clamped.
 type Options struct {
-	K            int      `json:"k,omitempty"`
-	Tau          float64  `json:"tau,omitempty"`
-	MaxHops      int      `json:"max_hops,omitempty"`
-	PivotNode    string   `json:"pivot,omitempty"`
-	PruneVisited bool     `json:"prune_visited,omitempty"`
-	NoHeuristic  bool     `json:"no_heuristic,omitempty"`
-	TimeBound    Duration `json:"time_bound,omitempty"`
-	AlertRatio   float64  `json:"alert_ratio,omitempty"`
+	// K is the number of answers to return. 0 = default 10.
+	K int `json:"k,omitempty"`
+	// Tau is the path-semantic-similarity threshold τ in (0,1].
+	// 0 = default 0.8.
+	Tau float64 `json:"tau,omitempty"`
+	// MaxHops is the path-length bound n̂ in knowledge-graph edges.
+	// 0 = default 4. On a sharded server it must not exceed the shard
+	// halo, or the search transparently falls back to the single engine.
+	MaxHops int `json:"max_hops,omitempty"`
+	// PivotNode forces the decomposition pivot to this query node ID;
+	// empty lets the cost model choose.
+	PivotNode string `json:"pivot,omitempty"`
+	// PruneVisited enables the paper's visited-set pruning: a much
+	// smaller search space, but per-entity scores may come out below the
+	// true optimum. Default false (exact).
+	PruneVisited bool `json:"prune_visited,omitempty"`
+	// NoHeuristic disables the m(u) estimate factor (the uninformed
+	// best-first ablation). Default false.
+	NoHeuristic bool `json:"no_heuristic,omitempty"`
+	// TimeBound, when positive, selects the response-time-bounded mode
+	// with this budget (a duration string like "50ms", or integer
+	// nanoseconds). 0 selects the exact mode.
+	TimeBound Duration `json:"time_bound,omitempty"`
+	// AlertRatio is the time-bounded mode's r% in (0,1]: searches stop
+	// when the projected total time reaches TimeBound*AlertRatio.
+	// 0 = default 0.8. Ignored in the exact mode.
+	AlertRatio float64 `json:"alert_ratio,omitempty"`
 }
 
 // Core converts the wire options into engine options.
@@ -173,7 +207,9 @@ func OptionsFrom(o core.Options) Options {
 
 // SearchRequest is the body of the service's search endpoints.
 type SearchRequest struct {
-	Query   Query   `json:"query"`
+	// Query is the query graph to answer.
+	Query Query `json:"query"`
+	// Options tunes the search; the zero value means engine defaults.
 	Options Options `json:"options"`
 }
 
@@ -189,23 +225,35 @@ func DecodeSearchRequest(r io.Reader) (*query.Graph, core.Options, error) {
 
 // PathStep is the wire form of one knowledge-graph edge of an answer path.
 type PathStep struct {
-	From      string `json:"from"`
+	// From is the source entity name, in the edge's stored direction
+	// (path search ignores direction; the rendered fact reads one way).
+	From string `json:"from"`
+	// Predicate is the edge's stored predicate name.
 	Predicate string `json:"predicate"`
-	To        string `json:"to"`
+	// To is the destination entity name.
+	To string `json:"to"`
 }
 
 // SubMatch is the wire form of one sub-query's matched path.
 type SubMatch struct {
-	PSS   float64    `json:"pss"`
+	// PSS is the path semantic similarity ψ in (0,1] (Eq. 6 of the
+	// paper); 1 means every edge matched its query predicate exactly.
+	PSS float64 `json:"pss"`
+	// Steps is the matched path, one entry per knowledge-graph edge.
 	Steps []PathStep `json:"steps"`
 }
 
 // Answer is the wire form of one ranked answer.
 type Answer struct {
-	Entity   string            `json:"entity"` // the pivot entity name
-	Score    float64           `json:"score"`
+	// Entity is the pivot entity's name — the answer itself.
+	Entity string `json:"entity"`
+	// Score is the match score (the sum of the parts' PSS, Eq. 2);
+	// answers arrive in non-increasing score order.
+	Score float64 `json:"score"`
+	// Bindings maps query node IDs to the entity names they matched.
 	Bindings map[string]string `json:"bindings,omitempty"`
-	Parts    []SubMatch        `json:"parts,omitempty"`
+	// Parts holds one matched path per sub-query graph.
+	Parts []SubMatch `json:"parts,omitempty"`
 }
 
 // AnswerFrom converts an engine answer into its wire form.
@@ -232,11 +280,18 @@ func AnswersFrom(answers []core.Answer) []Answer {
 
 // Result is the wire form of a search outcome.
 type Result struct {
+	// Answers is the ranked top-k (possibly fewer, possibly empty when a
+	// query node matches nothing).
 	Answers []Answer `json:"answers"`
 	// Pivot is the query node the decomposition joined the answers at.
-	Pivot       string   `json:"pivot,omitempty"`
-	Approximate bool     `json:"approximate,omitempty"`
-	Elapsed     Duration `json:"elapsed"`
+	Pivot string `json:"pivot,omitempty"`
+	// Approximate is true when the time bound stopped the search before
+	// exhaustion: the answers may differ from the exact top-k, and more
+	// budget refines them (Theorem 4).
+	Approximate bool `json:"approximate,omitempty"`
+	// Elapsed is the engine-side pipeline duration (a Go duration
+	// string); queue and network time are not included.
+	Elapsed Duration `json:"elapsed"`
 	// Collected is |M̂_i| per sub-query (time-bounded mode only).
 	Collected []int `json:"collected,omitempty"`
 }

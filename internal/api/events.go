@@ -19,31 +19,58 @@ const (
 // "event" discriminator, so every NDJSON line is self-describing. Only the
 // fields of the discriminated kind are populated:
 //
-//   - progress: sub, collected, done
+//   - progress: sub, collected, done, shard
 //   - phase:    phase, plus elapsed/projected (alert) or sizes (assemble)
 //   - topk:     round, lower_k, upper_max, answers
 //   - result:   result
 type Event struct {
+	// Event is the kind discriminator: "progress", "phase", "topk" or
+	// "result". Always present.
 	Event string `json:"event"`
 
-	// progress
-	Sub       *int `json:"sub,omitempty"`
-	Collected int  `json:"collected,omitempty"`
-	Done      bool `json:"done,omitempty"`
+	// Sub is the 0-based sub-query index a progress update belongs to. A
+	// pointer so that sub-query 0 still serializes (omitempty would drop
+	// it).
+	Sub *int `json:"sub,omitempty"`
+	// Collected counts the sub-query's matches gathered so far (prefetched
+	// in the exact mode, eager-collected distinct entities in TBQ mode).
+	Collected int `json:"collected,omitempty"`
+	// Done marks the final progress update of a sub-query's search phase.
+	Done bool `json:"done,omitempty"`
+	// Shard attributes a progress update to the shard that produced it,
+	// 1-based, when the serving engine is sharded (semkgd -shards). 0 (and
+	// therefore absent) on the single-engine pipeline.
+	Shard int `json:"shard,omitempty"`
 
-	// phase
-	Phase     string   `json:"phase,omitempty"`
-	Elapsed   Duration `json:"elapsed,omitempty"`
+	// Phase names the pipeline stage being entered: "search", "alert"
+	// (TBQ only) or "assemble".
+	Phase string `json:"phase,omitempty"`
+	// Elapsed accompanies the "alert" phase: the search time consumed
+	// when the estimator tripped, as a Go duration string.
+	Elapsed Duration `json:"elapsed,omitempty"`
+	// Projected is the Algorithm 3 estimate T̂ that tripped the alert
+	// threshold, as a Go duration string.
 	Projected Duration `json:"projected,omitempty"`
-	Sizes     []int    `json:"sizes,omitempty"`
+	// Sizes accompanies the "assemble" phase: the per-sub-query collected
+	// set sizes |M̂_i| entering the TA assembly.
+	Sizes []int `json:"sizes,omitempty"`
 
-	// topk
-	Round    int      `json:"round,omitempty"`
-	LowerK   float64  `json:"lower_k,omitempty"`
-	UpperMax float64  `json:"upper_max,omitempty"`
-	Answers  []Answer `json:"answers,omitempty"`
+	// Round is the TA assembly round that produced a topk snapshot;
+	// non-decreasing within one stream.
+	Round int `json:"round,omitempty"`
+	// LowerK is L_k — the exact score of the k-th complete candidate, 0
+	// until k complete candidates exist.
+	LowerK float64 `json:"lower_k,omitempty"`
+	// UpperMax is U_max — the best upper bound of any candidate outside
+	// the current top-k. The assembly terminates when LowerK >= UpperMax
+	// (Theorem 3), so their gap measures how far the provisional ranking
+	// may still move.
+	UpperMax float64 `json:"upper_max,omitempty"`
+	// Answers is the provisional top-k snapshot, in rank order, at most k.
+	Answers []Answer `json:"answers,omitempty"`
 
-	// result
+	// Result is the terminal payload; exactly one "result" event ends
+	// every stream.
 	Result *Result `json:"result,omitempty"`
 }
 
@@ -52,7 +79,7 @@ func EventFrom(ev core.Event) (Event, error) {
 	switch e := ev.(type) {
 	case core.ProgressEvent:
 		sub := e.Sub
-		return Event{Event: EventProgress, Sub: &sub, Collected: e.Collected, Done: e.Done}, nil
+		return Event{Event: EventProgress, Sub: &sub, Collected: e.Collected, Done: e.Done, Shard: e.Shard}, nil
 	case core.PhaseEvent:
 		return Event{
 			Event:     EventPhase,

@@ -11,8 +11,11 @@ import (
 // the subject's entity type (first type wins), anything else adds an
 // edge, creating unseen endpoint nodes on the fly.
 type IngestTriple struct {
+	// S is the subject entity name; created if unseen.
 	S string `json:"s"`
+	// P is the predicate, or the reserved "type" for a type declaration.
 	P string `json:"p"`
+	// O is the object entity name (or the type name when P is "type").
 	O string `json:"o"`
 }
 
@@ -39,21 +42,26 @@ func EncodeIngestTriple(t IngestTriple) ([]byte, error) {
 type IngestResult struct {
 	// Triples is the number of NDJSON lines applied.
 	Triples int `json:"triples"`
-	// AddedNodes/AddedEdges/Retyped are the delta's mutation counts.
-	// Node and type declarations are idempotent (a known node keeps its
-	// id, first type wins), but edge triples always append: the graph is
-	// a multigraph, exactly as when the same TSV stream is loaded twice,
-	// so re-sending an already-applied batch duplicates its edges.
+	// AddedNodes counts entities the batch created. Node declarations
+	// are idempotent: a known node keeps its id.
 	AddedNodes int `json:"added_nodes"`
+	// AddedEdges counts edges appended. Edge triples are NOT idempotent:
+	// the graph is a multigraph, exactly as when the same TSV stream is
+	// loaded twice, so re-sending an already-applied batch duplicates
+	// its edges.
 	AddedEdges int `json:"added_edges"`
-	Retyped    int `json:"retyped"`
-	// Nodes and Edges are the committed graph's totals.
+	// Retyped counts previously-untyped nodes that gained a type (first
+	// type wins; conflicting re-declarations are ignored).
+	Retyped int `json:"retyped"`
+	// Nodes is the committed graph's entity total after the batch.
 	Nodes int `json:"nodes"`
+	// Edges is the committed graph's edge total after the batch.
 	Edges int `json:"edges"`
 	// Generation is the serving generation after the commit.
 	Generation uint64 `json:"generation"`
-	// CommitTime and BuildTime cover the delta commit and the engine
-	// rebuild.
+	// CommitTime covers the delta commit, as a Go duration string.
 	CommitTime Duration `json:"commit_time"`
-	BuildTime  Duration `json:"build_time"`
+	// BuildTime covers the engine rebuild over the committed graph, as a
+	// Go duration string.
+	BuildTime Duration `json:"build_time"`
 }

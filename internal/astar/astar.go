@@ -58,6 +58,14 @@ type SubQuery struct {
 	// EndSets[i] is φ(q_{i+1}) for the query node terminating the i-th
 	// query edge; EndSets[len-1] is φ(v_t) of the sub-query's end node.
 	EndSets []map[kg.NodeID]bool
+	// FirstHop, when non-nil, restricts the search to paths whose first
+	// edge leads to a node the predicate accepts. Because every match is
+	// at least one edge long, first-hop nodes partition the path space
+	// exactly: the sharded engine gives each shard the filter "first hop
+	// owned here", so the per-shard searches enumerate disjoint path sets
+	// whose union is the unrestricted search's. nil accepts every
+	// neighbor.
+	FirstHop func(kg.NodeID) bool
 }
 
 // Segments returns the number of query edges.
@@ -344,6 +352,9 @@ func (s *Searcher) expand(idx int32, emitEager func(Match)) {
 	ends := s.ends[st.seg]
 	row := s.rows[st.seg]
 	for _, h := range s.g.Neighbors(st.node) {
+		if st.hops == 0 && s.sub.FirstHop != nil && !s.sub.FirstHop(h.Neighbor) {
+			continue // another shard owns paths starting through this node
+		}
 		if s.onPath(idx, h.Neighbor) {
 			continue // matches are simple paths (path graphs, Definition 6)
 		}

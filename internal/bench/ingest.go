@@ -239,7 +239,7 @@ func measureLive(env *Env, short bool) (LiveIngest, error) {
 	// over existing predicates, so the predicate set is stable.
 	srv := serve.New(env.Engine, serve.Config{
 		Queue: 4 * clients,
-		Build: func(g *kg.Graph) (*core.Engine, error) {
+		Build: func(g *kg.Graph) (core.Queryer, error) {
 			return core.NewEngine(g, env.Space, env.Dataset.Library)
 		},
 	})

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"semkg/internal/datagen"
+	"semkg/internal/embed"
+)
+
+// TestRunShardShape is the shard-experiment acceptance smoke: the
+// artifact covers the 1/2/4/8 curve, work is conserved across partitions,
+// balance improves with shard count, and the modeled speedup at 4 shards
+// clears the 1.5x bar on the multi-sub-query workload.
+func TestRunShardShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an embedding; skipped in -short")
+	}
+	env, err := Cached(Config{
+		Profile: datagen.DBpediaLike(0.2),
+		Embed:   embed.Config{Dim: 24, Epochs: 60, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunShard(env, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Rows); got != 4 {
+		t.Fatalf("rows = %d, want 4 (1/2/4/8 shards)", got)
+	}
+	if res.BaselineUs <= 0 {
+		t.Fatal("no baseline measurement")
+	}
+	for i, row := range res.Rows {
+		if row.WorkTotal <= 0 || row.Balance <= 0 || row.Balance > 1.0001 {
+			t.Fatalf("row %d: degenerate work accounting %+v", i, row)
+		}
+		if row.ReplicationFactor < 1 || row.ReplicationFactor > float64(row.Shards)+0.001 {
+			t.Fatalf("row %d: replication factor %v outside [1, shards]", i, row.ReplicationFactor)
+		}
+	}
+	var at4 *ShardRow
+	for i := range res.Rows {
+		if res.Rows[i].Shards == 4 {
+			at4 = &res.Rows[i]
+		}
+	}
+	if at4 == nil {
+		t.Fatal("no 4-shard row")
+	}
+	if at4.Speedup < 1.5 {
+		t.Fatalf("modeled end-to-end speedup at 4 shards = %.2fx, want >= 1.5x (balance %.2f, overhead %+.1f%%)",
+			at4.Speedup, at4.Balance, at4.MeasuredOverheadPct)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_shard.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ShardResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if back.Methodology == "" {
+		t.Fatal("artifact is missing its methodology note")
+	}
+	if res.Render().String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

@@ -200,6 +200,11 @@ type Result struct {
 	Approximate bool
 	// SearchStats aggregates per-sub-query search effort.
 	SearchStats []astar.Stats
+	// ShardEffort aggregates per-shard search effort, indexed by shard
+	// (sharded engine runs only; nil on the single engine and on halo
+	// fallbacks). The popped/pushed counters are the work-distribution
+	// measure the shard benchmark's critical-path speedup model uses.
+	ShardEffort []astar.Stats
 	// Collected is |M̂_i| per sub-query (TBQ mode only).
 	Collected []int
 }

@@ -1,0 +1,100 @@
+// Queryer is the execution surface shared by the single-graph Engine and
+// the scatter-gather ShardedEngine. The serving layer (internal/serve) is
+// written against this interface, so its result cache, plan cache,
+// singleflight and admission control work unchanged over either engine
+// kind — swapping -shards on in semkgd changes nothing above this line.
+
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"semkg/internal/kg"
+	"semkg/internal/query"
+)
+
+// Queryer answers query graphs: batch (Search), streaming (Stream), and
+// the compile/run split the serving layer's plan cache relies on
+// (CompileQuery + SearchCompiled/StreamCompiled). Implementations are
+// safe for concurrent use. *Engine and *ShardedEngine implement it.
+type Queryer interface {
+	// Search runs the pipeline to completion and returns the top-k result.
+	Search(ctx context.Context, q *query.Graph, opts Options) (*Result, error)
+	// Stream starts the pipeline and returns a live event stream.
+	Stream(ctx context.Context, q *query.Graph, opts Options) (*Stream, error)
+	// CompileQuery resolves q into a reusable compiled plan under the
+	// compile-relevant options; see Engine.Compile.
+	CompileQuery(q *query.Graph, opts Options) (CompiledPlan, error)
+	// SearchCompiled is Search over a plan this Queryer compiled.
+	SearchCompiled(ctx context.Context, p CompiledPlan, opts Options) (*Result, error)
+	// StreamCompiled is Stream over a plan this Queryer compiled.
+	StreamCompiled(ctx context.Context, p CompiledPlan, opts Options) (*Stream, error)
+	// Graph returns the (base) knowledge graph being queried.
+	Graph() *kg.Graph
+	// PerMatchCost returns the calibrated per-match TA assembly time t of
+	// Algorithm 3 (the serving layer seeds its queue-wait estimator from
+	// it).
+	PerMatchCost() time.Duration
+}
+
+// CompiledPlan is an opaque compiled query: the output of
+// Queryer.CompileQuery, runnable only by the Queryer that produced it.
+// *Plan and *ShardedPlan implement it.
+type CompiledPlan interface {
+	// Pivot returns the decomposition's pivot query node ID.
+	Pivot() string
+	// Compiled reports whether every query node matched at least one graph
+	// entity; a non-compiled plan runs to the empty answer set.
+	Compiled() bool
+	// PlannedBy reports whether q produced this plan. The serving layer's
+	// plan cache uses it to discard entries that survived an engine swap.
+	PlannedBy(q Queryer) bool
+}
+
+// CompileQuery implements Queryer; it is Compile with the concrete *Plan
+// hidden behind the CompiledPlan interface.
+func (e *Engine) CompileQuery(q *query.Graph, opts Options) (CompiledPlan, error) {
+	p, err := e.Compile(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SearchCompiled implements Queryer over a plan from this engine's
+// Compile/CompileQuery.
+func (e *Engine) SearchCompiled(ctx context.Context, p CompiledPlan, opts Options) (*Result, error) {
+	pp, err := enginePlan(p)
+	if err != nil {
+		return nil, err
+	}
+	return e.SearchPlan(ctx, pp, opts)
+}
+
+// StreamCompiled implements Queryer over a plan from this engine's
+// Compile/CompileQuery.
+func (e *Engine) StreamCompiled(ctx context.Context, p CompiledPlan, opts Options) (*Stream, error) {
+	pp, err := enginePlan(p)
+	if err != nil {
+		return nil, err
+	}
+	return e.StreamPlan(ctx, pp, opts)
+}
+
+// enginePlan unwraps a CompiledPlan produced by Engine.CompileQuery.
+func enginePlan(p CompiledPlan) (*Plan, error) {
+	pp, ok := p.(*Plan)
+	if !ok {
+		return nil, fmt.Errorf("core: plan of type %T was not compiled by a single-graph engine", p)
+	}
+	return pp, nil
+}
+
+// PlannedBy implements CompiledPlan: it reports whether q is the engine
+// that compiled this plan.
+func (p *Plan) PlannedBy(q Queryer) bool {
+	e, ok := q.(*Engine)
+	return ok && p.CompiledBy(e)
+}

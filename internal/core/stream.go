@@ -56,11 +56,15 @@ const (
 // ProgressEvent reports per-sub-query search effort: Collected counts the
 // matches gathered so far for sub-query Sub (prefetched in the exact mode,
 // eager-collected distinct entities in TBQ mode). Done marks the end of
-// the sub-query's search phase.
+// the sub-query's search phase. Shard identifies the shard that produced
+// the update when the pipeline is sharded (1-based, so shard 1 is the
+// first); it is 0 for the single-graph pipeline, whose progress is not
+// per-shard.
 type ProgressEvent struct {
 	Sub       int
 	Collected int
 	Done      bool
+	Shard     int
 }
 
 // Kind implements Event.

@@ -1,11 +1,13 @@
-// Package serve is the engine-level serving layer: it turns one
-// core.Engine into a component fit for heavy concurrent traffic.
+// Package serve is the engine-level serving layer: it turns one engine —
+// a single-graph *core.Engine or a scatter-gather *core.ShardedEngine,
+// anything satisfying core.Queryer — into a component fit for heavy
+// concurrent traffic.
 //
 //   - Result cache: an LRU keyed by a canonical hash of (query graph,
 //     normalized options). A hit skips the whole pipeline — including the
 //     recorded event log, so streamed replays are byte-identical to the
 //     original run.
-//   - Plan cache: an LRU of compiled core.Plans (decomposition + searcher
+//   - Plan cache: an LRU of compiled plans (decomposition + searcher
 //     blueprints) keyed by the compile-relevant options only, so repeated
 //     query shapes skip decomposition and φ resolution for any K or time
 //     budget.
@@ -55,12 +57,13 @@ type Config struct {
 	// per-match TA cost. Observed service times take over via EWMA.
 	EstimatedRun time.Duration
 
-	// Build constructs a core engine over a newly committed graph; it is
+	// Build constructs an engine over a newly committed graph; it is
 	// required by Apply (live ingestion) and unused otherwise. semkgd
 	// supplies a builder that re-derives the predicate space from the
-	// loaded embedding model (core.BuildEngine), padding vectors for
-	// predicates the model has never seen.
-	Build func(*kg.Graph) (*core.Engine, error)
+	// loaded embedding model (core.BuildEngine, or core.BuildShardedEngine
+	// when serving sharded), padding vectors for predicates the model has
+	// never seen.
+	Build func(*kg.Graph) (core.Queryer, error)
 
 	// BeforeRun, when non-nil, is invoked by the flight leader after
 	// admission, immediately before the pipeline runs. Test
@@ -106,15 +109,15 @@ type cachedResult struct {
 	gen    uint64
 }
 
-// Engine is a serving wrapper around one core.Engine. Safe for concurrent
-// use. Results returned from it are shared across callers and must be
-// treated as read-only.
+// Engine is a serving wrapper around one core.Queryer. Safe for
+// concurrent use. Results returned from it are shared across callers and
+// must be treated as read-only.
 type Engine struct {
 	cfg Config
 	adm *admission
 
 	mu  sync.RWMutex // guards eng and gen
-	eng *core.Engine
+	eng core.Queryer
 	gen uint64
 
 	// applyMu serializes engine publications (Apply and Rebuild): two
@@ -125,7 +128,7 @@ type Engine struct {
 	applyMu sync.Mutex
 
 	results *lruCache[*cachedResult]
-	plans   *lruCache[*core.Plan]
+	plans   *lruCache[core.CompiledPlan]
 
 	fmu     sync.Mutex
 	flights map[string]*flight
@@ -134,7 +137,7 @@ type Engine struct {
 }
 
 // New wraps eng in a serving layer sized by cfg.
-func New(eng *core.Engine, cfg Config) *Engine {
+func New(eng core.Queryer, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	seed := cfg.EstimatedRun
 	if seed <= 0 {
@@ -145,19 +148,20 @@ func New(eng *core.Engine, cfg Config) *Engine {
 		adm:     newAdmission(cfg.Workers, cfg.Queue, seed),
 		eng:     eng,
 		results: newLRU[*cachedResult](cfg.ResultCache),
-		plans:   newLRU[*core.Plan](cfg.PlanCache),
+		plans:   newLRU[core.CompiledPlan](cfg.PlanCache),
 		flights: make(map[string]*flight),
 	}
 }
 
-// Engine returns the currently-served core engine.
-func (e *Engine) Engine() *core.Engine {
+// Engine returns the currently-served engine (a *core.Engine or
+// *core.ShardedEngine, whichever the layer was built over).
+func (e *Engine) Engine() core.Queryer {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.eng
 }
 
-func (e *Engine) engineGen() (*core.Engine, uint64) {
+func (e *Engine) engineGen() (core.Queryer, uint64) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.eng, e.gen
@@ -175,14 +179,14 @@ func (e *Engine) currentGen() uint64 {
 // engine; their results are not cached. Rebuild serializes with Apply, so
 // a swap can never be silently overwritten by a delta committed against
 // the graph it replaced.
-func (e *Engine) Rebuild(eng *core.Engine) {
+func (e *Engine) Rebuild(eng core.Queryer) {
 	e.applyMu.Lock()
 	defer e.applyMu.Unlock()
 	e.rebuildLocked(eng)
 }
 
 // rebuildLocked publishes eng; the caller holds applyMu.
-func (e *Engine) rebuildLocked(eng *core.Engine) {
+func (e *Engine) rebuildLocked(eng core.Queryer) {
 	e.mu.Lock()
 	e.eng = eng
 	e.gen++
@@ -367,7 +371,7 @@ func (e *Engine) resolve(ctx context.Context, q *query.Graph, opts core.Options)
 // pipeline, publication. key == "" marks an unregistered (uncacheable)
 // flight. eng is the engine captured when the flight was created — the
 // flight's generation stamp refers to it.
-func (e *Engine) lead(fl *flight, key string, q *query.Graph, opts core.Options, cache bool, eng *core.Engine) {
+func (e *Engine) lead(fl *flight, key string, q *query.Graph, opts core.Options, cache bool, eng core.Queryer) {
 	gen := fl.gen
 	res, err := e.run(fl, eng, gen, q, opts, cache && key != "")
 	if key != "" {
@@ -400,7 +404,7 @@ func (e *Engine) snapshotLog(fl *flight) []core.Event {
 
 // run executes the pipeline for one flight: plan (cached), admission,
 // stream consumption into the flight log.
-func (e *Engine) run(fl *flight, eng *core.Engine, gen uint64, q *query.Graph, opts core.Options, usePlanCache bool) (*core.Result, error) {
+func (e *Engine) run(fl *flight, eng core.Queryer, gen uint64, q *query.Graph, opts core.Options, usePlanCache bool) (*core.Result, error) {
 	plan, err := e.planFor(eng, gen, q, opts, usePlanCache)
 	if err != nil {
 		return nil, err
@@ -416,7 +420,7 @@ func (e *Engine) run(fl *flight, eng *core.Engine, gen uint64, q *query.Graph, o
 	}
 	e.stats.pipelineRuns.Add(1)
 
-	st, err := eng.StreamPlan(fl.ctx, plan, opts)
+	st, err := eng.StreamCompiled(fl.ctx, plan, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -430,20 +434,20 @@ func (e *Engine) run(fl *flight, eng *core.Engine, gen uint64, q *query.Graph, o
 // it. Plans compiled against a superseded engine generation are not
 // cached (Rebuild already purged the cache; a late Add would resurrect a
 // stale plan).
-func (e *Engine) planFor(eng *core.Engine, gen uint64, q *query.Graph, opts core.Options, useCache bool) (*core.Plan, error) {
+func (e *Engine) planFor(eng core.Queryer, gen uint64, q *query.Graph, opts core.Options, useCache bool) (core.CompiledPlan, error) {
 	if !useCache {
-		return eng.Compile(q, opts)
+		return eng.CompileQuery(q, opts)
 	}
 	key := planKey(q, opts)
 	// A hit must have been compiled by the engine we are about to run on:
 	// an entry that survived a racing Rebuild (Get between the generation
 	// bump and the purge) is treated as a miss.
-	if p, ok := e.plans.Get(key); ok && p.CompiledBy(eng) {
+	if p, ok := e.plans.Get(key); ok && p.PlannedBy(eng) {
 		e.stats.planHits.Add(1)
 		return p, nil
 	}
 	e.stats.planMisses.Add(1)
-	p, err := eng.Compile(q, opts)
+	p, err := eng.CompileQuery(q, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"semkg/internal/core"
+	"semkg/internal/kg"
+)
+
+// shardedTestEngine wraps the motivating-example engine in a 2-shard
+// scatter-gather engine.
+func shardedTestEngine(t *testing.T) *core.ShardedEngine {
+	t.Helper()
+	se, err := core.NewShardedEngine(testEngine(t), core.ShardConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return se
+}
+
+// TestServingOverShardedEngine: the serving layer works unchanged over a
+// ShardedEngine — cold run and warm cache hit are byte-identical, the
+// plan cache hits on the second request, and the answers match the
+// single-engine serving path.
+func TestServingOverShardedEngine(t *testing.T) {
+	ctx := context.Background()
+	single := New(testEngine(t), Config{})
+	sharded := New(shardedTestEngine(t), Config{})
+
+	want, err := single.Search(ctx, q117(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := sharded.Search(ctx, q117(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(answersJSON(t, cold), answersJSON(t, want)) {
+		t.Fatalf("sharded serving answers differ from single-engine serving:\n%s\n%s",
+			answersJSON(t, cold), answersJSON(t, want))
+	}
+	warm, err := sharded.Search(ctx, q117(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wireJSON(t, cold), wireJSON(t, warm)) {
+		t.Fatal("warm cache hit not byte-identical over sharded engine")
+	}
+	st := sharded.Stats()
+	if st.ResultHits != 1 || st.PipelineRuns != 1 {
+		t.Fatalf("stats = %+v, want 1 result hit and 1 pipeline run", st)
+	}
+
+	// A different K shares the compiled sharded plan.
+	opts2 := testOpts()
+	opts2.K = 3
+	if _, err := sharded.Search(ctx, q117(), opts2); err != nil {
+		t.Fatal(err)
+	}
+	if st := sharded.Stats(); st.PlanHits != 1 {
+		t.Fatalf("plan hits = %d, want 1 (sharded plan reused across K)", st.PlanHits)
+	}
+}
+
+// TestServingShardedStreamReplay: the recorded event log of a sharded
+// execution replays identically on a result-cache hit.
+func TestServingShardedStreamReplay(t *testing.T) {
+	ctx := context.Background()
+	srv := New(shardedTestEngine(t), Config{})
+	live, err := srv.Stream(ctx, q117(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var liveEvents []core.Event
+	for ev := range live.Events() {
+		liveEvents = append(liveEvents, ev)
+	}
+	replay, err := srv.Stream(ctx, q117(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayEvents []core.Event
+	for ev := range replay.Events() {
+		replayEvents = append(replayEvents, ev)
+	}
+	if len(replayEvents) != len(liveEvents) {
+		t.Fatalf("replay delivered %d events, live %d", len(replayEvents), len(liveEvents))
+	}
+	sawShard := false
+	for _, ev := range liveEvents {
+		if pe, ok := ev.(core.ProgressEvent); ok && pe.Shard > 0 {
+			sawShard = true
+		}
+	}
+	if !sawShard {
+		t.Fatal("no per-shard progress in the recorded log")
+	}
+}
+
+// TestApplyRebuildsShardedEngine: live ingestion over a sharded serving
+// layer re-partitions the committed graph — the new entity is owned,
+// searchable, and the generation advanced exactly once.
+func TestApplyRebuildsShardedEngine(t *testing.T) {
+	ctx := context.Background()
+	srv := New(shardedTestEngine(t), Config{
+		Build: func(g *kg.Graph) (core.Queryer, error) {
+			eng, err := testBuild()(g)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewShardedEngine(eng.(*core.Engine), core.ShardConfig{Shards: 2})
+		},
+	})
+	d := srv.NewDelta()
+	if err := d.ApplyTriple("BMW_i9", "type", "Automobile"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ApplyTriple("BMW_i9", "assembly", "Germany"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := srv.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 1 {
+		t.Fatalf("generation = %d, want 1", info.Generation)
+	}
+	if _, ok := srv.Engine().(*core.ShardedEngine); !ok {
+		t.Fatalf("post-apply engine is %T, want *core.ShardedEngine", srv.Engine())
+	}
+	res, err := srv.Search(ctx, q117(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range res.Answers {
+		if a.PivotName == "BMW_i9" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ingested entity not found through the re-partitioned sharded engine")
+	}
+}

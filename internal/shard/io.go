@@ -1,0 +1,142 @@
+// Shard persistence: a small versioned wrapper around the kg binary
+// snapshot codec. A shard file is the shard meta (index, shard count,
+// halo) plus the node/edge mappings back into the base graph, CRC-32C
+// checksummed, followed by the shard graph as a regular kg snapshot — so
+// loading a shard costs one mapping decode plus the same fast snapshot
+// read the whole-graph cold start uses, and shards of a big graph can be
+// loaded individually and in parallel.
+
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"semkg/internal/kg"
+)
+
+// shardMagic opens every shard file. Distinct from the kg snapshot magic
+// so the two formats cannot be confused.
+var shardMagic = [8]byte{'S', 'E', 'M', 'K', 'G', 'S', 'H', 'D'}
+
+// shardVersion is the current shard file format version.
+const shardVersion = 1
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteShard serializes one shard (graph, mappings and partition meta) to
+// w. Output is deterministic: equal shards produce identical bytes.
+func WriteShard(w io.Writer, s *Shard) error {
+	if s == nil || s.Graph == nil {
+		return fmt.Errorf("shard: nil shard")
+	}
+	header := make([]byte, 0, 8+4*6+4*len(s.nodeGlobal)+4*len(s.edgeGlobal))
+	header = append(header, shardMagic[:]...)
+	header = binary.LittleEndian.AppendUint32(header, shardVersion)
+	header = binary.LittleEndian.AppendUint32(header, uint32(s.Index))
+	header = binary.LittleEndian.AppendUint32(header, uint32(s.Shards))
+	header = binary.LittleEndian.AppendUint32(header, uint32(s.Halo))
+	header = binary.LittleEndian.AppendUint32(header, uint32(len(s.nodeGlobal)))
+	header = binary.LittleEndian.AppendUint32(header, uint32(len(s.edgeGlobal)))
+	for _, id := range s.nodeGlobal {
+		header = binary.LittleEndian.AppendUint32(header, uint32(id))
+	}
+	for _, id := range s.edgeGlobal {
+		header = binary.LittleEndian.AppendUint32(header, uint32(id))
+	}
+	// The CRC covers everything after magic+version, mirroring kg snapshots.
+	crc := crc32.Checksum(header[12:], crcTable)
+	header = binary.LittleEndian.AppendUint32(header, crc)
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("shard: writing shard header: %w", err)
+	}
+	return kg.WriteSnapshot(w, s.Graph)
+}
+
+// ReadShard reads a shard written by WriteShard. Malformed input yields
+// errors, never panics; the embedded graph goes through the validating
+// kg.ReadSnapshot decoder. The returned shard's mappings are structurally
+// checked (sizes, ascending order) — cross-checking against a base graph
+// happens in Assemble.
+func ReadShard(r io.Reader) (*Shard, error) {
+	var head [12]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, fmt.Errorf("shard: reading shard header: %w", err)
+	}
+	if [8]byte(head[:8]) != shardMagic {
+		return nil, fmt.Errorf("shard: bad magic %q (not a shard file)", head[:8])
+	}
+	if v := binary.LittleEndian.Uint32(head[8:12]); v != shardVersion {
+		return nil, fmt.Errorf("shard: unsupported shard format version %d (want %d)", v, shardVersion)
+	}
+	var fixed [20]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return nil, fmt.Errorf("shard: truncated shard header: %w", err)
+	}
+	index := int(binary.LittleEndian.Uint32(fixed[0:4]))
+	shards := int(binary.LittleEndian.Uint32(fixed[4:8]))
+	halo := int(binary.LittleEndian.Uint32(fixed[8:12]))
+	nNodes := int(binary.LittleEndian.Uint32(fixed[12:16]))
+	nEdges := int(binary.LittleEndian.Uint32(fixed[16:20]))
+	if shards < 1 || index < 0 || index >= shards || halo < 1 {
+		return nil, fmt.Errorf("shard: corrupt shard meta (index %d of %d, halo %d)", index, shards, halo)
+	}
+	const maxIDs = 1 << 30 // ids are int32; anything larger is corrupt
+	if nNodes < 0 || nEdges < 0 || nNodes > maxIDs || nEdges > maxIDs {
+		return nil, fmt.Errorf("shard: corrupt shard mapping sizes (%d nodes, %d edges)", nNodes, nEdges)
+	}
+	// Copy the mappings incrementally rather than pre-allocating from the
+	// claimed counts: a corrupt or hostile header can claim gigabytes, and
+	// the allocation must stay proportional to the bytes actually present
+	// (a truncated file then fails cheaply, before the CRC).
+	var bodyBuf bytes.Buffer
+	if _, err := io.CopyN(&bodyBuf, r, int64(4*(nNodes+nEdges)+4)); err != nil {
+		return nil, fmt.Errorf("shard: truncated shard mappings: %w", err)
+	}
+	body := bodyBuf.Bytes()
+	crc := crc32.Checksum(fixed[:], crcTable)
+	crc = crc32.Update(crc, crcTable, body[:len(body)-4])
+	if got := binary.LittleEndian.Uint32(body[len(body)-4:]); got != crc {
+		return nil, fmt.Errorf("shard: shard header checksum mismatch (file %08x, computed %08x)", got, crc)
+	}
+	nodeGlobal := make([]kg.NodeID, nNodes)
+	for i := range nodeGlobal {
+		nodeGlobal[i] = kg.NodeID(binary.LittleEndian.Uint32(body[4*i:]))
+		if i > 0 && nodeGlobal[i] <= nodeGlobal[i-1] {
+			return nil, fmt.Errorf("shard: node mapping not strictly ascending at %d", i)
+		}
+	}
+	edgeGlobal := make([]kg.EdgeID, nEdges)
+	off := 4 * nNodes
+	for i := range edgeGlobal {
+		edgeGlobal[i] = kg.EdgeID(binary.LittleEndian.Uint32(body[off+4*i:]))
+		if i > 0 && edgeGlobal[i] <= edgeGlobal[i-1] {
+			return nil, fmt.Errorf("shard: edge mapping not strictly ascending at %d", i)
+		}
+	}
+	g, err := kg.ReadSnapshot(r)
+	if err != nil {
+		return nil, fmt.Errorf("shard: reading shard graph: %w", err)
+	}
+	if g.NumNodes() != nNodes || g.NumEdges() != nEdges {
+		return nil, fmt.Errorf("shard: shard graph has %d nodes / %d edges, mappings cover %d / %d",
+			g.NumNodes(), g.NumEdges(), nNodes, nEdges)
+	}
+	sh := &Shard{
+		Index:      index,
+		Shards:     shards,
+		Halo:       halo,
+		Graph:      g,
+		nodeGlobal: nodeGlobal,
+		edgeGlobal: edgeGlobal,
+	}
+	for local := range nodeGlobal {
+		if sh.Owned(kg.NodeID(local)) {
+			sh.ownedCount++
+		}
+	}
+	return sh, nil
+}

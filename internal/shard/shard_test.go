@@ -1,0 +1,316 @@
+package shard
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"semkg/internal/kg"
+)
+
+// randomGraph builds a deterministic pseudo-random typed multigraph.
+func randomGraph(t *testing.T, seed int64, nodes, edges int) *kg.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := kg.NewBuilder(nodes, edges)
+	types := []string{"A", "B", "C", ""}
+	preds := []string{"p", "q", "r", "s"}
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = "n" + string(rune('a'+i%26)) + "_" + itoa(i)
+		b.AddNode(names[i], types[rng.Intn(len(types))])
+	}
+	for i := 0; i < edges; i++ {
+		b.AddEdge(kg.NodeID(rng.Intn(nodes)), kg.NodeID(rng.Intn(nodes)), preds[rng.Intn(len(preds))])
+	}
+	return b.Build()
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf []byte
+	for i > 0 {
+		buf = append([]byte{byte('0' + i%10)}, buf...)
+		i /= 10
+	}
+	return string(buf)
+}
+
+func TestPartitionOwnershipPartitions(t *testing.T) {
+	g := randomGraph(t, 7, 80, 200)
+	for _, n := range []int{1, 2, 3, 5} {
+		set, err := Partition(g, Options{Shards: n, Halo: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ownedTotal := 0
+		seen := make(map[kg.NodeID]int)
+		for i := 0; i < set.Len(); i++ {
+			sh := set.Shard(i)
+			ownedTotal += sh.OwnedCount()
+			for local := 0; local < sh.Graph.NumNodes(); local++ {
+				if sh.Owned(kg.NodeID(local)) {
+					seen[sh.GlobalNode(kg.NodeID(local))]++
+				}
+			}
+		}
+		if ownedTotal != g.NumNodes() {
+			t.Fatalf("shards=%d: owned total %d, want %d", n, ownedTotal, g.NumNodes())
+		}
+		for u, c := range seen {
+			if c != 1 {
+				t.Fatalf("shards=%d: node %d owned by %d shards", n, u, c)
+			}
+			if set.Owner(u) < 0 || set.Owner(u) >= n {
+				t.Fatalf("owner out of range for %d", u)
+			}
+		}
+		if len(seen) != g.NumNodes() {
+			t.Fatalf("shards=%d: %d distinct owned nodes, want %d", n, len(seen), g.NumNodes())
+		}
+	}
+}
+
+// TestPartitionHaloCover is the containment invariant the sharded engine
+// relies on: every node within Halo (undirected) hops of an owned node is
+// in the shard graph, and every base edge between shard members is too.
+func TestPartitionHaloCover(t *testing.T) {
+	g := randomGraph(t, 11, 60, 150)
+	const halo = 3
+	set, err := Partition(g, Options{Shards: 3, Halo: halo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < set.Len(); i++ {
+		sh := set.Shard(i)
+		members := make(map[kg.NodeID]bool)
+		for l := 0; l < sh.Graph.NumNodes(); l++ {
+			members[sh.GlobalNode(kg.NodeID(l))] = true
+		}
+		// BFS from owned nodes in the base graph.
+		dist := make(map[kg.NodeID]int)
+		var frontier []kg.NodeID
+		for u := 0; u < g.NumNodes(); u++ {
+			if set.Owner(kg.NodeID(u)) == i {
+				dist[kg.NodeID(u)] = 0
+				frontier = append(frontier, kg.NodeID(u))
+			}
+		}
+		for d := 0; d < halo; d++ {
+			var next []kg.NodeID
+			for _, u := range frontier {
+				for _, h := range g.Neighbors(u) {
+					if _, ok := dist[h.Neighbor]; !ok {
+						dist[h.Neighbor] = d + 1
+						next = append(next, h.Neighbor)
+					}
+				}
+			}
+			frontier = next
+		}
+		for u := range dist {
+			if !members[u] {
+				t.Fatalf("shard %d: node %d at distance %d missing (halo %d)", i, u, dist[u], halo)
+			}
+		}
+		// Induced edges present, facts identical.
+		wantEdges := 0
+		for e := 0; e < g.NumEdges(); e++ {
+			edge := g.EdgeAt(kg.EdgeID(e))
+			if members[edge.Src] && members[edge.Dst] {
+				wantEdges++
+			}
+		}
+		if sh.Graph.NumEdges() != wantEdges {
+			t.Fatalf("shard %d: %d edges, want %d induced", i, sh.Graph.NumEdges(), wantEdges)
+		}
+		if err := sh.validateAgainst(g); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+}
+
+func TestPartitionSingleShardIsWholeGraph(t *testing.T) {
+	g := randomGraph(t, 3, 40, 90)
+	set, err := Partition(g, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := set.Shard(0)
+	if sh.Graph.NumNodes() != g.NumNodes() || sh.Graph.NumEdges() != g.NumEdges() {
+		t.Fatalf("single shard %d/%d, want %d/%d",
+			sh.Graph.NumNodes(), sh.Graph.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	if sh.OwnedCount() != g.NumNodes() {
+		t.Fatalf("single shard owns %d of %d", sh.OwnedCount(), g.NumNodes())
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if sh.GlobalNode(kg.NodeID(u)) != kg.NodeID(u) || g.NodeName(kg.NodeID(u)) != sh.Graph.NodeName(kg.NodeID(u)) {
+			t.Fatalf("identity mapping broken at %d", u)
+		}
+	}
+}
+
+// TestPartitionMoreShardsThanNodes exercises the empty-shard edge case:
+// shards that own nothing have empty graphs and stay usable.
+func TestPartitionMoreShardsThanNodes(t *testing.T) {
+	b := kg.NewBuilder(4, 4)
+	a := b.AddNode("a", "T")
+	c := b.AddNode("b", "T")
+	b.AddEdge(a, c, "p")
+	g := b.Build()
+	set, err := Partition(g, Options{Shards: 5, Halo: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := 0
+	for i := 0; i < set.Len(); i++ {
+		sh := set.Shard(i)
+		if sh.Graph.NumNodes() == 0 {
+			empty++
+			if sh.OwnedCount() != 0 || sh.Graph.NumEdges() != 0 {
+				t.Fatalf("empty shard %d has owned=%d edges=%d", i, sh.OwnedCount(), sh.Graph.NumEdges())
+			}
+		}
+	}
+	if empty != 3 {
+		t.Fatalf("empty shards = %d, want 3", empty)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := randomGraph(t, 19, 70, 180)
+	a, err := Partition(g, Options{Shards: 4, Halo: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, Options{Shards: 4, Halo: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		var ba, bb bytes.Buffer
+		if err := WriteShard(&ba, a.Shard(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteShard(&bb, b.Shard(i)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+			t.Fatalf("shard %d: partitions of the same graph serialized differently", i)
+		}
+	}
+}
+
+func TestShardRoundTripAndAssemble(t *testing.T) {
+	g := randomGraph(t, 23, 50, 120)
+	set, err := Partition(g, Options{Shards: 3, Halo: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded []*Shard
+	for i := 0; i < set.Len(); i++ {
+		var buf bytes.Buffer
+		if err := WriteShard(&buf, set.Shard(i)); err != nil {
+			t.Fatal(err)
+		}
+		sh, err := ReadShard(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := set.Shard(i)
+		if sh.Index != orig.Index || sh.Shards != orig.Shards || sh.Halo != orig.Halo {
+			t.Fatalf("meta mismatch after round trip: %+v", sh)
+		}
+		if sh.OwnedCount() != orig.OwnedCount() {
+			t.Fatalf("owned %d, want %d", sh.OwnedCount(), orig.OwnedCount())
+		}
+		if sh.Graph.NumNodes() != orig.Graph.NumNodes() || sh.Graph.NumEdges() != orig.Graph.NumEdges() {
+			t.Fatalf("graph shape mismatch after round trip")
+		}
+		loaded = append(loaded, sh)
+	}
+	// Load order must not matter.
+	loaded[0], loaded[2] = loaded[2], loaded[0]
+	set2, err := Assemble(g, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set2.Halo() != set.Halo() || set2.Len() != set.Len() {
+		t.Fatalf("assembled set shape mismatch")
+	}
+	for i := 0; i < set2.Len(); i++ {
+		if set2.Shard(i).Index != i {
+			t.Fatalf("assembled shard %d has index %d", i, set2.Shard(i).Index)
+		}
+	}
+}
+
+func TestAssembleRejectsMismatches(t *testing.T) {
+	g := randomGraph(t, 29, 40, 100)
+	set, _ := Partition(g, Options{Shards: 2, Halo: 2})
+	all := []*Shard{set.Shard(0), set.Shard(1)}
+
+	if _, err := Assemble(g, all[:1]); err == nil {
+		t.Fatal("missing shard accepted")
+	}
+	if _, err := Assemble(g, []*Shard{set.Shard(0), set.Shard(0)}); err == nil {
+		t.Fatal("duplicate shard accepted")
+	}
+	other := randomGraph(t, 31, 40, 100)
+	if _, err := Assemble(other, all); err == nil {
+		t.Fatal("shards of a different graph accepted")
+	}
+	mixed, _ := Partition(g, Options{Shards: 2, Halo: 3})
+	if _, err := Assemble(g, []*Shard{set.Shard(0), mixed.Shard(1)}); err == nil {
+		t.Fatal("mixed-halo shards accepted")
+	}
+}
+
+func TestReadShardRejectsCorruption(t *testing.T) {
+	g := randomGraph(t, 37, 30, 60)
+	set, _ := Partition(g, Options{Shards: 2, Halo: 2})
+	var buf bytes.Buffer
+	if err := WriteShard(&buf, set.Shard(1)); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := ReadShard(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	bad := append([]byte("NOTSHARD"), good[8:]...)
+	if _, err := ReadShard(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	for _, cut := range []int{10, 20, len(good) / 2, len(good) - 1} {
+		if _, err := ReadShard(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Flip one mapping byte: the header CRC must catch it.
+	flipped := append([]byte(nil), good...)
+	flipped[36] ^= 0x40
+	if _, err := ReadShard(bytes.NewReader(flipped)); err == nil {
+		t.Fatal("flipped mapping byte accepted")
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	g := randomGraph(t, 41, 10, 20)
+	if _, err := Partition(nil, Options{Shards: 2}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := Partition(g, Options{Shards: 0}); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	set, err := Partition(g, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Halo() != DefaultHalo {
+		t.Fatalf("default halo = %d, want %d", set.Halo(), DefaultHalo)
+	}
+}

@@ -140,6 +140,61 @@ type Hooks struct {
 	OnProvisional func(finals []ta.Final, lk, umax float64, round int)
 }
 
+// Estimator is Algorithm 3's synchronized time estimate for a set of
+// concurrent eager searches: T̂ = elapsed search time (the searches run
+// concurrently, so max{T_A*} is the shared wall elapsed) plus the
+// projected assembly cost Σ|M̂_i|·t over every match counted so far. It
+// is shared by the single-engine run (one searcher per sub-query) and
+// the sharded run (one searcher per shard and sub-query), so the alert
+// policy cannot diverge between the two. Safe for concurrent use.
+type Estimator struct {
+	cfg     Config
+	ctx     context.Context
+	onAlert func(elapsed, projected time.Duration)
+	start   time.Time
+	total   atomic.Int64
+	stopped atomic.Bool
+}
+
+// NewEstimator starts the clock (Config defaults applied: r% = 0.8,
+// calibrated t, wall clock). onAlert, when non-nil, fires exactly once —
+// when the estimate first reaches the alert threshold Bound·r%, not on
+// cancellation.
+func NewEstimator(ctx context.Context, cfg Config, onAlert func(elapsed, projected time.Duration)) *Estimator {
+	cfg = cfg.withDefaults()
+	return &Estimator{cfg: cfg, ctx: ctx, onAlert: onAlert, start: cfg.Clock.Now()}
+}
+
+// Collected records one newly collected distinct match (it raises T̂ by
+// the per-match assembly cost t).
+func (e *Estimator) Collected() { e.total.Add(1) }
+
+// Stop reports whether the search phase must end: the context was
+// cancelled, or the estimate reached the alert threshold. Once true it
+// stays true.
+func (e *Estimator) Stop() bool {
+	if e.stopped.Load() {
+		return true
+	}
+	if e.ctx.Err() != nil {
+		e.stopped.Store(true)
+		return true
+	}
+	elapsed := e.cfg.Clock.Now().Sub(e.start)
+	that := elapsed + time.Duration(e.total.Load())*e.cfg.PerMatchTA
+	if float64(that) >= float64(e.cfg.Bound)*e.cfg.AlertRatio {
+		if e.stopped.CompareAndSwap(false, true) && e.onAlert != nil {
+			e.onAlert(elapsed, that)
+		}
+		return true
+	}
+	return false
+}
+
+// Elapsed returns the time consumed since the estimator started, on its
+// configured clock.
+func (e *Estimator) Elapsed() time.Duration { return e.cfg.Clock.Now().Sub(e.start) }
+
 // Run executes the time-bounded query: searchers (one per sub-query graph,
 // already positioned at their anchors) run concurrently in eager mode until
 // Algorithm 3's estimate reaches the alert threshold, then the collected
@@ -154,32 +209,8 @@ func Run(ctx context.Context, searchers []*astar.Searcher, k int, cfg Config) Re
 // RunHooked is Run with phase notifications threaded through hooks. With
 // the zero Hooks it behaves exactly like Run.
 func RunHooked(ctx context.Context, searchers []*astar.Searcher, k int, cfg Config, hooks Hooks) Result {
-	cfg = cfg.withDefaults()
-	start := cfg.Clock.Now()
-	var totalMatches atomic.Int64
-	var stopped atomic.Bool
-
-	// stop implements Algorithm 3: T̂ = elapsed search time (all searches
-	// run concurrently, so max{T_A*} is the shared wall elapsed) plus the
-	// projected assembly cost Σ|M̂_i|·t.
-	stop := func() bool {
-		if stopped.Load() {
-			return true
-		}
-		if ctx.Err() != nil {
-			stopped.Store(true)
-			return true
-		}
-		elapsed := cfg.Clock.Now().Sub(start)
-		that := elapsed + time.Duration(totalMatches.Load())*cfg.PerMatchTA
-		if float64(that) >= float64(cfg.Bound)*cfg.AlertRatio {
-			if stopped.CompareAndSwap(false, true) && hooks.OnAlert != nil {
-				hooks.OnAlert(elapsed, that)
-			}
-			return true
-		}
-		return false
-	}
+	est := NewEstimator(ctx, cfg, hooks.OnAlert)
+	stop := est.Stop
 
 	type collected struct {
 		best      map[kg.NodeID]astar.Match
@@ -195,7 +226,7 @@ func RunHooked(ctx context.Context, searchers []*astar.Searcher, k int, cfg Conf
 			exhausted := s.RunEager(stop, func(m astar.Match) bool {
 				if old, ok := best[m.End()]; !ok || m.PSS > old.PSS {
 					if !ok {
-						totalMatches.Add(1)
+						est.Collected()
 						if hooks.OnCollected != nil {
 							hooks.OnCollected(i, len(best)+1)
 						}
@@ -243,6 +274,6 @@ func RunHooked(ctx context.Context, searchers []*astar.Searcher, k int, cfg Conf
 		}
 	}
 	res.Finals = asm.Run(onRound)
-	res.Elapsed = cfg.Clock.Now().Sub(start)
+	res.Elapsed = est.Elapsed()
 	return res
 }

@@ -181,6 +181,51 @@ const (
 	PhaseAssemble = core.PhaseAssemble
 )
 
+// Queryer is the query-execution surface shared by Engine and
+// ShardedEngine: Search/Stream, the compile/run split, and the graph and
+// cost accessors the serving layer needs. Anything satisfying it can be
+// wrapped by NewServing.
+type Queryer = core.Queryer
+
+// CompiledPlan is an opaque compiled query returned by
+// Queryer.CompileQuery — reusable across runs (any K or time budget) but
+// only by the Queryer that produced it.
+type CompiledPlan = core.CompiledPlan
+
+// ShardConfig sizes a sharded engine: Shards (default 4) graph
+// partitions, a replication Halo in hops (default 4; bounds the servable
+// MaxHops — deeper searches fall back to the base engine), and the
+// scatter worker pool size (default GOMAXPROCS).
+type ShardConfig = core.ShardConfig
+
+// ShardedEngine answers queries by scatter-gather over a partitioned
+// knowledge graph: one plan per shard, fanned-out sub-query searches, and
+// a bounds-aware top-k merge that preserves the paper's L_k/U_max early
+// termination. Results are equivalent to the single engine's (same top-k
+// set and scores for SGQ; same time-bound contract for TBQ). Create one
+// with NewShardedEngine; it satisfies Queryer, so NewServing and the
+// semkgd daemon (-shards) serve it unchanged.
+type ShardedEngine = core.ShardedEngine
+
+// ShardedStats is a snapshot of a sharded engine's partition shape
+// (per-shard sizes, replication factor) and counters (sharded searches,
+// halo fallbacks).
+type ShardedStats = core.ShardedStats
+
+// NewShardedEngine builds a base engine from a graph, a trained model and
+// an optional library (exactly as NewEngine), then partitions the graph
+// per cfg and wraps the engine for scatter-gather execution. The
+// partition is deterministic.
+func NewShardedEngine(g *Graph, model *Model, lib *Library, cfg ShardConfig) (*ShardedEngine, error) {
+	return core.BuildShardedEngine(g, model, lib, cfg)
+}
+
+// NewShardedEngineFromSnapshot is NewShardedEngine over a binary graph
+// snapshot (SaveSnapshot): the sharded cold-start path.
+func NewShardedEngineFromSnapshot(r io.Reader, model *Model, lib *Library, cfg ShardConfig) (*ShardedEngine, error) {
+	return core.ShardedEngineFromSnapshot(r, model, lib, cfg)
+}
+
 // Serving is the engine-level serving layer for heavy concurrent traffic:
 // an LRU result cache and plan cache, singleflight deduplication of
 // concurrent identical requests, and a bounded worker pool with
@@ -216,9 +261,18 @@ var ErrStaleDelta = serve.ErrStaleDelta
 // sequences in all three cases.
 type ServeStream = serve.Stream
 
-// NewServing wraps an engine in a serving layer sized by cfg.
-func NewServing(e *Engine, cfg ServeConfig) *Serving {
-	return serve.New(e.Engine, cfg)
+// NewServing wraps an engine — single-graph (*Engine) or sharded
+// (*ShardedEngine), anything satisfying Queryer — in a serving layer
+// sized by cfg. The zero ServeConfig gives production-ready defaults.
+// The facade Engine wrapper is unwrapped first: compiled plans carry the
+// identity of the engine that produced them (the inner core engine, via
+// the promoted CompileQuery), and serving the wrapper itself would make
+// every plan-cache identity check miss.
+func NewServing(e Queryer, cfg ServeConfig) *Serving {
+	if w, ok := e.(*Engine); ok {
+		return serve.New(w.Engine, cfg)
+	}
+	return serve.New(e, cfg)
 }
 
 // Engine answers query graphs over one knowledge graph. Safe for

@@ -1,0 +1,133 @@
+// Command mdcheck keeps the prose honest: it extracts the Go code fences
+// of the given markdown files and builds each one, and it verifies that
+// every relative markdown link points at a file that exists. CI runs it
+// over README.md and DESIGN.md, so a renamed flag, a deleted example or a
+// moved document breaks the build instead of rotting silently.
+//
+// Rules:
+//
+//   - A ```go fence must be a complete, buildable program or package
+//     (starting with a package clause, imports included). Fenced
+//     fragments that cannot build on their own use a non-go info string
+//     (```text) and are skipped.
+//   - Fences with any other info string (sh, json, text, ...) are
+//     ignored.
+//   - Relative links ([x](path), path without a URL scheme) must resolve
+//     against the markdown file's directory; #anchors are stripped first.
+//
+// Usage: go run ./tools/mdcheck README.md DESIGN.md
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		files = []string{"README.md", "DESIGN.md"}
+	}
+	failed := false
+	for _, f := range files {
+		if err := checkFile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mdcheck: %v\n", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("mdcheck: %s ok\n", strings.Join(files, ", "))
+}
+
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	text := string(data)
+	var problems []string
+	problems = append(problems, checkLinks(path, text)...)
+	problems = append(problems, checkGoFences(path, text)...)
+	if len(problems) > 0 {
+		return fmt.Errorf("%s:\n  %s", path, strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
+// fenceRe matches a fenced code block, capturing the info string and body.
+var fenceRe = regexp.MustCompile("(?ms)^```([a-zA-Z0-9_-]*)[ \t]*\n(.*?)^```[ \t]*$")
+
+// checkGoFences builds every ```go fence as a standalone package inside
+// the module (so `import "semkg"` resolves).
+func checkGoFences(path, text string) []string {
+	var problems []string
+	fences := fenceRe.FindAllStringSubmatchIndex(text, -1)
+	for i, loc := range fences {
+		lang := text[loc[2]:loc[3]]
+		if lang != "go" {
+			continue
+		}
+		body := text[loc[4]:loc[5]]
+		line := 1 + strings.Count(text[:loc[0]], "\n")
+		trimmed := strings.TrimSpace(body)
+		if !strings.HasPrefix(trimmed, "package ") && !strings.HasPrefix(trimmed, "//") {
+			problems = append(problems,
+				fmt.Sprintf("line %d: go fence is not a complete program (no package clause); tag fragments as ```text", line))
+			continue
+		}
+		if err := buildSnippet(body, i); err != nil {
+			problems = append(problems, fmt.Sprintf("line %d: go fence does not build: %v", line, err))
+		}
+	}
+	return problems
+}
+
+// buildSnippet writes the fence into a throwaway package directory inside
+// the module and builds it.
+func buildSnippet(body string, idx int) error {
+	dir, err := os.MkdirTemp(".", ".mdcheck-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := os.WriteFile(filepath.Join(dir, "snippet.go"), []byte(body), 0o644); err != nil {
+		return err
+	}
+	cmd := exec.Command("go", "build", "-o", os.DevNull, "./"+dir)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("%v\n%s", err, strings.TrimSpace(string(out)))
+	}
+	return nil
+}
+
+// linkRe matches inline markdown links; images share the syntax.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkLinks verifies relative link targets exist on disk.
+func checkLinks(path, text string) []string {
+	var problems []string
+	base := filepath.Dir(path)
+	withoutFences := fenceRe.ReplaceAllString(text, "")
+	for _, m := range linkRe.FindAllStringSubmatch(withoutFences, -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+			strings.HasPrefix(target, "mailto:") {
+			continue
+		}
+		target = strings.SplitN(target, "#", 2)[0]
+		if target == "" {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(base, target)); err != nil {
+			problems = append(problems, fmt.Sprintf("broken relative link %q", m[1]))
+		}
+	}
+	return problems
+}
