@@ -47,17 +47,10 @@ func main() {
 
 	ds := datagen.Generate(p)
 	if *snapshot != "" {
-		f, err := os.Create(*snapshot)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "kggen: %v\n", err)
-			os.Exit(1)
-		}
-		if err := kg.WriteSnapshot(f, ds.Graph); err != nil {
+		// Atomic (temp + rename): an interrupted run never leaves a
+		// truncated snapshot behind.
+		if err := kg.WriteSnapshotFile(*snapshot, ds.Graph); err != nil {
 			fmt.Fprintf(os.Stderr, "kggen: writing snapshot: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "kggen: %v\n", err)
 			os.Exit(1)
 		}
 	}

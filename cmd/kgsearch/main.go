@@ -49,6 +49,7 @@ func main() {
 	tau := flag.Float64("tau", 0.6, "pss threshold τ")
 	maxHops := flag.Int("nhat", 4, "desired path length n̂")
 	bound := flag.Duration("bound", 0, "response time bound (0 = exact SGQ)")
+	retries := flag.Int("retries", 4, "max retries when the server sheds with 429 (client mode; 0 = fail immediately)")
 	flag.Parse()
 
 	q, err := buildQuery(*queryFile, *focusType, *entity, *pred)
@@ -58,7 +59,7 @@ func main() {
 	opts := core.Options{K: *k, Tau: *tau, MaxHops: *maxHops, TimeBound: *bound}
 
 	if *server != "" {
-		if err := remoteSearch(*server, q, opts); err != nil {
+		if err := remoteSearch(*server, q, opts, defaultRetryPolicy(*retries)); err != nil {
 			fail(err)
 		}
 		return
@@ -113,8 +114,10 @@ func buildQuery(queryFile, focusType, entity, pred string) (*query.Graph, error)
 
 // remoteSearch streams the query through semkgd's /v1/stream endpoint,
 // narrating progress to stderr and printing the final result like the
-// local mode.
-func remoteSearch(base string, q *query.Graph, opts core.Options) error {
+// local mode. A 429 shed is retried with capped exponential backoff,
+// honoring the server's Retry-After floor; each attempt posts a fresh
+// body (the previous attempt consumed its reader).
+func remoteSearch(base string, q *query.Graph, opts core.Options, policy retryPolicy) error {
 	body, err := json.Marshal(api.SearchRequest{
 		Query:   api.QueryFrom(q),
 		Options: api.OptionsFrom(opts),
@@ -122,7 +125,14 @@ func remoteSearch(base string, q *query.Graph, opts core.Options) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(base+"/v1/stream", "application/json", bytes.NewReader(body))
+	if policy.notify == nil {
+		policy.notify = func(attempt int, wait time.Duration, status string) {
+			fmt.Fprintln(os.Stderr, describeShed(attempt, wait, status))
+		}
+	}
+	resp, err := policy.do(func() (*http.Response, error) {
+		return http.Post(base+"/v1/stream", "application/json", bytes.NewReader(body))
+	})
 	if err != nil {
 		return err
 	}

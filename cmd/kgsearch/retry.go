@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// retryPolicy retries requests the server shed with 429. The wait for
+// attempt n is max(Retry-After, base·2^(n-1) capped at maxDelay), with
+// uniform jitter in [d/2, d]: the server's Retry-After is a floor (it
+// projected when capacity frees up — retrying earlier is wasted work),
+// the exponential keeps a persistently overloaded server from being
+// hammered at a fixed cadence, and the jitter spreads synchronized
+// clients. Clock and RNG are injectable so tests can pin the schedule.
+type retryPolicy struct {
+	retries  int           // max retries after the first attempt
+	base     time.Duration // first backoff step
+	maxDelay time.Duration // exponential cap
+	sleep    func(time.Duration)
+	rng      *rand.Rand // nil = global source
+	notify   func(attempt int, wait time.Duration, status string)
+}
+
+func defaultRetryPolicy(retries int) retryPolicy {
+	return retryPolicy{
+		retries:  retries,
+		base:     500 * time.Millisecond,
+		maxDelay: 15 * time.Second,
+		sleep:    time.Sleep,
+	}
+}
+
+// delay computes the wait before retry attempt n (1-based), honoring
+// the server's Retry-After seconds when larger than the local backoff.
+func (p retryPolicy) delay(attempt int, retryAfter time.Duration) time.Duration {
+	d := p.base
+	for i := 1; i < attempt && d < p.maxDelay; i++ {
+		d *= 2
+	}
+	if d > p.maxDelay {
+		d = p.maxDelay
+	}
+	half := d / 2
+	j := int64(0)
+	if half > 0 {
+		if p.rng != nil {
+			j = p.rng.Int63n(int64(half) + 1)
+		} else {
+			j = rand.Int63n(int64(half) + 1)
+		}
+	}
+	d = half + time.Duration(j)
+	if retryAfter > d {
+		return retryAfter
+	}
+	return d
+}
+
+// do issues req() until it succeeds, fails for a non-retryable reason,
+// or the retry budget is spent. req must return a fresh request body on
+// every call — a consumed body must never be re-sent.
+func (p retryPolicy) do(req func() (*http.Response, error)) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := req()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return resp, nil
+		}
+		if attempt >= p.retries {
+			return resp, nil // caller reports the final 429
+		}
+		retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		wait := p.delay(attempt+1, retryAfter)
+		if p.notify != nil {
+			p.notify(attempt+1, wait, resp.Status)
+		}
+		p.sleep(wait)
+	}
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After (what
+// semkgd sends); absent or unparseable headers mean no server floor.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// describeShed renders the operator-facing retry notice.
+func describeShed(attempt int, wait time.Duration, status string) string {
+	return fmt.Sprintf("· server busy (%s); retry %d in %s", status, attempt, wait.Round(time.Millisecond))
+}

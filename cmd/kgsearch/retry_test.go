@@ -1,0 +1,164 @@
+package main
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock records requested sleeps without sleeping.
+type fakeClock struct {
+	slept []time.Duration
+}
+
+func (c *fakeClock) sleep(d time.Duration) { c.slept = append(c.slept, d) }
+
+// TestRetrySchedule pins the backoff schedule with a fake clock and a
+// seeded RNG: doubling from base, capped at maxDelay, jitter within
+// [d/2, d], and the server's Retry-After respected as a floor.
+func TestRetrySchedule(t *testing.T) {
+	clock := &fakeClock{}
+	p := retryPolicy{
+		retries:  5,
+		base:     100 * time.Millisecond,
+		maxDelay: 400 * time.Millisecond,
+		sleep:    clock.sleep,
+		rng:      rand.New(rand.NewSource(3)),
+	}
+
+	attempts := 0
+	resp, err := p.do(func() (*http.Response, error) {
+		attempts++
+		if attempts <= 5 {
+			rec := httptest.NewRecorder()
+			rec.Header().Set("Retry-After", "0")
+			rec.WriteHeader(http.StatusTooManyRequests)
+			return rec.Result(), nil
+		}
+		rec := httptest.NewRecorder()
+		rec.WriteHeader(http.StatusOK)
+		return rec.Result(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final status %d", resp.StatusCode)
+	}
+	if attempts != 6 {
+		t.Fatalf("attempts = %d, want 6", attempts)
+	}
+	want := []time.Duration{
+		100 * time.Millisecond, // attempt 1: base
+		200 * time.Millisecond, // doubled
+		400 * time.Millisecond, // capped
+		400 * time.Millisecond,
+		400 * time.Millisecond,
+	}
+	if len(clock.slept) != len(want) {
+		t.Fatalf("slept %d times, want %d (%v)", len(clock.slept), len(want), clock.slept)
+	}
+	for i, d := range clock.slept {
+		if d < want[i]/2 || d > want[i] {
+			t.Fatalf("sleep %d = %v, want within [%v, %v]", i, d, want[i]/2, want[i])
+		}
+	}
+}
+
+// TestRetryHonorsRetryAfterFloor: a Retry-After larger than the local
+// backoff becomes the wait.
+func TestRetryHonorsRetryAfterFloor(t *testing.T) {
+	clock := &fakeClock{}
+	p := retryPolicy{
+		retries: 1, base: 10 * time.Millisecond, maxDelay: 20 * time.Millisecond,
+		sleep: clock.sleep, rng: rand.New(rand.NewSource(1)),
+	}
+	calls := 0
+	resp, err := p.do(func() (*http.Response, error) {
+		calls++
+		rec := httptest.NewRecorder()
+		if calls == 1 {
+			rec.Header().Set("Retry-After", "3")
+			rec.WriteHeader(http.StatusTooManyRequests)
+		} else {
+			rec.WriteHeader(http.StatusOK)
+		}
+		return rec.Result(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(clock.slept) != 1 || clock.slept[0] != 3*time.Second {
+		t.Fatalf("slept %v, want exactly the server's 3s floor", clock.slept)
+	}
+}
+
+// TestRetryBudgetExhausted: when every attempt sheds, the final 429 is
+// returned to the caller (kgsearch reports it) instead of an error.
+func TestRetryBudgetExhausted(t *testing.T) {
+	clock := &fakeClock{}
+	p := retryPolicy{retries: 2, base: time.Millisecond, maxDelay: time.Millisecond,
+		sleep: clock.sleep, rng: rand.New(rand.NewSource(1))}
+	calls := 0
+	resp, err := p.do(func() (*http.Response, error) {
+		calls++
+		rec := httptest.NewRecorder()
+		rec.WriteHeader(http.StatusTooManyRequests)
+		return rec.Result(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("final status %d, want 429", resp.StatusCode)
+	}
+	if calls != 3 || len(clock.slept) != 2 {
+		t.Fatalf("calls = %d, sleeps = %d, want 3 and 2", calls, len(clock.slept))
+	}
+}
+
+// TestRetryFreshBodyPerAttempt: each attempt re-reads the request body
+// from the start — a retried POST must not send a drained reader.
+func TestRetryFreshBodyPerAttempt(t *testing.T) {
+	var sheds atomic.Int64
+	sheds.Store(2)
+	var bodies []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, string(b))
+		if sheds.Add(-1) >= 0 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	p := retryPolicy{retries: 3, base: time.Millisecond, maxDelay: time.Millisecond,
+		sleep: func(time.Duration) {}, rng: rand.New(rand.NewSource(1))}
+	payload := `{"query":"q"}`
+	resp, err := p.do(func() (*http.Response, error) {
+		return http.Post(srv.URL, "application/json", strings.NewReader(payload))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(bodies) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(bodies))
+	}
+	for i, b := range bodies {
+		if b != payload {
+			t.Fatalf("attempt %d body = %q, want full payload", i, b)
+		}
+	}
+}

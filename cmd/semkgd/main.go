@@ -37,6 +37,26 @@
 // loaded graph back out as a snapshot, so the next start skips the TSV
 // parse and index build entirely.
 //
+// Replication (see DESIGN.md, "Replication and failure model") makes
+// every semkgd a streaming primary and lets it run as a follower:
+//
+//	GET  /v1/replicate  NDJSON state stream: snapshot bootstrap, then
+//	                    one delta batch per commit (control frames +
+//	                    ingest-format triples); ?from=G&epoch=E resumes
+//	POST /v1/promote    flip a follower into a writable primary with a
+//	                    fresh epoch (409 when already primary)
+//
+//	semkgd -model m.bin -follow http://primary:8375   # read-only follower
+//	semkgd ... -advertise http://me:8375              # URL told to followers
+//	semkgd ... -save-snapshot live.snap -snapshot-interval 30s
+//
+// A follower may omit -graph/-snapshot and bootstrap from the primary's
+// stream; it rejects /v1/ingest with 403 and reports role, sync state
+// and lag in /healthz and under the "semkgd_replica" expvar key. The
+// background compactor rewrites -save-snapshot atomically (temp +
+// rename) whenever the graph changed. On SIGTERM/SIGINT the server
+// stops replication and drains in-flight requests up to -drain-timeout.
+//
 // The streaming endpoint is the wire form of the paper's anytime
 // behaviour (Section VI, Theorem 4): in time-bounded mode clients render
 // provisional answers while the search refines them. See DESIGN.md,
@@ -44,12 +64,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"semkg/internal/core"
@@ -71,26 +95,44 @@ func main() {
 	maxIngest := flag.Int64("max-ingest-bytes", defaultMaxIngestBytes, "max /v1/ingest request body size in bytes (0 = unlimited)")
 	shards := flag.Int("shards", 0, "partition the graph into N shards and serve scatter-gather searches (0/1 = single engine)")
 	shardHalo := flag.Int("shard-halo", 0, "shard replication radius in hops; bounds servable max_hops (0 = default 4)")
+	follow := flag.String("follow", "", "run as a read-only follower of the primary at this base URL (e.g. http://host:8375)")
+	advertise := flag.String("advertise", "", "externally reachable base URL announced to followers in the replication hello")
+	replicaLog := flag.Int("replica-log", 0, "max statements in the primary's replication log before compaction (0 = 65536)")
+	snapshotEvery := flag.Duration("snapshot-interval", 0, "rewrite -save-snapshot in the background at this interval when the graph changed (0 = only at boot)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests on SIGTERM/SIGINT")
 	flag.Parse()
 
-	if (*graphFile == "") == (*snapshotFile == "") || *modelFile == "" {
-		fmt.Fprintln(os.Stderr, "semkgd: -model and exactly one of -graph / -snapshot are required")
+	if *modelFile == "" {
+		fmt.Fprintln(os.Stderr, "semkgd: -model is required")
+		os.Exit(2)
+	}
+	if *follow == "" && (*graphFile == "") == (*snapshotFile == "") {
+		fmt.Fprintln(os.Stderr, "semkgd: exactly one of -graph / -snapshot is required (a -follow node may omit both and bootstrap from the primary)")
+		os.Exit(2)
+	}
+	if *follow != "" && *graphFile != "" && *snapshotFile != "" {
+		fmt.Fprintln(os.Stderr, "semkgd: at most one of -graph / -snapshot")
 		os.Exit(2)
 	}
 
 	start := time.Now()
 	var g *kg.Graph
 	var err error
-	if *snapshotFile != "" {
+	switch {
+	case *snapshotFile != "":
 		g, err = loadGraph(*snapshotFile, kg.ReadSnapshot)
-	} else {
+	case *graphFile != "":
 		g, err = loadGraph(*graphFile, kg.ReadGraph)
+	default:
+		// Follower with no local graph: bootstrap empty and let the
+		// primary's snapshot stream fill it in.
+		g = kg.Empty()
 	}
 	if err != nil {
 		log.Fatalf("semkgd: %v", err)
 	}
 	if *saveSnapshot != "" {
-		if err := writeSnapshot(*saveSnapshot, g); err != nil {
+		if err := kg.WriteSnapshotFile(*saveSnapshot, g); err != nil {
 			log.Fatalf("semkgd: %v", err)
 		}
 		log.Printf("semkgd: wrote snapshot %s", *saveSnapshot)
@@ -101,6 +143,19 @@ func main() {
 	}
 	shardCfg := core.ShardConfig{Shards: *shards, Halo: *shardHalo}
 	buildEngine := func(g2 *kg.Graph) (core.Queryer, error) {
+		if *follow != "" && g2.NumPredicates() < len(model.Relations) {
+			// Follower bootstrap window: the graph is a replayed prefix
+			// of the primary's, whose predicate intern order is the
+			// model's training order, so the positional prefix of the
+			// trained relations labels it correctly. (A primary with a
+			// too-small graph is still a pairing error — SpaceFor
+			// rejects it below.)
+			sp, err := embed.NewSpace(g2.Predicates(), model.Relations[:g2.NumPredicates()])
+			if err != nil {
+				return nil, err
+			}
+			return core.NewEngine(g2, sp, nil)
+		}
 		if *shards > 1 {
 			se, err := core.BuildShardedEngine(g2, model, nil, shardCfg)
 			if err != nil {
@@ -138,9 +193,56 @@ func main() {
 		// ingested entities are owned and searchable immediately.
 		Build: buildEngine,
 	})
+	var repl *replState
+	if *follow != "" {
+		repl = newFollowerState(srv, *follow, *advertise, *replicaLog)
+		log.Printf("semkgd: following %s (read-only until promoted)", *follow)
+	} else {
+		repl = newPrimaryState(srv, *advertise, *replicaLog)
+		log.Printf("semkgd: replication primary, epoch %s", repl.currentPrimary().Epoch())
+	}
+
+	if *saveSnapshot != "" && *snapshotEvery > 0 {
+		compactorCtx, stopCompactor := context.WithCancel(context.Background())
+		defer stopCompactor()
+		go runCompactor(compactorCtx, srv, *saveSnapshot, *snapshotEvery, log.Printf)
+	}
+
 	log.Printf("semkgd: %d nodes, %d edges, %d predicates loaded in %s; listening on %s",
 		g.NumNodes(), g.NumEdges(), g.NumPredicates(), time.Since(start).Round(time.Millisecond), *addr)
-	log.Fatal(http.ListenAndServe(*addr, newMuxLimits(srv, *maxIngest)))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: newMuxReplicated(srv, *maxIngest, repl)}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	drained := drainOnSignal(httpSrv, repl, *drainTimeout, sig)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("semkgd: %v", err)
+	}
+	if err := <-drained; err != nil {
+		log.Fatalf("semkgd: drain: %v", err)
+	}
+	log.Printf("semkgd: drained and stopped")
+}
+
+// drainOnSignal arms graceful shutdown: when trigger delivers, the
+// replication role is closed (follower tail stops, primary streams
+// wake and end) and the HTTP server drains in-flight requests up to
+// timeout before closing. The returned channel carries Shutdown's
+// error; ListenAndServe returns http.ErrServerClosed the moment the
+// drain starts.
+func drainOnSignal(httpSrv *http.Server, repl *replState, timeout time.Duration, trigger <-chan os.Signal) <-chan error {
+	done := make(chan error, 1)
+	go func() {
+		<-trigger
+		log.Printf("semkgd: draining in-flight requests (timeout %s)", timeout)
+		if repl != nil {
+			repl.close()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		done <- httpSrv.Shutdown(ctx)
+	}()
+	return done
 }
 
 func loadGraph(path string, read func(io.Reader) (*kg.Graph, error)) (*kg.Graph, error) {
@@ -150,18 +252,6 @@ func loadGraph(path string, read func(io.Reader) (*kg.Graph, error)) (*kg.Graph,
 	}
 	defer f.Close()
 	return read(f)
-}
-
-func writeSnapshot(path string, g *kg.Graph) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := kg.WriteSnapshot(f, g); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
 }
 
 func loadModel(path string) (*embed.Model, error) {

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"semkg/internal/kg"
+	"semkg/internal/serve"
+)
+
+// emptyServe builds the serving engine a bootstrapping follower starts
+// with: an empty graph, rebuilt from the primary's snapshot stream.
+func emptyServe(t *testing.T) *serve.Engine {
+	t.Helper()
+	eng, err := testEngineBuilder(t)(kg.Empty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serve.New(eng, serve.Config{Build: testEngineBuilder(t)})
+}
+
+// TestReplicatedPrimaryFollower drives the full semkgd topology through
+// HTTP: ingest on the primary, replication to a follower, read-only
+// enforcement, healthz lag reporting, and warm failover via promotion.
+func TestReplicatedPrimaryFollower(t *testing.T) {
+	srvP := serve.New(testEngine(t), serve.Config{Build: testEngineBuilder(t)})
+	rsP := newPrimaryState(srvP, "http://primary.test", 0)
+	defer rsP.close()
+	tsP := httptest.NewServer(newMuxReplicated(srvP, defaultMaxIngestBytes, rsP))
+	defer tsP.Close()
+
+	srvF := emptyServe(t)
+	rsF := newFollowerState(srvF, tsP.URL, "", 0)
+	defer rsF.close()
+	tsF := httptest.NewServer(newMuxReplicated(srvF, defaultMaxIngestBytes, rsF))
+	defer tsF.Close()
+
+	// Ingest on the primary: the batch commits through the replication
+	// log and streams to the follower.
+	resp := post(t, tsP, "/v1/ingest",
+		`{"s":"BMW_i8","p":"type","o":"Automobile"}`+"\n"+
+			`{"s":"BMW_i8","p":"assembly","o":"Germany"}`+"\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("primary ingest status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := rsF.currentFollower().WaitSynced(ctx, rsP.currentPrimary().Head()); err != nil {
+		t.Fatalf("follower never synced: %v", err)
+	}
+
+	// The follower serves the ingested entity.
+	resp = post(t, tsF, "/v1/search", strings.NewReplacer("%s", "").Replace(q117Body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower search status %d", resp.StatusCode)
+	}
+	var res struct {
+		Answers []struct {
+			Entity string `json:"entity"`
+		} `json:"answers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	found := false
+	for _, a := range res.Answers {
+		if a.Entity == "BMW_i8" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("follower does not serve the replicated entity: %+v", res)
+	}
+
+	// Writes to a follower are rejected; it does not re-stream either.
+	resp = post(t, tsF, "/v1/ingest", `{"s":"X","p":"assembly","o":"Germany"}`)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("follower ingest status %d, want 403", resp.StatusCode)
+	}
+	resp.Body.Close()
+	rresp, err := http.Get(tsF.URL + "/v1/replicate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower /v1/replicate status %d, want 503", rresp.StatusCode)
+	}
+	rresp.Body.Close()
+
+	// healthz carries the replication block.
+	var health struct {
+		Replication struct {
+			Role    string `json:"role"`
+			Synced  bool   `json:"synced"`
+			Lag     uint64 `json:"lag"`
+			Primary string `json:"primary"`
+		} `json:"replication"`
+	}
+	hresp, err := http.Get(tsF.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health.Replication.Role != "follower" || !health.Replication.Synced {
+		t.Fatalf("follower healthz replication = %+v", health.Replication)
+	}
+	if health.Replication.Lag != 0 {
+		t.Fatalf("follower lag = %d after sync", health.Replication.Lag)
+	}
+	if health.Replication.Primary != "http://primary.test" {
+		t.Fatalf("advertised primary = %q", health.Replication.Primary)
+	}
+
+	// Promoting the primary is a conflict; promoting the follower flips
+	// it to a writable primary under a fresh epoch.
+	resp = post(t, tsP, "/v1/promote", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("promote on primary status %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = post(t, tsF, "/v1/promote", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote on follower status %d", resp.StatusCode)
+	}
+	var prom struct {
+		Role  string `json:"role"`
+		Epoch string `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&prom); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if prom.Role != "primary" || prom.Epoch == rsP.currentPrimary().Epoch() {
+		t.Fatalf("promotion result %+v (old epoch %s)", prom, rsP.currentPrimary().Epoch())
+	}
+
+	// The promoted node accepts writes and streams replication.
+	resp = post(t, tsF, "/v1/ingest", `{"s":"Taycan","p":"assembly","o":"Germany"}`+"\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promoted ingest status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = post(t, tsF, "/v1/promote", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second promote status %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestCompactorWritesOnChange: the background compactor writes the
+// snapshot when the generation moves and skips rewrites while it is
+// unchanged.
+func TestCompactorWritesOnChange(t *testing.T) {
+	srv := serve.New(testEngine(t), serve.Config{Build: testEngineBuilder(t)})
+	path := t.TempDir() + "/live.snap"
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go runCompactor(ctx, srv, path, 5*time.Millisecond, func(string, ...any) {})
+
+	waitFile := func(prev []byte) []byte {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			data, err := os.ReadFile(path)
+			if err == nil && len(data) > 0 && !bytes.Equal(data, prev) {
+				return data
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatal("compactor never wrote a new snapshot")
+		return nil
+	}
+
+	first := waitFile(nil)
+	g1, err := kg.ReadSnapshot(bytes.NewReader(first))
+	if err != nil {
+		t.Fatalf("compactor snapshot unreadable: %v", err)
+	}
+	if g1.NumNodes() != srv.Engine().Graph().NumNodes() {
+		t.Fatalf("snapshot has %d nodes, served graph %d", g1.NumNodes(), srv.Engine().Graph().NumNodes())
+	}
+
+	d := srv.NewDelta()
+	if err := d.ApplyTriple("Compacted", "assembly", "Germany"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	second := waitFile(first)
+	g2, err := kg.ReadSnapshot(bytes.NewReader(second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NodeByName("Compacted") == kg.NoNode {
+		t.Fatal("compacted snapshot misses the applied delta")
+	}
+}

@@ -77,6 +77,9 @@ type server struct {
 	// maxIngestBytes bounds one ingest request body; <= 0 disables the
 	// cap.
 	maxIngestBytes int64
+	// repl is the node's replication role (nil when replication is not
+	// wired — bare newMux muxes in tests).
+	repl *replState
 }
 
 // newMux builds the service's routing table:
@@ -94,12 +97,30 @@ func newMux(srv *serve.Engine) *http.ServeMux {
 // newMuxLimits is newMux with an explicit ingest body cap (semkgd wires
 // -max-ingest-bytes through it; tests use small caps).
 func newMuxLimits(srv *serve.Engine, maxIngestBytes int64) *http.ServeMux {
+	return newMuxReplicated(srv, maxIngestBytes, nil)
+}
+
+// newMuxReplicated is the full routing table, including the replication
+// endpoints:
+//
+//	GET  /v1/replicate  NDJSON replication stream (primaries only)
+//	POST /v1/promote    flip a follower to primary (warm failover)
+//
+// repl may be nil (replication not wired); the replication endpoints
+// then answer 503.
+func newMuxReplicated(srv *serve.Engine, maxIngestBytes int64, repl *replState) *http.ServeMux {
 	currentServe.Store(srv)
-	s := &server{srv: srv, maxIngestBytes: maxIngestBytes}
+	if repl != nil {
+		currentRepl.Store(repl)
+		publishReplicaStats()
+	}
+	s := &server{srv: srv, maxIngestBytes: maxIngestBytes, repl: repl}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /v1/replicate", s.handleReplicate)
+	mux.HandleFunc("POST /v1/promote", s.handlePromote)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
@@ -215,6 +236,13 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 // batch, which then applies against the newer generation.
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	statIngests.Add(1)
+	// Followers are read replicas: their graph is the primary's, applied
+	// through the replication stream. Direct writes would fork it.
+	if s.repl != nil && s.repl.role() == "follower" {
+		writeJSON(w, http.StatusForbidden, map[string]string{
+			"error": "read-only follower; ingest on the primary"})
+		return
+	}
 	if s.maxIngestBytes > 0 {
 		r.Body = http.MaxBytesReader(w, r.Body, s.maxIngestBytes)
 	}
@@ -251,7 +279,16 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, fmt.Errorf("reading ingest body: %w", err))
 		return
 	}
-	info, err := s.srv.Apply(d)
+	// On a replicated primary the commit goes through the replication
+	// log, so followers receive exactly the statements this batch
+	// applied; otherwise it applies directly to the serving layer.
+	apply := s.srv.Apply
+	if s.repl != nil {
+		if p := s.repl.currentPrimary(); p != nil {
+			apply = p.Commit
+		}
+	}
+	info, err := apply(d)
 	if err != nil {
 		if errors.Is(err, serve.ErrStaleDelta) {
 			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
@@ -300,6 +337,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if se, ok := eng.(*core.ShardedEngine); ok {
 		resp["shards"] = se.Set().Len()
+	}
+	if s.repl != nil {
+		resp["replication"] = s.repl.healthz()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startDrainServer runs an http.Server over a loopback listener with
+// graceful shutdown armed on sig.
+func startDrainServer(t *testing.T, handler http.Handler, timeout time.Duration) (base string, sig chan os.Signal, drained <-chan error, serveErr <-chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler}
+	sig = make(chan os.Signal, 1)
+	drained = drainOnSignal(srv, nil, timeout, sig)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	t.Cleanup(func() { srv.Close() })
+	return "http://" + ln.Addr().String(), sig, drained, errCh
+}
+
+// TestGracefulDrainFinishesInflight: a SIGTERM arriving mid-request
+// stops the listener but lets the in-flight request complete before the
+// process exits.
+func TestGracefulDrainFinishesInflight(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	handler := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		started <- struct{}{}
+		<-release
+		io.WriteString(w, "done")
+	})
+	base, sig, drained, serveErr := startDrainServer(t, handler, 5*time.Second)
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{body: string(b), err: err}
+	}()
+
+	<-started // the request is in flight
+	sig <- syscall.SIGTERM
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	// The listener is down but the in-flight request still completes.
+	close(release)
+	r := <-got
+	if r.err != nil || r.body != "done" {
+		t.Fatalf("in-flight request: body=%q err=%v", r.body, r.err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain error: %v", err)
+	}
+}
+
+// TestGracefulDrainDeadline: a request that outlives the drain timeout
+// does not hold shutdown hostage — Shutdown reports the deadline.
+func TestGracefulDrainDeadline(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	started := make(chan struct{}, 1)
+	handler := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		started <- struct{}{}
+		<-block
+	})
+	base, sig, drained, _ := startDrainServer(t, handler, 20*time.Millisecond)
+	go http.Get(base + "/stuck")
+	<-started
+	sig <- syscall.SIGTERM
+	if err := <-drained; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain returned %v, want DeadlineExceeded", err)
+	}
+}

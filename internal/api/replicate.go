@@ -1,0 +1,96 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Replication wire protocol (GET /v1/replicate, NDJSON).
+//
+// The stream interleaves two line shapes: control frames (RepFrame, a
+// "frame" discriminator plus frame-specific fields) and data lines, which
+// are plain IngestTriple documents — the same {"s","p","o"} lines POST
+// /v1/ingest accepts, so the replication data plane is the existing
+// ingest wire format. A bare node declaration (a node with no type and,
+// as yet, no edges) has no triple form and travels as a "node" control
+// frame instead.
+//
+// Frame sequence, from the primary's point of view:
+//
+//	hello                         once, first line: current generation,
+//	                              primary epoch, advertised URL
+//	snapshot … triples … commit   full resync: follower rebuilds from
+//	                              empty and serves the commit generation
+//	delta … triples … commit      one committed delta; follower applies
+//	                              it atomically at the commit generation
+//	ping                          heartbeat carrying the head generation
+//
+// A follower only publishes state at commit frames: a stream severed
+// mid-batch loses nothing, because the partial batch is discarded and
+// the reconnect resumes from the last committed generation.
+const (
+	RepHello    = "hello"
+	RepSnapshot = "snapshot"
+	RepDelta    = "delta"
+	RepCommit   = "commit"
+	RepPing     = "ping"
+	RepNode     = "node"
+)
+
+// RepFrame is one control line of the /v1/replicate NDJSON stream.
+type RepFrame struct {
+	// Frame discriminates the control frame: one of the Rep* constants.
+	Frame string `json:"frame"`
+	// Generation is the primary generation the frame refers to: the head
+	// generation for hello and ping, the generation a snapshot or delta
+	// batch commits at for snapshot/delta/commit. Unused for node.
+	Generation uint64 `json:"generation,omitempty"`
+	// Epoch identifies one primary incarnation (hello only). Generations
+	// are comparable only within an epoch; a follower that reconnects
+	// into a different epoch is given a full snapshot resync.
+	Epoch string `json:"epoch,omitempty"`
+	// Advertise is the primary's externally reachable base URL (hello
+	// only), for clients and tooling discovering the topology.
+	Advertise string `json:"advertise,omitempty"`
+	// Name is the bare node declaration's node name (node frames only).
+	Name string `json:"name,omitempty"`
+}
+
+// EncodeRepFrame renders one control line (without the newline).
+func EncodeRepFrame(f RepFrame) ([]byte, error) {
+	if f.Frame == "" {
+		return nil, fmt.Errorf("api: replication frame needs a frame kind")
+	}
+	return json.Marshal(f)
+}
+
+// DecodeRepLine parses one line of a replication stream: a control frame
+// (isFrame true) or an ingest triple data line (isFrame false). Both
+// shapes decode strictly — unknown fields, trailing data and missing
+// required fields are errors.
+func DecodeRepLine(line []byte) (frame RepFrame, triple IngestTriple, isFrame bool, err error) {
+	var probe struct {
+		Frame string `json:"frame"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil {
+		return frame, triple, false, fmt.Errorf("api: parsing replication line: %w", err)
+	}
+	if probe.Frame == "" {
+		triple, err = DecodeIngestTriple(line)
+		return frame, triple, false, err
+	}
+	if err := decodeStrict(bytes.NewReader(line), &frame); err != nil {
+		return frame, triple, true, fmt.Errorf("api: parsing replication frame: %w", err)
+	}
+	switch frame.Frame {
+	case RepHello, RepSnapshot, RepDelta, RepCommit, RepPing:
+	case RepNode:
+		if frame.Name == "" {
+			return frame, triple, true, fmt.Errorf("api: node frame needs a name")
+		}
+	default:
+		return frame, triple, true, fmt.Errorf("api: unknown replication frame %q", frame.Frame)
+	}
+	return frame, triple, true, nil
+}

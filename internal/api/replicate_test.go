@@ -1,0 +1,64 @@
+package api
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRepFrameRoundTrip(t *testing.T) {
+	frames := []RepFrame{
+		{Frame: RepHello, Generation: 7, Epoch: "e-1", Advertise: "http://p:8375"},
+		{Frame: RepSnapshot, Generation: 7},
+		{Frame: RepDelta, Generation: 8},
+		{Frame: RepCommit, Generation: 8},
+		{Frame: RepPing, Generation: 8},
+		{Frame: RepNode, Name: "Lone Node"},
+	}
+	for _, f := range frames {
+		line, err := EncodeRepFrame(f)
+		if err != nil {
+			t.Fatalf("%+v: %v", f, err)
+		}
+		got, _, isFrame, err := DecodeRepLine(line)
+		if err != nil || !isFrame {
+			t.Fatalf("%s: isFrame=%v err=%v", line, isFrame, err)
+		}
+		if got != f {
+			t.Fatalf("round trip %+v != %+v", got, f)
+		}
+	}
+}
+
+func TestDecodeRepLineTriple(t *testing.T) {
+	_, tr, isFrame, err := DecodeRepLine([]byte(`{"s":"BMW_i8","p":"assembly","o":"Germany"}`))
+	if err != nil || isFrame {
+		t.Fatalf("isFrame=%v err=%v", isFrame, err)
+	}
+	if tr != (IngestTriple{S: "BMW_i8", P: "assembly", O: "Germany"}) {
+		t.Fatalf("triple = %+v", tr)
+	}
+}
+
+func TestDecodeRepLineRejects(t *testing.T) {
+	bad := []string{
+		`{"frame":"warp"}`,                      // unknown frame kind
+		`{"frame":"node"}`,                      // node without a name
+		`{"frame":"commit","extra":1}`,          // unknown field
+		`{"s":"a","p":"b"}`,                     // triple missing o
+		`{"s":"a","p":"b","o":"c","frame":""}`,  // triple with stray empty frame key
+		`not json`,                              // not a document
+		`{"frame":"commit","generation":"one"}`, // wrong generation type
+	}
+	for _, line := range bad {
+		if _, _, _, err := DecodeRepLine([]byte(line)); err == nil {
+			t.Fatalf("accepted %s", line)
+		}
+	}
+}
+
+func TestEncodeRepFrameRequiresKind(t *testing.T) {
+	if _, err := EncodeRepFrame(RepFrame{}); err == nil ||
+		!strings.Contains(err.Error(), "frame kind") {
+		t.Fatalf("err = %v", err)
+	}
+}

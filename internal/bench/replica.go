@@ -1,0 +1,531 @@
+// Replica experiment: the failure-handling numbers that back the
+// replication chapter — all measured against real HTTP streams and real
+// fault injection, never modeled. Three measurements: recovery time
+// after a follower is killed mid-delta-stream (reconnect + catch-up),
+// live-QPS through a primary kill and follower promotion (the failover
+// dip), and catch-up time as a function of the delta backlog accumulated
+// while the follower was down (including the forced snapshot-resync once
+// compaction passes the follower's generation). Run via `go run
+// ./cmd/kgbench -exp replica` (writes BENCH_replica.json).
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"semkg/internal/api"
+	"semkg/internal/core"
+	"semkg/internal/embed"
+	"semkg/internal/faultinject"
+	"semkg/internal/kg"
+	"semkg/internal/replica"
+	"semkg/internal/serve"
+)
+
+// CatchupPoint is one backlog catch-up measurement: the follower is
+// severed, B deltas commit while it is down, and the clock runs from
+// the moment reconnection is allowed until the follower serves the
+// primary's head generation.
+type CatchupPoint struct {
+	Backlog    int     `json:"backlog_deltas"`
+	RecoveryMs float64 `json:"recovery_ms"`
+	Reconnects uint64  `json:"reconnects"`
+	// SnapshotResync reports whether this catch-up fell back to a full
+	// snapshot (the primary compacted past the follower's generation)
+	// instead of resuming the delta stream.
+	SnapshotResync bool `json:"snapshot_resync"`
+	// Converged is the snapshot-byte equality check of the recovered
+	// follower against the primary.
+	Converged bool `json:"converged"`
+}
+
+// FailoverResult is the live-QPS failover measurement.
+type FailoverResult struct {
+	QPSBefore float64 `json:"qps_before"`
+	QPSAfter  float64 `json:"qps_after"`
+	// DipMs is the measured outage window: from the primary kill to the
+	// first successful request against the promoted follower. It covers
+	// the controller's failure detection (health probes) plus the
+	// promotion and traffic re-point.
+	DipMs float64 `json:"dip_ms"`
+	// FailedRequests counts requests lost in the dip window.
+	FailedRequests int `json:"failed_requests"`
+	// FollowerLagAtKill is the follower's replication lag (deltas) at
+	// the moment the primary died — the data-loss exposure window.
+	FollowerLagAtKill uint64 `json:"follower_lag_at_kill"`
+	BucketMs          int    `json:"bucket_ms"`
+	// Timeline is successful requests per bucket across the experiment
+	// (kill and promotion land mid-timeline).
+	Timeline []int `json:"timeline"`
+}
+
+// ReplicaResult is the experiment artifact (BENCH_replica.json).
+type ReplicaResult struct {
+	Dataset   string         `json:"dataset"`
+	Scale     string         `json:"scale"`
+	GoVersion string         `json:"go_version"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	CPUs      int            `json:"cpus"`
+	When      string         `json:"when"`
+	Catchup   []CatchupPoint `json:"catchup"`
+	Failover  FailoverResult `json:"failover"`
+}
+
+// replicaLogCap keeps the primary's statement log small enough that the
+// largest backlog overruns it, forcing the snapshot-resync path into
+// the measurement set.
+const replicaLogCap = 600
+
+// prefixSpace builds the predicate space for a follower graph that is a
+// replayed prefix of the primary's: the replication stream reproduces
+// the primary's predicate intern order, so positions align with the
+// trained space.
+func prefixSpace(sp *embed.Space) func(*kg.Graph) (core.Queryer, error) {
+	return func(g *kg.Graph) (core.Queryer, error) {
+		names := g.Predicates()
+		vecs := make([]embed.Vector, len(names))
+		for i, n := range names {
+			if sp.Name(i) != n {
+				return nil, fmt.Errorf("bench: follower predicate %d is %q, trained space has %q", i, n, sp.Name(i))
+			}
+			vecs[i] = sp.Vector(i)
+		}
+		sub, err := embed.NewSpace(names, vecs)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewEngine(g, sub, nil)
+	}
+}
+
+// replicaPair wires a primary (over the env graph) and an empty-booted
+// follower connected through a fault-injection proxy.
+type replicaPair struct {
+	primary  *replica.Primary
+	follower *replica.Follower
+	proxy    *faultinject.Proxy
+	ts       *httptest.Server
+	stop     context.CancelFunc
+}
+
+func newReplicaPair(env *Env) (*replicaPair, error) {
+	build := func(g *kg.Graph) (core.Queryer, error) {
+		return core.NewEngine(g, env.Space, env.Dataset.Library)
+	}
+	srvP := serve.New(env.Engine, serve.Config{Build: build})
+	p := replica.NewPrimary(srvP, replica.Config{MaxLogStatements: replicaLogCap})
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/replicate", p)
+	ts := httptest.NewServer(mux)
+
+	proxy, err := faultinject.NewProxy(ts.Listener.Addr().String())
+	if err != nil {
+		ts.Close()
+		return nil, err
+	}
+
+	fb := prefixSpace(env.Space)
+	emptyEng, err := fb(kg.Empty())
+	if err != nil {
+		proxy.Close()
+		ts.Close()
+		return nil, err
+	}
+	srvF := serve.New(emptyEng, serve.Config{Build: fb})
+	f := replica.NewFollower(srvF, replica.FollowerConfig{
+		Source: proxy.URL(),
+		Backoff: replica.Backoff{Min: 5 * time.Millisecond, Max: 100 * time.Millisecond,
+			Rand: rand.New(rand.NewSource(11))},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go f.Run(ctx)
+	return &replicaPair{primary: p, follower: f, proxy: proxy, ts: ts, stop: cancel}, nil
+}
+
+func (rp *replicaPair) close() {
+	rp.stop()
+	rp.primary.Close()
+	rp.proxy.Close()
+	rp.ts.Close()
+}
+
+// snapshotEqual verifies convergence the strong way: byte-identical
+// snapshots of both served graphs.
+func snapshotEqual(a, b *serve.Engine) (bool, error) {
+	var ba, bb bytes.Buffer
+	if err := kg.WriteSnapshot(&ba, a.Engine().Graph()); err != nil {
+		return false, err
+	}
+	if err := kg.WriteSnapshot(&bb, b.Engine().Graph()); err != nil {
+		return false, err
+	}
+	return bytes.Equal(ba.Bytes(), bb.Bytes()), nil
+}
+
+// RunReplica measures the replication failure-handling numbers. short
+// trims backlogs and the failover window for CI smoke runs.
+func RunReplica(env *Env, short bool) (*ReplicaResult, error) {
+	res := &ReplicaResult{
+		Dataset:   env.Cfg.Profile.Name,
+		Scale:     fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		When:      time.Now().UTC().Format(time.RFC3339),
+	}
+
+	backlogs := []int{4, 16, 64}
+	if short {
+		backlogs = []int{4, 16}
+	}
+	for _, b := range backlogs {
+		pt, err := measureCatchup(env, b)
+		if err != nil {
+			return nil, err
+		}
+		res.Catchup = append(res.Catchup, pt)
+	}
+
+	fo, err := measureFailover(env, short)
+	if err != nil {
+		return nil, err
+	}
+	res.Failover = fo
+	return res, nil
+}
+
+// measureCatchup kills the follower's link mid-delta-stream, commits a
+// backlog of deltas while reconnects are refused, then opens the link
+// and times recovery to the primary's head.
+func measureCatchup(env *Env, backlog int) (CatchupPoint, error) {
+	rp, err := newReplicaPair(env)
+	if err != nil {
+		return CatchupPoint{}, err
+	}
+	defer rp.close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Bootstrap, plus a couple of live deltas so the kill lands in the
+	// delta flow, not the snapshot.
+	for i := 0; i < 2; i++ {
+		d, err := ingestDelta(rp.primary.Serve().Engine().Graph(), 10, int64(100+i))
+		if err != nil {
+			return CatchupPoint{}, err
+		}
+		if _, err := rp.primary.Commit(d); err != nil {
+			return CatchupPoint{}, err
+		}
+	}
+	if err := rp.follower.WaitSynced(ctx, rp.primary.Head()); err != nil {
+		return CatchupPoint{}, err
+	}
+
+	// Kill mid-stream and refuse reconnects: the follower is down.
+	var refused atomic.Bool
+	refused.Store(true)
+	rp.proxy.SetScript(func() *faultinject.Script {
+		if refused.Load() {
+			return faultinject.NewScript(faultinject.Point{After: 0, Op: faultinject.Sever})
+		}
+		return nil
+	})
+	rp.proxy.SeverAll()
+	statsDown := rp.follower.Stats()
+
+	// The backlog accumulates while the follower is dark.
+	for i := 0; i < backlog; i++ {
+		d, err := ingestDelta(rp.primary.Serve().Engine().Graph(), 20, int64(1000+i))
+		if err != nil {
+			return CatchupPoint{}, err
+		}
+		if _, err := rp.primary.Commit(d); err != nil {
+			return CatchupPoint{}, err
+		}
+	}
+
+	// Open the link; the clock runs until the follower serves head.
+	start := time.Now()
+	refused.Store(false)
+	if err := rp.follower.WaitSynced(ctx, rp.primary.Head()); err != nil {
+		return CatchupPoint{}, err
+	}
+	recovery := time.Since(start)
+
+	statsUp := rp.follower.Stats()
+	converged, err := snapshotEqual(rp.follower.Serve(), rp.primary.Serve())
+	if err != nil {
+		return CatchupPoint{}, err
+	}
+	return CatchupPoint{
+		Backlog:        backlog,
+		RecoveryMs:     float64(recovery) / float64(time.Millisecond),
+		Reconnects:     statsUp.Reconnects - statsDown.Reconnects,
+		SnapshotResync: statsUp.Resyncs > statsDown.Resyncs,
+		Converged:      converged,
+	}, nil
+}
+
+// searchMux serves /v1/search over one serving engine with the api wire
+// codec — the measurement client's target on both nodes.
+func searchMux(srv *serve.Engine, extra func(mux *http.ServeMux)) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
+		q, opts, err := api.DecodeSearchRequest(r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		res, err := srv.Search(r.Context(), q, opts)
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(api.ResultFrom(res))
+	})
+	if extra != nil {
+		extra(mux)
+	}
+	return mux
+}
+
+// measureFailover runs a live query stream against the primary over
+// real HTTP, kills the primary, promotes the synced follower, re-points
+// the client, and reports the QPS dip.
+func measureFailover(env *Env, short bool) (FailoverResult, error) {
+	qs := serveQueries(env)
+	if len(qs) == 0 {
+		return FailoverResult{}, fmt.Errorf("bench: environment has no workload queries")
+	}
+	opts := env.SearchOptions(10)
+
+	build := func(g *kg.Graph) (core.Queryer, error) {
+		return core.NewEngine(g, env.Space, env.Dataset.Library)
+	}
+	srvP := serve.New(env.Engine, serve.Config{Build: build})
+	p := replica.NewPrimary(srvP, replica.Config{MaxLogStatements: replicaLogCap})
+	tsP := httptest.NewServer(searchMux(srvP, func(mux *http.ServeMux) {
+		mux.Handle("/v1/replicate", p)
+	}))
+
+	fb := prefixSpace(env.Space)
+	emptyEng, err := fb(kg.Empty())
+	if err != nil {
+		tsP.Close()
+		return FailoverResult{}, err
+	}
+	srvF := serve.New(emptyEng, serve.Config{Build: fb})
+	f := replica.NewFollower(srvF, replica.FollowerConfig{Source: tsP.URL,
+		Backoff: replica.Backoff{Min: 5 * time.Millisecond, Max: 100 * time.Millisecond,
+			Rand: rand.New(rand.NewSource(13))}})
+	followCtx, stopFollow := context.WithCancel(context.Background())
+	go f.Run(followCtx)
+	tsF := httptest.NewServer(searchMux(srvF, nil))
+	defer tsF.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := f.WaitSynced(ctx, p.Head()); err != nil {
+		stopFollow()
+		tsP.Close()
+		return FailoverResult{}, err
+	}
+
+	const bucketMs = 50
+	const probeEvery = 20 * time.Millisecond
+	phase := 500 * time.Millisecond // before-kill and after-promotion windows
+	if short {
+		phase = 250 * time.Millisecond
+	}
+
+	// The measurement state is shared between concurrent client
+	// goroutines and the orchestrator; one mutex guards all of it. The
+	// dip is computed from real timestamps (last success before the kill
+	// to first success after), not bucket edges — the buckets are only
+	// the artifact's timeline.
+	var (
+		mu        sync.Mutex
+		timeline  []int
+		failed    int
+		killed    bool
+		killAt    time.Time
+		firstBack time.Time
+	)
+	startClock := time.Now()
+	record := func(ok bool, url string) {
+		now := time.Now()
+		mu.Lock()
+		defer mu.Unlock()
+		b := int(now.Sub(startClock) / (bucketMs * time.Millisecond))
+		for len(timeline) <= b {
+			timeline = append(timeline, 0)
+		}
+		if !ok {
+			failed++
+			return
+		}
+		timeline[b]++
+		// Recovery means a success against the promoted follower — an
+		// in-flight straggler completing against the dying primary just
+		// after the kill must not end the measured dip.
+		if killed && firstBack.IsZero() && url == tsF.URL {
+			firstBack = now
+		}
+	}
+
+	var target atomic.Pointer[string]
+	target.Store(&tsP.URL)
+	client := &http.Client{Timeout: 2 * time.Second}
+
+	// Live clients hammer the routed URL for the whole experiment —
+	// including through the outage. Failures during the dip are counted,
+	// not retried: the dip is the thing being measured.
+	stop := make(chan struct{})
+	var clients sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		clients.Add(1)
+		go func(seed int64) {
+			defer clients.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := qs[rng.Intn(len(qs))]
+				url := *target.Load()
+				body, err := json.Marshal(api.SearchRequest{Query: api.QueryFrom(q), Options: api.OptionsFrom(opts)})
+				if err != nil {
+					record(false, url)
+					continue
+				}
+				resp, err := client.Post(url+"/v1/search", "application/json", bytes.NewReader(body))
+				if err != nil {
+					record(false, url)
+					continue
+				}
+				_ = resp.Body.Close()
+				record(resp.StatusCode == http.StatusOK, url)
+			}
+		}(99 + int64(c))
+	}
+
+	// The failover controller is the piece a real deployment runs: probe
+	// the primary, and on two consecutive failed probes stop tailing,
+	// promote the follower, and re-point traffic. Its detection latency
+	// (bounded by the probe interval) is part of the measured dip.
+	promoted := make(chan *replica.Primary, 1)
+	go func() {
+		misses := 0
+		probe := &http.Client{Timeout: probeEvery}
+		for {
+			time.Sleep(probeEvery)
+			resp, err := probe.Get(tsP.URL + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				misses = 0
+				continue
+			}
+			if misses++; misses < 2 {
+				continue
+			}
+			stopFollow()
+			np := f.Promote(replica.Config{MaxLogStatements: replicaLogCap})
+			target.Store(&tsF.URL)
+			promoted <- np
+			return
+		}
+	}()
+
+	// Steady state, then the kill: replication primary closed first so
+	// its streaming handler returns and the listener can shut down.
+	time.Sleep(phase)
+	lagAtKill := f.Stats().Lag
+	mu.Lock()
+	killed = true
+	killAt = time.Now()
+	mu.Unlock()
+	p.Close()
+	tsP.CloseClientConnections()
+	tsP.Close()
+
+	np := <-promoted
+	defer np.Close()
+	time.Sleep(phase)
+	close(stop)
+	clients.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	fo := FailoverResult{
+		FailedRequests:    failed,
+		FollowerLagAtKill: lagAtKill,
+		BucketMs:          bucketMs,
+		Timeline:          timeline,
+	}
+	if !firstBack.IsZero() {
+		fo.DipMs = float64(firstBack.Sub(killAt)) / float64(time.Millisecond)
+	}
+	killBucket := int(killAt.Sub(startClock) / (bucketMs * time.Millisecond))
+	before, after := 0, 0
+	for i, n := range timeline {
+		if i < killBucket {
+			before += n
+		} else if i > killBucket {
+			after += n
+		}
+	}
+	if beforeSecs := float64(killBucket*bucketMs) / 1000; beforeSecs > 0 {
+		fo.QPSBefore = float64(before) / beforeSecs
+	}
+	if afterSecs := float64((len(timeline)-killBucket-1)*bucketMs) / 1000; afterSecs > 0 {
+		fo.QPSAfter = float64(after) / afterSecs
+	}
+	return fo, nil
+}
+
+// WriteJSON stores the artifact.
+func (r *ReplicaResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render formats the measurements as a text table.
+func (r *ReplicaResult) Render() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Replication + failover (%s, %s, %s/%s)", r.Dataset, r.Scale, r.GOOS, r.GOARCH),
+		Header: []string{"measurement", "value", "detail"},
+	}
+	for _, c := range r.Catchup {
+		mode := "delta resume"
+		if c.SnapshotResync {
+			mode = "snapshot resync"
+		}
+		t.AddRow(fmt.Sprintf("catch-up %d deltas", c.Backlog),
+			fmt.Sprintf("%.0f ms", c.RecoveryMs),
+			fmt.Sprintf("%s, %d reconnect(s), converged=%v", mode, c.Reconnects, c.Converged))
+	}
+	t.AddRow("failover dip", fmt.Sprintf("%.0f ms", r.Failover.DipMs),
+		fmt.Sprintf("%d failed request(s), lag %d at kill", r.Failover.FailedRequests, r.Failover.FollowerLagAtKill))
+	t.AddRow("qps before kill", fmt.Sprintf("%.0f", r.Failover.QPSBefore), "live HTTP clients")
+	t.AddRow("qps after promote", fmt.Sprintf("%.0f", r.Failover.QPSAfter), "promoted follower")
+	return t
+}

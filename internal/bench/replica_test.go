@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"semkg/internal/datagen"
+	"semkg/internal/embed"
+)
+
+// TestRunReplicaShape is the replica-experiment acceptance smoke: every
+// catch-up point recovers to a byte-identical graph, the largest backlog
+// exercises reconnect-with-backoff, and the failover section records a
+// measured (finite, non-degenerate) QPS dip with traffic on both sides
+// of the kill.
+func TestRunReplicaShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an embedding; skipped in -short")
+	}
+	env, err := Cached(Config{
+		Profile: datagen.DBpediaLike(0.2),
+		Embed:   embed.Config{Dim: 24, Epochs: 60, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunReplica(env, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Catchup) == 0 {
+		t.Fatal("no catch-up measurements")
+	}
+	for i, c := range res.Catchup {
+		if !c.Converged {
+			t.Fatalf("catch-up %d (backlog %d): follower did not converge", i, c.Backlog)
+		}
+		if c.RecoveryMs <= 0 {
+			t.Fatalf("catch-up %d: non-measured recovery %v ms", i, c.RecoveryMs)
+		}
+		if c.Reconnects == 0 {
+			t.Fatalf("catch-up %d: recovered without any reconnect — the fault never fired", i)
+		}
+	}
+	fo := res.Failover
+	if fo.QPSBefore <= 0 || fo.QPSAfter <= 0 {
+		t.Fatalf("failover has no live traffic: before %.1f qps, after %.1f qps", fo.QPSBefore, fo.QPSAfter)
+	}
+	if fo.DipMs <= 0 {
+		t.Fatalf("dip %v ms — the outage window was never measured", fo.DipMs)
+	}
+	if fo.FailedRequests == 0 {
+		t.Fatal("no failed requests: the clients never ran through the outage")
+	}
+	if len(fo.Timeline) == 0 || fo.BucketMs <= 0 {
+		t.Fatalf("missing timeline: %d buckets of %d ms", len(fo.Timeline), fo.BucketMs)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_replica.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ReplicaResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if len(back.Catchup) != len(res.Catchup) {
+		t.Fatalf("round-trip lost catch-up points: %d vs %d", len(back.Catchup), len(res.Catchup))
+	}
+	if res.Render().String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

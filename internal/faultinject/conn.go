@@ -1,0 +1,65 @@
+package faultinject
+
+import (
+	"net"
+)
+
+// Conn wraps c, applying read-side and/or write-side fault scripts. A
+// Sever fired by either script also closes the underlying conn, so the
+// remote peer observes the break — like a process kill, not a stall.
+// Either script may be nil for a clean direction.
+func Conn(c net.Conn, read, write *Script) net.Conn {
+	return &faultConn{Conn: c, read: read, write: write}
+}
+
+type faultConn struct {
+	net.Conn
+	read, write *Script
+}
+
+func (fc *faultConn) Read(p []byte) (int, error) {
+	if fc.read == nil {
+		return fc.Conn.Read(p)
+	}
+	max, err := fc.read.limit()
+	if err != nil {
+		if err == ErrSevered {
+			fc.Conn.Close()
+		}
+		return 0, err
+	}
+	if max > 0 && int64(len(p)) > max {
+		p = p[:max]
+	}
+	n, err := fc.Conn.Read(p)
+	fc.read.advance(n)
+	return n, err
+}
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	if fc.write == nil {
+		return fc.Conn.Write(p)
+	}
+	written := 0
+	for len(p) > 0 {
+		max, err := fc.write.limit()
+		if err != nil {
+			if err == ErrSevered {
+				fc.Conn.Close()
+			}
+			return written, err
+		}
+		chunk := p
+		if max > 0 && int64(len(chunk)) > max {
+			chunk = chunk[:max]
+		}
+		n, err := fc.Conn.Write(chunk)
+		fc.write.advance(n)
+		written += n
+		if err != nil {
+			return written, err
+		}
+		p = p[n:]
+	}
+	return written, nil
+}

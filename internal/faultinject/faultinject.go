@@ -1,0 +1,133 @@
+// Package faultinject provides scripted fault injection for stream- and
+// connection-level chaos testing: readers and conns that delay, truncate,
+// or sever at exact byte offsets, a TCP proxy that applies those faults
+// between two real peers, and a scheduler for process-level kills.
+//
+// The package is deliberately deterministic: faults fire at byte offsets,
+// not timers, so a test that severs a replication stream "mid-delta" cuts
+// at the same frame boundary on every run, under -race, on any machine.
+// Time-based kills (Schedule) are reserved for whole-process events where
+// the exact cut point is the thing under test being random.
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// ErrSevered is the failure surfaced when a scripted sever fires: the
+// stream behaves like a connection reset, not a clean EOF.
+var ErrSevered = errors.New("faultinject: connection severed")
+
+// Op is the kind of fault a Point fires.
+type Op int
+
+const (
+	// Delay pauses the stream for Point.Pause, then continues. Models a
+	// network stall or a GC-paused peer.
+	Delay Op = iota
+	// Truncate ends the stream with a clean io.EOF. Models a peer that
+	// shut down politely mid-transfer — the hardest case to detect,
+	// because nothing looks like an error.
+	Truncate
+	// Sever fails the stream with ErrSevered and, on conns, closes the
+	// underlying transport so the peer sees the break too. Models a
+	// killed process or a dropped route.
+	Sever
+)
+
+// Point is one scripted fault: after exactly After bytes have flowed,
+// apply Op. Points at the same offset fire in script order.
+type Point struct {
+	After int64
+	Op    Op
+	Pause time.Duration // Delay only
+}
+
+// Script is an ordered fault schedule over one direction of one stream.
+// A Script is single-use: it tracks the byte offset of the stream it is
+// attached to. Build a fresh Script per connection (see Proxy.SetScript).
+type Script struct {
+	mu     sync.Mutex
+	points []Point
+	offset int64
+	next   int
+	dead   error // sticky terminal state after Truncate/Sever
+}
+
+// NewScript builds a schedule from points, which must be ordered by
+// ascending After (equal offsets allowed).
+func NewScript(points ...Point) *Script {
+	for i := 1; i < len(points); i++ {
+		if points[i].After < points[i-1].After {
+			panic("faultinject: script points out of order")
+		}
+	}
+	return &Script{points: points}
+}
+
+// limit reports how many bytes may flow before the next fault fires, or
+// a terminal error if a Truncate/Sever already triggered. max<=0 means
+// unlimited (no pending point).
+func (s *Script) limit() (max int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead != nil {
+		return 0, s.dead
+	}
+	// Fire every point already reached (zero-length gaps included).
+	for s.next < len(s.points) && s.points[s.next].After <= s.offset {
+		p := s.points[s.next]
+		s.next++
+		switch p.Op {
+		case Delay:
+			s.mu.Unlock()
+			time.Sleep(p.Pause)
+			s.mu.Lock()
+		case Truncate:
+			s.dead = io.EOF
+			return 0, io.EOF
+		case Sever:
+			s.dead = ErrSevered
+			return 0, ErrSevered
+		}
+	}
+	if s.next >= len(s.points) {
+		return 0, nil
+	}
+	return s.points[s.next].After - s.offset, nil
+}
+
+// advance records n bytes flowed.
+func (s *Script) advance(n int) {
+	s.mu.Lock()
+	s.offset += int64(n)
+	s.mu.Unlock()
+}
+
+// Reader wraps r, applying the script to the bytes read through it.
+// Reads never span a fault point: a Read that would cross one is split,
+// so the fault fires at its exact byte offset.
+func Reader(r io.Reader, s *Script) io.Reader {
+	return &faultReader{r: r, s: s}
+}
+
+type faultReader struct {
+	r io.Reader
+	s *Script
+}
+
+func (fr *faultReader) Read(p []byte) (int, error) {
+	max, err := fr.s.limit()
+	if err != nil {
+		return 0, err
+	}
+	if max > 0 && int64(len(p)) > max {
+		p = p[:max]
+	}
+	n, err := fr.r.Read(p)
+	fr.s.advance(n)
+	return n, err
+}

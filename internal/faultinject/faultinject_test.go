@@ -1,0 +1,229 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReaderSeverAtOffset(t *testing.T) {
+	src := strings.NewReader("0123456789abcdef")
+	r := Reader(src, NewScript(Point{After: 7, Op: Sever}))
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrSevered) {
+		t.Fatalf("err = %v, want ErrSevered", err)
+	}
+	if string(got) != "0123456" {
+		t.Fatalf("read %q before sever, want first 7 bytes", got)
+	}
+	// Sticky: the stream stays dead.
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, ErrSevered) {
+		t.Fatalf("post-sever read err = %v", err)
+	}
+}
+
+func TestReaderTruncateIsCleanEOF(t *testing.T) {
+	r := Reader(strings.NewReader("0123456789"), NewScript(Point{After: 4, Op: Truncate}))
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("truncate must read as clean EOF, got %v", err)
+	}
+	if string(got) != "0123" {
+		t.Fatalf("read %q, want %q", got, "0123")
+	}
+}
+
+func TestReaderDelayThenContinue(t *testing.T) {
+	r := Reader(strings.NewReader("0123456789"),
+		NewScript(Point{After: 5, Op: Delay, Pause: 30 * time.Millisecond}))
+	start := time.Now()
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "0123456789" {
+		t.Fatalf("got %q err=%v", got, err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("stream finished in %v, delay did not fire", d)
+	}
+}
+
+func TestReaderSeverAtZero(t *testing.T) {
+	r := Reader(strings.NewReader("payload"), NewScript(Point{After: 0, Op: Sever}))
+	if _, err := r.Read(make([]byte, 4)); !errors.Is(err, ErrSevered) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestScriptOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order script did not panic")
+		}
+	}()
+	NewScript(Point{After: 9}, Point{After: 3})
+}
+
+func TestConnSeverClosesTransport(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := Conn(client, NewScript(Point{After: 3, Op: Sever}), nil)
+	go server.Write([]byte("abcdef"))
+	buf := make([]byte, 16)
+	n, _ := fc.Read(buf)
+	if n != 3 {
+		t.Fatalf("read %d bytes before sever, want 3", n)
+	}
+	if _, err := fc.Read(buf); !errors.Is(err, ErrSevered) {
+		t.Fatalf("err = %v", err)
+	}
+	// The underlying conn was closed, so the peer's next write fails.
+	server.SetWriteDeadline(time.Now().Add(time.Second))
+	if _, err := server.Write([]byte("x")); err == nil {
+		t.Fatal("peer write succeeded after sever")
+	}
+}
+
+func TestConnWriteScript(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := Conn(client, nil, NewScript(Point{After: 4, Op: Sever}))
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := server.Read(buf)
+		got <- buf[:n]
+	}()
+	n, err := fc.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrSevered) {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("wrote %d bytes before sever, want 4", n)
+	}
+	if b := <-got; string(b) != "abcd" {
+		t.Fatalf("peer received %q", b)
+	}
+}
+
+// TestProxySeverMidStream: a proxied transfer severed by script at an
+// exact byte offset delivers exactly that prefix and then a transport
+// error; a clean reconnect through the same proxy succeeds.
+func TestProxySeverMidStream(t *testing.T) {
+	payload := bytes.Repeat([]byte("0123456789"), 100)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				c.Write(payload)
+			}(c)
+		}
+	}()
+
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetScript(func() *Script {
+		return NewScript(Point{After: 137, Op: Sever})
+	})
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := io.ReadAll(c)
+	c.Close()
+	if err == nil && len(got) == len(payload) {
+		t.Fatal("sever never fired: full payload delivered cleanly")
+	}
+	if len(got) != 137 {
+		t.Fatalf("received %d bytes, want exactly 137", len(got))
+	}
+
+	// Clean reconnect.
+	p.SetScript(nil)
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got2, err := io.ReadAll(c2)
+	if err != nil || !bytes.Equal(got2, payload) {
+		t.Fatalf("reconnect read %d bytes err=%v, want full payload", len(got2), err)
+	}
+}
+
+func TestProxySeverAll(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	hold := make(chan struct{})
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				c.Write([]byte("hi"))
+				<-hold // keep the conn open until the test ends
+			}(c)
+		}
+	}()
+	defer close(hold)
+
+	p, err := NewProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	p.SeverAll()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read succeeded after SeverAll")
+	}
+}
+
+func TestScheduleFiresAndCancels(t *testing.T) {
+	fired := make(chan struct{})
+	Schedule(5*time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("scheduled kill never fired")
+	}
+
+	cancel := Schedule(time.Hour, func() { t.Error("cancelled kill fired") })
+	if !cancel() {
+		t.Fatal("cancel reported the kill already fired")
+	}
+}

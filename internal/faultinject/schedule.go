@@ -1,0 +1,18 @@
+package faultinject
+
+import "time"
+
+// Schedule arms a process-level kill: after d, fire kill (close a
+// listener, cancel a follower's context, SeverAll a proxy — whatever
+// "the process died" means for the component under test). The returned
+// cancel disarms it if the test finishes first; cancel reports whether
+// the kill was still pending.
+//
+// Unlike byte-offset scripts, a scheduled kill lands at a random point
+// in the victim's work — that randomness is the point: chaos tests use
+// Schedule to prove recovery works wherever the kill lands, and Script
+// to pin known-hard cut points exactly.
+func Schedule(d time.Duration, kill func()) (cancel func() bool) {
+	t := time.AfterFunc(d, kill)
+	return t.Stop
+}

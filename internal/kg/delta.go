@@ -46,6 +46,12 @@ type Delta struct {
 	srcs  []NodeID
 	dsts  []NodeID
 	preds []PredID
+
+	// stmts is the replication log: one Statement per successful mutation
+	// (including intern-only no-ops like conflicting type declarations,
+	// whose table side effects a replica must reproduce), in application
+	// order. See Statements and ApplyStatement.
+	stmts []Statement
 }
 
 // NewDelta returns an empty delta over base.
@@ -174,12 +180,24 @@ func (d *Delta) AddNode(name, typeName string) (NodeID, error) {
 				d.types[int(id)-d.base.NumNodes()] = t
 			}
 		}
+		// Record type declarations even when first-type-wins ignores them:
+		// the intern of a new type name is a table mutation a replica must
+		// reproduce. A bare re-declaration of a known node mutates nothing
+		// and is not recorded.
+		if typeName != "" {
+			d.stmts = append(d.stmts, Statement{S: name, P: TypePredicate, O: typeName})
+		}
 		return id, nil
 	}
 	id := NodeID(d.numNodes())
 	d.names = append(d.names, name)
 	d.types = append(d.types, t)
 	d.nameIndex[name] = id
+	if typeName != "" {
+		d.stmts = append(d.stmts, Statement{S: name, P: TypePredicate, O: typeName})
+	} else {
+		d.stmts = append(d.stmts, Statement{S: name})
+	}
 	return id, nil
 }
 
@@ -206,14 +224,20 @@ func (d *Delta) SetType(name, typeName string) (bool, error) {
 	} else {
 		d.types[int(id)-d.base.NumNodes()] = t
 	}
+	d.stmts = append(d.stmts, Statement{S: name, P: TypePredicate, O: typeName})
 	return true, nil
 }
 
 // AddEdge adds a directed edge src --pred--> dst between existing base or
-// delta nodes.
+// delta nodes. The reserved TypePredicate is rejected: an edge named
+// "type" could not be distinguished from a type declaration in the
+// TSV/ingest convention the replication log is expressed in.
 func (d *Delta) AddEdge(src, dst NodeID, predicate string) (EdgeID, error) {
 	if err := d.spent(); err != nil {
 		return -1, err
+	}
+	if predicate == TypePredicate {
+		return -1, fmt.Errorf("kg: AddEdge: %q is the reserved type-declaration predicate", predicate)
 	}
 	if n := d.numNodes(); src < 0 || dst < 0 || int(src) >= n || int(dst) >= n {
 		return -1, fmt.Errorf("kg: AddEdge with unknown node %d->%d", src, dst)
@@ -226,7 +250,17 @@ func (d *Delta) AddEdge(src, dst NodeID, predicate string) (EdgeID, error) {
 	d.srcs = append(d.srcs, src)
 	d.dsts = append(d.dsts, dst)
 	d.preds = append(d.preds, p)
+	d.stmts = append(d.stmts, Statement{S: d.nodeName(src), P: predicate, O: d.nodeName(dst)})
 	return id, nil
+}
+
+// nodeName resolves a base or delta node id to its name (the inverse of
+// nodeByName, used to express edges in the replication log).
+func (d *Delta) nodeName(id NodeID) string {
+	if int(id) < d.base.NumNodes() {
+		return d.base.NodeName(id)
+	}
+	return d.names[int(id)-d.base.NumNodes()]
 }
 
 // AddTriple registers both endpoint nodes (untyped unless already known)
@@ -245,6 +279,9 @@ func (d *Delta) AddTriple(subject, predicate, object string) (EdgeID, error) {
 	}
 	if err := ValidLabel(predicate); err != nil {
 		return -1, fmt.Errorf("predicate name: %w", err)
+	}
+	if predicate == TypePredicate {
+		return -1, fmt.Errorf("kg: AddTriple: %q is the reserved type-declaration predicate (use ApplyTriple)", predicate)
 	}
 	s, err := d.AddNode(subject, "")
 	if err != nil {

@@ -1,0 +1,50 @@
+package kg
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteSnapshotFile writes g as a binary snapshot at path, atomically: the
+// bytes go to a temporary file in the same directory, are synced to disk,
+// and only then renamed over path. A crash at any point — mid-write,
+// mid-sync, mid-rename — leaves either the previous snapshot or the new
+// one at path, never a truncated hybrid; at worst a stale temp file
+// remains in the directory. Abandoned temp files from earlier crashes
+// (the ".g.snap.*.tmp" pattern) are ignored by every loader: they fail
+// ReadSnapshot with ErrSnapshotTruncated instead of being mistaken for
+// the live snapshot.
+//
+// This is the writer behind semkgd's -save-snapshot flag and its
+// background snapshot compactor (-snapshot-interval), both of which may
+// run while the process is being killed.
+func WriteSnapshotFile(path string, g *Graph) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("kg: snapshot temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = WriteSnapshot(tmp, g); err != nil {
+		return fmt.Errorf("kg: writing snapshot: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("kg: syncing snapshot: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("kg: closing snapshot: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("kg: publishing snapshot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package kg
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteSnapshotFileAtomic: the atomic writer round-trips, and
+// overwriting an existing snapshot replaces it wholesale without a
+// window where the live path is truncated.
+func TestWriteSnapshotFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.snap")
+	g1 := randomWorld(3, 40, 90)
+	if err := WriteSnapshotFile(path, g1); err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotFileIs(t, path, g1)
+
+	g2 := randomWorld(4, 60, 150)
+	if err := WriteSnapshotFile(path, g2); err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotFileIs(t, path, g2)
+
+	// No temp litter after successful writes.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries after atomic writes, want 1", len(entries))
+	}
+}
+
+// TestWriteSnapshotFileKillMidWrite simulates a process killed while the
+// snapshot compactor is mid-write: the partially written temp file is
+// what the crash leaves behind. The live snapshot path must still hold
+// the previous complete snapshot, and the abandoned partial file must
+// fail ReadSnapshot with ErrSnapshotTruncated — it can never be mistaken
+// for a valid snapshot.
+func TestWriteSnapshotFileKillMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.snap")
+	live := randomWorld(5, 50, 120)
+	if err := WriteSnapshotFile(path, live); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash artifact: the next snapshot's bytes cut off mid-payload,
+	// at the temp path the atomic writer would have used.
+	next := randomWorld(6, 70, 160)
+	full := snapshotBytes(t, next)
+	for _, cut := range []int{0, 4, len(full) / 3, len(full) - 1} {
+		tmp := filepath.Join(dir, ".g.snap.123.tmp")
+		if err := os.WriteFile(tmp, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		// The kill happened before the rename: the live path is untouched.
+		assertSnapshotFileIs(t, path, live)
+
+		// The partial temp file is typed-error garbage, not a snapshot:
+		// depending on where the kill landed the loader reports a
+		// truncation or (once enough bytes exist for a CRC check) a
+		// checksum mismatch — never success, never a panic.
+		_, err := ReadSnapshot(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, ErrSnapshotTruncated) && !errors.Is(err, ErrSnapshotChecksum) {
+			t.Fatalf("cut %d: partial snapshot error = %v, want truncated or checksum", cut, err)
+		}
+
+		// Recovery: the next successful atomic write replaces the live
+		// snapshot even with crash litter in the directory.
+		if err := WriteSnapshotFile(path, next); err != nil {
+			t.Fatal(err)
+		}
+		assertSnapshotFileIs(t, path, next)
+
+		// Reset for the next truncation point.
+		if err := os.Remove(tmp); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSnapshotFile(path, live); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWriteSnapshotFileErrorLeavesLiveIntact: a writer failure (the
+// target directory vanished mid-flight is simulated with an unwritable
+// directory) reports the error and leaves no live-path damage.
+func TestWriteSnapshotFileErrorLeavesLiveIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "g.snap")
+	if err := WriteSnapshotFile(path, randomWorld(7, 10, 20)); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("live path exists after failed write: %v", err)
+	}
+}
+
+func assertSnapshotFileIs(t *testing.T, path string, want *Graph) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsIdentical(t, got, want)
+}

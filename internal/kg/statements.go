@@ -1,0 +1,143 @@
+package kg
+
+import "fmt"
+
+// Statement is one logical graph mutation in the ingest convention — the
+// unit the replication layer streams from a primary to its followers (see
+// internal/replica and DESIGN.md, "Replication and failure model"). Three
+// forms exist:
+//
+//   - P == "":            declare node S (untyped; no edge)
+//   - P == TypePredicate: declare S's entity type O (first type wins)
+//   - anything else:      add the edge S --P--> O, creating unseen
+//     endpoints on the fly (exactly ReadTriples / Delta.ApplyTriple)
+//
+// A statement stream fully determines a graph: replaying it through
+// Delta.ApplyStatement over the stream's base produces a graph
+// structurally identical — snapshot-byte identical — to applying the
+// original mutations, because every table (node names, interned types and
+// predicates, edges) is appended to in statement order on both sides.
+type Statement struct {
+	// S is the subject node name.
+	S string
+	// P is the predicate: empty for a bare node declaration,
+	// TypePredicate for a type declaration, an edge predicate otherwise.
+	P string
+	// O is the object: unused for bare nodes, the type name for type
+	// declarations, the object node name for edges.
+	O string
+}
+
+// Empty returns a new graph with no nodes, edges, types or predicates —
+// the base a replication follower bootstraps from before its first
+// snapshot resync.
+func Empty() *Graph { return NewBuilder(0, 0).Build() }
+
+// ApplyStatement applies one replication statement with the same
+// semantics the recording side used: bare nodes through AddNode, type
+// declarations through AddNode's first-type-wins path (which also interns
+// conflicting type names, matching the recorded interning side effect),
+// and edges through AddTriple. A rejected statement mutates nothing.
+func (d *Delta) ApplyStatement(st Statement) error {
+	switch st.P {
+	case "":
+		_, err := d.AddNode(st.S, "")
+		return err
+	case TypePredicate:
+		_, err := d.AddNode(st.S, st.O)
+		return err
+	default:
+		_, err := d.AddTriple(st.S, st.P, st.O)
+		return err
+	}
+}
+
+// Statements returns the delta's recorded mutation log, in application
+// order. Replaying it over a structurally identical base through
+// ApplyStatement commits to a graph snapshot-byte identical to this
+// delta's own Commit. The returned slice is owned by the delta; callers
+// that outlive it must copy.
+func (d *Delta) Statements() []Statement { return d.stmts }
+
+// ForEachStatement streams a canonical statement dump of g: a statement
+// sequence that, replayed over an empty graph, rebuilds g snapshot-byte
+// identically. This is the full-resync (bootstrap) form of the
+// replication protocol — the "periodic full snapshot" a follower receives
+// when it is new or has fallen behind the primary's compacted delta log.
+//
+// The ordering is chosen so that every interned table is reproduced
+// exactly:
+//
+//  1. every node as a bare declaration, in node-id order (fixes the node
+//     table);
+//  2. type declarations grouped by type in interned-type order (fixes the
+//     type table and every node's type; a type interned by a conflicting
+//     declaration and therefore owning no nodes is re-interned through a
+//     first-type-wins no-op against an already-typed anchor node);
+//  3. every edge in edge-id order (fixes the edge list and, because
+//     predicates are only ever interned at first edge use, the predicate
+//     table).
+//
+// An edge whose predicate is the reserved TypePredicate cannot be
+// expressed in the ingest convention and is reported as an error; no
+// loader or mutator in this package can produce one.
+func ForEachStatement(g *Graph, fn func(Statement) error) error {
+	for u := 0; u < g.NumNodes(); u++ {
+		if err := fn(Statement{S: g.NodeName(NodeID(u))}); err != nil {
+			return err
+		}
+	}
+	anchor := ""
+	for t := 0; t < g.NumTypes(); t++ {
+		typeName := g.TypeName(TypeID(t))
+		nodes := g.NodesOfType(TypeID(t))
+		if len(nodes) == 0 {
+			// Orphan type: interned by a conflicting declaration against a
+			// node that was already typed. Such a node's own type was
+			// interned strictly earlier, so an anchor always exists by the
+			// time the walk reaches the orphan.
+			if anchor == "" {
+				return fmt.Errorf("kg: orphan type %q with no previously typed node", typeName)
+			}
+			if err := fn(Statement{S: anchor, P: TypePredicate, O: typeName}); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, u := range nodes {
+			if err := fn(Statement{S: g.NodeName(u), P: TypePredicate, O: typeName}); err != nil {
+				return err
+			}
+		}
+		if anchor == "" {
+			anchor = g.NodeName(nodes[0])
+		}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.EdgeAt(EdgeID(i))
+		pred := g.PredName(e.Pred)
+		if pred == TypePredicate {
+			return fmt.Errorf("kg: edge %d uses the reserved predicate %q and cannot be dumped", i, TypePredicate)
+		}
+		st := Statement{S: g.NodeName(e.Src), P: pred, O: g.NodeName(e.Dst)}
+		if err := fn(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GraphStatements materializes ForEachStatement's canonical dump as a
+// slice (tests and small graphs; the replication handler streams the
+// callback form instead of holding the dump in memory).
+func GraphStatements(g *Graph) ([]Statement, error) {
+	out := make([]Statement, 0, g.NumNodes()+g.NumEdges())
+	err := ForEachStatement(g, func(st Statement) error {
+		out = append(out, st)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

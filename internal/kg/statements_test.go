@@ -1,0 +1,163 @@
+package kg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// rebuildFromStatements replays a canonical dump over an empty graph.
+func rebuildFromStatements(t *testing.T, stmts []Statement) *Graph {
+	t.Helper()
+	d := NewDelta(Empty())
+	for i, st := range stmts {
+		if err := d.ApplyStatement(st); err != nil {
+			t.Fatalf("statement %d (%+v): %v", i, st, err)
+		}
+	}
+	return d.Commit()
+}
+
+// TestGraphStatementsRebuildIdentical is the bootstrap-resync property:
+// the canonical statement dump of a graph, replayed over an empty graph,
+// rebuilds it snapshot-byte identically — same tables, same CSR layout,
+// same derived indexes.
+func TestGraphStatementsRebuildIdentical(t *testing.T) {
+	for _, seed := range []int64{2, 7, 19, 41} {
+		g := randomWorld(seed, 80, 220)
+		stmts, err := GraphStatements(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got := rebuildFromStatements(t, stmts)
+		assertGraphsIdentical(t, got, g)
+		if !bytes.Equal(snapshotBytes(t, got), snapshotBytes(t, g)) {
+			t.Fatalf("seed %d: rebuilt snapshot differs byte-wise", seed)
+		}
+	}
+}
+
+// TestGraphStatementsEmpty: the empty graph dumps to zero statements and
+// rebuilds to itself.
+func TestGraphStatementsEmpty(t *testing.T) {
+	stmts, err := GraphStatements(Empty())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 0 {
+		t.Fatalf("empty graph dumped %d statements", len(stmts))
+	}
+	got := rebuildFromStatements(t, nil)
+	if !bytes.Equal(snapshotBytes(t, got), snapshotBytes(t, Empty())) {
+		t.Fatal("empty rebuild differs from empty graph")
+	}
+}
+
+// TestGraphStatementsOrphanType: a type interned only by a conflicting
+// declaration (first type wins, so it owns no nodes) survives the dump:
+// the rebuilt graph carries the same type table, including the orphan.
+func TestGraphStatementsOrphanType(t *testing.T) {
+	g := mustReadTriples(t,
+		"A\ttype\tCountry\n"+
+			"A\ttype\tGhost\n"+ // conflicting: interns Ghost, assigns nothing
+			"A\tborders\tB\n")
+	if g.TypeByName("Ghost") == NoType {
+		t.Fatal("setup: Ghost was not interned")
+	}
+	stmts, err := GraphStatements(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rebuildFromStatements(t, stmts)
+	assertGraphsIdentical(t, got, g)
+	if !bytes.Equal(snapshotBytes(t, got), snapshotBytes(t, g)) {
+		t.Fatal("orphan-type rebuild differs byte-wise")
+	}
+}
+
+// TestDeltaStatementsReplay is the delta-replication property: replaying
+// a delta's recorded statement log over a second copy of the same base
+// commits to a snapshot-byte-identical graph, across every mutator —
+// ApplyTriple streams, typed and untyped AddNode, AddEdge, SetType, and
+// intern-only conflicting type declarations.
+func TestDeltaStatementsReplay(t *testing.T) {
+	base := randomWorld(11, 50, 140)
+	base2 := rebuildFromStatements(t, mustGraphStatements(t, base))
+
+	d := NewDelta(base)
+	for _, tr := range randomTriples(23, 120) {
+		if err := d.ApplyTriple(tr.s, tr.p, tr.o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n1, err := d.AddNode("Replayed Untyped", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := d.AddNode("Replayed Typed", "Country")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddEdge(n1, n2, "assembly"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddEdge(n2, NodeID(0), "designer"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SetType("Replayed Untyped", "Person"); err != nil {
+		t.Fatal(err)
+	}
+	// Conflicting re-declaration with a brand-new type name: interns the
+	// name, assigns nothing; the replica must intern it too.
+	if _, err := d.AddNode("Replayed Typed", "GhostType"); err != nil {
+		t.Fatal(err)
+	}
+	// No-op SetType on an already-typed node: mutates nothing, interns
+	// nothing (early return), must not be recorded.
+	if changed, err := d.SetType("Replayed Typed", "Country"); err != nil || changed {
+		t.Fatalf("SetType no-op: changed=%v err=%v", changed, err)
+	}
+
+	stmts := append([]Statement(nil), d.Statements()...)
+	got := d.Commit()
+
+	d2 := NewDelta(base2)
+	for i, st := range stmts {
+		if err := d2.ApplyStatement(st); err != nil {
+			t.Fatalf("replay statement %d (%+v): %v", i, st, err)
+		}
+	}
+	want := d2.Commit()
+	assertGraphsIdentical(t, got, want)
+	if !bytes.Equal(snapshotBytes(t, got), snapshotBytes(t, want)) {
+		t.Fatal("replayed delta commit differs byte-wise")
+	}
+	if got.TypeByName("GhostType") == NoType || want.TypeByName("GhostType") == NoType {
+		t.Fatal("conflicting type declaration was not replicated")
+	}
+}
+
+// TestDeltaRejectsReservedEdgePredicate: an edge named "type" cannot be
+// expressed in the replication log and is rejected before anything
+// mutates.
+func TestDeltaRejectsReservedEdgePredicate(t *testing.T) {
+	base := mustReadTriples(t, "A\tborders\tB\n")
+	d := NewDelta(base)
+	if _, err := d.AddEdge(0, 1, TypePredicate); err == nil {
+		t.Fatal("AddEdge accepted the reserved predicate")
+	}
+	if _, err := d.AddTriple("A", TypePredicate, "B"); err == nil {
+		t.Fatal("AddTriple accepted the reserved predicate")
+	}
+	if !d.Empty() || len(d.Statements()) != 0 {
+		t.Fatalf("rejected mutations left state: empty=%v stmts=%d", d.Empty(), len(d.Statements()))
+	}
+}
+
+func mustGraphStatements(t *testing.T, g *Graph) []Statement {
+	t.Helper()
+	stmts, err := GraphStatements(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmts
+}

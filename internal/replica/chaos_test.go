@@ -1,0 +1,138 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"semkg/internal/api"
+	"semkg/internal/core"
+	"semkg/internal/faultinject"
+	"semkg/internal/kg"
+	"semkg/internal/query"
+)
+
+// TestChaosFollowerKilledMidStream is the chaos acceptance test: a
+// follower whose replication link is severed mid-delta-stream (once at
+// an exact byte offset, then repeatedly at scheduled wall-clock points
+// while the primary keeps committing) reconnects with backoff, resumes
+// or snapshot-resyncs, converges to the primary's generation, and its
+// *served results* — not just its graph bytes — are equal to the
+// primary's.
+func TestChaosFollowerKilledMidStream(t *testing.T) {
+	// A small log budget makes compaction plausible while the follower
+	// is down, so both recovery paths (resume and snapshot fallback)
+	// are reachable; which one each reconnect takes depends on timing,
+	// and the test must converge either way.
+	p := NewPrimary(newServe(t), Config{MaxLogStatements: 64})
+	defer p.Close()
+	ts := startPrimary(t, p)
+
+	proxy, err := faultinject.NewProxy(ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// The first connection dies mid-delta-stream: 900 bytes is past the
+	// hello + bootstrap snapshot of the seed world, inside the live
+	// delta flow. Later connections pass clean (the scheduled SeverAlls
+	// take over the killing).
+	var first atomic.Bool
+	first.Store(true)
+	proxy.SetScript(func() *faultinject.Script {
+		if first.CompareAndSwap(true, false) {
+			return faultinject.NewScript(faultinject.Point{After: 900, Op: faultinject.Sever})
+		}
+		return nil
+	})
+
+	f := NewFollower(newFollowerServe(t), FollowerConfig{
+		Source: proxy.URL(),
+		Backoff: Backoff{Min: 2 * time.Millisecond, Max: 20 * time.Millisecond,
+			Rand: rand.New(rand.NewSource(7))},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go f.Run(ctx)
+
+	// Scheduled process-level kills while the writer runs: each fires
+	// at a random point in whatever the follower is doing.
+	for _, at := range []time.Duration{
+		15 * time.Millisecond, 60 * time.Millisecond, 120 * time.Millisecond,
+	} {
+		cancelKill := faultinject.Schedule(at, proxy.SeverAll)
+		defer cancelKill()
+	}
+
+	// The primary keeps committing throughout the chaos.
+	preds := []string{"assembly", "manufacturer", "country", "locationCountry"}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 80; i++ {
+		d := p.Serve().NewDelta()
+		for j, n := 0, 1+rng.Intn(3); j < n; j++ {
+			s := fmt.Sprintf("Chaos%d", rng.Intn(50))
+			var err error
+			if rng.Float64() < 0.25 {
+				err = d.ApplyTriple(s, kg.TypePredicate, "Automobile")
+			} else {
+				err = d.ApplyTriple(s, preds[rng.Intn(len(preds))], "Germany")
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := p.Commit(d); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Recovery: the follower reaches the primary's head generation and
+	// the graphs are snapshot-byte identical.
+	assertConverged(t, f, p)
+	st := f.Stats()
+	if st.Reconnects == 0 {
+		t.Fatal("no reconnects recorded — the kills never landed")
+	}
+	t.Logf("chaos stats: %+v", st)
+
+	// Served-results equality: the same query answered by both nodes'
+	// serving layers returns identical ranked answers.
+	q := &query.Graph{
+		Nodes: []query.Node{
+			{ID: "v1", Type: "Automobile"},
+			{ID: "v2", Name: "Germany", Type: "Country"},
+		},
+		Edges: []query.Edge{{From: "v1", To: "v2", Predicate: "assembly"}},
+	}
+	opts := core.Options{K: 10, Tau: 0.75}
+	pres, err := p.Serve().Search(ctx, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := f.Serve().Search(ctx, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(answersJSON(t, pres), answersJSON(t, fres)) {
+		t.Fatalf("served answers diverge:\nprimary:  %s\nfollower: %s",
+			answersJSON(t, pres), answersJSON(t, fres))
+	}
+}
+
+// answersJSON renders a result's ranked answers (excluding timings) in
+// wire form for cross-node comparison.
+func answersJSON(t *testing.T, res *core.Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(api.AnswersFrom(res.Answers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,323 @@
+// Package replica implements primary/follower replication for the
+// serving layer: a primary streams committed deltas (and full snapshots
+// for bootstrap and catch-up) to followers over the NDJSON wire format
+// of internal/api, followers apply them through the generation-gated
+// serve.Apply/serve.RebuildGraph path, and a follower can be promoted
+// to primary when the old primary dies.
+//
+// Design rules, in priority order:
+//
+//  1. Commits never block on followers. The primary keeps one shared,
+//     bounded commit log; each streaming connection holds only a cursor
+//     into it. A follower too slow to keep a cursor above the log's
+//     compaction floor is dropped to a full snapshot resync instead of
+//     back-pressuring writers.
+//  2. Followers publish only whole commits. A stream severed mid-batch
+//     discards the partial batch and resumes from the last committed
+//     generation — convergence is property-tested against snapshot-byte
+//     equality (see internal/serve's replay test and the chaos test
+//     here).
+//  3. Generations are meaningful only within an epoch (one primary
+//     incarnation). A follower reconnecting across epochs — after a
+//     promotion — always takes a snapshot resync.
+package replica
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"semkg/internal/api"
+	"semkg/internal/kg"
+	"semkg/internal/serve"
+)
+
+// DefaultMaxLogStatements bounds the primary's in-memory commit log.
+// When the total statement count exceeds it, the oldest commits are
+// compacted away and followers resuming from before the new floor take
+// a snapshot resync.
+const DefaultMaxLogStatements = 1 << 16
+
+// commitRec is one committed delta in the log: the statements that,
+// replayed over the previous generation, produce generation Gen.
+type commitRec struct {
+	gen   uint64
+	stmts []kg.Statement
+}
+
+// Primary owns the commit path of a replicated serving node: every
+// mutation goes through Commit, which applies it to the local serve
+// engine and appends the statement log for followers.
+type Primary struct {
+	srv       *serve.Engine
+	epoch     string
+	advertise string
+	maxLog    int
+
+	mu     sync.Mutex
+	log    []commitRec
+	floor  uint64 // lowest generation resumable from the log
+	logLen int    // total statements across log
+	notify chan struct{}
+	closed bool
+}
+
+// Config configures a Primary.
+type Config struct {
+	// Advertise is the primary's externally reachable base URL, sent in
+	// the hello frame so followers and tooling can discover it.
+	Advertise string
+	// MaxLogStatements bounds the commit log; 0 means
+	// DefaultMaxLogStatements.
+	MaxLogStatements int
+	// Epoch overrides the generated epoch string (tests only).
+	Epoch string
+}
+
+// NewPrimary wraps srv as the replication primary. The epoch is a fresh
+// random identity: generations minted by this primary are comparable
+// only to its own.
+func NewPrimary(srv *serve.Engine, cfg Config) *Primary {
+	epoch := cfg.Epoch
+	if epoch == "" {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			panic(fmt.Sprintf("replica: epoch entropy: %v", err))
+		}
+		epoch = hex.EncodeToString(b[:])
+	}
+	maxLog := cfg.MaxLogStatements
+	if maxLog <= 0 {
+		maxLog = DefaultMaxLogStatements
+	}
+	_, gen := srv.Current()
+	return &Primary{
+		srv:       srv,
+		epoch:     epoch,
+		advertise: cfg.Advertise,
+		maxLog:    maxLog,
+		floor:     gen,
+		notify:    make(chan struct{}),
+	}
+}
+
+// Epoch returns this primary incarnation's identity.
+func (p *Primary) Epoch() string { return p.epoch }
+
+// Serve returns the underlying serving engine.
+func (p *Primary) Serve() *serve.Engine { return p.srv }
+
+// Head returns the current committed generation.
+func (p *Primary) Head() uint64 {
+	_, gen := p.srv.Current()
+	return gen
+}
+
+// Commit applies d through the serving engine and, if it bumped the
+// generation, appends its statement log for followers. The log append
+// happens under the primary's lock together with the Apply, so the log
+// order is exactly the generation order; streaming connections are only
+// notified, never waited on.
+func (p *Primary) Commit(d *kg.Delta) (serve.ApplyInfo, error) {
+	stmts := append([]kg.Statement(nil), d.Statements()...)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return serve.ApplyInfo{}, fmt.Errorf("replica: primary closed")
+	}
+	before := p.srv.Generation()
+	info, err := p.srv.Apply(d)
+	if err != nil {
+		return info, err
+	}
+	// Gate on the generation actually bumping, not on len(stmts): a
+	// delta can record intern-only statements yet still be Empty() (a
+	// no-op re-declaration), and logging it would mint a duplicate
+	// generation entry.
+	if info.Generation == before {
+		return info, nil
+	}
+	p.log = append(p.log, commitRec{gen: info.Generation, stmts: stmts})
+	p.logLen += len(stmts)
+	p.compactLocked()
+	close(p.notify)
+	p.notify = make(chan struct{})
+	return info, nil
+}
+
+// compactLocked drops the oldest commits while the log exceeds the
+// statement budget, raising the resumable floor. Callers hold p.mu.
+func (p *Primary) compactLocked() {
+	for len(p.log) > 1 && p.logLen > p.maxLog {
+		p.logLen -= len(p.log[0].stmts)
+		p.floor = p.log[0].gen
+		p.log = p.log[1:]
+	}
+}
+
+// Floor returns the lowest generation a follower can resume from
+// without a snapshot resync.
+func (p *Primary) Floor() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.floor
+}
+
+// Close wakes every streaming connection so it can observe closure and
+// return. It does not close the serve engine.
+func (p *Primary) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.notify)
+	p.notify = make(chan struct{})
+}
+
+// after returns the commits with generation > from, or ok=false if from
+// is below the compaction floor (the caller must snapshot-resync).
+// The returned slice aliases the log; records are immutable once
+// appended.
+func (p *Primary) after(from uint64) (recs []commitRec, head uint64, wait <-chan struct{}, ok bool, closed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	head = p.srv.Generation()
+	if p.closed {
+		return nil, head, nil, true, true
+	}
+	if from < p.floor {
+		return nil, head, nil, false, false
+	}
+	i := 0
+	for i < len(p.log) && p.log[i].gen <= from {
+		i++
+	}
+	return p.log[i:], head, p.notify, true, false
+}
+
+// ServeHTTP streams the replication feed: hello, then either a snapshot
+// batch (bootstrap or floor fallback) or resumed delta batches, then
+// live delta batches and heartbeat pings as commits land. Query
+// parameters: from=<generation> and epoch=<epoch> for resumption; a
+// missing or foreign epoch forces a snapshot.
+func (p *Primary) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriter(w)
+
+	var from uint64
+	resumable := false
+	if r.URL.Query().Get("epoch") == p.epoch {
+		if v, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64); err == nil {
+			from, resumable = v, true
+		}
+	}
+
+	writeFrame := func(f api.RepFrame) error {
+		line, err := api.EncodeRepFrame(f)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		return bw.WriteByte('\n')
+	}
+	writeStmt := func(st kg.Statement) error {
+		if st.P == "" {
+			return writeFrame(api.RepFrame{Frame: api.RepNode, Name: st.S})
+		}
+		line, err := api.EncodeIngestTriple(api.IngestTriple{S: st.S, P: st.P, O: st.O})
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		return bw.WriteByte('\n')
+	}
+	flush := func() error {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	if err := writeFrame(api.RepFrame{
+		Frame: api.RepHello, Generation: p.Head(),
+		Epoch: p.epoch, Advertise: p.advertise,
+	}); err != nil {
+		return
+	}
+
+	cursor := from
+	if !resumable || func() bool { _, _, _, ok, _ := p.after(cursor); return !ok }() {
+		// Snapshot batch: dump the engine's current graph in canonical
+		// statement order; the follower rebuilds from empty and serves
+		// at the dumped generation.
+		eng, gen := p.srv.Current()
+		if err := writeFrame(api.RepFrame{Frame: api.RepSnapshot, Generation: gen}); err != nil {
+			return
+		}
+		err := kg.ForEachStatement(eng.Graph(), writeStmt)
+		if err != nil {
+			return
+		}
+		if err := writeFrame(api.RepFrame{Frame: api.RepCommit, Generation: gen}); err != nil {
+			return
+		}
+		if err := flush(); err != nil {
+			return
+		}
+		cursor = gen
+	}
+
+	ctx := r.Context()
+	for {
+		recs, head, wait, ok, closed := p.after(cursor)
+		if closed {
+			return
+		}
+		if !ok {
+			// Compacted past the cursor mid-stream (slow follower):
+			// force the client to reconnect and take a snapshot. Ending
+			// the stream is the degradation — never queuing per
+			// follower, never blocking commits.
+			return
+		}
+		for _, rec := range recs {
+			if err := writeFrame(api.RepFrame{Frame: api.RepDelta, Generation: rec.gen}); err != nil {
+				return
+			}
+			for _, st := range rec.stmts {
+				if err := writeStmt(st); err != nil {
+					return
+				}
+			}
+			if err := writeFrame(api.RepFrame{Frame: api.RepCommit, Generation: rec.gen}); err != nil {
+				return
+			}
+			cursor = rec.gen
+		}
+		if err := writeFrame(api.RepFrame{Frame: api.RepPing, Generation: head}); err != nil {
+			return
+		}
+		if err := flush(); err != nil {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-wait:
+		}
+	}
+}

@@ -201,6 +201,28 @@ func (e *Engine) rebuildLocked(eng core.Queryer) {
 // under an older generation are never served.
 func (e *Engine) Generation() uint64 { return e.currentGen() }
 
+// Current returns the served engine and its generation as one atomic
+// read — the pair a replication primary needs when it opens a stream:
+// reading them separately could interleave with an Apply and pair a new
+// engine with a stale generation.
+func (e *Engine) Current() (core.Queryer, uint64) { return e.engineGen() }
+
+// RebuildGraph builds an engine over g with Config.Build and publishes
+// it through the generation-gated Rebuild. It is the snapshot-resync
+// path for replication followers: the whole graph is replaced, both
+// caches purge, and the generation bumps exactly once.
+func (e *Engine) RebuildGraph(g *kg.Graph) error {
+	if e.cfg.Build == nil {
+		return fmt.Errorf("serve: RebuildGraph requires an engine builder (Config.Build)")
+	}
+	eng, err := e.cfg.Build(g)
+	if err != nil {
+		return fmt.Errorf("serve: building engine for graph: %w", err)
+	}
+	e.Rebuild(eng)
+	return nil
+}
+
 // ErrStaleDelta is returned by Apply for a delta whose base is no longer
 // the served graph: another Apply or Rebuild published a newer generation
 // after the delta was created. The caller re-reads the graph with
