@@ -16,6 +16,13 @@
 // updates as they arrive:
 //
 //	kgsearch -server http://localhost:8375 -queryfile q.json -bound 50ms
+//
+// Keyword mode skips the query document entirely: bare keywords are
+// assembled into candidate query graphs, executed, and blended into one
+// ranking. Works locally and against a server:
+//
+//	kgsearch -graph g.tsv -model m.bin -keywords "automobile assembly germany"
+//	kgsearch -server http://localhost:8375 -keywords "design engine italy" -candidates 3
 package main
 
 import (
@@ -33,8 +40,10 @@ import (
 	"semkg/internal/api"
 	"semkg/internal/core"
 	"semkg/internal/embed"
+	"semkg/internal/keyword"
 	"semkg/internal/kg"
 	"semkg/internal/query"
+	"semkg/internal/serve"
 )
 
 func main() {
@@ -42,6 +51,8 @@ func main() {
 	modelFile := flag.String("model", "", "embedding model file (local mode)")
 	server := flag.String("server", "", "semkgd base URL (client mode, e.g. http://localhost:8375)")
 	queryFile := flag.String("queryfile", "", "JSON query graph file")
+	keywords := flag.String("keywords", "", "bare keyword query (keyword mode; replaces -queryfile/-type/-entity/-pred)")
+	candidates := flag.Int("candidates", 0, "max assembled candidate queries to execute (keyword mode; 0 = default)")
 	focusType := flag.String("type", "", "focus entity type (single-edge query)")
 	entity := flag.String("entity", "", "anchor entity name (single-edge query)")
 	pred := flag.String("pred", "", "query predicate (single-edge query)")
@@ -52,11 +63,29 @@ func main() {
 	retries := flag.Int("retries", 4, "max retries when the server sheds with 429 (client mode; 0 = fail immediately)")
 	flag.Parse()
 
+	opts := core.Options{K: *k, Tau: *tau, MaxHops: *maxHops, TimeBound: *bound}
+
+	if *keywords != "" {
+		if *server != "" {
+			if err := remoteKeyword(*server, *keywords, opts, *candidates, defaultRetryPolicy(*retries)); err != nil {
+				fail(err)
+			}
+			return
+		}
+		if *graphFile == "" || *modelFile == "" {
+			fmt.Fprintln(os.Stderr, "kgsearch: -keywords needs -graph and -model (or -server)")
+			os.Exit(2)
+		}
+		if err := localKeyword(*graphFile, *modelFile, *keywords, opts, *candidates); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	q, err := buildQuery(*queryFile, *focusType, *entity, *pred)
 	if err != nil {
 		fail(err)
 	}
-	opts := core.Options{K: *k, Tau: *tau, MaxHops: *maxHops, TimeBound: *bound}
 
 	if *server != "" {
 		if err := remoteSearch(*server, q, opts, defaultRetryPolicy(*retries)); err != nil {
@@ -172,6 +201,113 @@ func remoteSearch(base string, q *query.Graph, opts core.Options, policy retryPo
 	}
 	printResult(*final, opts.TimeBound)
 	return nil
+}
+
+// localKeyword runs keyword search entirely in process: the engine is
+// wrapped in a single-replica serving layer so the keyword front end gets
+// the same caching/admission path the server uses.
+func localKeyword(graphFile, modelFile, input string, opts core.Options, candidates int) error {
+	g := loadGraph(graphFile)
+	model := loadModel(modelFile)
+	space, err := model.Space(g)
+	if err != nil {
+		return err
+	}
+	engine, err := core.NewEngine(g, space, nil)
+	if err != nil {
+		return err
+	}
+	fe := keyword.New(serve.New(engine, serve.Config{}), keyword.Config{})
+	res, err := fe.Search(context.Background(), input, opts, candidates)
+	if err != nil {
+		return err
+	}
+	printKeyword(keyword.WireResult(res))
+	return nil
+}
+
+// remoteKeyword streams bare keywords through semkgd's /v1/keyword
+// endpoint, narrating assembly and per-candidate progress to stderr and
+// printing the blended result. Sheds retry like remoteSearch.
+func remoteKeyword(base, input string, opts core.Options, candidates int, policy retryPolicy) error {
+	body, err := json.Marshal(api.KeywordRequest{
+		Keywords:      input,
+		Options:       api.OptionsFrom(opts),
+		MaxCandidates: candidates,
+	})
+	if err != nil {
+		return err
+	}
+	if policy.notify == nil {
+		policy.notify = func(attempt int, wait time.Duration, status string) {
+			fmt.Fprintln(os.Stderr, describeShed(attempt, wait, status))
+		}
+	}
+	resp, err := policy.do(func() (*http.Response, error) {
+		return http.Post(base+"/v1/keyword?stream=1", "application/json", bytes.NewReader(body))
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("server: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var final *api.KeywordResult
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := api.DecodeKeywordEvent(line)
+		if err != nil {
+			return err
+		}
+		switch ev.Event {
+		case api.KeywordEventAssembly:
+			fmt.Fprintf(os.Stderr, "· assembled %d candidate(s) from %v, executing %d\n",
+				len(ev.Candidates), ev.Keywords, ev.Executed)
+		case api.KeywordEventEngine:
+			if ev.Inner != nil && ev.Inner.Event == api.EventTopK {
+				fmt.Fprintf(os.Stderr, "· candidate %d provisional top-k: %d answer(s)\n",
+					*ev.Candidate, len(ev.Inner.Answers))
+			}
+		case api.KeywordEventResult:
+			final = ev.Result
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if final == nil {
+		return fmt.Errorf("stream ended without a result event")
+	}
+	printKeyword(*final)
+	return nil
+}
+
+func printKeyword(res api.KeywordResult) {
+	fmt.Printf("keyword search answered in %s — %d candidate(s), %d executed, %d answer(s)\n",
+		time.Duration(res.Elapsed).Round(time.Microsecond),
+		len(res.Candidates), res.Executed, len(res.Answers))
+	if len(res.Unmatched) > 0 {
+		fmt.Printf("unmatched keywords: %v\n", res.Unmatched)
+	}
+	for i, c := range res.Candidates {
+		marker := " "
+		if i < res.Executed {
+			marker = "*"
+		}
+		fmt.Printf("%s c%d score=%.3f  %s\n", marker, i, c.Score, c.Explain)
+	}
+	for i, a := range res.Answers {
+		fmt.Printf("%2d. %-24s blended=%.3f score=%.3f (candidate %d)\n",
+			i+1, a.Entity, a.Blended, a.Score, a.Candidate)
+	}
 }
 
 func printResult(res api.Result, bound time.Duration) {

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"semkg/internal/api"
+	"semkg/internal/serve"
+)
+
+const keywordBody = `{"keywords":"automobile assembly germany","options":{"k":10,"tau":0.75}}`
+
+// TestKeywordEndpoint: bare keywords over POST /v1/keyword return the same
+// German cars the structured query does, blended and deduplicated.
+func TestKeywordEndpoint(t *testing.T) {
+	srv := testServer(t, serve.Config{})
+
+	resp := post(t, srv, "/v1/keyword", keywordBody)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	res, err := api.DecodeKeywordResult(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) == 0 || res.Executed < 1 {
+		t.Fatalf("no candidates executed: %+v", res)
+	}
+	got := make(map[string]int)
+	for _, a := range res.Answers {
+		got[a.Entity]++
+	}
+	for _, want := range []string{"BMW_320", "Audi_TT"} {
+		if got[want] == 0 {
+			t.Errorf("missing answer %s (got %v)", want, res.Answers)
+		}
+	}
+	for entity, n := range got {
+		if n > 1 {
+			t.Errorf("entity %s appears %d times; blending must dedup", entity, n)
+		}
+	}
+	if len(res.Runs) != res.Executed {
+		t.Errorf("runs = %d, executed = %d", len(res.Runs), res.Executed)
+	}
+	// Every candidate query is replayable against /v1/search.
+	q, err := json.Marshal(res.Candidates[0].Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := post(t, srv, "/v1/search", `{"query":`+string(q)+`}`)
+	replay.Body.Close()
+	if replay.StatusCode != http.StatusOK {
+		t.Errorf("candidate query not replayable: status %d", replay.StatusCode)
+	}
+}
+
+// TestKeywordStreamEndpoint: ?stream=1 yields NDJSON framed by an assembly
+// event and a terminal blended result, with engine events attributed to
+// candidates in between.
+func TestKeywordStreamEndpoint(t *testing.T) {
+	srv := testServer(t, serve.Config{})
+
+	resp := post(t, srv, "/v1/keyword?stream=1", keywordBody)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	var events []api.KeywordEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := api.DecodeKeywordEvent(line)
+		if err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("want at least assembly + result events, got %d", len(events))
+	}
+	first, last := events[0], events[len(events)-1]
+	if first.Event != api.KeywordEventAssembly || len(first.Candidates) == 0 || first.Executed < 1 {
+		t.Fatalf("first event = %+v, want assembly with candidates", first)
+	}
+	if last.Event != api.KeywordEventResult || last.Result == nil {
+		t.Fatalf("last event = %+v, want terminal result", last)
+	}
+	for _, ev := range events[1 : len(events)-1] {
+		if ev.Event != api.KeywordEventEngine {
+			t.Fatalf("middle event kind %q", ev.Event)
+		}
+		if ev.Candidate == nil || *ev.Candidate < 0 || *ev.Candidate >= first.Executed {
+			t.Fatalf("engine event lacks a valid candidate attribution: %+v", ev)
+		}
+		if ev.Inner == nil {
+			t.Fatalf("engine event lacks inner payload: %+v", ev)
+		}
+	}
+
+	// The streamed terminal result agrees with the batch endpoint.
+	batchResp := post(t, srv, "/v1/keyword", keywordBody)
+	defer batchResp.Body.Close()
+	batch, err := api.DecodeKeywordResult(batchResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Answers) != len(last.Result.Answers) {
+		t.Fatalf("stream answers %d != batch answers %d", len(last.Result.Answers), len(batch.Answers))
+	}
+	for i := range batch.Answers {
+		if batch.Answers[i].Entity != last.Result.Answers[i].Entity ||
+			batch.Answers[i].Blended != last.Result.Answers[i].Blended {
+			t.Errorf("answer %d differs: stream %+v vs batch %+v",
+				i, last.Result.Answers[i], batch.Answers[i])
+		}
+	}
+}
+
+// TestSuggestEndpoint: completions come straight from the name indexes.
+func TestSuggestEndpoint(t *testing.T) {
+	srv := testServer(t, serve.Config{})
+
+	resp, err := http.Get(srv.URL + "/v1/suggest?q=ger&limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	res, err := api.DecodeSuggestResult(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range res.Suggestions {
+		if s.Text == "Germany" && s.Kind == "entity" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ger did not suggest Germany: %+v", res.Suggestions)
+	}
+	if len(res.Suggestions) > 5 {
+		t.Errorf("limit=5 ignored: %d suggestions", len(res.Suggestions))
+	}
+
+	// Suggestions never run a search through the serving pipeline.
+	vresp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vresp.Body.Close()
+	var vars struct {
+		Serve serve.Stats `json:"semkgd_serve"`
+	}
+	if err := json.NewDecoder(vresp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.Serve.PipelineRuns != 0 {
+		t.Errorf("suggest ran %d pipelines, want 0", vars.Serve.PipelineRuns)
+	}
+}
+
+// TestKeywordBadRequests: parse and validation failures are 400s with a
+// JSON error body, on all three new routes.
+func TestKeywordBadRequests(t *testing.T) {
+	srv := testServer(t, serve.Config{})
+
+	cases := []struct {
+		name, method, path, body string
+	}{
+		{"malformed JSON", "POST", "/v1/keyword", `{`},
+		{"unknown field", "POST", "/v1/keyword", `{"keywords":"x","bogus":1}`},
+		{"empty keywords", "POST", "/v1/keyword", `{"keywords":"   "}`},
+		{"negative candidates", "POST", "/v1/keyword", `{"keywords":"germany","max_candidates":-2}`},
+		{"tau > 1", "POST", "/v1/keyword", `{"keywords":"germany","options":{"tau":1.5}}`},
+		{"empty keywords streamed", "POST", "/v1/keyword?stream=1", `{"keywords":""}`},
+		{"suggest missing q", "GET", "/v1/suggest", ""},
+		{"suggest bad limit", "GET", "/v1/suggest?q=ger&limit=nope", ""},
+	}
+	for _, tc := range cases {
+		var resp *http.Response
+		if tc.method == "GET" {
+			var err error
+			resp, err = http.Get(srv.URL + tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			resp = post(t, srv, tc.path, tc.body)
+		}
+		var msg map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&msg)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%v)", tc.name, resp.StatusCode, msg)
+		}
+		if msg["error"] == "" {
+			t.Errorf("%s: missing JSON error body", tc.name)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"semkg/internal/api"
 	"semkg/internal/core"
+	"semkg/internal/keyword"
 	"semkg/internal/query"
 	"semkg/internal/serve"
 )
@@ -30,16 +31,26 @@ var (
 	statErrors        = expvar.NewInt("semkgd_errors_total")
 	statIngests       = expvar.NewInt("semkgd_ingests_total")
 	statIngestTriples = expvar.NewInt("semkgd_ingest_triples_total")
+	statKeywords      = expvar.NewInt("semkgd_keywords_total")
+	statSuggests      = expvar.NewInt("semkgd_suggests_total")
 
 	// currentServe backs the semkgd_serve expvar; newMux swaps it so
 	// httptest servers observe their own serving layer.
 	currentServe atomic.Pointer[serve.Engine]
+	// currentKeyword backs the semkgd_keyword expvar the same way.
+	currentKeyword atomic.Pointer[keyword.Frontend]
 )
 
 func init() {
 	expvar.Publish("semkgd_serve", expvar.Func(func() any {
 		if s := currentServe.Load(); s != nil {
 			return s.Stats()
+		}
+		return nil
+	}))
+	expvar.Publish("semkgd_keyword", expvar.Func(func() any {
+		if f := currentKeyword.Load(); f != nil {
+			return f.Stats()
 		}
 		return nil
 	}))
@@ -74,6 +85,9 @@ const defaultMaxIngestBytes = 64 << 20
 // server routes search traffic onto one serving engine.
 type server struct {
 	srv *serve.Engine
+	// kw is the keyword front end over srv (query-graph assembly,
+	// blending, autocomplete).
+	kw *keyword.Frontend
 	// maxIngestBytes bounds one ingest request body; <= 0 disables the
 	// cap.
 	maxIngestBytes int64
@@ -86,6 +100,9 @@ type server struct {
 //
 //	POST /v1/search   batch search, JSON result (429 when shed)
 //	POST /v1/stream   streaming search, NDJSON events (429 when shed)
+//	POST /v1/keyword  keyword search: query-graph assembly + blended
+//	                  top-k; JSON result, or NDJSON with ?stream=1
+//	GET  /v1/suggest  autocomplete over the name indexes (?q=, ?limit=)
 //	POST /v1/ingest   NDJSON triples, batched delta commit (409 when
 //	                  racing another commit)
 //	GET  /healthz     liveness + graph shape + generation
@@ -114,10 +131,14 @@ func newMuxReplicated(srv *serve.Engine, maxIngestBytes int64, repl *replState) 
 		currentRepl.Store(repl)
 		publishReplicaStats()
 	}
-	s := &server{srv: srv, maxIngestBytes: maxIngestBytes, repl: repl}
+	kw := keyword.New(srv, keyword.Config{})
+	currentKeyword.Store(kw)
+	s := &server{srv: srv, kw: kw, maxIngestBytes: maxIngestBytes, repl: repl}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/keyword", s.handleKeyword)
+	mux.HandleFunc("GET /v1/suggest", s.handleSuggest)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("GET /v1/replicate", s.handleReplicate)
 	mux.HandleFunc("POST /v1/promote", s.handlePromote)
@@ -225,6 +246,81 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+}
+
+// handleKeyword answers POST /v1/keyword: keywords assemble into
+// candidate query graphs, the top candidates execute through the serving
+// layer (caching, singleflight and admission control all apply per
+// candidate), and the per-candidate top-k lists blend into one
+// deduplicated ranking. ?stream=1 upgrades the response to NDJSON: an
+// assembly event, interleaved engine events tagged with their candidate,
+// and a terminal blended result.
+func (s *server) handleKeyword(w http.ResponseWriter, r *http.Request) {
+	req, err := api.DecodeKeywordRequest(r.Body)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	statKeywords.Add(1)
+	if v := r.URL.Query().Get("stream"); v != "" && v != "0" && v != "false" {
+		s.streamKeyword(w, r, req)
+		return
+	}
+	resp, err := s.kw.Search(r.Context(), req.Keywords, req.Options.Core(), req.MaxCandidates)
+	if err != nil {
+		s.searchError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, keyword.WireResult(resp))
+}
+
+// streamKeyword is the NDJSON variant of handleKeyword.
+func (s *server) streamKeyword(w http.ResponseWriter, r *http.Request, req api.KeywordRequest) {
+	ch, err := s.kw.Stream(r.Context(), req.Keywords, req.Options.Core(), req.MaxCandidates)
+	if err != nil {
+		s.searchError(w, err)
+		return
+	}
+	statStreams.Add(1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // defeat reverse-proxy buffering
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	for ev := range ch {
+		line, err := keyword.EncodeEvent(ev)
+		if err != nil {
+			statErrors.Add(1)
+			continue
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return // client gone; context cancellation winds down the searches
+		}
+		statStreamEvents.Add(1)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleSuggest answers GET /v1/suggest?q=frag&limit=N: autocomplete
+// straight from the name/initials/prefix indexes. It never runs a search.
+func (s *server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		s.badRequest(w, fmt.Errorf("missing required query parameter %q", "q"))
+		return
+	}
+	limit := 0
+	if l := r.URL.Query().Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 0 {
+			s.badRequest(w, fmt.Errorf("bad limit %q (must be a non-negative integer)", l))
+			return
+		}
+		limit = n
+	}
+	statSuggests.Add(1)
+	writeJSON(w, http.StatusOK, keyword.WireSuggestions(s.kw.Suggest(q, limit)))
 }
 
 // handleIngest applies one NDJSON batch of triples as a single delta

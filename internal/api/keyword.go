@@ -1,0 +1,190 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// KeywordRequest is the body of POST /v1/keyword: bare keywords instead
+// of a structured query document.
+type KeywordRequest struct {
+	// Keywords is the raw keyword input, e.g. "design engine italy".
+	Keywords string `json:"keywords"`
+	// Options tunes every candidate's search; the zero value means engine
+	// defaults.
+	Options Options `json:"options"`
+	// MaxCandidates caps how many assembled candidate queries execute.
+	// 0 = the server's configured default.
+	MaxCandidates int `json:"max_candidates,omitempty"`
+}
+
+// DecodeKeywordRequest parses a keyword request body strictly (unknown
+// fields and trailing data rejected). Nothing is validated here.
+func DecodeKeywordRequest(r io.Reader) (KeywordRequest, error) {
+	var req KeywordRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return KeywordRequest{}, fmt.Errorf("api: parsing keyword request: %w", err)
+	}
+	return req, nil
+}
+
+// KeywordCandidate is the wire form of one assembled candidate query.
+type KeywordCandidate struct {
+	// Query is the assembled query document — directly replayable against
+	// POST /v1/search.
+	Query Query `json:"query"`
+	// Score is the assembly score the candidates rank by.
+	Score float64 `json:"score"`
+	// Coverage is the fraction of input keywords the candidate consumed.
+	Coverage float64 `json:"coverage"`
+	// Explain is a one-line account of the assembly.
+	Explain string `json:"explain,omitempty"`
+}
+
+// KeywordAnswer is the wire form of one blended answer: a regular answer
+// plus its blended score and the candidate that produced it.
+type KeywordAnswer struct {
+	Answer
+	// Blended is the score the blended ranking orders by (candidate score
+	// × normalized answer score).
+	Blended float64 `json:"blended"`
+	// Candidate indexes the response's candidates list.
+	Candidate int `json:"candidate"`
+}
+
+// KeywordRun reports one executed candidate.
+type KeywordRun struct {
+	// Candidate indexes the response's candidates list.
+	Candidate int `json:"candidate"`
+	// Answers is how many answers the candidate contributed.
+	Answers int `json:"answers"`
+	// Elapsed is the candidate's serving time.
+	Elapsed Duration `json:"elapsed"`
+	// Approximate mirrors the result's time-bounded flag.
+	Approximate bool `json:"approximate,omitempty"`
+	// Error is the candidate's failure, absent on success.
+	Error string `json:"error,omitempty"`
+}
+
+// KeywordResult is the wire form of a blended keyword-search response.
+type KeywordResult struct {
+	// Keywords echoes the normalized keywords after tokenization/fusion.
+	Keywords []string `json:"keywords"`
+	// Unmatched lists input keywords no graph element matched.
+	Unmatched []string `json:"unmatched,omitempty"`
+	// Candidates are the assembled candidates, best first (executed or
+	// not).
+	Candidates []KeywordCandidate `json:"candidates"`
+	// Executed is how many of the candidates ran (a prefix).
+	Executed int `json:"executed"`
+	// Runs report the executed candidates.
+	Runs []KeywordRun `json:"runs,omitempty"`
+	// Answers is the blended per-entity-deduplicated top-k.
+	Answers []KeywordAnswer `json:"answers"`
+	// AssemblyElapsed is the query-graph-assembly time alone.
+	AssemblyElapsed Duration `json:"assembly_elapsed"`
+	// Elapsed covers assembly, execution and blending.
+	Elapsed Duration `json:"elapsed"`
+	// Generation is the engine generation that answered.
+	Generation uint64 `json:"generation"`
+}
+
+// DecodeKeywordResult parses a keyword response strictly (clients).
+func DecodeKeywordResult(r io.Reader) (KeywordResult, error) {
+	var res KeywordResult
+	if err := decodeStrict(r, &res); err != nil {
+		return KeywordResult{}, fmt.Errorf("api: parsing keyword result: %w", err)
+	}
+	return res, nil
+}
+
+// Keyword-stream event discriminators (the "event" field of an NDJSON
+// line on POST /v1/keyword?stream=1).
+const (
+	// KeywordEventAssembly opens every keyword stream: the candidates.
+	KeywordEventAssembly = "assembly"
+	// KeywordEventEngine forwards one engine event from one candidate.
+	KeywordEventEngine = "engine"
+	// KeywordEventResult closes the stream with the blended result.
+	KeywordEventResult = "result"
+)
+
+// KeywordEvent is the wire form of one keyword-stream event. Only the
+// fields of the discriminated kind are populated:
+//
+//   - assembly: keywords, unmatched, candidates, executed
+//   - engine:   candidate, inner
+//   - result:   result
+type KeywordEvent struct {
+	// Event is the kind discriminator: "assembly", "engine" or "result".
+	// Always present.
+	Event string `json:"event"`
+
+	// Keywords echoes the normalized keywords (assembly event).
+	Keywords []string `json:"keywords,omitempty"`
+	// Unmatched lists keywords nothing matched (assembly event).
+	Unmatched []string `json:"unmatched,omitempty"`
+	// Candidates are the assembled candidates (assembly event).
+	Candidates []KeywordCandidate `json:"candidates,omitempty"`
+	// Executed is how many candidates will run (assembly event).
+	Executed int `json:"executed,omitempty"`
+
+	// Candidate attributes an engine event to a candidate (0-based index
+	// into the assembly event's candidates). A pointer so candidate 0
+	// still serializes.
+	Candidate *int `json:"candidate,omitempty"`
+	// Inner is the forwarded engine event.
+	Inner *Event `json:"inner,omitempty"`
+
+	// Result is the terminal blended payload; exactly one "result" event
+	// ends every stream.
+	Result *KeywordResult `json:"result,omitempty"`
+}
+
+// DecodeKeywordEvent parses one keyword NDJSON event line.
+func DecodeKeywordEvent(line []byte) (KeywordEvent, error) {
+	var ev KeywordEvent
+	if err := json.Unmarshal(line, &ev); err != nil {
+		return KeywordEvent{}, fmt.Errorf("api: parsing keyword event: %w", err)
+	}
+	if ev.Event == "" {
+		return KeywordEvent{}, fmt.Errorf("api: keyword event line missing %q discriminator", "event")
+	}
+	return ev, nil
+}
+
+// Suggestion is the wire form of one autocomplete completion.
+type Suggestion struct {
+	// Text is the graph's spelling of the completed element.
+	Text string `json:"text"`
+	// Kind is "entity", "type" or "predicate".
+	Kind string `json:"kind"`
+	// Via is the index path that matched: "exact", "prefix" or "initials".
+	Via string `json:"via"`
+	// Count is the element's mass (nodes, type cardinality, or edges).
+	Count int `json:"count"`
+	// Score is the match quality; completions arrive best first.
+	Score float64 `json:"score"`
+}
+
+// SuggestResult is the wire form of GET /v1/suggest.
+type SuggestResult struct {
+	// Query echoes the input fragment.
+	Query string `json:"query"`
+	// Suggestions are the completions, best first.
+	Suggestions []Suggestion `json:"suggestions"`
+	// Generation is the engine generation answered from.
+	Generation uint64 `json:"generation"`
+	// Elapsed is the index-lookup time.
+	Elapsed Duration `json:"elapsed"`
+}
+
+// DecodeSuggestResult parses a suggest response strictly (clients).
+func DecodeSuggestResult(r io.Reader) (SuggestResult, error) {
+	var res SuggestResult
+	if err := decodeStrict(r, &res); err != nil {
+		return SuggestResult{}, fmt.Errorf("api: parsing suggest result: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,147 @@
+// Fuzz coverage for the keyword-search wire vocabulary, mirroring
+// fuzz_test.go: the strict decoders must never panic, and every accepted
+// document must survive an encode→decode round trip unchanged.
+
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func FuzzDecodeKeywordRequest(f *testing.F) {
+	seeds := []string{
+		`{"keywords":"automobile assembly germany"}`,
+		`{"keywords":"design engine italy","options":{"k":5,"tau":0.75},"max_candidates":3}`,
+		`{"keywords":"bmw","options":{"time_bound":"50ms","alert_ratio":0.8}}`,
+		`{"keywords":""}`,
+		`{"keywords":"x","max_candidates":-1}`, // invalid values still decode; Validate rejects later
+		`{"keywords":"x","bogus":1}`,           // unknown field: must error, not panic
+		`{"keywords":"x"} trailing`,
+		`{}`, `[]`, `{`, `null`, `"str"`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeKeywordRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request failed to encode: %v", err)
+		}
+		req2, err := DecodeKeywordRequest(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(req, req2) {
+			t.Fatalf("round trip changed the request:\n%+v\nvs\n%+v", req, req2)
+		}
+	})
+}
+
+func FuzzDecodeKeywordResult(f *testing.F) {
+	seeds := []string{
+		`{"keywords":["automobile","assembly","germany"],"candidates":[],"executed":0,
+		  "answers":[],"assembly_elapsed":"12µs","elapsed":"3ms","generation":0}`,
+		`{"keywords":["ger"],"unmatched":["zzz"],
+		  "candidates":[{"query":{"nodes":[{"id":"t0","type":"Automobile"},{"id":"e1","name":"Germany"}],
+		  "edges":[{"from":"t0","to":"e1","predicate":"assembly"}]},"score":0.41,"coverage":1,"explain":"focus ?Automobile"}],
+		  "executed":1,"runs":[{"candidate":0,"answers":2,"elapsed":"1ms"}],
+		  "answers":[{"entity":"BMW 320","score":0.9,"blended":0.37,"candidate":0}],
+		  "assembly_elapsed":"9µs","elapsed":"1ms","generation":3}`,
+		`{"keywords":[],"candidates":[],"executed":0,"answers":[],"assembly_elapsed":0,"elapsed":0,"generation":0}`,
+		`{"keywords":[],"bogus":1}`,
+		`{}`, `[]`, `{`, `null`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeKeywordResult(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		enc, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("accepted result failed to encode: %v", err)
+		}
+		res2, err := DecodeKeywordResult(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(res, res2) {
+			t.Fatalf("round trip changed the result:\n%+v\nvs\n%+v", res, res2)
+		}
+	})
+}
+
+func FuzzKeywordEventRoundTrip(f *testing.F) {
+	seeds := []string{
+		`{"event":"assembly","keywords":["automobile","germany"],"executed":2,
+		  "candidates":[{"query":{"nodes":[{"id":"t0","type":"Automobile"}],"edges":[]},"score":0.5,"coverage":1}]}`,
+		`{"event":"engine","candidate":0,"inner":{"event":"progress","sub":0,"collected":3}}`,
+		`{"event":"engine","candidate":1,"inner":{"event":"topk","round":1,"answers":[{"entity":"X","score":1}]}}`,
+		`{"event":"result","result":{"keywords":["ger"],"candidates":[],"executed":0,"answers":[],
+		  "assembly_elapsed":"1µs","elapsed":"2µs","generation":0}}`,
+		`{"event":""}`,
+		`{"event":"unknown-kind"}`,
+		`{}`, `[]`, `{`, `null`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, err := DecodeKeywordEvent(data)
+		if err != nil {
+			return
+		}
+		enc, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatalf("accepted event failed to encode: %v", err)
+		}
+		ev2, err := DecodeKeywordEvent(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(ev, ev2) {
+			t.Fatalf("round trip changed the event:\n%+v\nvs\n%+v", ev, ev2)
+		}
+	})
+}
+
+func FuzzDecodeSuggestResult(f *testing.F) {
+	seeds := []string{
+		`{"query":"ger","suggestions":[{"text":"Germany","kind":"entity","via":"prefix","count":1,"score":0.36}],
+		  "generation":0,"elapsed":"2µs"}`,
+		`{"query":"","suggestions":[],"generation":9,"elapsed":0}`,
+		`{"query":"x","suggestions":[{"text":"assembly","kind":"predicate","via":"exact","count":4,"score":1}],
+		  "generation":1,"elapsed":"1µs"}`,
+		`{"query":"x","bogus":1}`,
+		`{}`, `[]`, `{`, `null`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeSuggestResult(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		enc, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("accepted result failed to encode: %v", err)
+		}
+		res2, err := DecodeSuggestResult(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(res, res2) {
+			t.Fatalf("round trip changed the result:\n%+v\nvs\n%+v", res, res2)
+		}
+	})
+}

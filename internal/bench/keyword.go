@@ -1,0 +1,296 @@
+// Keyword experiment: the cost and quality of the keyword front end
+// (internal/keyword) against the structured baseline it assembles into.
+// Keywords are derived from the generated Simple workload ("<focus type>
+// <predicate> <anchor entity>"), so every input has a ground-truth
+// validation set. Three measurements per environment:
+//
+//   - assembly latency alone (tokenize → match → enumerate → score);
+//   - end-to-end latency of blended keyword search vs the equivalent
+//     structured query through the same serving layer (caches disabled,
+//     so every number is a real pipeline execution);
+//   - answer quality (precision/recall/F1 against the workload truth)
+//     of blended multi-candidate search vs executing only the single
+//     best candidate vs the hand-written structured query.
+//
+// Run via `go run ./cmd/kgbench -exp keyword` (writes BENCH_keyword.json).
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"semkg/internal/core"
+	"semkg/internal/keyword"
+	"semkg/internal/metrics"
+	"semkg/internal/query"
+	"semkg/internal/serve"
+)
+
+// KeywordRow is one measured workload slice.
+type KeywordRow struct {
+	Workload string `json:"workload"`
+	Queries  int    `json:"queries"`
+	Rounds   int    `json:"rounds"`
+	// Assembly latency percentiles in microseconds (keyword workloads).
+	AssemblyP50Us float64 `json:"assembly_p50_us,omitempty"`
+	AssemblyP95Us float64 `json:"assembly_p95_us,omitempty"`
+	// End-to-end latency percentiles in microseconds.
+	P50Us float64 `json:"p50_us"`
+	P95Us float64 `json:"p95_us"`
+	// Candidate statistics (keyword workloads): mean assembled and mean
+	// executed candidate queries per input.
+	CandidatesMean float64 `json:"candidates_mean,omitempty"`
+	ExecutedMean   float64 `json:"executed_mean,omitempty"`
+	// Quality against the workload validation sets.
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+}
+
+// KeywordBenchResult is the experiment artifact (BENCH_keyword.json).
+type KeywordBenchResult struct {
+	Dataset   string       `json:"dataset"`
+	Scale     string       `json:"scale"`
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	CPUs      int          `json:"cpus"`
+	When      string       `json:"when"`
+	Rows      []KeywordRow `json:"workloads"`
+}
+
+// keywordCase is one benchmark input: derived keywords plus the
+// structured query and truth they came from.
+type keywordCase struct {
+	input string
+	gq    *query.Graph
+	truth []string
+}
+
+// keywordCases derives keyword inputs from the Simple workload: the focus
+// type, every distinct predicate, and every anchor entity of each query,
+// in document order.
+func keywordCases(env *Env, limit int) []keywordCase {
+	var out []keywordCase
+	for _, gq := range env.Dataset.Simple {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		var words []string
+		for _, n := range gq.Graph.Nodes {
+			if n.Name == "" && n.Type != "" {
+				words = append(words, n.Type)
+			}
+		}
+		seen := map[string]bool{}
+		for _, e := range gq.Graph.Edges {
+			if !seen[e.Predicate] {
+				seen[e.Predicate] = true
+				words = append(words, e.Predicate)
+			}
+		}
+		for _, n := range gq.Graph.Nodes {
+			if n.Name != "" {
+				words = append(words, n.Name)
+			}
+		}
+		out = append(out, keywordCase{
+			input: strings.Join(words, " "),
+			gq:    gq.Graph,
+			truth: gq.Truth,
+		})
+	}
+	return out
+}
+
+// RunKeyword measures the keyword front end on this environment.
+func RunKeyword(env *Env, short bool) (*KeywordBenchResult, error) {
+	rounds, limit := 6, 0
+	if short {
+		rounds, limit = 2, 5
+	}
+	cases := keywordCases(env, limit)
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("bench: environment has no keyword cases")
+	}
+	opts := env.SearchOptions(10)
+	ctx := context.Background()
+	res := &KeywordBenchResult{
+		Dataset:   env.Cfg.Profile.Name,
+		Scale:     fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		When:      time.Now().UTC().Format(time.RFC3339),
+	}
+
+	// Caches off on both paths: every latency sample below is a real
+	// pipeline execution, not a cache hit.
+	srv := serve.New(env.Engine, serve.Config{ResultCache: -1, PlanCache: -1})
+	front := keyword.New(srv, keyword.Config{CacheSize: -1})
+
+	// Assembly alone.
+	var asmLat []time.Duration
+	candSum, execSum := 0, 0
+	for r := 0; r < rounds; r++ {
+		for _, c := range cases {
+			asm := keyword.Assemble(env.Dataset.Graph, c.input, keyword.Config{})
+			asmLat = append(asmLat, asm.Elapsed)
+			if r == 0 {
+				candSum += len(asm.Candidates)
+			}
+		}
+	}
+
+	// End-to-end: blended multi-candidate keyword search.
+	blended, err := runKeywordE2E(ctx, front, cases, opts, rounds, 0, &execSum)
+	if err != nil {
+		return nil, err
+	}
+	blended.Workload = "keyword-blended"
+	blended.AssemblyP50Us = percentile(sortedLatencies(asmLat), 0.5)
+	blended.AssemblyP95Us = percentile(sortedLatencies(asmLat), 0.95)
+	blended.CandidatesMean = float64(candSum) / float64(len(cases))
+	blended.ExecutedMean = float64(execSum) / float64(len(cases))
+
+	// End-to-end: best single candidate only.
+	single, err := runKeywordE2E(ctx, front, cases, opts, rounds, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	single.Workload = "keyword-single"
+
+	// Structured baseline: the hand-written query through the same
+	// serving layer.
+	structured, err := runStructuredE2E(ctx, srv, cases, opts, rounds)
+	if err != nil {
+		return nil, err
+	}
+
+	res.Rows = append(res.Rows, blended, single, structured)
+	return res, nil
+}
+
+// runKeywordE2E replays every case through the keyword front end for the
+// given number of rounds, collecting latencies and (first round) quality.
+// maxCandidates 0 uses the front end's default blend width.
+func runKeywordE2E(ctx context.Context, front *keyword.Frontend, cases []keywordCase,
+	opts core.Options, rounds, maxCandidates int, execSum *int) (KeywordRow, error) {
+	var lat []time.Duration
+	var prs []metrics.PR
+	for r := 0; r < rounds; r++ {
+		for _, c := range cases {
+			start := time.Now()
+			resp, err := front.Search(ctx, c.input, opts, maxCandidates)
+			if err != nil {
+				return KeywordRow{}, fmt.Errorf("keywords %q: %w", c.input, err)
+			}
+			lat = append(lat, time.Since(start))
+			if r == 0 {
+				var entities []string
+				for _, a := range resp.Answers {
+					entities = append(entities, a.Entity)
+				}
+				prs = append(prs, metrics.Evaluate(entities, c.truth))
+				if execSum != nil {
+					*execSum += resp.Executed
+				}
+			}
+		}
+	}
+	sorted := sortedLatencies(lat)
+	pr := metrics.Mean(prs)
+	return KeywordRow{
+		Queries:   len(cases),
+		Rounds:    rounds,
+		P50Us:     percentile(sorted, 0.5),
+		P95Us:     percentile(sorted, 0.95),
+		Precision: pr.Precision,
+		Recall:    pr.Recall,
+		F1:        pr.F1,
+	}, nil
+}
+
+// runStructuredE2E replays the hand-written structured queries through
+// the same serving layer — the baseline the keyword path is judged
+// against.
+func runStructuredE2E(ctx context.Context, srv *serve.Engine, cases []keywordCase,
+	opts core.Options, rounds int) (KeywordRow, error) {
+	var lat []time.Duration
+	var prs []metrics.PR
+	for r := 0; r < rounds; r++ {
+		for _, c := range cases {
+			start := time.Now()
+			res, err := srv.Search(ctx, c.gq, opts)
+			if err != nil {
+				return KeywordRow{}, fmt.Errorf("structured %s: %w", c.input, err)
+			}
+			lat = append(lat, time.Since(start))
+			if r == 0 {
+				var entities []string
+				for _, a := range res.Answers {
+					entities = append(entities, a.PivotName)
+				}
+				prs = append(prs, metrics.Evaluate(entities, c.truth))
+			}
+		}
+	}
+	sorted := sortedLatencies(lat)
+	pr := metrics.Mean(prs)
+	return KeywordRow{
+		Workload:  "structured",
+		Queries:   len(cases),
+		Rounds:    rounds,
+		P50Us:     percentile(sorted, 0.5),
+		P95Us:     percentile(sorted, 0.95),
+		Precision: pr.Precision,
+		Recall:    pr.Recall,
+		F1:        pr.F1,
+	}, nil
+}
+
+// WriteJSON stores the artifact.
+func (r *KeywordBenchResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render formats the comparison as a text table.
+func (r *KeywordBenchResult) Render() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Keyword front end (%s, %s, %s/%s)", r.Dataset, r.Scale, r.GOOS, r.GOARCH),
+		Header: []string{"workload", "queries", "asm p50 µs", "asm p95 µs",
+			"p50 µs", "p95 µs", "cands", "exec", "P", "R", "F1"},
+	}
+	for _, row := range r.Rows {
+		asm50, asm95, cands, exec := "-", "-", "-", "-"
+		if row.AssemblyP50Us > 0 {
+			asm50 = fmt.Sprintf("%.0f", row.AssemblyP50Us)
+			asm95 = fmt.Sprintf("%.0f", row.AssemblyP95Us)
+		}
+		if row.CandidatesMean > 0 {
+			cands = fmt.Sprintf("%.1f", row.CandidatesMean)
+			exec = fmt.Sprintf("%.1f", row.ExecutedMean)
+		}
+		t.AddRow(row.Workload,
+			fmt.Sprintf("%d", row.Queries),
+			asm50, asm95,
+			fmt.Sprintf("%.0f", row.P50Us),
+			fmt.Sprintf("%.0f", row.P95Us),
+			cands, exec,
+			fmt.Sprintf("%.2f", row.Precision),
+			fmt.Sprintf("%.2f", row.Recall),
+			fmt.Sprintf("%.2f", row.F1),
+		)
+	}
+	return t
+}

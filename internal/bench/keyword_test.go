@@ -1,0 +1,52 @@
+package bench
+
+import "testing"
+
+// TestRunKeywordShape runs the keyword experiment end to end (short
+// iteration counts) and checks the acceptance properties: three
+// workloads with positive latency measurements, assembly latency and
+// candidate counts reported for the blended path, and blended recall at
+// least matching the single-candidate path (blending can only add
+// answers). Skipped in -short mode (the environment trains an
+// embedding).
+func TestRunKeywordShape(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunKeyword(env, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("keyword rows = %d, want 3", len(res.Rows))
+	}
+	byName := map[string]KeywordRow{}
+	for _, row := range res.Rows {
+		byName[row.Workload] = row
+		if row.P50Us <= 0 || row.P95Us <= 0 || row.Queries <= 0 {
+			t.Errorf("%s: non-positive measurements: %+v", row.Workload, row)
+		}
+	}
+	blended, ok := byName["keyword-blended"]
+	if !ok {
+		t.Fatal("missing keyword-blended workload")
+	}
+	if blended.AssemblyP50Us <= 0 || blended.AssemblyP95Us < blended.AssemblyP50Us {
+		t.Errorf("assembly percentiles off: %+v", blended)
+	}
+	if blended.CandidatesMean < 1 || blended.ExecutedMean < 1 {
+		t.Errorf("candidate counts off: %+v", blended)
+	}
+	single, ok := byName["keyword-single"]
+	if !ok {
+		t.Fatal("missing keyword-single workload")
+	}
+	if blended.Recall < single.Recall {
+		t.Errorf("blended recall %.2f below single-candidate recall %.2f",
+			blended.Recall, single.Recall)
+	}
+	if _, ok := byName["structured"]; !ok {
+		t.Fatal("missing structured workload")
+	}
+	if blended.Recall <= 0 {
+		t.Errorf("blended keyword search recovered nothing: %+v", blended)
+	}
+}

@@ -1,0 +1,138 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// nameSeedSalt separates the naming random stream from the structural
+// one. Zipf naming must not perturb edges, schemas or workloads: the
+// namer draws from its own source derived from the profile seed, so a
+// world keeps the exact same shape whichever style spells its names.
+const nameSeedSalt = 0x6e616d6573 // "names"
+
+// nameVocab is the token vocabulary multi-word names are drawn from,
+// zipf-ranked: early words dominate (as "United", "New" or "National" do
+// in real entity names), the tail appears rarely. Order is part of the
+// deterministic output — append only.
+var nameVocab = []string{
+	"United", "New", "National", "Royal", "Grand", "Northern", "Southern",
+	"Eastern", "Western", "Central", "Great", "Saint", "Upper", "Lower",
+	"Old", "Free", "Golden", "Silver", "Iron", "Stone",
+	"River", "Lake", "Mountain", "Valley", "Harbor", "Bridge", "Forest",
+	"Island", "Coast", "Bay", "Hill", "Field", "Spring", "Crown",
+	"Star", "Sun", "Moon", "North", "South", "East", "West",
+	"Union", "Republic", "Kingdom", "Federation", "Alliance", "League",
+	"Motor", "Engine", "Dynamics", "Industries", "Works", "Systems",
+	"Technologies", "Holdings", "Group", "Partners", "Consolidated",
+	"General", "Standard", "Precision", "Advanced", "Pacific", "Atlantic",
+	"Continental", "Global", "Imperial", "Sterling", "Summit", "Pioneer",
+	"Phoenix", "Falcon", "Eagle", "Lion", "Bear", "Wolf", "Fox",
+	"Hawk", "Raven", "Tiger", "Panther", "Cobra", "Viper", "Stallion",
+	"Alba", "Bravo", "Corda", "Delta", "Echo", "Ferro", "Gala",
+	"Helio", "Indus", "Juno", "Kilo", "Luna", "Mira", "Nova",
+	"Orion", "Prima", "Quanta", "Rhea", "Sierra", "Terra", "Ultra",
+	"Vega", "Wexford", "Xenia", "Yarrow", "Zephyr", "Avalon", "Brix",
+	"Calder", "Dorn", "Elm", "Farley", "Grove", "Hale", "Ives",
+	"Jarrow", "Keld", "Larkin", "Marsh", "Nesbit", "Orme", "Penrose",
+	"Quill", "Rast", "Selby", "Thorne", "Usk", "Vane", "Wren",
+	"Ash", "Birch", "Cedar", "Dale", "Ems", "Firth", "Glen",
+	"Heath", "Ingram", "Jute", "Kirk", "Lund", "Moor", "Ness",
+	"Oak", "Pike", "Quay", "Ridge", "Strand", "Tarn", "Vale",
+	"Wold", "York", "Zeal", "Arden", "Bexley", "Cramond", "Dunmore",
+	"Eston", "Fenwick", "Garth", "Holm", "Islay", "Jura", "Kendal",
+	"Lorne", "Morven", "Nairn", "Orwell", "Pentland", "Renfrew",
+	"Solway", "Tweed", "Ullswater", "Verne", "Windermere", "Yell",
+	"Zetland", "Alloway", "Braemar", "Carrick", "Dornoch", "Elgin",
+	"Fortrose", "Girvan", "Huntly", "Inverness", "Jedburgh", "Kelso",
+	"Lanark", "Melrose", "Nethy", "Oban", "Peebles", "Rothesay",
+	"Stirling", "Tain", "Urquhart", "Wick",
+}
+
+// namer spells node names. The plain style (the default) keeps the
+// classic "Kind_<i>" identifiers bit-for-bit; the zipf style memoizes a
+// realistic multi-word name (1–4 words) per identifier, unique across
+// the world so the builder never merges two entities by accident.
+type namer struct {
+	zipfStyle bool
+	zipf      *rand.Zipf
+	rng       *rand.Rand
+	memo      map[string]string
+	taken     map[string]bool
+}
+
+func newNamer(p Profile) *namer {
+	n := &namer{memo: make(map[string]string), taken: make(map[string]bool)}
+	if p.NameStyle == NameStyleZipf {
+		n.zipfStyle = true
+		n.rng = rand.New(rand.NewSource(p.Seed ^ nameSeedSalt))
+		n.zipf = rand.NewZipf(n.rng, 1.25, 2.0, uint64(len(nameVocab)-1))
+	}
+	return n
+}
+
+// name maps a plain identifier (the classic "Kind_<i>" form) to the
+// world's node name. Every call site that re-derives the same identifier
+// gets the same spelling back.
+func (n *namer) name(plain string) string {
+	if !n.zipfStyle {
+		return plain
+	}
+	if got, ok := n.memo[plain]; ok {
+		return got
+	}
+	got := n.fresh()
+	n.memo[plain] = got
+	n.taken[got] = true
+	return got
+}
+
+// fresh draws a unique multi-word name: 1–4 zipf-ranked vocabulary words
+// (weighted towards 2), growing by a word and finally by a numeric
+// suffix when the spelling is already taken.
+func (n *namer) fresh() string {
+	words := n.draw(n.wordCount())
+	for tries := 0; tries < 4; tries++ {
+		cand := strings.Join(words, " ")
+		if !n.taken[cand] {
+			return cand
+		}
+		words = append(words, nameVocab[n.zipf.Uint64()])
+	}
+	base := strings.Join(words, " ")
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s %d", base, i)
+		if !n.taken[cand] {
+			return cand
+		}
+	}
+}
+
+func (n *namer) wordCount() int {
+	switch x := n.rng.Float64(); {
+	case x < 0.25:
+		return 1
+	case x < 0.65:
+		return 2
+	case x < 0.90:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// draw samples k distinct vocabulary words by zipf rank.
+func (n *namer) draw(k int) []string {
+	out := make([]string, 0, k)
+	seen := make(map[string]bool, k)
+	for len(out) < k {
+		w := nameVocab[n.zipf.Uint64()]
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		out = append(out, w)
+	}
+	return out
+}

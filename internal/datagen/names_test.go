@@ -1,0 +1,103 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"semkg/internal/kg"
+)
+
+func zipfProfile() Profile {
+	p := smallProfile()
+	p.NameStyle = NameStyleZipf
+	return p
+}
+
+// TestZipfNamesRealistic: zipf naming produces multi-word names (1–4
+// words), a substantial multi-word fraction, and no collisions — the
+// builder would silently merge two entities that share a spelling, so
+// the node count must match the plain-style world exactly.
+func TestZipfNamesRealistic(t *testing.T) {
+	plain := Generate(smallProfile())
+	zipf := Generate(zipfProfile())
+
+	if zipf.Graph.NumNodes() != plain.Graph.NumNodes() {
+		t.Fatalf("zipf world has %d nodes, plain has %d — name collision merged entities",
+			zipf.Graph.NumNodes(), plain.Graph.NumNodes())
+	}
+	multi := 0
+	for u := 0; u < zipf.Graph.NumNodes(); u++ {
+		name := zipf.Graph.NodeName(kg.NodeID(u))
+		words := strings.Split(name, " ")
+		if len(words) < 1 || len(words) > 5 { // 4 words + rare numeric suffix
+			t.Fatalf("name %q has %d words, want 1–4 (+suffix)", name, len(words))
+		}
+		if len(words) > 1 {
+			multi++
+		}
+		if strings.Contains(name, "_") && !strings.Contains(name, "Topic") {
+			t.Fatalf("zipf world leaked a plain identifier: %q", name)
+		}
+	}
+	if frac := float64(multi) / float64(zipf.Graph.NumNodes()); frac < 0.4 {
+		t.Errorf("only %.0f%% of names are multi-word; zipf style should dominate", frac*100)
+	}
+}
+
+// TestZipfNamesDeterministic: same seed, same names — byte for byte,
+// node for node.
+func TestZipfNamesDeterministic(t *testing.T) {
+	a := Generate(zipfProfile())
+	b := Generate(zipfProfile())
+	if a.Graph.NumNodes() != b.Graph.NumNodes() {
+		t.Fatal("zipf generation is not deterministic")
+	}
+	for u := 0; u < a.Graph.NumNodes(); u++ {
+		if a.Graph.NodeName(kg.NodeID(u)) != b.Graph.NodeName(kg.NodeID(u)) {
+			t.Fatalf("node %d named %q vs %q across identical runs",
+				u, a.Graph.NodeName(kg.NodeID(u)), b.Graph.NodeName(kg.NodeID(u)))
+		}
+	}
+}
+
+// TestZipfPreservesWorldShape: the naming stream is seeded separately,
+// so switching styles renames nodes without moving a single edge.
+func TestZipfPreservesWorldShape(t *testing.T) {
+	plain := Generate(smallProfile())
+	zipf := Generate(zipfProfile())
+
+	if plain.Graph.NumEdges() != zipf.Graph.NumEdges() ||
+		plain.Graph.NumTypes() != zipf.Graph.NumTypes() ||
+		plain.Graph.NumPredicates() != zipf.Graph.NumPredicates() {
+		t.Fatalf("world shape differs across name styles: %v vs %v",
+			plain.Graph.Stats(), zipf.Graph.Stats())
+	}
+	// Node IDs are allocated in generation order, so edge structure must
+	// be identical ID for ID.
+	for e := 0; e < plain.Graph.NumEdges(); e++ {
+		pe, ze := plain.Graph.EdgeAt(kg.EdgeID(e)), zipf.Graph.EdgeAt(kg.EdgeID(e))
+		if pe.Src != ze.Src || pe.Dst != ze.Dst || pe.Pred != ze.Pred {
+			t.Fatalf("edge %d differs across name styles: %+v vs %+v", e, pe, ze)
+		}
+	}
+	// Workloads follow the renaming but keep their sizes.
+	if len(plain.Simple) != len(zipf.Simple) {
+		t.Fatalf("workload sizes differ: %d vs %d", len(plain.Simple), len(zipf.Simple))
+	}
+	for i := range plain.Simple {
+		if len(plain.Simple[i].Truth) != len(zipf.Simple[i].Truth) {
+			t.Fatalf("query %d truth size differs across name styles", i)
+		}
+	}
+}
+
+// TestPlainNamesUnchanged: the default style still emits the classic
+// identifiers — downstream goldens and docs depend on them.
+func TestPlainNamesUnchanged(t *testing.T) {
+	d := Generate(smallProfile())
+	for _, want := range []string{"Country_0", "City_0_0", "Company_0", "Auto_0", "Person_0"} {
+		if d.Graph.NodeByName(want) < 0 {
+			t.Errorf("plain world missing classic name %q", want)
+		}
+	}
+}

@@ -28,6 +28,13 @@ type Profile struct {
 	Name string
 	// Seed drives all randomness.
 	Seed int64
+	// NameStyle selects node naming: "" (or NameStylePlain) keeps the
+	// classic "Kind_<i>" identifiers bit-for-bit; NameStyleZipf spells
+	// realistic multi-word names (1–4 words from a zipf-ranked
+	// vocabulary). The naming stream is seeded separately from the
+	// structural one, so both styles produce the identical world shape
+	// and the snapshot/TSV formats are unchanged.
+	NameStyle string
 
 	Countries    int
 	CitiesPerCtr int // cities per country
@@ -42,6 +49,15 @@ type Profile struct {
 	FillerTypes   int
 	FillerPerType int
 }
+
+// Node-name styles for Profile.NameStyle.
+const (
+	// NameStylePlain is the default: "Country_0", "Auto_17", ...
+	NameStylePlain = ""
+	// NameStyleZipf draws realistic multi-word names from a zipf-ranked
+	// token vocabulary, deterministically per seed.
+	NameStyleZipf = "zipf"
+)
 
 // DBpediaLike returns the profile mirroring the paper's DBpedia relative
 // characteristics (moderate type count, production-schema skew of Fig. 1)

@@ -108,6 +108,7 @@ type GenQuery struct {
 // Generate builds a deterministic world from the profile.
 func Generate(p Profile) *Dataset {
 	rng := rand.New(rand.NewSource(p.Seed))
+	nm := newNamer(p)
 	b := kg.NewBuilder(1024, 4096)
 	d := &Dataset{Profile: p}
 
@@ -115,11 +116,11 @@ func Generate(p Profile) *Dataset {
 	countries := make([]string, p.Countries)
 	cities := make(map[string][]string, p.Countries)
 	for i := range countries {
-		c := fmt.Sprintf("Country_%d", i)
+		c := nm.name(fmt.Sprintf("Country_%d", i))
 		countries[i] = c
 		b.AddNode(c, "Country")
 		for j := 0; j < p.CitiesPerCtr; j++ {
-			city := fmt.Sprintf("City_%d_%d", i, j)
+			city := nm.name(fmt.Sprintf("City_%d_%d", i, j))
 			b.AddNode(city, "City")
 			b.AddEdge(b.AddNode(city, "City"), b.AddNode(c, "Country"), "country")
 			cities[c] = append(cities[c], city)
@@ -146,7 +147,7 @@ func Generate(p Profile) *Dataset {
 	companiesDirect := make(map[string][]string)
 	companiesViaCity := make(map[string][]string)
 	for k := 0; k < p.Companies; k++ {
-		name := fmt.Sprintf("Company_%d", k)
+		name := nm.name(fmt.Sprintf("Company_%d", k))
 		id := b.AddNode(name, "Company")
 		c := pickCountry()
 		if k%2 == 0 {
@@ -163,7 +164,7 @@ func Generate(p Profile) *Dataset {
 	peopleByNat := make(map[string][]string)
 	people := make([]string, p.People)
 	for m := range people {
-		name := fmt.Sprintf("Person_%d", m)
+		name := nm.name(fmt.Sprintf("Person_%d", m))
 		people[m] = name
 		id := b.AddNode(name, "Person")
 		c := pickCountry()
@@ -180,7 +181,7 @@ func Generate(p Profile) *Dataset {
 	engineCtr := make(map[string]string)
 	enginesByCtr := make(map[string][]string)
 	for e := range engines {
-		name := fmt.Sprintf("Engine_%d", e)
+		name := nm.name(fmt.Sprintf("Engine_%d", e))
 		engines[e] = name
 		id := b.AddNode(name, "Engine")
 		// Engine manufacturers come from the direct-location companies so
@@ -198,7 +199,7 @@ func Generate(p Profile) *Dataset {
 	// --- Automobiles -------------------------------------------------------
 	d.autos = make([]autoInfo, p.Autos)
 	for a := range d.autos {
-		name := fmt.Sprintf("Auto_%d", a)
+		name := nm.name(fmt.Sprintf("Auto_%d", a))
 		id := b.AddNode(name, "Automobile")
 		c := pickCountry()
 		schema := sampleSchema(rng)
@@ -278,7 +279,7 @@ func Generate(p Profile) *Dataset {
 
 	// --- Soccer clubs -------------------------------------------------------
 	for cIdx := 0; cIdx < p.Clubs; cIdx++ {
-		name := fmt.Sprintf("Club_%d", cIdx)
+		name := nm.name(fmt.Sprintf("Club_%d", cIdx))
 		id := b.AddNode(name, "SoccerClub")
 		c := pickCountry()
 		b.AddEdge(id, b.AddNode(pickCity(c), "City"), "ground")
@@ -293,13 +294,13 @@ func Generate(p Profile) *Dataset {
 	for t := 0; t < p.FillerTypes; t++ {
 		typeName := fmt.Sprintf("Topic%02d", t)
 		for x := 0; x < p.FillerPerType; x++ {
-			name := fmt.Sprintf("%s_%d", typeName, x)
+			name := nm.name(fmt.Sprintf("%s_%d", typeName, x))
 			id := b.AddNode(name, typeName)
 			// Loosely attached to the world via misc predicates.
 			target := people[rng.Intn(len(people))]
 			b.AddEdge(id, b.AddNode(target, "Person"), "associatedWith")
 			if x > 0 {
-				prev := fmt.Sprintf("%s_%d", typeName, x-1)
+				prev := nm.name(fmt.Sprintf("%s_%d", typeName, x-1))
 				b.AddEdge(id, b.AddNode(prev, typeName), "linkedTo")
 			}
 		}

@@ -1,0 +1,131 @@
+// Package keyword is the keyword-search front end: it turns a bag of bare
+// keywords ("design engine italy") into executable query graphs and blends
+// their answers — the workload of the paper's millions of non-expert
+// users, who do not write structured query docs or SPARQL.
+//
+// The pipeline follows "Keyword Search on RDF Graphs — A Query Graph
+// Assembly Approach" (see PAPERS.md), adapted to this engine:
+//
+//  1. Tokenize: the input is normalized with the identical strutil rules
+//     the kg name indexes were built with, and adjacent tokens are greedily
+//     fused when the fused form hits an index exactly ("new york" →
+//     "new_york").
+//  2. Match: each keyword maps to candidate graph elements — entities and
+//     types through the exact/prefix/initials name indexes
+//     (kg.NodesByNormName and friends, never an O(|V|) scan), predicates
+//     by normalized name over the small predicate vocabulary.
+//  3. Assemble: small connection structures joining the keyword matches
+//     are enumerated — stars around a focus target node, per-entity
+//     attachments of one or two hops (typed intermediates), and a chain of
+//     additional target types — each a well-formed, decomposable query
+//     graph (trial-decomposed before it is emitted).
+//  4. Score: match quality × structural evidence × selectivity, all
+//     computed from the graph's own statistics (PredCount, Degree, type
+//     cardinalities); see DESIGN.md, "Query-graph assembly".
+//  5. Execute and blend: the top-B candidates run concurrently through
+//     the serving layer (one compiled plan per candidate, so result/plan
+//     caching, singleflight and admission control all apply) and the
+//     per-candidate top-k lists blend into one deduplicated ranking via
+//     merge.Blend with a deterministic tie-break.
+//
+// Frontend is the serving-side entry point; Assemble and Suggest are
+// usable standalone (kgbench measures assembly without a server).
+package keyword
+
+import (
+	"fmt"
+	"strings"
+
+	"semkg/internal/core"
+	"semkg/internal/query"
+)
+
+// Config bounds the front end. The zero value gives production defaults;
+// every bound exists to keep assembly latency index-shaped (microseconds,
+// never a graph scan).
+type Config struct {
+	// MaxCandidates is B: how many top-scored candidate query graphs
+	// execute per request. 0 = default 3; requests may lower it.
+	MaxCandidates int
+	// MaxInterps caps the interpretations kept per keyword after ranking.
+	// 0 = default 4.
+	MaxInterps int
+	// MaxEnumerated caps the assembled candidates kept after scoring.
+	// 0 = default 24.
+	MaxEnumerated int
+	// MaxCombos caps the interpretation combinations explored.
+	// 0 = default 64.
+	MaxCombos int
+	// HopBudget bounds the connection structures joining a keyword entity
+	// to the focus target: 1 = direct edges only, 2 adds one typed
+	// intermediate. 0 = default 2.
+	HopBudget int
+	// EvidenceNodes caps the matched entities inspected per keyword when
+	// gathering connection evidence. 0 = default 8.
+	EvidenceNodes int
+	// EvidenceScan caps the adjacency halves scanned per inspected
+	// entity. 0 = default 256.
+	EvidenceScan int
+	// CacheSize bounds the generation-gated keyword result cache.
+	// 0 = default 512; < 0 disables caching.
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 3
+	}
+	if c.MaxInterps <= 0 {
+		c.MaxInterps = 4
+	}
+	if c.MaxEnumerated <= 0 {
+		c.MaxEnumerated = 24
+	}
+	if c.MaxCombos <= 0 {
+		c.MaxCombos = 64
+	}
+	if c.HopBudget <= 0 {
+		c.HopBudget = 2
+	}
+	if c.HopBudget > 2 {
+		c.HopBudget = 2
+	}
+	if c.EvidenceNodes <= 0 {
+		c.EvidenceNodes = 8
+	}
+	if c.EvidenceScan <= 0 {
+		c.EvidenceScan = 256
+	}
+	switch {
+	case c.CacheSize == 0:
+		c.CacheSize = 512
+	case c.CacheSize < 0:
+		c.CacheSize = 0
+	}
+	return c
+}
+
+// canonKey renders a query graph canonically (length-prefixed, like the
+// serving layer's cache keys) for candidate dedup and deterministic
+// tie-breaks.
+func canonKey(q *query.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "q:%d,%d;", len(q.Nodes), len(q.Edges))
+	for _, n := range q.Nodes {
+		fmt.Fprintf(&b, "n%d:%s%d:%s%d:%s", len(n.ID), n.ID, len(n.Name), n.Name, len(n.Type), n.Type)
+	}
+	for _, e := range q.Edges {
+		fmt.Fprintf(&b, "e%d:%s%d:%s%d:%s", len(e.From), e.From, len(e.To), e.To, len(e.Predicate), e.Predicate)
+	}
+	return b.String()
+}
+
+// normalizedScore maps an engine answer score (a sum of per-sub-query PSS
+// values, each in (0,1]) back into (0,1] so answers from candidates with
+// different sub-query counts blend on one scale.
+func normalizedScore(a core.Answer) float64 {
+	if len(a.Parts) == 0 {
+		return a.Score
+	}
+	return a.Score / float64(len(a.Parts))
+}

@@ -1,0 +1,88 @@
+package keyword
+
+import (
+	"sort"
+	"time"
+
+	"semkg/internal/kg"
+	"semkg/internal/strutil"
+)
+
+// Suggestion is one autocomplete completion: a graph element the typed
+// fragment resolves to through the exact/prefix/initials indexes.
+type Suggestion struct {
+	// Text is the graph's spelling of the element.
+	Text string
+	// Kind is the element kind (entity, type, predicate).
+	Kind Kind
+	// Via is the index path that produced the completion.
+	Via Via
+	// Count is the element's mass (nodes with the name, type cardinality,
+	// or predicate edge count).
+	Count int
+	// Score is the match quality the keyword matcher assigns.
+	Score float64
+}
+
+// Suggestions is an autocomplete response.
+type Suggestions struct {
+	// Query echoes the input fragment.
+	Query string
+	// Items are the completions, best first.
+	Items []Suggestion
+	// Generation is the engine generation answered from.
+	Generation uint64
+	// Elapsed is the lookup time.
+	Elapsed time.Duration
+}
+
+// DefaultSuggestLimit caps completions when the caller passes limit <= 0.
+const DefaultSuggestLimit = 10
+
+// Suggest completes the fragment q against g's name indexes — pure index
+// probes plus a scan of the small predicate vocabulary, never a search.
+// Completions rank by match quality, then popularity (larger Count
+// first), then text.
+func Suggest(g *kg.Graph, q string, limit int) []Suggestion {
+	if limit <= 0 {
+		limit = DefaultSuggestLimit
+	}
+	norm := strutil.Normalize(q)
+	if norm == "" {
+		return nil
+	}
+	interps := matchKeyword(g, norm, 4*limit)
+	out := make([]Suggestion, 0, len(interps))
+	seen := make(map[string]bool, len(interps))
+	for _, it := range interps {
+		id := string(it.Kind) + "\x00" + it.Name
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, Suggestion{Text: it.Name, Kind: it.Kind, Via: it.Via, Count: it.Count, Score: it.Quality})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Text < out[j].Text
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Suggest answers autocomplete from the served graph's indexes. It never
+// assembles or executes a query.
+func (f *Frontend) Suggest(q string, limit int) *Suggestions {
+	start := time.Now()
+	eng, gen := f.srv.Current()
+	items := Suggest(eng.Graph(), q, limit)
+	f.suggests.Add(1)
+	return &Suggestions{Query: q, Items: items, Generation: gen, Elapsed: time.Since(start)}
+}

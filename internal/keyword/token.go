@@ -1,0 +1,81 @@
+package keyword
+
+import (
+	"strings"
+	"unicode"
+
+	"semkg/internal/kg"
+	"semkg/internal/strutil"
+)
+
+// Token is one keyword after normalization and fusion. Raw preserves the
+// user's spelling (for echoes and "unmatched" reports); Norm is the
+// strutil.Normalize form the kg indexes are keyed by.
+type Token struct {
+	Raw  string
+	Norm string
+	// Interps are the ranked interpretations (empty when the keyword hits
+	// nothing). Populated by Assemble, not by Tokenize.
+	Interps []Interp
+}
+
+// Tokenize splits input into normalized keywords using the exact rules
+// the PR-1 name indexes were built with: fields split on whitespace and
+// commas, each normalized with strutil.Normalize. Adjacent tokens fuse
+// greedily (longest first, up to 4 words) when the underscore-joined form
+// hits a node name, type name, or predicate name exactly — "new york
+// city" becomes one keyword when the graph knows the entity. Fusion only
+// ever consults the exact (norm) indexes, so it costs one map probe per
+// attempted width.
+func Tokenize(g *kg.Graph, input string) []Token {
+	fields := strings.FieldsFunc(input, func(r rune) bool {
+		return unicode.IsSpace(r) || r == ','
+	})
+	type piece struct{ raw, norm string }
+	var pieces []piece
+	for _, f := range fields {
+		n := strutil.Normalize(f)
+		if n == "" {
+			continue
+		}
+		pieces = append(pieces, piece{raw: f, norm: n})
+	}
+	var out []Token
+	for i := 0; i < len(pieces); {
+		fused := false
+		for w := min(4, len(pieces)-i); w >= 2; w-- {
+			norms := make([]string, w)
+			raws := make([]string, w)
+			for j := 0; j < w; j++ {
+				norms[j] = pieces[i+j].norm
+				raws[j] = pieces[i+j].raw
+			}
+			joined := strings.Join(norms, "_")
+			if exactHit(g, joined) {
+				out = append(out, Token{Raw: strings.Join(raws, " "), Norm: joined})
+				i += w
+				fused = true
+				break
+			}
+		}
+		if !fused {
+			out = append(out, Token{Raw: pieces[i].raw, Norm: pieces[i].norm})
+			i++
+		}
+	}
+	return out
+}
+
+// exactHit reports whether norm is an exact normalized node name, type
+// name, or predicate name in g.
+func exactHit(g *kg.Graph, norm string) bool {
+	if len(g.NodesByNormName(norm)) > 0 || len(g.TypesByNormName(norm)) > 0 {
+		return true
+	}
+	for _, p := range g.Predicates() {
+		if strutil.Normalize(p) == norm {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,117 @@
+package keyword
+
+// Wire conversion lives here, not in internal/api: api defines the pure
+// wire structs and strict decoders (shared by servers and clients) and
+// must stay import-free of the engine stack, while this package already
+// sits on top of it. Servers convert with WireResult/EncodeEvent/
+// WireSuggestions; clients decode with api.Decode*.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"semkg/internal/api"
+)
+
+// WireResult converts a front-end response into its wire form.
+func WireResult(r *Response) api.KeywordResult {
+	out := api.KeywordResult{
+		Executed:        r.Executed,
+		Answers:         make([]api.KeywordAnswer, len(r.Answers)),
+		AssemblyElapsed: api.Duration(r.Assembly.Elapsed),
+		Elapsed:         api.Duration(r.Elapsed),
+		Generation:      r.Generation,
+	}
+	for _, tok := range r.Assembly.Tokens {
+		out.Keywords = append(out.Keywords, tok.Norm)
+	}
+	out.Unmatched = r.Assembly.Unmatched
+	for _, c := range r.Assembly.Candidates {
+		out.Candidates = append(out.Candidates, api.KeywordCandidate{
+			Query:    api.QueryFrom(c.Query),
+			Score:    c.Score,
+			Coverage: c.Coverage,
+			Explain:  c.Explain,
+		})
+	}
+	for _, run := range r.Runs {
+		out.Runs = append(out.Runs, api.KeywordRun{
+			Candidate:   run.Index,
+			Answers:     run.Answers,
+			Elapsed:     api.Duration(run.Elapsed),
+			Approximate: run.Approximate,
+			Error:       run.Err,
+		})
+	}
+	for i, a := range r.Answers {
+		out.Answers[i] = api.KeywordAnswer{
+			Answer:    api.AnswerFrom(a.Answer),
+			Blended:   a.Blended,
+			Candidate: a.Candidate,
+		}
+	}
+	return out
+}
+
+// WireEvent converts a front-end stream event into its wire form.
+func WireEvent(ev Event) (api.KeywordEvent, error) {
+	switch {
+	case ev.Assembly != nil:
+		out := api.KeywordEvent{Event: api.KeywordEventAssembly, Executed: ev.Executed}
+		for _, tok := range ev.Assembly.Tokens {
+			out.Keywords = append(out.Keywords, tok.Norm)
+		}
+		out.Unmatched = ev.Assembly.Unmatched
+		for _, c := range ev.Assembly.Candidates {
+			out.Candidates = append(out.Candidates, api.KeywordCandidate{
+				Query:    api.QueryFrom(c.Query),
+				Score:    c.Score,
+				Coverage: c.Coverage,
+				Explain:  c.Explain,
+			})
+		}
+		return out, nil
+	case ev.Final != nil:
+		r := WireResult(ev.Final)
+		return api.KeywordEvent{Event: api.KeywordEventResult, Result: &r}, nil
+	case ev.Inner != nil:
+		inner, err := api.EventFrom(ev.Inner)
+		if err != nil {
+			return api.KeywordEvent{}, err
+		}
+		c := ev.Candidate
+		return api.KeywordEvent{Event: api.KeywordEventEngine, Candidate: &c, Inner: &inner}, nil
+	default:
+		return api.KeywordEvent{}, fmt.Errorf("keyword: event with no payload")
+	}
+}
+
+// EncodeEvent renders one keyword-stream event as a single NDJSON line
+// (without the trailing newline).
+func EncodeEvent(ev Event) ([]byte, error) {
+	w, err := WireEvent(ev)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(w)
+}
+
+// WireSuggestions converts a suggestion set to its wire form.
+func WireSuggestions(s *Suggestions) api.SuggestResult {
+	out := api.SuggestResult{
+		Query:       s.Query,
+		Suggestions: make([]api.Suggestion, len(s.Items)),
+		Generation:  s.Generation,
+		Elapsed:     api.Duration(s.Elapsed),
+	}
+	for i, it := range s.Items {
+		out.Suggestions[i] = api.Suggestion{
+			Text:  it.Text,
+			Kind:  string(it.Kind),
+			Via:   string(it.Via),
+			Count: it.Count,
+			Score: it.Score,
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package merge
+
+import "sort"
+
+// Blend merges several independently ranked lists into one deduplicated
+// top-k ranking: the keyword front end's per-candidate answer lists enter
+// here, exactly as the per-shard match streams enter Sorted. Items are
+// compared by before — a STRICT total order over (item, list index, rank
+// within list); ties inside one list fall back to (list, rank), so the
+// output never depends on map iteration or goroutine timing. key
+// identifies the deduplication class (the answer entity): of several
+// items with the same key, only the best survives, exactly as Sorted
+// emits at most one match per end node.
+//
+// k <= 0 means "no truncation". Input lists must each already be ranked
+// best-first under the same order; Blend does not re-sort within a list's
+// contribution beyond the global order.
+func Blend[T any](lists [][]T, k int, key func(T) string, before func(a T, b T) bool) []T {
+	type tagged struct {
+		item T
+		list int
+		rank int
+	}
+	var all []tagged
+	for li, l := range lists {
+		for ri, it := range l {
+			all = append(all, tagged{item: it, list: li, rank: ri})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if before(a.item, b.item) {
+			return true
+		}
+		if before(b.item, a.item) {
+			return false
+		}
+		if a.list != b.list {
+			return a.list < b.list
+		}
+		return a.rank < b.rank
+	})
+	seen := make(map[string]bool, len(all))
+	out := make([]T, 0, len(all))
+	for _, t := range all {
+		id := key(t.item)
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, t.item)
+		if k > 0 && len(out) == k {
+			break
+		}
+	}
+	return out
+}

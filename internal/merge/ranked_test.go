@@ -1,0 +1,92 @@
+package merge
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+type scored struct {
+	name  string
+	score float64
+}
+
+func scoredBefore(a, b scored) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.name < b.name
+}
+
+func scoredKey(s scored) string { return s.name }
+
+func TestBlendDedupAndOrder(t *testing.T) {
+	lists := [][]scored{
+		{{"a", 0.9}, {"b", 0.5}},
+		{{"b", 0.7}, {"c", 0.6}},
+		{{"a", 0.4}, {"d", 0.3}},
+	}
+	got := Blend(lists, 0, scoredKey, scoredBefore)
+	want := []scored{{"a", 0.9}, {"b", 0.7}, {"c", 0.6}, {"d", 0.3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Blend = %v, want %v", got, want)
+	}
+}
+
+func TestBlendTruncatesToK(t *testing.T) {
+	lists := [][]scored{
+		{{"a", 0.9}, {"b", 0.8}, {"c", 0.7}},
+		{{"d", 0.85}},
+	}
+	got := Blend(lists, 2, scoredKey, scoredBefore)
+	want := []scored{{"a", 0.9}, {"d", 0.85}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Blend k=2 = %v, want %v", got, want)
+	}
+}
+
+// Equal scores across lists must resolve deterministically: the order tie
+// falls back to name, then list index, then rank — never map iteration.
+func TestBlendDeterministicTieBreak(t *testing.T) {
+	lists := [][]scored{
+		{{"x", 0.5}, {"y", 0.5}},
+		{{"y", 0.5}, {"z", 0.5}},
+	}
+	first := Blend(lists, 0, scoredKey, scoredBefore)
+	for i := 0; i < 50; i++ {
+		if got := Blend(lists, 0, scoredKey, scoredBefore); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d: Blend = %v, want %v", i, got, first)
+		}
+	}
+	want := []scored{{"x", 0.5}, {"y", 0.5}, {"z", 0.5}}
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("Blend = %v, want %v", first, want)
+	}
+}
+
+func TestBlendEmptyAndNil(t *testing.T) {
+	if got := Blend[scored](nil, 5, scoredKey, scoredBefore); len(got) != 0 {
+		t.Fatalf("Blend(nil) = %v, want empty", got)
+	}
+	if got := Blend([][]scored{{}, nil}, 5, scoredKey, scoredBefore); len(got) != 0 {
+		t.Fatalf("Blend(empty lists) = %v, want empty", got)
+	}
+}
+
+// A single-list blend is the identity (minus per-key dedup): blending must
+// never reorder a list that is already ranked under the same order.
+func TestBlendSingleListIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		var l []scored
+		for i := 0; i < 10; i++ {
+			l = append(l, scored{name: string(rune('a' + i)), score: float64(rng.Intn(5))})
+		}
+		// Rank the list under the shared order first.
+		sorted := Blend([][]scored{l}, 0, scoredKey, scoredBefore)
+		again := Blend([][]scored{sorted}, 0, scoredKey, scoredBefore)
+		if !reflect.DeepEqual(sorted, again) {
+			t.Fatalf("trial %d: re-blend changed order: %v vs %v", trial, sorted, again)
+		}
+	}
+}

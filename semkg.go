@@ -36,6 +36,7 @@ import (
 
 	"semkg/internal/core"
 	"semkg/internal/embed"
+	"semkg/internal/keyword"
 	"semkg/internal/kg"
 	"semkg/internal/query"
 	"semkg/internal/serve"
@@ -273,6 +274,58 @@ func NewServing(e Queryer, cfg ServeConfig) *Serving {
 		return serve.New(w.Engine, cfg)
 	}
 	return serve.New(e, cfg)
+}
+
+// KeywordFrontend turns bare keywords into ranked answers: it tokenizes
+// the input, maps keywords to graph elements through the name indexes,
+// assembles candidate query graphs, executes the best candidates
+// concurrently through a Serving engine, and blends the per-candidate
+// top-k into one entity-deduplicated ranking. Create one with
+// NewKeywordFrontend; it also answers autocomplete via Suggest without
+// running any search.
+type KeywordFrontend = keyword.Frontend
+
+// KeywordConfig tunes keyword-search assembly and execution; the zero
+// value gives sensible defaults (3 executed candidates, 2-hop budget,
+// result cache on).
+type KeywordConfig = keyword.Config
+
+// KeywordResponse is a blended keyword-search outcome: the assembly, the
+// executed candidate runs, and the blended answers.
+type KeywordResponse = keyword.Response
+
+// KeywordAnswer is one blended answer with its source candidate index.
+type KeywordAnswer = keyword.RankedAnswer
+
+// KeywordAssembly is the query-graph-assembly outcome alone: tokens,
+// unmatched keywords, and scored candidate queries.
+type KeywordAssembly = keyword.Assembly
+
+// KeywordCandidate is one assembled candidate query with its score and
+// explanation.
+type KeywordCandidate = keyword.Candidate
+
+// KeywordEvent is one event of a streaming keyword search: the assembly,
+// a candidate-attributed engine event, or the final blended response.
+type KeywordEvent = keyword.Event
+
+// Suggestion is one autocomplete completion for a keyword fragment.
+type Suggestion = keyword.Suggestion
+
+// Suggestions is an ordered completion set for one fragment.
+type Suggestions = keyword.Suggestions
+
+// NewKeywordFrontend wraps a Serving engine with the keyword front end.
+// The zero KeywordConfig gives sensible defaults.
+func NewKeywordFrontend(s *Serving, cfg KeywordConfig) *KeywordFrontend {
+	return keyword.New(s, cfg)
+}
+
+// AssembleKeywords runs query-graph assembly alone — tokenize, match,
+// enumerate, score — without executing anything. Useful for inspecting
+// what a keyword input would ask.
+func AssembleKeywords(g *Graph, input string, cfg KeywordConfig) *KeywordAssembly {
+	return keyword.Assemble(g, input, cfg)
 }
 
 // Engine answers query graphs over one knowledge graph. Safe for
