@@ -35,7 +35,7 @@ type artifact interface {
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: table1 | fig12 | fig13 | fig14 | fig15 | table5 | table6 | table7 | noise | table9 | table10 | ablation | hotpath | serve | ingest | shard | replica | keyword | all (hotpath, serve, ingest, shard, replica and keyword run separately)")
+		"experiment: table1 | fig12 | fig13 | fig14 | fig15 | table5 | table6 | table7 | noise | table9 | table10 | ablation | hotpath | serve | ingest | shard | replica | keyword | batch | all (hotpath, serve, ingest, shard, replica, keyword and batch run separately)")
 	scale := flag.Float64("scale", 0.3, "dataset scale")
 	dim := flag.Int("dim", 48, "embedding dimension")
 	epochs := flag.Int("epochs", 120, "embedding epochs")
@@ -131,6 +131,8 @@ func main() {
 			runArtifact(name, *out, func() (artifact, error) { return bench.RunReplica(dbp(), *short) })
 		case "keyword":
 			runArtifact(name, *out, func() (artifact, error) { return bench.RunKeyword(dbp(), *short) })
+		case "batch":
+			runArtifact(name, *out, func() (artifact, error) { return bench.RunBatch(dbp(), *short) })
 		default:
 			fmt.Fprintf(os.Stderr, "kgbench: unknown experiment %q\n", name)
 			os.Exit(2)

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"semkg/internal/api"
+	"semkg/internal/core"
+)
+
+const batchFixture = `{
+  "queries": [
+    {"id": "a",
+     "query": {"nodes":[{"id":"v1","type":"Automobile"},{"id":"v2","name":"Germany","type":"Country"}],
+               "edges":[{"from":"v1","to":"v2","predicate":"assembly"}]}},
+    {"id": "b",
+     "query": {"nodes":[{"id":"v1","type":"Automobile"},{"id":"v2","name":"Germany","type":"Country"}],
+               "edges":[{"from":"v1","to":"v2","predicate":"assembly"}]},
+     "options": {"k": 3}}
+  ]
+}`
+
+func writeBatchFixture(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "batch.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadBatchFlagFallback(t *testing.T) {
+	path := writeBatchFixture(t, batchFixture)
+	flags := core.Options{K: 7, Tau: 0.66, MaxHops: 3}
+	req, err := loadBatch(path, flags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The document carries no shared options, so the flags fill in...
+	if _, opts := req.Item(0); opts.K != 7 || opts.Tau != 0.66 || opts.MaxHops != 3 {
+		t.Fatalf("item 0 options = %+v, want flag defaults", opts)
+	}
+	// ...but a per-query override still wins whole.
+	if _, opts := req.Item(1); opts.K != 3 || opts.Tau != 0 {
+		t.Fatalf("item 1 options = %+v, want its own override", opts)
+	}
+}
+
+func TestLoadBatchKeepsDocumentOptions(t *testing.T) {
+	path := writeBatchFixture(t, `{"queries":[],"options":{"k":2,"tau":0.9}}`)
+	req, err := loadBatch(path, core.Options{K: 7, Tau: 0.66})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Options.K != 2 || req.Options.Tau != 0.9 {
+		t.Fatalf("document options overwritten: %+v", req.Options)
+	}
+}
+
+func TestRemoteBatch(t *testing.T) {
+	var gotPath string
+	var gotBody []byte
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath = r.URL.Path
+		gotBody, _ = io.ReadAll(r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"results":[
+			{"index":0,"id":"a","result":{"answers":[{"entity":"BMW_320","score":0.9}],"elapsed":"1ms"}},
+			{"index":1,"id":"b","error":"bad request"}]}`)
+	}))
+	defer srv.Close()
+
+	path := writeBatchFixture(t, batchFixture)
+	policy := retryPolicy{notify: func(int, time.Duration, string) {}}
+	if err := remoteBatch(srv.URL, path, core.Options{K: 5, Tau: 0.75, MaxHops: 4}, policy); err != nil {
+		t.Fatal(err)
+	}
+	if gotPath != "/v1/batch" {
+		t.Fatalf("posted to %q", gotPath)
+	}
+	// The posted body must still be the strict wire document, with the
+	// flag defaults resolved in as the shared options.
+	req, err := api.DecodeBatchRequest(bytes.NewReader(gotBody))
+	if err != nil {
+		t.Fatalf("posted body is not a valid batch request: %v\n%s", err, gotBody)
+	}
+	if len(req.Queries) != 2 || req.Options.K != 5 {
+		t.Fatalf("posted request lost content: %+v", req)
+	}
+}
+
+func TestRemoteBatchServerError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	path := writeBatchFixture(t, batchFixture)
+	policy := retryPolicy{notify: func(int, time.Duration, string) {}}
+	if err := remoteBatch(srv.URL, path, core.Options{K: 5}, policy); err == nil {
+		t.Fatal("server 500 did not surface as an error")
+	}
+}

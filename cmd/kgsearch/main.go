@@ -23,6 +23,14 @@
 //
 //	kgsearch -graph g.tsv -model m.bin -keywords "automobile assembly germany"
 //	kgsearch -server http://localhost:8375 -keywords "design engine italy" -candidates 3
+//
+// Batch mode answers a whole group of queries in one call from an
+// api.BatchRequest JSON file (the same document POST /v1/batch accepts),
+// sharing compilation and overlapping sub-query searches across the
+// group:
+//
+//	kgsearch -graph g.tsv -model m.bin -batchfile b.json
+//	kgsearch -server http://localhost:8375 -batchfile b.json
 package main
 
 import (
@@ -51,6 +59,7 @@ func main() {
 	modelFile := flag.String("model", "", "embedding model file (local mode)")
 	server := flag.String("server", "", "semkgd base URL (client mode, e.g. http://localhost:8375)")
 	queryFile := flag.String("queryfile", "", "JSON query graph file")
+	batchFile := flag.String("batchfile", "", "JSON batch request file (a group of queries answered in one call)")
 	keywords := flag.String("keywords", "", "bare keyword query (keyword mode; replaces -queryfile/-type/-entity/-pred)")
 	candidates := flag.Int("candidates", 0, "max assembled candidate queries to execute (keyword mode; 0 = default)")
 	focusType := flag.String("type", "", "focus entity type (single-edge query)")
@@ -64,6 +73,23 @@ func main() {
 	flag.Parse()
 
 	opts := core.Options{K: *k, Tau: *tau, MaxHops: *maxHops, TimeBound: *bound}
+
+	if *batchFile != "" {
+		if *server != "" {
+			if err := remoteBatch(*server, *batchFile, opts, defaultRetryPolicy(*retries)); err != nil {
+				fail(err)
+			}
+			return
+		}
+		if *graphFile == "" || *modelFile == "" {
+			fmt.Fprintln(os.Stderr, "kgsearch: -batchfile needs -graph and -model (or -server)")
+			os.Exit(2)
+		}
+		if err := localBatch(*graphFile, *modelFile, *batchFile, opts); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	if *keywords != "" {
 		if *server != "" {

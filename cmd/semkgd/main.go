@@ -6,6 +6,10 @@
 //	POST /v1/stream   streaming: NDJSON events — phase transitions,
 //	                  per-sub-query progress, provisional top-k snapshots
 //	                  with TA bounds, and a terminal result line
+//	POST /v1/batch    a group of queries in one call: the group compiles
+//	                  together and overlapping sub-query searches run
+//	                  once; per-query results (or, with ?stream=1, one
+//	                  NDJSON connection of index/id-tagged event lines)
 //
 // plus GET /healthz (liveness and graph shape) and GET /debug/vars
 // (expvar counters). Request bodies are api.SearchRequest documents; bad
@@ -13,13 +17,15 @@
 //
 // Requests pass through the engine-level serving layer (internal/serve):
 // a result cache and a plan cache absorb repeated queries, concurrent
-// identical requests collapse to one pipeline execution, and a bounded
-// worker pool sheds overload — a shed request gets 429 with a Retry-After
-// header instead of queueing past its time bound. Cache and admission
-// counters are exported under the "semkgd_serve" expvar key.
+// identical requests collapse to one pipeline execution, different
+// queries sharing a sub-query blueprint share one A* enumeration
+// (-sub-cache), and a bounded worker pool sheds overload — a shed
+// request gets 429 with a Retry-After header instead of queueing past
+// its time bound. Cache and admission counters are exported under the
+// "semkgd_serve" expvar key.
 //
 //	semkgd -graph g.tsv -model m.bin -addr :8375 \
-//	       -workers 8 -queue 32 -result-cache 1024 -plan-cache 256
+//	       -workers 8 -queue 32 -result-cache 1024 -plan-cache 256 -sub-cache 512
 //
 // The storage layer (see DESIGN.md, "Storage layer") adds live ingestion
 // and binary cold starts:
@@ -92,6 +98,7 @@ func main() {
 	queue := flag.Int("queue", 0, "max queued requests (0 = 4x workers, -1 = none: shed when busy)")
 	resultCache := flag.Int("result-cache", 0, "result cache entries (0 = 1024, -1 = disabled)")
 	planCache := flag.Int("plan-cache", 0, "plan cache entries (0 = 256, -1 = disabled)")
+	subCache := flag.Int("sub-cache", 0, "shared sub-search cache entries for cross-query sharing (0 = 512, -1 = disabled)")
 	maxIngest := flag.Int64("max-ingest-bytes", defaultMaxIngestBytes, "max /v1/ingest request body size in bytes (0 = unlimited)")
 	shards := flag.Int("shards", 0, "partition the graph into N shards and serve scatter-gather searches (0/1 = single engine)")
 	shardHalo := flag.Int("shard-halo", 0, "shard replication radius in hops; bounds servable max_hops (0 = default 4)")
@@ -185,6 +192,7 @@ func main() {
 	srv := serve.New(eng, serve.Config{
 		ResultCache: *resultCache,
 		PlanCache:   *planCache,
+		SubCache:    *subCache,
 		Workers:     *workers,
 		Queue:       *queue,
 		// Live ingestion rebuilds the engine over the committed graph;

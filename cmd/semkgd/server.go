@@ -99,6 +99,9 @@ type server struct {
 // newMux builds the service's routing table:
 //
 //	POST /v1/search   batch search, JSON result (429 when shed)
+//	POST /v1/batch    grouped search: N queries, shared sub-searches;
+//	                  JSON per-query results, or tagged NDJSON with
+//	                  ?stream=1
 //	POST /v1/stream   streaming search, NDJSON events (429 when shed)
 //	POST /v1/keyword  keyword search: query-graph assembly + blended
 //	                  top-k; JSON result, or NDJSON with ?stream=1
@@ -136,6 +139,7 @@ func newMuxReplicated(srv *serve.Engine, maxIngestBytes int64, repl *replState) 
 	s := &server{srv: srv, kw: kw, maxIngestBytes: maxIngestBytes, repl: repl}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/keyword", s.handleKeyword)
 	mux.HandleFunc("GET /v1/suggest", s.handleSuggest)

@@ -1,0 +1,143 @@
+// Wire forms for the batch endpoint (POST /v1/batch): a group of query
+// documents answered in one call, with per-query attribution in both the
+// buffered response and the streamed NDJSON form. The batch vocabulary
+// reuses the single-request building blocks (Query, Options, Result,
+// Event) so a batch of one is wire-compatible with the familiar shapes.
+
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"semkg/internal/core"
+	"semkg/internal/query"
+)
+
+// BatchQuery is one query of a batch request.
+type BatchQuery struct {
+	// ID optionally names the query; responses echo it alongside the
+	// positional index, so clients can correlate without counting.
+	ID string `json:"id,omitempty"`
+	// Query is the query graph to answer.
+	Query Query `json:"query"`
+	// Options, when present, replaces the batch-level options for this
+	// query; absent means the shared BatchRequest.Options apply.
+	Options *Options `json:"options,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	// Queries is the group to answer; order is preserved in the response.
+	Queries []BatchQuery `json:"queries"`
+	// Options are the shared defaults for queries without their own.
+	Options Options `json:"options"`
+}
+
+// Item resolves the i-th query into its engine-level form: the query
+// graph and the effective options (the per-query override when present,
+// the shared defaults otherwise).
+func (b BatchRequest) Item(i int) (*query.Graph, core.Options) {
+	q := b.Queries[i]
+	opts := b.Options
+	if q.Options != nil {
+		opts = *q.Options
+	}
+	return q.Query.Graph(), opts.Core()
+}
+
+// DecodeBatchRequest parses a batch request body strictly: unknown
+// fields and trailing data are errors. Per-query validation is the
+// caller's job — one malformed query must fail with attribution, not
+// sink the batch.
+func DecodeBatchRequest(r io.Reader) (BatchRequest, error) {
+	var req BatchRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return BatchRequest{}, fmt.Errorf("api: parsing batch request: %w", err)
+	}
+	return req, nil
+}
+
+// BatchItemResult is one query's outcome in the buffered batch response:
+// exactly one of Result and Error is set.
+type BatchItemResult struct {
+	// Index is the query's 0-based position in the request.
+	Index int `json:"index"`
+	// ID echoes the request query's ID, when one was given.
+	ID string `json:"id,omitempty"`
+	// Result is the query's search outcome on success.
+	Result *Result `json:"result,omitempty"`
+	// Error describes the query's failure on error.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResult is the buffered response of POST /v1/batch: one entry per
+// request query, in request order.
+type BatchResult struct {
+	// Results reports every query positionally.
+	Results []BatchItemResult `json:"results"`
+}
+
+// DecodeBatchResult parses a buffered batch response strictly.
+func DecodeBatchResult(data []byte) (BatchResult, error) {
+	var res BatchResult
+	if err := decodeStrict(bytes.NewReader(data), &res); err != nil {
+		return BatchResult{}, fmt.Errorf("api: parsing batch result: %w", err)
+	}
+	return res, nil
+}
+
+// BatchEvent is one NDJSON line of the streaming batch response: a
+// stream event tagged with the query it belongs to. Lines from different
+// queries interleave; within one query they keep stream order.
+type BatchEvent struct {
+	// Index is the originating query's 0-based position in the request.
+	Index int `json:"index"`
+	// ID echoes the originating query's ID, when one was given.
+	ID string `json:"id,omitempty"`
+	// Event is the tagged stream event (discriminator and payload fields
+	// exactly as in the single-query NDJSON protocol). An "error" in
+	// Event.Event with ErrorText set reports a per-query failure.
+	Event
+	// ErrorText carries the failure message of an "error" event.
+	ErrorText string `json:"error,omitempty"`
+}
+
+// EventError is the extra wire discriminator of the batch stream: a
+// per-query failure line (ErrorText holds the message). It terminates
+// that query's events; other queries continue.
+const EventError = "error"
+
+// EncodeBatchEvent renders one query's stream event as a batch NDJSON
+// line (without the trailing newline).
+func EncodeBatchEvent(index int, id string, ev core.Event) ([]byte, error) {
+	w, err := EventFrom(ev)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(BatchEvent{Index: index, ID: id, Event: w})
+}
+
+// EncodeBatchError renders one query's failure as a batch NDJSON line.
+func EncodeBatchError(index int, id string, err error) ([]byte, error) {
+	return json.Marshal(BatchEvent{
+		Index:     index,
+		ID:        id,
+		Event:     Event{Event: EventError},
+		ErrorText: err.Error(),
+	})
+}
+
+// DecodeBatchEvent parses one batch NDJSON line.
+func DecodeBatchEvent(line []byte) (BatchEvent, error) {
+	var ev BatchEvent
+	if err := json.Unmarshal(line, &ev); err != nil {
+		return BatchEvent{}, fmt.Errorf("api: parsing batch event: %w", err)
+	}
+	if ev.Event.Event == "" {
+		return BatchEvent{}, fmt.Errorf("api: batch event line missing %q discriminator", "event")
+	}
+	return ev, nil
+}

@@ -1,0 +1,137 @@
+// Native fuzz targets for the batch codecs, in the same contract as
+// fuzz_test.go: arbitrary wire bytes must never panic the decoders, and
+// every accepted document must survive an encode→decode round trip
+// unchanged. CI's fuzz-smoke step runs each target briefly under -fuzz.
+
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"testing"
+)
+
+func FuzzDecodeBatchRequest(f *testing.F) {
+	seeds := []string{
+		`{"queries":[{"id":"a","query":{"nodes":[{"id":"v1","type":"Automobile"},
+		  {"id":"v2","name":"Germany","type":"Country"}],
+		  "edges":[{"from":"v1","to":"v2","predicate":"assembly"}]}}],
+		  "options":{"k":10,"tau":0.75}}`,
+		`{"queries":[{"query":{"nodes":[],"edges":[]},"options":{"k":3}},
+		  {"query":{"nodes":[],"edges":[]}}],"options":{"tau":0.6}}`,
+		`{"queries":[],"options":{}}`,
+		`{"queries":[{"query":{"nodes":[],"edges":[]},"options":{"time_bound":"50ms"}}]}`,
+		`{"queries":[{"query":{"nodes":[],"edges":[]},"bogus":1}]}`, // unknown field: error, not panic
+		`{"queries":[]} trailing`,
+		`{}`, `[]`, `{`, `null`, `0`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeBatchRequest(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: only absence of panics matters
+		}
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted batch request failed to encode: %v", err)
+		}
+		req2, err := DecodeBatchRequest(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, enc)
+		}
+		// Fixed-point check: re-encoding the re-decoded document must be
+		// byte-identical (DeepEqual would trip over nil-vs-empty slices
+		// that omitempty legitimately collapses).
+		enc2, err := json.Marshal(req2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not a fixed point:\n%s\nvs\n%s", enc, enc2)
+		}
+		// Item resolution must not panic on any accepted document.
+		for i := range req.Queries {
+			g, _ := req.Item(i)
+			if g == nil {
+				t.Fatalf("item %d resolved to a nil graph", i)
+			}
+		}
+	})
+}
+
+func FuzzDecodeBatchResult(f *testing.F) {
+	seeds := []string{
+		`{"results":[{"index":0,"id":"a","result":{"answers":[],"elapsed":"1ms"}},
+		  {"index":1,"error":"bad request"}]}`,
+		`{"results":[]}`,
+		`{"results":[{"index":0,"result":{"answers":[{"entity":"BMW_320","score":0.9}],"elapsed":"2ms"}}]}`,
+		`{"results":[{"index":0,"bogus":1}]}`,
+		`{"results":[]} trailing`,
+		`{}`, `[]`, `{`, `null`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeBatchResult(data)
+		if err != nil {
+			return
+		}
+		enc, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("accepted batch result failed to encode: %v", err)
+		}
+		res2, err := DecodeBatchResult(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, enc)
+		}
+		enc2, err := json.Marshal(res2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not a fixed point:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}
+
+func FuzzBatchEventRoundTrip(f *testing.F) {
+	seeds := []string{
+		`{"index":0,"event":"progress","sub":0,"collected":3}`,
+		`{"index":2,"id":"q-two","event":"result","result":{"answers":[],"elapsed":"1ms"}}`,
+		`{"index":1,"event":"topk","round":2,"lower_k":0.8,"upper_max":0.9,
+		  "answers":[{"entity":"BMW_320","score":0.9}]}`,
+		`{"index":1,"event":"error","error":"no such pivot"}`,
+		`{"index":0,"event":"phase","phase":"assemble","sizes":[4,9]}`,
+		`{"event":"progress"}`, // index 0 implied
+		`{"index":0}`,          // missing discriminator: error
+		`{}`, `[]`, `{`, `null`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, err := DecodeBatchEvent(data)
+		if err != nil {
+			return
+		}
+		enc, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatalf("accepted batch event failed to encode: %v", err)
+		}
+		ev2, err := DecodeBatchEvent(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, enc)
+		}
+		enc2, err := json.Marshal(ev2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not a fixed point:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"semkg/internal/core"
+)
+
+func TestDecodeBatchRequest(t *testing.T) {
+	body := `{
+	  "queries": [
+	    {"id": "german-cars",
+	     "query": {"nodes": [{"id":"v1","type":"Automobile"},{"id":"v2","name":"Germany","type":"Country"}],
+	               "edges": [{"from":"v1","to":"v2","predicate":"assembly"}]}},
+	    {"query": {"nodes": [{"id":"v1","type":"Automobile"},{"id":"v2","name":"France","type":"Country"}],
+	               "edges": [{"from":"v1","to":"v2","predicate":"assembly"}]},
+	     "options": {"k": 3}}
+	  ],
+	  "options": {"k": 10, "tau": 0.75}
+	}`
+	req, err := DecodeBatchRequest(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Queries) != 2 {
+		t.Fatalf("got %d queries, want 2", len(req.Queries))
+	}
+	if req.Queries[0].ID != "german-cars" || req.Queries[1].ID != "" {
+		t.Fatalf("IDs = %q, %q", req.Queries[0].ID, req.Queries[1].ID)
+	}
+
+	// Item 0 inherits the shared options; item 1 overrides them entirely.
+	g0, o0 := req.Item(0)
+	if o0.K != 10 || o0.Tau != 0.75 {
+		t.Fatalf("item 0 options = %+v, want shared k=10 tau=0.75", o0)
+	}
+	if len(g0.Nodes) != 2 || g0.Nodes[1].Name != "Germany" {
+		t.Fatalf("item 0 graph = %+v", g0)
+	}
+	_, o1 := req.Item(1)
+	if o1.K != 3 || o1.Tau != 0 {
+		t.Fatalf("item 1 options = %+v, want override k=3 (no inherited tau)", o1)
+	}
+}
+
+func TestDecodeBatchRequestStrict(t *testing.T) {
+	for _, body := range []string{
+		`{"queries": [], "bogus": 1}`,
+		`{"queries": [{"query": {"nodes": [], "edges": []}, "unknown": true}]}`,
+		`{"queries": []} trailing`,
+		`[`,
+	} {
+		if _, err := DecodeBatchRequest(strings.NewReader(body)); err == nil {
+			t.Errorf("strict decoder accepted %q", body)
+		}
+	}
+}
+
+func TestBatchResultRoundTrip(t *testing.T) {
+	res := BatchResult{Results: []BatchItemResult{
+		{Index: 0, ID: "a", Result: &Result{Answers: []Answer{{Entity: "BMW_320", Score: 0.9}}, Elapsed: Duration(time.Millisecond)}},
+		{Index: 1, Error: "bad request: empty query"},
+	}}
+	enc, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatchResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 2 || got.Results[0].ID != "a" || got.Results[1].Error == "" {
+		t.Fatalf("round trip lost attribution: %+v", got)
+	}
+	if got.Results[0].Result == nil || got.Results[0].Result.Answers[0].Entity != "BMW_320" {
+		t.Fatalf("round trip lost the result payload: %+v", got.Results[0])
+	}
+}
+
+func TestBatchEventAttribution(t *testing.T) {
+	line, err := EncodeBatchEvent(2, "q-two", core.ResultEvent{Result: &core.Result{Elapsed: time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := DecodeBatchEvent(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Index != 2 || ev.ID != "q-two" {
+		t.Fatalf("attribution lost: index=%d id=%q", ev.Index, ev.ID)
+	}
+	if ev.Event.Event != EventResult || ev.Result == nil {
+		t.Fatalf("payload lost: %+v", ev)
+	}
+
+	errLine, err := EncodeBatchError(1, "", assertErr("no such pivot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eev, err := DecodeBatchEvent(errLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eev.Event.Event != EventError || eev.ErrorText != "no such pivot" || eev.Index != 1 {
+		t.Fatalf("error line mangled: %+v", eev)
+	}
+
+	if _, err := DecodeBatchEvent([]byte(`{"index":0}`)); err == nil {
+		t.Fatal("missing discriminator accepted")
+	}
+}
+
+// assertErr builds a plain error value for encoding tests.
+type assertErr string
+
+func (e assertErr) Error() string { return string(e) }

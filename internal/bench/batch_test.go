@@ -1,0 +1,67 @@
+package bench
+
+import "testing"
+
+// TestRunBatchShape runs the batch-sharing experiment end to end and
+// checks the acceptance properties: the shared configuration actually
+// shares (SubHits > 0 on an overlapping workload), the independent
+// configuration never does, and sharing does not lose throughput.
+// Skipped in -short mode (the environment trains an embedding).
+func TestRunBatchShape(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunBatch(env, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("batch rows = %d, want 2", len(res.Rows))
+	}
+	byName := map[string]BatchRow{}
+	for _, row := range res.Rows {
+		byName[row.Config] = row
+		if row.P50Us <= 0 || row.QPS <= 0 || row.Requests == 0 {
+			t.Errorf("%s: non-positive measurements: %+v", row.Config, row)
+		}
+	}
+
+	independent, ok := byName["independent"]
+	if !ok {
+		t.Fatal("missing independent configuration")
+	}
+	if independent.SubHits != 0 || independent.SubMisses != 0 {
+		t.Errorf("disabled sharing still counted: %+v", independent)
+	}
+
+	shared, ok := byName["shared"]
+	if !ok {
+		t.Fatal("missing shared configuration")
+	}
+	if shared.SubHits == 0 {
+		t.Errorf("overlapping workload shared no sub-searches: %+v", shared)
+	}
+	if shared.SubMisses == 0 {
+		t.Errorf("shared configuration never built a sub-search: %+v", shared)
+	}
+	// Both configurations disable the result cache, so every item either
+	// runs the pipeline or joins an identical in-flight item of its own
+	// batch (singleflight).
+	if shared.PipelineRuns+shared.FlightShared != uint64(shared.Requests) {
+		t.Errorf("shared accounting: runs %d + flight-shared %d != requests %d",
+			shared.PipelineRuns, shared.FlightShared, shared.Requests)
+	}
+
+	if res.QPSGain <= 0 || res.P50Speedup <= 0 {
+		t.Fatalf("gains not computed: %+v", res)
+	}
+	// Sharing skips re-enumeration of repeated sub-queries; it must not
+	// be slower than independent execution on this heavily overlapping
+	// mix. (The artifact records the measured gain itself.)
+	if res.QPSGain < 0.9 {
+		t.Errorf("sharing lost throughput: gain %.2fx (independent %.0f QPS, shared %.0f QPS)",
+			res.QPSGain, independent.QPS, shared.QPS)
+	}
+
+	if res.Render().String() == "" {
+		t.Error("empty render")
+	}
+}

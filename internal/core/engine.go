@@ -281,14 +281,15 @@ func (e *Engine) decompose(q *query.Graph, opts Options, memo *transform.Memo) (
 }
 
 // resumeStream serves prefetched matches first, then resumes the underlying
-// searcher ("we repeat the A* semantic search for each g_i until sufficient
-// final matches for G_Q are returned"). Context cancellation ends the
-// stream, turning the assembly into an anytime operation.
+// search ("we repeat the A* semantic search for each g_i until sufficient
+// final matches for G_Q are returned") — a private searcher or a shared
+// enumeration cursor, both sorted. Context cancellation ends the stream,
+// turning the assembly into an anytime operation.
 type resumeStream struct {
 	ctx    context.Context
 	buf    []astar.Match
 	pos    int
-	search *astar.Searcher
+	search ta.Stream
 }
 
 func (r *resumeStream) Next() (astar.Match, bool) {

@@ -11,7 +11,9 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
+	"slices"
 
 	"semkg/internal/astar"
 	"semkg/internal/kg"
@@ -84,14 +86,20 @@ func (p *Plan) CompiledBy(e *Engine) bool { return p != nil && p.eng == e }
 // Validation and decomposition errors are wrapped as BadRequestError,
 // exactly as in Search/Stream.
 func (e *Engine) Compile(q *query.Graph, opts Options) (*Plan, error) {
+	// One φ memo per compilation: the cost estimator (pivot selection) and
+	// the blueprint compilation resolve the same query nodes.
+	return e.compileMemo(q, opts, e.matcher.Memo())
+}
+
+// compileMemo is Compile with an explicit φ memo, so a batch compilation
+// (CompileBatch) can resolve repeated names and types once for the whole
+// group instead of once per query.
+func (e *Engine) compileMemo(q *query.Graph, opts Options, memo *transform.Memo) (*Plan, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, badRequest(err)
 	}
 	opts = opts.withDefaults()
 
-	// One φ memo per compilation: the cost estimator (pivot selection) and
-	// the blueprint compilation resolve the same query nodes.
-	memo := e.matcher.Memo()
 	d, err := e.decompose(q, opts, memo)
 	if err != nil {
 		return nil, badRequest(err)
@@ -147,12 +155,36 @@ func (e *Engine) compileSubs(q *query.Graph, d *query.Decomposition, memo *trans
 	return subs, true, nil
 }
 
-// searchersFor instantiates fresh searchers from the plan's blueprints.
-// Weighters and searchers hold per-run mutable state, so every run gets
-// its own; the φ sets and weight rows are shared.
-func (e *Engine) searchersFor(p *Plan) ([]*astar.Searcher, error) {
+// searchersWith instantiates fresh searchers from the plan's blueprints,
+// skipping (leaving nil) the slots covered by a shared source. Weighters
+// and searchers hold per-run mutable state, so every run gets its own;
+// the φ sets and weight rows are shared. Pass shared == nil for a fully
+// private run.
+func (e *Engine) searchersWith(p *Plan, shared []SubSource) ([]*astar.Searcher, error) {
 	if !p.compiled {
 		return nil, nil
+	}
+	searchers := make([]*astar.Searcher, len(p.subs))
+	for i := range p.subs {
+		if shared != nil && shared[i] != nil {
+			continue
+		}
+		sr, err := e.subSearcher(p, i)
+		if err != nil {
+			return nil, err
+		}
+		searchers[i] = sr
+	}
+	return searchers, nil
+}
+
+// subSearcher instantiates one fresh searcher for the i-th sub-query
+// blueprint of p.
+func (e *Engine) subSearcher(p *Plan, i int) (*astar.Searcher, error) {
+	ps := p.subs[i]
+	w, err := semgraph.NewWeighterCached(e.rows, ps.preds)
+	if err != nil {
+		return nil, err
 	}
 	sopts := astar.Options{
 		Tau:          p.copts.tau,
@@ -160,15 +192,58 @@ func (e *Engine) searchersFor(p *Plan) ([]*astar.Searcher, error) {
 		NoHeuristic:  p.copts.noHeuristic,
 		PruneVisited: p.copts.pruneVisited,
 	}
-	searchers := make([]*astar.Searcher, 0, len(p.subs))
-	for _, ps := range p.subs {
-		w, err := semgraph.NewWeighterCached(e.rows, ps.preds)
-		if err != nil {
-			return nil, err
-		}
-		searchers = append(searchers, astar.NewSearcher(e.g, w, ps.sub, sopts))
+	return astar.NewSearcher(e.g, w, ps.sub, sopts), nil
+}
+
+// Subqueries returns the number of compiled sub-query blueprints (0 for a
+// non-compiled plan).
+func (p *Plan) Subqueries() int {
+	if !p.compiled {
+		return 0
 	}
-	return searchers, nil
+	return len(p.subs)
+}
+
+// SubqueryKey returns a stable content hash identifying the i-th
+// sub-query's searcher blueprint together with every option that shapes
+// its enumeration: the anchors in push order (the frontier breaks equal
+// priorities by insertion order, so order is semantic), the per-segment φ
+// end sets as sets (membership-only), the per-segment query predicates
+// whose weight rows the searcher materializes, and the search-relevant
+// compile options (τ, n̂, heuristic and visited-pruning switches).
+//
+// Two plans — from different queries, or the same query under different
+// runtime options — whose sub-queries share a key enumerate the identical
+// match sequence on the same engine, so one A* search can serve both.
+// The key deliberately excludes engine identity: a cross-query sharing
+// layer must additionally gate on the engine/generation it compiled
+// against, exactly as internal/serve's caches do.
+func (p *Plan) SubqueryKey(i int) string {
+	ps := p.subs[i]
+	h := sha256.New()
+	fmt.Fprintf(h, "tau=%g|hops=%d|nh=%t|pv=%t|",
+		p.copts.tau, p.copts.maxHops, p.copts.noHeuristic, p.copts.pruneVisited)
+	fmt.Fprintf(h, "a%d:", len(ps.sub.Anchors))
+	for _, a := range ps.sub.Anchors {
+		fmt.Fprintf(h, "%d,", a)
+	}
+	for seg, set := range ps.sub.EndSets {
+		ids := make([]kg.NodeID, 0, len(set))
+		for id, member := range set {
+			if member {
+				ids = append(ids, id)
+			}
+		}
+		slices.Sort(ids)
+		fmt.Fprintf(h, "e%d:%d:", seg, len(ids))
+		for _, id := range ids {
+			fmt.Fprintf(h, "%d,", id)
+		}
+	}
+	for _, pred := range ps.preds {
+		fmt.Fprintf(h, "p%d:%s", len(pred), pred)
+	}
+	return string(h.Sum(nil))
 }
 
 // SearchPlan is Search over a pre-compiled plan: the same pipeline with

@@ -1,0 +1,205 @@
+// Cross-query execution sharing: the sub-query-level counterpart of the
+// compile/run split. A compiled plan's sub-query blueprints are immutable
+// and content-addressable (Plan.SubqueryKey), and the exact-mode A*
+// enumeration over a blueprint is deterministic — so when concurrent
+// plans share a blueprint, one enumeration can feed all of them.
+// SharedSearch memoizes such an enumeration behind a mutex: each consumer
+// reads through the memoized prefix with its own cursor and extends the
+// prefix on demand, which makes the in-flight case (two runs pulling at
+// once) a singleflight for free — the second puller waits on the mutex
+// and then reads the match the first one just computed.
+//
+// Sharing is restricted to the exact (SGQ) mode: the time-bounded mode's
+// eager collection order depends on wall-clock scheduling, so its
+// per-sub results are not reusable across runs. The sharing layer above
+// (internal/serve) additionally gates entries on the engine generation.
+//
+// See DESIGN.md, "Cross-query sharing and batch execution".
+
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"semkg/internal/astar"
+	"semkg/internal/query"
+	"semkg/internal/ta"
+)
+
+// MatchStream yields sub-query matches in non-increasing pss order; it is
+// the ta.Stream pull surface, re-exported so sharing layers outside core
+// can hold cursors.
+type MatchStream = ta.Stream
+
+// SubSource supplies a shared match enumeration for one compiled
+// sub-query blueprint: independent cursors over one underlying search,
+// plus the searcher's effort counters. *SharedSearch implements it.
+type SubSource interface {
+	// Cursor returns a new independent read cursor positioned at the
+	// start of the enumeration.
+	Cursor() MatchStream
+	// SearchStats snapshots the underlying searcher's effort counters.
+	SearchStats() astar.Stats
+}
+
+// SharedSearch memoizes one sub-query A* enumeration so any number of
+// concurrent pipeline runs can consume it. The enumeration extends
+// on demand: a cursor reading past the memoized prefix computes the next
+// match under the lock and appends it, so every cursor observes the
+// identical sequence a private searcher would have produced, regardless
+// of how many runs share the search or how they interleave. A consumer
+// that stops pulling (context cancellation, early TA termination) simply
+// leaves the prefix where it is — there is no partial state to unwind,
+// and the memoized matches keep serving other consumers.
+type SharedSearch struct {
+	mu        sync.Mutex
+	sr        *astar.Searcher
+	matches   []astar.Match
+	exhausted bool
+}
+
+// NewSharedSearch wraps a freshly built searcher for shared consumption.
+// The searcher must not be used directly afterwards.
+func NewSharedSearch(sr *astar.Searcher) *SharedSearch {
+	return &SharedSearch{sr: sr}
+}
+
+// at returns the i-th match of the enumeration, extending it as needed.
+func (s *SharedSearch) at(i int) (astar.Match, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.matches) <= i && !s.exhausted {
+		m, ok := s.sr.Next()
+		if !ok {
+			s.exhausted = true
+			break
+		}
+		s.matches = append(s.matches, m)
+	}
+	if i < len(s.matches) {
+		return s.matches[i], true
+	}
+	return astar.Match{}, false
+}
+
+// Cursor implements SubSource: a new independent reader over the shared
+// enumeration. Cursors are not safe for concurrent use individually, but
+// any number of cursors may be read concurrently.
+func (s *SharedSearch) Cursor() MatchStream { return &sharedCursor{s: s} }
+
+// SearchStats implements SubSource: the underlying searcher's counters.
+// They aggregate the whole shared enumeration so far, which may exceed
+// the effort any single consumer needed.
+func (s *SharedSearch) SearchStats() astar.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sr.Stats()
+}
+
+// Memoized reports how many matches the enumeration has materialized.
+func (s *SharedSearch) Memoized() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.matches)
+}
+
+// sharedCursor is one consumer's position in a SharedSearch.
+type sharedCursor struct {
+	s   *SharedSearch
+	pos int
+}
+
+// Next returns the next match of the shared enumeration.
+func (c *sharedCursor) Next() (astar.Match, bool) {
+	m, ok := c.s.at(c.pos)
+	if ok {
+		c.pos++
+	}
+	return m, ok
+}
+
+// NewSubSearch builds a fresh searcher for the i-th sub-query blueprint
+// of p and wraps it for shared consumption. The plan must come from this
+// engine's Compile.
+func (e *Engine) NewSubSearch(p *Plan, i int) (*SharedSearch, error) {
+	if p == nil || p.eng != e {
+		return nil, fmt.Errorf("core: NewSubSearch: plan was not compiled by this engine")
+	}
+	if !p.compiled || i < 0 || i >= len(p.subs) {
+		return nil, fmt.Errorf("core: NewSubSearch: no sub-query %d", i)
+	}
+	sr, err := e.subSearcher(p, i)
+	if err != nil {
+		return nil, err
+	}
+	return NewSharedSearch(sr), nil
+}
+
+// StreamPlanShared is StreamPlan with per-sub-query match sources
+// substituted for fresh searchers: sources[i], when non-nil, supplies
+// sub-query i's sorted match stream through a shared enumeration; a nil
+// entry gets a private searcher exactly as in StreamPlan. len(sources)
+// must equal p.Subqueries(); for a non-compiled plan pass nil. Sharing
+// is exact-mode only — a TimeBound > 0 is rejected as a bad request, the
+// caller routes time-bounded runs through StreamPlan instead.
+//
+// A run with shared sources emits the identical event sequence and
+// terminal result (answers, scores, order, TA bounds) as StreamPlan with
+// the same arguments; only Result.SearchStats differs, reporting the
+// shared enumerations' cumulative effort.
+func (e *Engine) StreamPlanShared(ctx context.Context, p *Plan, opts Options, sources []SubSource) (*Stream, error) {
+	return e.streamShared(ctx, p, opts, sources, false)
+}
+
+// streamShared validates and runs a shared-source plan execution.
+func (e *Engine) streamShared(ctx context.Context, p *Plan, opts Options, sources []SubSource, quiet bool) (*Stream, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, badRequest(err)
+	}
+	opts = opts.withDefaults()
+	if err := p.check(e, opts); err != nil {
+		return nil, err
+	}
+	if opts.TimeBound > 0 {
+		return nil, badRequest(fmt.Errorf("core: sub-query sharing requires the exact mode (TimeBound = 0)"))
+	}
+	if want := p.Subqueries(); len(sources) != want {
+		return nil, fmt.Errorf("core: %d sub-query sources for a plan with %d sub-queries", len(sources), want)
+	}
+	return e.startStreamWith(ctx, p, opts, sources, quiet)
+}
+
+// SearchPlanShared is Search over a pre-compiled plan with shared
+// sub-query sources; see StreamPlanShared.
+func (e *Engine) SearchPlanShared(ctx context.Context, p *Plan, opts Options, sources []SubSource) (*Result, error) {
+	s, err := e.streamShared(ctx, p, opts, sources, true)
+	if err != nil {
+		return nil, err
+	}
+	return s.Result(), nil
+}
+
+// BatchSpec is one (query, options) pair of a batch compilation group.
+type BatchSpec struct {
+	Query *query.Graph
+	Opts  Options
+}
+
+// CompileBatch compiles a group of queries under one shared φ memo, so
+// names and types repeated across the group — the common case for
+// overlapping traffic — resolve against the indexes once instead of once
+// per query. Results are positional: plans[i] and errs[i] report spec i,
+// and one query's failure does not fail its neighbours. The memo caches
+// by (name, type) only, which is independent of any option, so specs may
+// mix options freely.
+func (e *Engine) CompileBatch(specs []BatchSpec) (plans []*Plan, errs []error) {
+	memo := e.matcher.Memo()
+	plans = make([]*Plan, len(specs))
+	errs = make([]error, len(specs))
+	for i, sp := range specs {
+		plans[i], errs[i] = e.compileMemo(sp.Query, sp.Opts, memo)
+	}
+	return plans, errs
+}

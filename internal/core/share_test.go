@@ -1,0 +1,363 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"semkg/internal/astar"
+	"semkg/internal/query"
+)
+
+// sharedSourcesFor builds one SharedSearch per sub-query of p.
+func sharedSourcesFor(t *testing.T, e *Engine, p *Plan) []SubSource {
+	t.Helper()
+	sources := make([]SubSource, p.Subqueries())
+	for i := range sources {
+		ss, err := e.NewSubSearch(p, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[i] = ss
+	}
+	return sources
+}
+
+// TestSearchPlanSharedEquivalence: a plan run through shared sub-query
+// enumerations — repeatedly, and under different runtime K — returns
+// answers field-identical to the private-searcher run. This is the core
+// invisibility property the serving layer's sub-cache depends on.
+func TestSearchPlanSharedEquivalence(t *testing.T) {
+	e := newTestEngine(t)
+	ctx := context.Background()
+	q := q117("assembly")
+	opts := Options{K: 10, Tau: 0.6}
+
+	p, err := e.Compile(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := sharedSourcesFor(t, e, p)
+
+	for _, k := range []int{1, 2, 3, 10} {
+		o := opts
+		o.K = k
+		want, err := e.SearchPlan(ctx, p, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 2; run++ {
+			got, err := e.SearchPlanShared(ctx, p, o, sources)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Answers, want.Answers) {
+				t.Fatalf("K=%d run %d: shared answers differ:\n%v\nvs\n%v",
+					k, run, got.Answers, want.Answers)
+			}
+		}
+	}
+
+	// The shared enumerations did the A* work; their stats are reported.
+	res, err := e.SearchPlanShared(ctx, p, opts, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SearchStats) != p.Subqueries() {
+		t.Fatalf("SearchStats: got %d entries, want %d", len(res.SearchStats), p.Subqueries())
+	}
+	for i, st := range res.SearchStats {
+		if st.Emitted == 0 {
+			t.Errorf("sub %d: shared stats report no emitted matches", i)
+		}
+	}
+}
+
+// TestStreamPlanSharedEvents: the shared run's event stream carries the
+// same terminal ranking and bounds as the private run.
+func TestStreamPlanSharedEvents(t *testing.T) {
+	e := newTestEngine(t)
+	ctx := context.Background()
+	q := q117("assembly")
+	opts := Options{K: 4, Tau: 0.6}
+
+	p, err := e.Compile(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := sharedSourcesFor(t, e, p)
+
+	closing := func(s *Stream) (TopKEvent, *Result) {
+		t.Helper()
+		var last TopKEvent
+		var res *Result
+		for ev := range s.Events() {
+			switch v := ev.(type) {
+			case TopKEvent:
+				last = v
+			case ResultEvent:
+				res = v.Result
+			}
+		}
+		return last, res
+	}
+
+	sPriv, err := e.StreamPlan(ctx, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTop, wantRes := closing(sPriv)
+
+	sShared, err := e.StreamPlanShared(ctx, p, opts, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTop, gotRes := closing(sShared)
+
+	if !reflect.DeepEqual(gotRes.Answers, wantRes.Answers) {
+		t.Fatalf("shared stream answers differ:\n%v\nvs\n%v", gotRes.Answers, wantRes.Answers)
+	}
+	if gotTop.LowerK != wantTop.LowerK || gotTop.UpperMax != wantTop.UpperMax {
+		t.Fatalf("closing bounds differ: shared (%g, %g) vs private (%g, %g)",
+			gotTop.LowerK, gotTop.UpperMax, wantTop.LowerK, wantTop.UpperMax)
+	}
+	if !reflect.DeepEqual(gotTop.Answers, wantTop.Answers) {
+		t.Fatalf("closing top-k differs:\n%v\nvs\n%v", gotTop.Answers, wantTop.Answers)
+	}
+}
+
+// TestSharedSearchConcurrentCursors: many cursors racing over one shared
+// enumeration each observe the exact sequence a private searcher yields.
+// Run under -race this also checks the extension locking.
+func TestSharedSearchConcurrentCursors(t *testing.T) {
+	e := newTestEngine(t)
+	q := q117("assembly")
+	p, err := e.Compile(q, Options{Tau: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference sequence from a private searcher.
+	priv, err := e.subSearcher(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []astar.Match
+	for {
+		m, ok := priv.Next()
+		if !ok {
+			break
+		}
+		want = append(want, m)
+	}
+	if len(want) == 0 {
+		t.Fatal("reference enumeration is empty")
+	}
+
+	ss, err := e.NewSubSearch(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const readers = 8
+	got := make([][]astar.Match, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cur := ss.Cursor()
+			for {
+				m, ok := cur.Next()
+				if !ok {
+					return
+				}
+				got[r] = append(got[r], m)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < readers; r++ {
+		if !reflect.DeepEqual(got[r], want) {
+			t.Fatalf("reader %d: shared sequence differs from private enumeration", r)
+		}
+	}
+	if ss.Memoized() != len(want) {
+		t.Fatalf("memoized %d matches, want %d", ss.Memoized(), len(want))
+	}
+}
+
+// TestSharedSearchPartialConsumerLeavesPrefix: a consumer that abandons
+// the enumeration early does not disturb later consumers — the memoized
+// prefix keeps serving the identical sequence (the cancellation-safety
+// behind satellite "a leaver never cancels a sub-flight others need").
+func TestSharedSearchPartialConsumerLeavesPrefix(t *testing.T) {
+	e := newTestEngine(t)
+	p, err := e.Compile(q117("assembly"), Options{Tau: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := e.NewSubSearch(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First consumer reads two matches and walks away.
+	cur := ss.Cursor()
+	for i := 0; i < 2; i++ {
+		if _, ok := cur.Next(); !ok {
+			t.Fatalf("enumeration ended before match %d", i)
+		}
+	}
+	memo := ss.Memoized()
+
+	// Second consumer still sees the full reference sequence.
+	priv, err := e.subSearcher(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur2 := ss.Cursor()
+	n := 0
+	for {
+		wm, wok := priv.Next()
+		gm, gok := cur2.Next()
+		if wok != gok {
+			t.Fatalf("match %d: shared ok=%v, private ok=%v", n, gok, wok)
+		}
+		if !wok {
+			break
+		}
+		if !reflect.DeepEqual(gm, wm) {
+			t.Fatalf("match %d differs after partial consumer", n)
+		}
+		n++
+	}
+	if n < memo {
+		t.Fatalf("full read yielded %d matches, fewer than the %d memoized", n, memo)
+	}
+}
+
+// TestSubqueryKeyStability: recompiling the same query yields identical
+// keys; changing the query shape or a search-relevant option changes them.
+func TestSubqueryKeyStability(t *testing.T) {
+	e := newTestEngine(t)
+	opts := Options{Tau: 0.6}
+	p1, err := e.Compile(q117("assembly"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.Compile(q117("assembly"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Subqueries() != p2.Subqueries() {
+		t.Fatalf("sub-query counts differ: %d vs %d", p1.Subqueries(), p2.Subqueries())
+	}
+	for i := 0; i < p1.Subqueries(); i++ {
+		if p1.SubqueryKey(i) != p2.SubqueryKey(i) {
+			t.Errorf("sub %d: key unstable across identical compiles", i)
+		}
+	}
+
+	// A different predicate changes the blueprint and the key.
+	p3, err := e.Compile(q117("manufacturer"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.SubqueryKey(0) == p3.SubqueryKey(0) {
+		t.Error("different predicates share a sub-query key")
+	}
+
+	// A different tau changes the enumeration (pruning) and the key.
+	p4, err := e.Compile(q117("assembly"), Options{Tau: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.SubqueryKey(0) == p4.SubqueryKey(0) {
+		t.Error("different tau shares a sub-query key")
+	}
+
+	// K is runtime-only: it must not influence the key.
+	p5, err := e.Compile(q117("assembly"), Options{Tau: 0.6, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.SubqueryKey(0) != p5.SubqueryKey(0) {
+		t.Error("runtime K changed the sub-query key")
+	}
+}
+
+// TestCompileBatch: positional results, per-spec errors, and plans that
+// behave identically to individually compiled ones.
+func TestCompileBatch(t *testing.T) {
+	e := newTestEngine(t)
+	ctx := context.Background()
+	good := q117("assembly")
+	bad := &query.Graph{Nodes: []query.Node{{ID: "v1"}}} // invalid: empty name and type
+
+	plans, errs := e.CompileBatch([]BatchSpec{
+		{Query: good, Opts: Options{Tau: 0.6}},
+		{Query: bad, Opts: Options{Tau: 0.6}},
+		{Query: good, Opts: Options{Tau: 0.75}},
+	})
+	if len(plans) != 3 || len(errs) != 3 {
+		t.Fatalf("positional results: %d plans, %d errs", len(plans), len(errs))
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("good specs failed: %v, %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("invalid spec compiled without error")
+	}
+	var br BadRequestError
+	if !errors.As(errs[1], &br) {
+		t.Fatalf("invalid spec error = %v, want BadRequestError", errs[1])
+	}
+
+	// Batch-compiled plans run like individually compiled ones.
+	solo, err := e.Search(ctx, good, Options{Tau: 0.6, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.SearchPlan(ctx, plans[0], Options{Tau: 0.6, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Answers, solo.Answers) {
+		t.Fatalf("batch-compiled plan answers differ:\n%v\nvs\n%v", got.Answers, solo.Answers)
+	}
+}
+
+// TestSharedRejections: the sharing entry points reject time-bounded
+// runs, source-count mismatches, and foreign plans.
+func TestSharedRejections(t *testing.T) {
+	e := newTestEngine(t)
+	ctx := context.Background()
+	p, err := e.Compile(q117("assembly"), Options{Tau: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := sharedSourcesFor(t, e, p)
+
+	var br BadRequestError
+	_, err = e.SearchPlanShared(ctx, p, Options{Tau: 0.6, TimeBound: 1}, sources)
+	if err == nil || !errors.As(err, &br) {
+		t.Fatalf("TimeBound accepted by shared run: err = %v", err)
+	}
+
+	if _, err := e.SearchPlanShared(ctx, p, Options{Tau: 0.6}, sources[:1]); err == nil && p.Subqueries() != 1 {
+		t.Fatal("source-count mismatch accepted")
+	}
+
+	other := newTestEngine(t)
+	if _, err := other.SearchPlanShared(ctx, p, Options{Tau: 0.6}, sources); err == nil {
+		t.Fatal("foreign plan accepted by shared run")
+	}
+	if _, err := other.NewSubSearch(p, 0); err == nil {
+		t.Fatal("foreign plan accepted by NewSubSearch")
+	}
+	if _, err := e.NewSubSearch(p, p.Subqueries()); err == nil {
+		t.Fatal("out-of-range sub-query index accepted")
+	}
+}

@@ -219,11 +219,19 @@ func (e *Engine) streamPlan(ctx context.Context, p *Plan, opts Options, quiet bo
 // covers the run, not the compilation — a plan-cache hit in the serving
 // layer pays neither.
 func (e *Engine) startStream(ctx context.Context, p *Plan, opts Options, quiet bool) (*Stream, error) {
+	return e.startStreamWith(ctx, p, opts, nil, quiet)
+}
+
+// startStreamWith is startStream with optional shared sub-query sources:
+// shared[i], when non-nil, feeds sub-query i from a shared enumeration
+// and no private searcher is built for it (exact mode only — the
+// StreamPlanShared entry points enforce that gate).
+func (e *Engine) startStreamWith(ctx context.Context, p *Plan, opts Options, shared []SubSource, quiet bool) (*Stream, error) {
 	if opts.TimeBound > 0 {
 		e.perMatchCost() // calibrate outside the timed window
 	}
 	start := time.Now()
-	searchers, err := e.searchersFor(p)
+	searchers, err := e.searchersWith(p, shared)
 	if err != nil {
 		return nil, err
 	}
@@ -234,26 +242,30 @@ func (e *Engine) startStream(ctx context.Context, p *Plan, opts Options, quiet b
 	}
 	s := &Stream{events: make(chan Event, buffer), done: make(chan struct{}), quiet: quiet}
 	if quiet {
-		e.runStream(ctx, s, p.d, searchers, p.compiled, opts, start)
+		e.runStream(ctx, s, p.d, searchers, shared, p.compiled, opts, start)
 	} else {
-		go e.runStream(ctx, s, p.d, searchers, p.compiled, opts, start)
+		go e.runStream(ctx, s, p.d, searchers, shared, p.compiled, opts, start)
 	}
 	return s, nil
 }
 
 // runStream is the pipeline goroutine behind Stream.
 func (e *Engine) runStream(ctx context.Context, s *Stream, d *query.Decomposition,
-	searchers []*astar.Searcher, compiled bool, opts Options, start time.Time) {
+	searchers []*astar.Searcher, shared []SubSource, compiled bool, opts Options, start time.Time) {
 	res := &Result{Decomposition: d}
 	if compiled {
 		var finals []ta.Final
 		if opts.TimeBound > 0 {
 			finals = e.streamTBQ(ctx, s, searchers, opts, res, d)
 		} else {
-			finals = e.streamOptimal(ctx, s, searchers, opts.K, d)
+			finals = e.streamOptimal(ctx, s, searchers, shared, opts.K, d)
 		}
-		for _, sr := range searchers {
-			res.SearchStats = append(res.SearchStats, sr.Stats())
+		for i, sr := range searchers {
+			if sr != nil {
+				res.SearchStats = append(res.SearchStats, sr.Stats())
+			} else {
+				res.SearchStats = append(res.SearchStats, shared[i].SearchStats())
+			}
 		}
 		res.Answers = e.renderAnswers(finals, d)
 		// The closing top-k snapshot: guaranteed even when no provisional
@@ -295,17 +307,29 @@ func (s *Stream) emitProvisional(e *Engine, d *query.Decomposition, finals []ta.
 // concurrently (one goroutine per sub-query graph, as in the paper), then
 // the TA assembly pulls further matches on demand, emitting a provisional
 // top-k snapshot whenever a round changes the ranking.
-func (e *Engine) streamOptimal(ctx context.Context, s *Stream, searchers []*astar.Searcher, k int, d *query.Decomposition) []ta.Final {
+func (e *Engine) streamOptimal(ctx context.Context, s *Stream, searchers []*astar.Searcher, shared []SubSource, k int, d *query.Decomposition) []ta.Final {
 	s.emit(PhaseEvent{Phase: PhaseSearch})
-	prefetched := make([][]astar.Match, len(searchers))
+	// One pull stream per sub-query: the private searcher, or a fresh
+	// cursor over the shared enumeration. The cursor doubles as the
+	// continuation after prefetch — its position survives into the
+	// assembly's on-demand pulls.
+	pulls := make([]ta.Stream, len(searchers))
+	for i := range searchers {
+		if searchers[i] != nil {
+			pulls[i] = searchers[i]
+		} else {
+			pulls[i] = shared[i].Cursor()
+		}
+	}
+	prefetched := make([][]astar.Match, len(pulls))
 	var wg sync.WaitGroup
 	quiet := s.quiet // hoisted: the per-match emit would otherwise box an event just to drop it
-	for i, sr := range searchers {
+	for i, pull := range pulls {
 		wg.Add(1)
-		go func(i int, sr *astar.Searcher) {
+		go func(i int, pull ta.Stream) {
 			defer wg.Done()
 			for len(prefetched[i]) < k && ctx.Err() == nil {
-				m, ok := sr.Next()
+				m, ok := pull.Next()
 				if !ok {
 					break
 				}
@@ -317,18 +341,18 @@ func (e *Engine) streamOptimal(ctx context.Context, s *Stream, searchers []*asta
 			if !quiet {
 				s.emit(ProgressEvent{Sub: i, Collected: len(prefetched[i]), Done: true})
 			}
-		}(i, sr)
+		}(i, pull)
 	}
 	wg.Wait()
 
-	counts := make([]int, len(searchers))
-	streams := make([]ta.Stream, len(searchers))
-	for i := range searchers {
+	counts := make([]int, len(pulls))
+	streams := make([]ta.Stream, len(pulls))
+	for i := range pulls {
 		counts[i] = len(prefetched[i])
 		streams[i] = &resumeStream{
 			ctx:    ctx,
 			buf:    prefetched[i],
-			search: searchers[i],
+			search: pulls[i],
 		}
 	}
 	s.emit(PhaseEvent{Phase: PhaseAssemble, Collected: counts})

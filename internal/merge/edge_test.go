@@ -1,0 +1,132 @@
+package merge
+
+import (
+	"reflect"
+	"testing"
+
+	"semkg/internal/astar"
+	"semkg/internal/kg"
+)
+
+// TestBlendAllDuplicateKeys: every list carries the same entity — the
+// blend collapses to exactly one item, the best-scored occurrence, no
+// matter how many lists repeat it.
+func TestBlendAllDuplicateKeys(t *testing.T) {
+	lists := [][]scored{
+		{{"only", 0.4}},
+		{{"only", 0.9}},
+		{{"only", 0.7}},
+		{{"only", 0.9}}, // equal best in a later list: earlier list wins
+	}
+	got := Blend(lists, 0, scoredKey, scoredBefore)
+	if len(got) != 1 {
+		t.Fatalf("all-duplicate blend kept %d items, want 1: %v", len(got), got)
+	}
+	if got[0] != (scored{"only", 0.9}) {
+		t.Fatalf("all-duplicate blend kept %v, want the best occurrence", got[0])
+	}
+	// Repeated blends of the equal-best layout never flip between the
+	// two 0.9 occurrences (list index breaks the tie).
+	for i := 0; i < 30; i++ {
+		if again := Blend(lists, 0, scoredKey, scoredBefore); !reflect.DeepEqual(again, got) {
+			t.Fatalf("run %d: blend unstable: %v vs %v", i, again, got)
+		}
+	}
+}
+
+// TestBlendKBeyondItems: k larger than the deduplicated universe returns
+// everything without padding or panic; k equal to the universe is exact.
+func TestBlendKBeyondItems(t *testing.T) {
+	lists := [][]scored{{{"a", 0.9}, {"b", 0.8}}, {{"a", 0.5}}}
+	if got := Blend(lists, 10, scoredKey, scoredBefore); len(got) != 2 {
+		t.Fatalf("k=10 over 2 distinct items: %v", got)
+	}
+	if got := Blend(lists, 2, scoredKey, scoredBefore); len(got) != 2 {
+		t.Fatalf("k=2 exact: %v", got)
+	}
+}
+
+// TestSortedAllDuplicateEntity: every source's every match ends at the
+// same entity. The merger must emit exactly one match — the global best
+// under the total order — and drain cleanly afterwards.
+func TestSortedAllDuplicateEntity(t *testing.T) {
+	s := Sorted(
+		slice(m(0.6, 5, 2), m(0.3, 5, 3)),
+		slice(m(0.9, 5, 1)),
+		slice(m(0.6, 5, 1), m(0.1, 5, 4)),
+	)
+	got := drain(t, s)
+	if len(got) != 1 {
+		t.Fatalf("single-entity merge emitted %d matches, want 1: %+v", len(got), got)
+	}
+	if got[0].PSS != 0.9 || got[0].Len() != 1 {
+		t.Fatalf("kept pss %v len %d, want the global best 0.9/1", got[0].PSS, got[0].Len())
+	}
+}
+
+// TestSortedSourceIndexTieBreak pins the last rung of the total order:
+// matches identical in PSS, end and length are taken from the
+// lower-indexed source first (and then deduped), so shard numbering —
+// not goroutine timing — decides.
+func TestSortedSourceIndexTieBreak(t *testing.T) {
+	pulled := make([]countingSource, 2)
+	pulled[0] = countingSource{inner: slice(m(0.5, 7, 1))}
+	pulled[1] = countingSource{inner: slice(m(0.5, 7, 1))}
+	s := Sorted(&pulled[0], &pulled[1])
+	got := drain(t, s)
+	if len(got) != 1 {
+		t.Fatalf("identical matches emitted %d times, want 1", len(got))
+	}
+	// Both sources were pulled (one look-ahead each) — the dedup, not
+	// starvation, absorbed the duplicate.
+	if pulled[0].pulled == 0 || pulled[1].pulled == 0 {
+		t.Fatalf("look-ahead pulls: %d/%d, want both > 0", pulled[0].pulled, pulled[1].pulled)
+	}
+}
+
+// TestBestByEndAllDuplicateEntities: N sets all keyed by the same end
+// node collapse to one entry; with equal PSS everywhere the first set
+// wins no matter how many challengers follow.
+func TestBestByEndAllDuplicateEntities(t *testing.T) {
+	sets := make([]map[kg.NodeID]astar.Match, 5)
+	for i := range sets {
+		sets[i] = map[kg.NodeID]astar.Match{9: m(0.5, 9, i+1)}
+	}
+	got := BestByEnd(sets...)
+	if len(got) != 1 {
+		t.Fatalf("all-duplicate sets merged to %d entries, want 1", len(got))
+	}
+	if got[0].Len() != 1 {
+		t.Fatalf("equal-PSS winner has len %d, want 1 (first set wins)", got[0].Len())
+	}
+
+	// A strictly better later match still displaces the incumbent.
+	sets[3] = map[kg.NodeID]astar.Match{9: m(0.8, 9, 4)}
+	got = BestByEnd(sets...)
+	if len(got) != 1 || got[0].PSS != 0.8 {
+		t.Fatalf("better later match lost: %+v", got)
+	}
+}
+
+// TestBestByEndDeterministicOrder: repeated merges of the same sets give
+// the identical slice — the output order is the documented (PSS desc,
+// End asc) sort, never map iteration order.
+func TestBestByEndDeterministicOrder(t *testing.T) {
+	a := map[kg.NodeID]astar.Match{
+		1: m(0.5, 1, 1), 2: m(0.5, 2, 1), 3: m(0.5, 3, 1),
+		4: m(0.5, 4, 1), 5: m(0.5, 5, 1),
+	}
+	b := map[kg.NodeID]astar.Match{6: m(0.5, 6, 1), 7: m(0.5, 7, 1)}
+	first := BestByEnd(a, b)
+	wantEnds := []kg.NodeID{1, 2, 3, 4, 5, 6, 7}
+	for i, w := range wantEnds {
+		if first[i].End() != w {
+			t.Fatalf("position %d: end %d, want %d", i, first[i].End(), w)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if again := BestByEnd(a, b); !reflect.DeepEqual(again, first) {
+			t.Fatalf("run %d: order unstable", i)
+		}
+	}
+}

@@ -62,6 +62,31 @@ func (c *lruCache[V]) Add(key string, val V) {
 	}
 }
 
+// GetOrAdd returns the value already cached under key, or inserts val
+// and returns it. created reports an insertion — the atomicity the
+// sub-search cache needs: two concurrent misses on one blueprint must
+// share a single entry, not each build their own. On a disabled cache
+// every call "creates" (returns val uncached), degrading gracefully to
+// private, unshared entries.
+func (c *lruCache[V]) GetOrAdd(key string, val V) (V, bool) {
+	if c.max <= 0 {
+		return val, true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val, false
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	if c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[V]).key)
+	}
+	return val, true
+}
+
 // Purge drops every entry (engine-rebuild invalidation).
 func (c *lruCache[V]) Purge() {
 	c.mu.Lock()

@@ -47,6 +47,11 @@ type Config struct {
 	// PlanCache is the plan-cache capacity in entries.
 	// 0 = default 256; < 0 disables the cache.
 	PlanCache int
+	// SubCache is the shared sub-search cache capacity in entries (one
+	// entry per distinct sub-query blueprint per generation); it is the
+	// cross-query sharing layer — see subcache.go.
+	// 0 = default 512; < 0 disables sharing entirely.
+	SubCache int
 	// Workers bounds concurrent pipeline executions. 0 = GOMAXPROCS.
 	Workers int
 	// Queue bounds requests waiting for a worker. 0 = 4×Workers;
@@ -84,6 +89,12 @@ func (c Config) withDefaults() Config {
 		c.PlanCache = 256
 	case c.PlanCache < 0:
 		c.PlanCache = 0
+	}
+	switch {
+	case c.SubCache == 0:
+		c.SubCache = 512
+	case c.SubCache < 0:
+		c.SubCache = 0
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -129,6 +140,7 @@ type Engine struct {
 
 	results *lruCache[*cachedResult]
 	plans   *lruCache[core.CompiledPlan]
+	subs    *lruCache[*subEntry]
 
 	fmu     sync.Mutex
 	flights map[string]*flight
@@ -149,6 +161,7 @@ func New(eng core.Queryer, cfg Config) *Engine {
 		eng:     eng,
 		results: newLRU[*cachedResult](cfg.ResultCache),
 		plans:   newLRU[core.CompiledPlan](cfg.PlanCache),
+		subs:    newLRU[*subEntry](cfg.SubCache),
 		flights: make(map[string]*flight),
 	}
 }
@@ -193,6 +206,7 @@ func (e *Engine) rebuildLocked(eng core.Queryer) {
 	e.mu.Unlock()
 	e.results.Purge()
 	e.plans.Purge()
+	e.subs.Purge()
 	e.stats.rebuilds.Add(1)
 }
 
@@ -425,9 +439,11 @@ func (e *Engine) snapshotLog(fl *flight) []core.Event {
 }
 
 // run executes the pipeline for one flight: plan (cached), admission,
-// stream consumption into the flight log.
-func (e *Engine) run(fl *flight, eng core.Queryer, gen uint64, q *query.Graph, opts core.Options, usePlanCache bool) (*core.Result, error) {
-	plan, err := e.planFor(eng, gen, q, opts, usePlanCache)
+// stream consumption into the flight log. cached gates both the plan
+// cache and the sub-search sharing layer: a request too nondeterministic
+// to cache is equally too nondeterministic to share.
+func (e *Engine) run(fl *flight, eng core.Queryer, gen uint64, q *query.Graph, opts core.Options, cached bool) (*core.Result, error) {
+	plan, err := e.planFor(eng, gen, q, opts, cached)
 	if err != nil {
 		return nil, err
 	}
@@ -442,7 +458,7 @@ func (e *Engine) run(fl *flight, eng core.Queryer, gen uint64, q *query.Graph, o
 	}
 	e.stats.pipelineRuns.Add(1)
 
-	st, err := eng.StreamCompiled(fl.ctx, plan, opts)
+	st, err := e.streamFor(fl.ctx, eng, gen, plan, opts, cached)
 	if err != nil {
 		return nil, err
 	}

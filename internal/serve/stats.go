@@ -11,6 +11,8 @@ type stats struct {
 	resultMisses atomic.Uint64
 	planHits     atomic.Uint64
 	planMisses   atomic.Uint64
+	subHits      atomic.Uint64
+	subMisses    atomic.Uint64
 	flightShared atomic.Uint64
 	pipelineRuns atomic.Uint64
 	uncacheable  atomic.Uint64
@@ -30,6 +32,12 @@ type Stats struct {
 	PlanHits    uint64 `json:"plan_hits"`
 	PlanMisses  uint64 `json:"plan_misses"`
 	PlanEntries int    `json:"plan_entries"`
+	// Sub-search sharing: SubHits counts pipeline runs joining a shared
+	// sub-query enumeration that another run created; SubMisses counts
+	// enumerations created.
+	SubHits    uint64 `json:"sub_hits"`
+	SubMisses  uint64 `json:"sub_misses"`
+	SubEntries int    `json:"sub_entries"`
 	// Singleflight: requests that shared another request's execution.
 	FlightShared uint64 `json:"flight_shared"`
 	// PipelineRuns counts actual pipeline executions (cache hits and
@@ -66,6 +74,9 @@ func (e *Engine) Stats() Stats {
 		PlanHits:         e.stats.planHits.Load(),
 		PlanMisses:       e.stats.planMisses.Load(),
 		PlanEntries:      e.plans.Len(),
+		SubHits:          e.stats.subHits.Load(),
+		SubMisses:        e.stats.subMisses.Load(),
+		SubEntries:       e.subs.Len(),
 		FlightShared:     e.stats.flightShared.Load(),
 		PipelineRuns:     e.stats.pipelineRuns.Load(),
 		Uncacheable:      e.stats.uncacheable.Load(),

@@ -1,0 +1,100 @@
+// Sub-query sharing: the serving-layer cache of shared A* enumerations.
+// The result cache and singleflight dedup only byte-identical requests;
+// real traffic overlaps partially — different K over one decomposition,
+// distinct queries whose decompositions share a sub-query blueprint. The
+// compile/run split makes that overlap addressable: core.Plan exposes a
+// stable content hash per sub-query blueprint (Plan.SubqueryKey), and
+// the exact-mode enumeration over a blueprint is deterministic, so one
+// memoized search (core.SharedSearch) can feed every concurrent and
+// future run that shares the blueprint.
+//
+// Keying and invalidation: entries are keyed by (engine generation,
+// blueprint hash). The generation prefix makes entries from a superseded
+// engine unreachable even when a racing leader inserts after Rebuild's
+// purge — the same double protection the result cache uses (purge +
+// generation stamp). Entry bodies build lazily under a sync.Once so the
+// cache critical section stays O(1) and concurrent misses on one
+// blueprint share a single search — the sub-query-level singleflight.
+//
+// Sharing is invisible by construction (same match sequence, same TA
+// assembly) and gated to deterministic exact-mode requests; anything
+// else — time-bounded, random pivot, test hooks, sharded engines —
+// takes the private path. See DESIGN.md, "Cross-query sharing and batch
+// execution".
+
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"semkg/internal/core"
+)
+
+// subEntry is one cached shared sub-search. The search builds lazily on
+// first use: GetOrAdd inserts the empty entry under the cache mutex, and
+// the winner of the Once builds the searcher outside it, so a slow
+// weight-row materialization never blocks unrelated cache traffic.
+// Build errors are shared too — every consumer of a failed entry falls
+// back to the private path rather than rebuilding.
+type subEntry struct {
+	once sync.Once
+	src  *core.SharedSearch
+	err  error
+}
+
+// subKey scopes a blueprint hash to an engine generation.
+func subKey(gen uint64, blueprint string) string {
+	return fmt.Sprintf("g%d|%s", gen, blueprint)
+}
+
+// sharing reports whether the sub-search cache is enabled.
+func (e *Engine) sharing() bool { return e.subs.max > 0 }
+
+// streamFor starts the pipeline for one admitted request, routing
+// through the sub-query sharing layer when the request qualifies:
+// deterministic (shareable == cacheable), exact mode, a single-graph
+// engine, and a fully compiled plan. Any sharing setup failure falls
+// back to the private path — sharing is an optimization, never a new
+// way to fail a request.
+func (e *Engine) streamFor(ctx context.Context, eng core.Queryer, gen uint64, plan core.CompiledPlan, opts core.Options, shareable bool) (*core.Stream, error) {
+	if shareable && e.sharing() && opts.TimeBound == 0 {
+		if ce, ok := eng.(*core.Engine); ok {
+			if cp, ok := plan.(*core.Plan); ok && cp.Compiled() {
+				if sources := e.subSourcesFor(ce, gen, cp); sources != nil {
+					if st, err := ce.StreamPlanShared(ctx, cp, opts, sources); err == nil {
+						return st, nil
+					}
+				}
+			}
+		}
+	}
+	return eng.StreamCompiled(ctx, plan, opts)
+}
+
+// subSourcesFor resolves one shared enumeration per sub-query blueprint
+// of cp, creating missing entries (a miss per blueprint, counted once)
+// and joining existing ones. It returns nil — private path — if any
+// entry failed to build.
+func (e *Engine) subSourcesFor(ce *core.Engine, gen uint64, cp *core.Plan) []core.SubSource {
+	n := cp.Subqueries()
+	sources := make([]core.SubSource, n)
+	for i := 0; i < n; i++ {
+		entry, created := e.subs.GetOrAdd(subKey(gen, cp.SubqueryKey(i)), &subEntry{})
+		if created {
+			e.stats.subMisses.Add(1)
+		} else {
+			e.stats.subHits.Add(1)
+		}
+		sub := i
+		entry.once.Do(func() {
+			entry.src, entry.err = ce.NewSubSearch(cp, sub)
+		})
+		if entry.err != nil || entry.src == nil {
+			return nil
+		}
+		sources[i] = entry.src
+	}
+	return sources
+}

@@ -262,6 +262,17 @@ var ErrStaleDelta = serve.ErrStaleDelta
 // sequences in all three cases.
 type ServeStream = serve.Stream
 
+// BatchItem is one query of a batch handed to Serving.SearchBatch: the
+// query graph and its effective options.
+type BatchItem = serve.BatchItem
+
+// BatchOutcome is one batch query's result or error, positionally
+// aligned with the items passed to Serving.SearchBatch. A batch is
+// answer-equivalent to issuing its items separately — the group only
+// shares compilation and overlapping sub-query searches, never results
+// it shouldn't.
+type BatchOutcome = serve.BatchOutcome
+
 // NewServing wraps an engine — single-graph (*Engine) or sharded
 // (*ShardedEngine), anything satisfying Queryer — in a serving layer
 // sized by cfg. The zero ServeConfig gives production-ready defaults.

@@ -258,3 +258,47 @@ func mustModel(t *testing.T, _ *semkg.Engine) *semkg.Model {
 	}
 	return model
 }
+
+// TestBatchThroughFacade: Serving.SearchBatch over the facade wrapper
+// answers a mixed group positionally — overlapping shapes share
+// sub-query searches, a bad item fails alone, and outcomes equal the
+// items run separately.
+func TestBatchThroughFacade(t *testing.T) {
+	eng, _ := buildEngine(t)
+	srv := semkg.NewServing(eng, semkg.ServeConfig{})
+	q := &semkg.Query{
+		Nodes: []semkg.QueryNode{
+			{ID: "car", Type: "Automobile"},
+			{ID: "c", Name: "Germany", Type: "Country"},
+		},
+		Edges: []semkg.QueryEdge{{From: "car", To: "c", Predicate: "assembly"}},
+	}
+	ctx := context.Background()
+	out := srv.SearchBatch(ctx, []semkg.BatchItem{
+		{Query: q, Opts: semkg.Options{K: 5, Tau: 0.4}},
+		{Query: q, Opts: semkg.Options{K: 2, Tau: 0.4}},
+		{Query: &semkg.Query{}, Opts: semkg.Options{K: 5, Tau: 0.4}},
+	})
+	if len(out) != 3 {
+		t.Fatalf("got %d outcomes, want 3", len(out))
+	}
+	if out[0].Err != nil || out[1].Err != nil {
+		t.Fatalf("good items failed: %v / %v", out[0].Err, out[1].Err)
+	}
+	if out[2].Err == nil {
+		t.Fatal("empty query did not fail its own slot")
+	}
+	if len(out[1].Result.Answers) != 2 {
+		t.Fatalf("K=2 item returned %d answers", len(out[1].Result.Answers))
+	}
+	solo, err := srv.Search(ctx, q, semkg.Options{K: 5, Tau: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solo.Answers) != len(out[0].Result.Answers) {
+		t.Fatalf("batch answers differ from solo: %d vs %d", len(out[0].Result.Answers), len(solo.Answers))
+	}
+	if st := srv.Stats(); st.SubHits == 0 {
+		t.Fatalf("overlapping batch shared no sub-searches: %+v", st)
+	}
+}
