@@ -35,13 +35,13 @@ type artifact interface {
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: table1 | fig12 | fig13 | fig14 | fig15 | table5 | table6 | table7 | noise | table9 | table10 | ablation | hotpath | serve | ingest | shard | replica | keyword | batch | all (hotpath, serve, ingest, shard, replica, keyword and batch run separately)")
+		"experiment: table1 | fig12 | fig13 | fig14 | fig15 | table5 | table6 | table7 | noise | table9 | table10 | ablation | hotpath | serve | ingest | shard | replica | keyword | batch | load | all (hotpath, serve, ingest, shard, replica, keyword, batch and load run separately)")
 	scale := flag.Float64("scale", 0.3, "dataset scale")
 	dim := flag.Int("dim", 48, "embedding dimension")
 	epochs := flag.Int("epochs", 120, "embedding epochs")
 	tau := flag.Float64("tau", 0.7, "pss threshold τ")
 	out := flag.String("out", "", "output artifact for -exp hotpath/serve/ingest (default BENCH_<exp>.json)")
-	short := flag.Bool("short", false, "trim iteration counts (CI smoke runs of -exp ingest)")
+	short := flag.Bool("short", false, "trim iteration counts and world sizes (CI smoke runs of the artifact experiments)")
 	flag.Parse()
 
 	embedCfg := embed.Config{Dim: *dim, Epochs: *epochs, Seed: 3}
@@ -133,6 +133,10 @@ func main() {
 			runArtifact(name, *out, func() (artifact, error) { return bench.RunKeyword(dbp(), *short) })
 		case "batch":
 			runArtifact(name, *out, func() (artifact, error) { return bench.RunBatch(dbp(), *short) })
+		case "load":
+			// The load harness generates its own large world (datagen
+			// LargeWorld); -scale/-dim/-epochs/-tau do not apply.
+			runArtifact(name, *out, func() (artifact, error) { return bench.RunLoad(*short) })
 		default:
 			fmt.Fprintf(os.Stderr, "kgbench: unknown experiment %q\n", name)
 			os.Exit(2)

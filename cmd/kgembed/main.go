@@ -1,10 +1,12 @@
 // Command kgembed trains a knowledge-graph embedding (TransE, or TransH
-// with -model transh) on a TSV triple file and writes the binary model —
-// the offline phase of the paper's pipeline (Fig. 5).
+// with -model transh) on a graph — a TSV triple file or a binary
+// snapshot, auto-detected — and writes the binary model: the offline
+// phase of the paper's pipeline (Fig. 5).
 //
 // Usage:
 //
 //	kgembed -in graph.tsv -out model.bin -dim 48 -epochs 120
+//	kgembed -in big.snap -out model.bin -dim 32 -epochs 8
 package main
 
 import (
@@ -20,7 +22,7 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "input triple file (required)")
+	in := flag.String("in", "", "input graph: TSV triples or binary snapshot (required)")
 	out := flag.String("out", "model.bin", "output model file")
 	dim := flag.Int("dim", 48, "embedding dimension")
 	epochs := flag.Int("epochs", 120, "training epochs")
@@ -36,7 +38,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	g, err := kg.ReadTriples(f)
+	g, err := kg.ReadGraph(f)
 	f.Close()
 	if err != nil {
 		fail(err)

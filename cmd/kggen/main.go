@@ -1,7 +1,14 @@
-// Command kggen generates a synthetic benchmark knowledge graph (the
-// DBpedia/Freebase/YAGO2-like substitutes described in DESIGN.md) and
+// Command kggen generates a synthetic benchmark knowledge graph and
 // writes it in the TSV triple format, the binary snapshot format, or
-// both.
+// both. Two generators are available:
+//
+//   - the schema-driven worlds (-profile/-scale): the DBpedia/Freebase/
+//     YAGO2-like substitutes described in DESIGN.md, with ground-truth
+//     benchmark workloads — thousands of entities;
+//   - the streaming large worlds (-nodes): power-law degree, zipf type
+//     and name distributions at millions of nodes, built straight into
+//     graph arrays with no intermediate triple list — the dataset behind
+//     kgbench -exp load and the "Running at scale" walkthrough.
 //
 // Usage:
 //
@@ -9,6 +16,13 @@
 //	kggen -profile dbpedia -scale 0.5 -snapshot graph.snap
 //	kggen -profile yago2 -out graph.tsv -snapshot graph.snap
 //	kggen -profile dbpedia -names zipf -out graph.tsv
+//	kggen -nodes 1000000 -snapshot big.snap
+//
+// -scale scales the schema-driven world (1.0 ≈ 6k entities) and must be
+// positive; -nodes N switches to the streaming large-world generator with
+// exactly N nodes, ignoring -profile/-scale/-names. Large worlds should
+// be written as snapshots (-snapshot): the TSV form of a million-node
+// world parses orders of magnitude slower than a snapshot loads.
 //
 // -names zipf spells entities with realistic multi-word names (drawn
 // deterministically from a zipf-ranked vocabulary) instead of the
@@ -34,40 +48,61 @@ import (
 
 func main() {
 	profile := flag.String("profile", "dbpedia", "dataset profile: dbpedia | freebase | yago2")
-	scale := flag.Float64("scale", 0.5, "world scale (1.0 ≈ 6k entities)")
+	scale := flag.Float64("scale", 0.5, "schema-world scale (1.0 ≈ 6k entities; must be > 0)")
+	nodes := flag.Int("nodes", 0, "streaming large-world mode: generate exactly N nodes (power-law degree, zipf types/names); overrides -profile/-scale/-names")
 	out := flag.String("out", "", "output triple file (default stdout unless -snapshot is set)")
 	snapshot := flag.String("snapshot", "", "also write the graph as a binary snapshot to this path")
 	names := flag.String("names", "plain", "node naming style: plain (Kind_<i>) | zipf (realistic multi-word names)")
 	flag.Parse()
 
-	var p datagen.Profile
-	switch *profile {
-	case "dbpedia":
-		p = datagen.DBpediaLike(*scale)
-	case "freebase":
-		p = datagen.FreebaseLike(*scale)
-	case "yago2":
-		p = datagen.YAGO2Like(*scale)
-	default:
-		fmt.Fprintf(os.Stderr, "kggen: unknown profile %q\n", *profile)
-		os.Exit(2)
+	var g *kg.Graph
+	var desc string
+	if *nodes > 0 {
+		p := datagen.LargeWorld(*nodes)
+		g = datagen.GenerateLarge(p)
+		desc = p.Name
+	} else {
+		if *nodes < 0 {
+			fmt.Fprintf(os.Stderr, "kggen: -nodes must be positive (got %d)\n", *nodes)
+			os.Exit(2)
+		}
+		if *scale <= 0 {
+			fmt.Fprintf(os.Stderr, "kggen: -scale must be > 0 (got %g)\n", *scale)
+			os.Exit(2)
+		}
+		var p datagen.Profile
+		switch *profile {
+		case "dbpedia":
+			p = datagen.DBpediaLike(*scale)
+		case "freebase":
+			p = datagen.FreebaseLike(*scale)
+		case "yago2":
+			p = datagen.YAGO2Like(*scale)
+		default:
+			fmt.Fprintf(os.Stderr, "kggen: unknown profile %q (want dbpedia | freebase | yago2)\n", *profile)
+			os.Exit(2)
+		}
+
+		switch *names {
+		case "plain":
+			p.NameStyle = datagen.NameStylePlain
+		case "zipf":
+			p.NameStyle = datagen.NameStyleZipf
+		default:
+			fmt.Fprintf(os.Stderr, "kggen: unknown name style %q (want plain | zipf)\n", *names)
+			os.Exit(2)
+		}
+
+		ds := datagen.Generate(p)
+		g = ds.Graph
+		desc = fmt.Sprintf("%s (%d benchmark queries)", p.Name,
+			len(ds.Simple)+len(ds.Medium)+len(ds.Complex))
 	}
 
-	switch *names {
-	case "plain":
-		p.NameStyle = datagen.NameStylePlain
-	case "zipf":
-		p.NameStyle = datagen.NameStyleZipf
-	default:
-		fmt.Fprintf(os.Stderr, "kggen: unknown name style %q\n", *names)
-		os.Exit(2)
-	}
-
-	ds := datagen.Generate(p)
 	if *snapshot != "" {
 		// Atomic (temp + rename): an interrupted run never leaves a
 		// truncated snapshot behind.
-		if err := kg.WriteSnapshotFile(*snapshot, ds.Graph); err != nil {
+		if err := kg.WriteSnapshotFile(*snapshot, g); err != nil {
 			fmt.Fprintf(os.Stderr, "kggen: writing snapshot: %v\n", err)
 			os.Exit(1)
 		}
@@ -83,11 +118,10 @@ func main() {
 			defer f.Close()
 			w = f
 		}
-		if err := kg.WriteTriples(w, ds.Graph); err != nil {
+		if err := kg.WriteTriples(w, g); err != nil {
 			fmt.Fprintf(os.Stderr, "kggen: writing triples: %v\n", err)
 			os.Exit(1)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "kggen: %s %s (%d benchmark queries)\n",
-		p.Name, ds.Graph.Stats(), len(ds.Simple)+len(ds.Medium)+len(ds.Complex))
+	fmt.Fprintf(os.Stderr, "kggen: %s %s\n", desc, g.Stats())
 }

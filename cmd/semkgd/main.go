@@ -96,9 +96,9 @@ func main() {
 	addr := flag.String("addr", ":8375", "listen address")
 	workers := flag.Int("workers", 0, "max concurrent pipeline executions (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "max queued requests (0 = 4x workers, -1 = none: shed when busy)")
-	resultCache := flag.Int("result-cache", 0, "result cache entries (0 = 1024, -1 = disabled)")
-	planCache := flag.Int("plan-cache", 0, "plan cache entries (0 = 256, -1 = disabled)")
-	subCache := flag.Int("sub-cache", 0, "shared sub-search cache entries for cross-query sharing (0 = 512, -1 = disabled)")
+	resultCache := flag.Int("result-cache", 0, "result cache entries (0 = 1024×workers, -1 = disabled)")
+	planCache := flag.Int("plan-cache", 0, "plan cache entries (0 = 256×workers, -1 = disabled)")
+	subCache := flag.Int("sub-cache", 0, "shared sub-search cache entries for cross-query sharing (0 = 512×workers, -1 = disabled)")
 	maxIngest := flag.Int64("max-ingest-bytes", defaultMaxIngestBytes, "max /v1/ingest request body size in bytes (0 = unlimited)")
 	shards := flag.Int("shards", 0, "partition the graph into N shards and serve scatter-gather searches (0/1 = single engine)")
 	shardHalo := flag.Int("shard-halo", 0, "shard replication radius in hops; bounds servable max_hops (0 = default 4)")

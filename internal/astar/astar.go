@@ -34,6 +34,7 @@ package astar
 
 import (
 	"math"
+	"sort"
 
 	"semkg/internal/kg"
 	"semkg/internal/pqueue"
@@ -48,6 +49,17 @@ type Weighter interface {
 	// NodeMax returns an upper bound on any single edge weight reachable
 	// from u while matching query edges seg or later.
 	NodeMax(u kg.NodeID, seg int) float64
+}
+
+// RowProvider is optionally implemented by Weighters (notably
+// *semgraph.Weighter) that can hand out their per-segment weight rows
+// directly. NewSearcher then shares the rows in place instead of copying
+// NumPredicates×segments values through the interface per search — the
+// values are identical, so search arithmetic is unchanged.
+type RowProvider interface {
+	// Row returns the seg-th weight row, indexed by kg.PredID. The
+	// searcher treats it as read-only.
+	Row(seg int) []float64
 }
 
 // SubQuery is the compiled form of a sub-query path graph: the node-match
@@ -92,6 +104,14 @@ type Options struct {
 	// and keeps Theorem 2's global-optimality guarantee unconditional;
 	// the hop bound n̂ and τ-pruning keep the space tractable.
 	PruneVisited bool
+	// DenseEndSets forces per-segment φ membership into full-graph
+	// bitsets — the pre-scale-up representation, whose per-search
+	// NumNodes/8-byte zeroing is what the million-node world exposed as a
+	// steady-state hot spot. Kept as the before side of kgbench -exp
+	// load's comparison; the default picks a sorted-id or bitset
+	// representation per segment by set density, with identical membership
+	// answers.
+	DenseEndSets bool
 }
 
 func (o Options) withDefaults() Options {
@@ -153,6 +173,67 @@ func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
 func (b bitset) set(i kg.NodeID)      { b[i>>6] |= 1 << (uint(i) & 63) }
 func (b bitset) has(i kg.NodeID) bool { return b[i>>6]>>(uint(i)&63)&1 != 0 }
 
+// nodeSet is an adaptive node-membership set. φ(v) of a typed query node
+// can be a large fraction of the graph (bitset territory), but most end
+// sets are a handful of entities — and a full-graph bitset per segment
+// per search means zeroing NumNodes/8 bytes each time, which at 10M nodes
+// is 1.25 MB of pure overhead before the first expansion. Small sets
+// therefore keep a sorted id slice (binary search, cache-resident);
+// only sets dense enough to amortize the allocation get a bitset.
+type nodeSet struct {
+	sorted []kg.NodeID // sorted ascending; nil when bits is used
+	bits   bitset
+}
+
+// newNodeSet compiles one φ end set. members may contain false-valued
+// entries (non-members, as in the seed's map test); n is the graph's node
+// count. forceDense restores the all-bitset behavior.
+func newNodeSet(members map[kg.NodeID]bool, n int, forceDense bool) nodeSet {
+	k := 0
+	for _, m := range members {
+		if m {
+			k++
+		}
+	}
+	// A bitset costs n/8 bytes to zero; the sorted slice costs k·log k to
+	// sort and log k per probe. Cross over when the set holds more than
+	// one node in 256 — past that the bitset's O(1) probes win and its
+	// allocation is amortized by the set construction itself.
+	if forceDense || (n > 0 && k > n/256) {
+		s := nodeSet{bits: newBitset(n)}
+		for u, m := range members {
+			if m {
+				s.bits.set(u)
+			}
+		}
+		return s
+	}
+	s := nodeSet{sorted: make([]kg.NodeID, 0, k)}
+	for u, m := range members {
+		if m {
+			s.sorted = append(s.sorted, u)
+		}
+	}
+	sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
+	return s
+}
+
+func (s *nodeSet) has(u kg.NodeID) bool {
+	if s.bits != nil {
+		return s.bits.has(u)
+	}
+	lo, hi := 0, len(s.sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.sorted[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s.sorted) && s.sorted[lo] == u
+}
+
 // Stats counts search work, for the pruning-effectiveness experiments.
 type Stats struct {
 	Popped  int // states expanded
@@ -174,11 +255,12 @@ type Searcher struct {
 	sub  SubQuery
 	opts Options
 
-	// rows materializes the per-segment weight rows once, so the expansion
-	// inner loop indexes a flat slice instead of calling through the
-	// Weighter interface per successor.
+	// rows materializes the per-segment weight rows once — shared in place
+	// when the Weighter is a RowProvider — so the expansion inner loop
+	// indexes a flat slice instead of calling through the Weighter
+	// interface per successor.
 	rows [][]float64
-	ends []bitset // per-segment φ membership, replacing map lookups
+	ends []nodeSet // per-segment φ membership, replacing map lookups
 
 	arena    []state
 	frontier pqueue.Max[int32] // arena indices; capacity persists across Next calls
@@ -221,20 +303,20 @@ func NewSearcher(g *kg.Graph, w Weighter, sub SubQuery, opts Options) *Searcher 
 
 	segs := sub.Segments()
 	preds := g.NumPredicates()
+	rp, _ := w.(RowProvider)
 	s.rows = make([][]float64, segs)
-	s.ends = make([]bitset, segs)
+	s.ends = make([]nodeSet, segs)
 	for seg := 0; seg < segs; seg++ {
-		row := make([]float64, preds)
-		for p := 0; p < preds; p++ {
-			row[p] = w.Weight(kg.PredID(p), seg)
-		}
-		s.rows[seg] = row
-		s.ends[seg] = newBitset(g.NumNodes())
-		for u, member := range sub.EndSets[seg] {
-			if member { // false-valued entries are non-members, as in the seed's map test
-				s.ends[seg].set(u)
+		if rp != nil {
+			s.rows[seg] = rp.Row(seg)
+		} else {
+			row := make([]float64, preds)
+			for p := 0; p < preds; p++ {
+				row[p] = w.Weight(kg.PredID(p), seg)
 			}
+			s.rows[seg] = row
 		}
+		s.ends[seg] = newNodeSet(sub.EndSets[seg], g.NumNodes(), opts.DenseEndSets)
 	}
 
 	for _, u := range sub.Anchors {
@@ -349,7 +431,7 @@ func (s *Searcher) expand(idx int32, emitEager func(Match)) {
 	if int(st.hops)+int(segs-st.seg) > s.opts.MaxHops {
 		return
 	}
-	ends := s.ends[st.seg]
+	ends := &s.ends[st.seg]
 	row := s.rows[st.seg]
 	for _, h := range s.g.Neighbors(st.node) {
 		if st.hops == 0 && s.sub.FirstHop != nil && !s.sub.FirstHop(h.Neighbor) {

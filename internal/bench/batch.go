@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
 	"time"
 
 	"semkg/internal/query"
@@ -48,14 +47,10 @@ type BatchRow struct {
 
 // BatchResult is the experiment artifact (BENCH_batch.json).
 type BatchResult struct {
-	Dataset   string     `json:"dataset"`
-	Scale     string     `json:"scale"`
-	GoVersion string     `json:"go_version"`
-	GOOS      string     `json:"goos"`
-	GOARCH    string     `json:"goarch"`
-	CPUs      int        `json:"cpus"`
-	When      string     `json:"when"`
-	Rows      []BatchRow `json:"configs"`
+	Dataset string `json:"dataset"`
+	Scale   string `json:"scale"`
+	EnvInfo
+	Rows []BatchRow `json:"configs"`
 	// QPSGain is shared QPS over independent QPS; P50Speedup is
 	// independent per-batch p50 over shared p50. Both > 1 mean sharing
 	// won.
@@ -154,13 +149,9 @@ func RunBatch(env *Env, short bool) (*BatchResult, error) {
 	w := makeBatchWorkload(env, qs, nBatches, batchSize)
 	ctx := context.Background()
 	res := &BatchResult{
-		Dataset:   env.Cfg.Profile.Name,
-		Scale:     fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		When:      time.Now().UTC().Format(time.RFC3339),
+		Dataset: env.Cfg.Profile.Name,
+		Scale:   fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
+		EnvInfo: CaptureEnv(),
 	}
 
 	// Both rows disable the result cache: with it on, repeated (shape, K)

@@ -7,6 +7,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -14,6 +15,40 @@ import (
 	"semkg/internal/datagen"
 	"semkg/internal/embed"
 )
+
+// EnvInfo is the machine/runtime block embedded in every experiment
+// artifact, so perf rows are comparable across machines and across
+// GOMAXPROCS settings. Heap figures come from runtime.MemStats at
+// capture time: CaptureEnv is called after the experiment's dataset and
+// engine exist, so HeapAllocBytes approximates the resident working set
+// the numbers were measured against.
+type EnvInfo struct {
+	GoVersion       string `json:"go_version"`
+	GOOS            string `json:"goos"`
+	GOARCH          string `json:"goarch"`
+	CPUs            int    `json:"cpus"`
+	GOMAXPROCS      int    `json:"gomaxprocs"`
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	When            string `json:"when"`
+}
+
+// CaptureEnv snapshots the runtime environment for an artifact's env
+// block.
+func CaptureEnv() EnvInfo {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return EnvInfo{
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		CPUs:            runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		HeapAllocBytes:  ms.HeapAlloc,
+		TotalAllocBytes: ms.TotalAlloc,
+		When:            time.Now().UTC().Format(time.RFC3339),
+	}
+}
 
 // Config prepares one experimental environment.
 type Config struct {

@@ -13,10 +13,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"sync"
 	"testing"
-	"time"
 
 	"semkg/internal/astar"
 	"semkg/internal/core"
@@ -382,14 +380,10 @@ type HotpathRow struct {
 
 // HotpathResult is the experiment artifact (BENCH_hotpath.json).
 type HotpathResult struct {
-	Dataset   string       `json:"dataset"`
-	Scale     string       `json:"scale"`
-	GoVersion string       `json:"go_version"`
-	GOOS      string       `json:"goos"`
-	GOARCH    string       `json:"goarch"`
-	CPUs      int          `json:"cpus"`
-	When      string       `json:"when"`
-	Rows      []HotpathRow `json:"benchmarks"`
+	Dataset string `json:"dataset"`
+	Scale   string `json:"scale"`
+	EnvInfo
+	Rows []HotpathRow `json:"benchmarks"`
 }
 
 func stat(r testing.BenchmarkResult) HotpathStat {
@@ -407,13 +401,9 @@ func RunHotpath(env *Env) (*HotpathResult, error) {
 		return nil, err
 	}
 	res := &HotpathResult{
-		Dataset:   env.Cfg.Profile.Name,
-		Scale:     fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		When:      time.Now().UTC().Format(time.RFC3339),
+		Dataset: env.Cfg.Profile.Name,
+		Scale:   fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
+		EnvInfo: CaptureEnv(),
 	}
 	for _, c := range cases {
 		before := stat(testing.Benchmark(c.Before))

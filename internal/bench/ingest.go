@@ -56,29 +56,21 @@ type LiveIngest struct {
 
 // IngestResult is the experiment artifact (BENCH_ingest.json).
 type IngestResult struct {
-	Dataset   string         `json:"dataset"`
-	Scale     string         `json:"scale"`
-	GoVersion string         `json:"go_version"`
-	GOOS      string         `json:"goos"`
-	GOARCH    string         `json:"goarch"`
-	CPUs      int            `json:"cpus"`
-	When      string         `json:"when"`
-	Load      LoadComparison `json:"load"`
-	Commits   []CommitPoint  `json:"commits"`
-	Live      LiveIngest     `json:"live"`
+	Dataset string `json:"dataset"`
+	Scale   string `json:"scale"`
+	EnvInfo
+	Load    LoadComparison `json:"load"`
+	Commits []CommitPoint  `json:"commits"`
+	Live    LiveIngest     `json:"live"`
 }
 
 // RunIngest measures the storage layer on this environment. short trims
 // iteration counts for CI smoke runs.
 func RunIngest(env *Env, short bool) (*IngestResult, error) {
 	res := &IngestResult{
-		Dataset:   env.Cfg.Profile.Name,
-		Scale:     fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		When:      time.Now().UTC().Format(time.RFC3339),
+		Dataset: env.Cfg.Profile.Name,
+		Scale:   fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
+		EnvInfo: CaptureEnv(),
 	}
 	load, err := measureLoad(env.Dataset.Graph, short)
 	if err != nil {

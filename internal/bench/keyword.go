@@ -20,7 +20,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
 	"time"
 
@@ -54,14 +53,10 @@ type KeywordRow struct {
 
 // KeywordBenchResult is the experiment artifact (BENCH_keyword.json).
 type KeywordBenchResult struct {
-	Dataset   string       `json:"dataset"`
-	Scale     string       `json:"scale"`
-	GoVersion string       `json:"go_version"`
-	GOOS      string       `json:"goos"`
-	GOARCH    string       `json:"goarch"`
-	CPUs      int          `json:"cpus"`
-	When      string       `json:"when"`
-	Rows      []KeywordRow `json:"workloads"`
+	Dataset string `json:"dataset"`
+	Scale   string `json:"scale"`
+	EnvInfo
+	Rows []KeywordRow `json:"workloads"`
 }
 
 // keywordCase is one benchmark input: derived keywords plus the
@@ -121,13 +116,9 @@ func RunKeyword(env *Env, short bool) (*KeywordBenchResult, error) {
 	opts := env.SearchOptions(10)
 	ctx := context.Background()
 	res := &KeywordBenchResult{
-		Dataset:   env.Cfg.Profile.Name,
-		Scale:     fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		When:      time.Now().UTC().Format(time.RFC3339),
+		Dataset: env.Cfg.Profile.Name,
+		Scale:   fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
+		EnvInfo: CaptureEnv(),
 	}
 
 	// Caches off on both paths: every latency sample below is a real

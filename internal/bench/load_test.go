@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunLoadShape is the load-harness acceptance smoke on a micro world:
+// every section produces measured (non-zero) rows, the artifact embeds
+// its configuration and environment, and the JSON round-trips. The CI
+// load job runs this under -race; the real numbers come from
+// `kgbench -exp load` on the 1M-node world.
+func TestRunLoadShape(t *testing.T) {
+	cfg := loadConfig(true)
+	cfg.Nodes = 4000
+	cfg.Agents = 3
+	cfg.DistinctQueries = 16
+	cfg.WarmupMs = 50
+	cfg.MeasureMs = 200
+	cfg.ColdStartReps = 1
+	cfg.SteadyQueries = 4
+
+	res, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := len(res.ColdStart); got != 6 {
+		t.Fatalf("cold-start rows = %d, want 6 (serial/parallel × load, build, total)", got)
+	}
+	for i, row := range res.ColdStart {
+		if row.Millis <= 0 {
+			t.Fatalf("cold-start row %d (%s): no measured time", i, row.Phase)
+		}
+		if row.Workers < 1 {
+			t.Fatalf("cold-start row %d (%s): workers = %d", i, row.Phase, row.Workers)
+		}
+	}
+	total := res.ColdStart[5]
+	if total.Speedup <= 0 {
+		t.Fatalf("cold-start total row has no speedup: %+v", total)
+	}
+
+	if got := len(res.Steady); got != 2 {
+		t.Fatalf("steady-state rows = %d, want 2 (dense before, paged after)", got)
+	}
+	for i, row := range res.Steady {
+		if row.MeanUs <= 0 || row.Queries != cfg.SteadyQueries {
+			t.Fatalf("steady row %d: degenerate measurement %+v", i, row)
+		}
+	}
+
+	if got := len(res.Driver); got != 2 {
+		t.Fatalf("driver rows = %d, want 2 (cache-served, cache-bypassed)", got)
+	}
+	for i, row := range res.Driver {
+		if row.Requests <= 0 || row.QPS <= 0 {
+			t.Fatalf("driver row %d (%s): no traffic recorded %+v", i, row.Workload, row)
+		}
+		if row.Errors > 0 {
+			t.Fatalf("driver row %d (%s): %d request errors", i, row.Workload, row.Errors)
+		}
+		if row.HeapAllocBytes == 0 {
+			t.Fatalf("driver row %d (%s): no heap stats", i, row.Workload)
+		}
+	}
+	// The bypassed workload must actually run the pipeline per request.
+	if res.Driver[1].PipelineRuns < uint64(res.Driver[1].Requests) {
+		t.Fatalf("cache-bypassed workload: %d pipeline runs for %d requests",
+			res.Driver[1].PipelineRuns, res.Driver[1].Requests)
+	}
+
+	if res.GOMAXPROCS < 1 || res.GoVersion == "" || res.TotalAllocBytes == 0 {
+		t.Fatalf("artifact env block incomplete: %+v", res.EnvInfo)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LoadResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Config != cfg {
+		t.Fatalf("artifact config did not round-trip: %+v != %+v", back.Config, cfg)
+	}
+	if back.Render() == nil {
+		t.Fatal("Render returned nil")
+	}
+}

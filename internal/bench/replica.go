@@ -18,7 +18,6 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,15 +70,11 @@ type FailoverResult struct {
 
 // ReplicaResult is the experiment artifact (BENCH_replica.json).
 type ReplicaResult struct {
-	Dataset   string         `json:"dataset"`
-	Scale     string         `json:"scale"`
-	GoVersion string         `json:"go_version"`
-	GOOS      string         `json:"goos"`
-	GOARCH    string         `json:"goarch"`
-	CPUs      int            `json:"cpus"`
-	When      string         `json:"when"`
-	Catchup   []CatchupPoint `json:"catchup"`
-	Failover  FailoverResult `json:"failover"`
+	Dataset string `json:"dataset"`
+	Scale   string `json:"scale"`
+	EnvInfo
+	Catchup  []CatchupPoint `json:"catchup"`
+	Failover FailoverResult `json:"failover"`
 }
 
 // replicaLogCap keeps the primary's statement log small enough that the
@@ -178,13 +173,9 @@ func snapshotEqual(a, b *serve.Engine) (bool, error) {
 // trims backlogs and the failover window for CI smoke runs.
 func RunReplica(env *Env, short bool) (*ReplicaResult, error) {
 	res := &ReplicaResult{
-		Dataset:   env.Cfg.Profile.Name,
-		Scale:     fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		When:      time.Now().UTC().Format(time.RFC3339),
+		Dataset: env.Cfg.Profile.Name,
+		Scale:   fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
+		EnvInfo: CaptureEnv(),
 	}
 
 	backlogs := []int{4, 16, 64}

@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -46,14 +45,10 @@ type ServeRow struct {
 
 // ServeResult is the experiment artifact (BENCH_serve.json).
 type ServeResult struct {
-	Dataset   string     `json:"dataset"`
-	Scale     string     `json:"scale"`
-	GoVersion string     `json:"go_version"`
-	GOOS      string     `json:"goos"`
-	GOARCH    string     `json:"goarch"`
-	CPUs      int        `json:"cpus"`
-	When      string     `json:"when"`
-	Rows      []ServeRow `json:"workloads"`
+	Dataset string `json:"dataset"`
+	Scale   string `json:"scale"`
+	EnvInfo
+	Rows []ServeRow `json:"workloads"`
 }
 
 func percentile(sorted []time.Duration, p float64) float64 {
@@ -96,13 +91,9 @@ func RunServe(env *Env) (*ServeResult, error) {
 	opts := env.SearchOptions(10)
 	ctx := context.Background()
 	res := &ServeResult{
-		Dataset:   env.Cfg.Profile.Name,
-		Scale:     fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		When:      time.Now().UTC().Format(time.RFC3339),
+		Dataset: env.Cfg.Profile.Name,
+		Scale:   fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
+		EnvInfo: CaptureEnv(),
 	}
 
 	repeated, err := runRepeated(ctx, env, qs[0], opts)

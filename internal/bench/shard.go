@@ -30,7 +30,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"semkg/internal/core"
@@ -80,13 +79,9 @@ type ShardRow struct {
 
 // ShardResult is the experiment artifact (BENCH_shard.json).
 type ShardResult struct {
-	Dataset     string     `json:"dataset"`
-	Scale       string     `json:"scale"`
-	GoVersion   string     `json:"go_version"`
-	GOOS        string     `json:"goos"`
-	GOARCH      string     `json:"goarch"`
-	CPUs        int        `json:"cpus"`
-	When        string     `json:"when"`
+	Dataset string `json:"dataset"`
+	Scale   string `json:"scale"`
+	EnvInfo
 	K           int        `json:"k"`
 	Queries     int        `json:"queries"`
 	Repetitions int        `json:"repetitions"`
@@ -122,11 +117,7 @@ func RunShard(env *Env, short bool) (*ShardResult, error) {
 	res := &ShardResult{
 		Dataset:     env.Cfg.Profile.Name,
 		Scale:       fmt.Sprintf("%d nodes / %d edges", env.Dataset.Graph.NumNodes(), env.Dataset.Graph.NumEdges()),
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		CPUs:        runtime.NumCPU(),
-		When:        time.Now().UTC().Format(time.RFC3339),
+		EnvInfo:     CaptureEnv(),
 		K:           k,
 		Queries:     len(qs),
 		Repetitions: reps,

@@ -68,6 +68,9 @@ func (e *Engine) Space() *embed.Space { return e.space }
 // Matcher returns the engine's node matcher (the φ relation).
 func (e *Engine) Matcher() *transform.Matcher { return e.matcher }
 
+// Rows returns the engine's predicate weight-row cache.
+func (e *Engine) Rows() *semgraph.RowCache { return e.rows }
+
 // Options configures one search call.
 type Options struct {
 	// K is the number of answers to return. Default 10.

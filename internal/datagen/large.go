@@ -1,0 +1,189 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"semkg/internal/kg"
+	"semkg/internal/query"
+)
+
+// Large-world generation: the million-node scale-up datasets behind
+// kggen -nodes and kgbench -exp load.
+//
+// The schema-driven Generate world tops out around 10^4 entities — it
+// materializes a Dataset with per-entity bookkeeping (autoInfo records,
+// truth sets, memoized name tables) that exists to produce ground-truth
+// workloads, not scale. GenerateLarge streams nodes and edges straight
+// into a kg.Builder instead: no triple list, no Dataset, no memo/taken
+// maps — per-node cost is the node's name and type (which the finished
+// graph holds anyway) and per-edge cost is three int32s in the builder.
+// Realism comes from the distributions, not a schema:
+//
+//   - in-degree is power-law: edge destinations are drawn rank-skewed, so
+//     a few early nodes become six-figure-degree hubs and the tail is
+//     sparse, as in real knowledge graphs;
+//   - types are zipf-assigned from a bounded vocabulary (a few huge
+//     classes, many small ones);
+//   - predicates are zipf-used (a handful of workhorse relations carry
+//     most edges);
+//   - names are multi-word spellings from the zipf-ranked nameVocab with
+//     a numeric suffix for uniqueness, so the normalized-name, prefix and
+//     initials indexes are exercised at full vocabulary size without a
+//     uniqueness map.
+//
+// Everything derives deterministically from the profile seed.
+
+// LargeProfile sizes a streaming large world.
+type LargeProfile struct {
+	// Name labels the dataset.
+	Name string
+	// Seed drives all randomness.
+	Seed int64
+	// Nodes is the exact node count.
+	Nodes int
+	// AvgDegree is the average number of edges per node (each edge also
+	// appears in its destination's adjacency, so graph degree averages
+	// 2×AvgDegree). Edges = Nodes × AvgDegree.
+	AvgDegree float64
+	// Types is the entity-type vocabulary size; assignment is zipf.
+	Types int
+	// Preds is the predicate vocabulary size; usage is zipf.
+	Preds int
+	// DegreeSkew shapes the power-law in-degree: destinations are drawn as
+	// floor(Nodes × u^DegreeSkew) for uniform u, so larger values
+	// concentrate more edges on the low-id hubs. 1 is uniform.
+	DegreeSkew float64
+}
+
+// LargeWorld is the canonical large profile at a given node count: degree,
+// type, predicate and skew parameters sized like a mid-size encyclopedic
+// knowledge graph.
+func LargeWorld(nodes int) LargeProfile {
+	return LargeProfile{
+		Name:       fmt.Sprintf("large-%d", nodes),
+		Seed:       1,
+		Nodes:      nodes,
+		AvgDegree:  3,
+		Types:      48,
+		Preds:      96,
+		DegreeSkew: 3,
+	}
+}
+
+func (p LargeProfile) withDefaults() LargeProfile {
+	if p.AvgDegree <= 0 {
+		p.AvgDegree = 3
+	}
+	if p.Types <= 0 {
+		p.Types = 48
+	}
+	if p.Preds <= 0 {
+		p.Preds = 96
+	}
+	if p.DegreeSkew <= 0 {
+		p.DegreeSkew = 3
+	}
+	return p
+}
+
+// largeTypeName spells the i-th entity type. Types reuse vocabulary words
+// so the type-name index sees realistic spellings.
+func largeTypeName(i int) string {
+	return fmt.Sprintf("%sKind%d", nameVocab[i%len(nameVocab)], i)
+}
+
+// largePredName spells the i-th predicate. Predicate embeddings at this
+// scale come from name-seeded vectors (embed.Model.SpaceFor), so distinct
+// names give distinct, deterministic semantics.
+func largePredName(i int) string {
+	return fmt.Sprintf("rel%s%d", nameVocab[(i*7)%len(nameVocab)], i)
+}
+
+// GenerateLargeBuilder streams the world of p into a fresh kg.Builder and
+// returns it unfinalized. kgbench -exp load uses this to time
+// Builder.BuildWorkers separately at chosen worker counts; everyone else
+// wants GenerateLarge.
+func GenerateLargeBuilder(p LargeProfile) *kg.Builder {
+	p = p.withDefaults()
+	n := p.Nodes
+	m := int(float64(n) * p.AvgDegree)
+	rng := rand.New(rand.NewSource(p.Seed))
+	nameRng := rand.New(rand.NewSource(p.Seed ^ nameSeedSalt))
+	nameZipf := rand.NewZipf(nameRng, 1.25, 2.0, uint64(len(nameVocab)-1))
+	typeZipf := rand.NewZipf(rng, 1.4, 1.8, uint64(p.Types-1))
+	predZipf := rand.NewZipf(rng, 1.3, 2.0, uint64(p.Preds-1))
+
+	types := make([]string, p.Types)
+	for i := range types {
+		types[i] = largeTypeName(i)
+	}
+	preds := make([]string, p.Preds)
+	for i := range preds {
+		preds[i] = largePredName(i)
+	}
+
+	b := kg.NewBuilder(n, m)
+	for i := 0; i < n; i++ {
+		// 1–3 vocabulary words plus the id: unique by construction, no
+		// taken-map, and multi-word enough to populate the initials and
+		// prefix indexes densely.
+		w1 := nameVocab[nameZipf.Uint64()]
+		var name string
+		switch x := nameRng.Float64(); {
+		case x < 0.35:
+			name = fmt.Sprintf("%s %d", w1, i)
+		case x < 0.85:
+			name = fmt.Sprintf("%s %s %d", w1, nameVocab[nameZipf.Uint64()], i)
+		default:
+			name = fmt.Sprintf("%s %s %s %d", w1, nameVocab[nameZipf.Uint64()], nameVocab[nameZipf.Uint64()], i)
+		}
+		b.AddNode(name, types[typeZipf.Uint64()])
+	}
+	for i := 0; i < m; i++ {
+		src := kg.NodeID(rng.Intn(n))
+		dst := kg.NodeID(float64(n) * math.Pow(rng.Float64(), p.DegreeSkew))
+		if dst >= kg.NodeID(n) { // u^skew rounding at the boundary
+			dst = kg.NodeID(n - 1)
+		}
+		if dst == src {
+			dst = kg.NodeID((int(dst) + 1) % n)
+		}
+		b.AddEdge(src, dst, preds[predZipf.Uint64()])
+	}
+	return b
+}
+
+// GenerateLarge builds the large world of p.
+func GenerateLarge(p LargeProfile) *kg.Graph {
+	return GenerateLargeBuilder(p).Build()
+}
+
+// LargeQueries derives a load workload for a generated large world:
+// count single-edge queries "typed focus --popular-predicate--> hub
+// anchor", the shape the serving benchmarks drive. Anchors are drawn from
+// the moderate-rank hub band (high in-degree from the power law, but not
+// the top hubs, whose expansions would dwarf every other request), and
+// focus types and predicates cycle through the zipf head, so the queries
+// differ in anchors, end sets and weight rows while staying answerable.
+func LargeQueries(g *kg.Graph, p LargeProfile, count int) []*query.Graph {
+	p = p.withDefaults()
+	out := make([]*query.Graph, 0, count)
+	for i := 0; i < count; i++ {
+		anchor := kg.NodeID(32 + i*7%1024)
+		if int(anchor) >= g.NumNodes() {
+			anchor = kg.NodeID(i % g.NumNodes())
+		}
+		focusType := largeTypeName((2 + i%12) % p.Types)
+		pred := largePredName(i % 8 % p.Preds)
+		out = append(out, &query.Graph{
+			Nodes: []query.Node{
+				{ID: "v1", Type: focusType},
+				{ID: "v2", Name: g.NodeName(anchor), Type: g.TypeName(g.NodeType(anchor))},
+			},
+			Edges: []query.Edge{{From: "v1", To: "v2", Predicate: pred}},
+		})
+	}
+	return out
+}

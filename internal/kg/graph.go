@@ -335,16 +335,28 @@ func (b *Builder) NumEdges() int { return len(b.srcs) }
 
 // Build finalizes the graph: it freezes node/edge sets, computes the
 // CSR adjacency and the per-type node index. The Builder must not be used
-// afterwards.
-func (b *Builder) Build() *Graph {
+// afterwards. Construction uses GOMAXPROCS workers; BuildWorkers exposes
+// the knob (any worker count yields a structurally identical graph).
+func (b *Builder) Build() *Graph { return b.BuildWorkers(0) }
+
+// BuildWorkers is Build with an explicit worker count for the CSR
+// threading and derived-index construction. workers == 1 runs the exact
+// sequential algorithms (the cold-start baseline kgbench -exp load
+// measures against); zero or negative means GOMAXPROCS. The produced
+// graph is structurally identical for every worker count — same ids, same
+// per-node adjacency order, same index contents.
+func (b *Builder) BuildWorkers(workers int) *Graph {
+	workers = normWorkers(workers)
 	g := &b.g
 	n := len(g.names)
 	m := len(b.srcs)
 
 	g.edges = make([]Edge, m)
-	for i := 0; i < m; i++ {
-		g.edges[i] = Edge{Src: b.srcs[i], Dst: b.dsts[i], Pred: b.preds[i]}
-	}
+	parspan(workers, m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			g.edges[i] = Edge{Src: b.srcs[i], Dst: b.dsts[i], Pred: b.preds[i]}
+		}
+	})
 
 	// Degree count (each edge contributes to both endpoints; self-loops
 	// contribute twice to the same node, once per direction).
@@ -358,31 +370,53 @@ func (b *Builder) Build() *Graph {
 	}
 	g.adjOff = deg
 	g.halves = make([]Half, 2*m)
-	cursor := make([]int32, n)
-	copy(cursor, g.adjOff[:n])
-	for i := 0; i < m; i++ {
-		e := EdgeID(i)
-		s, d, p := b.srcs[i], b.dsts[i], b.preds[i]
-		g.halves[cursor[s]] = Half{Edge: e, Neighbor: d, Pred: p, Out: true}
-		cursor[s]++
-		g.halves[cursor[d]] = Half{Edge: e, Neighbor: s, Pred: p, Out: false}
-		cursor[d]++
-	}
 
-	g.byType = make([][]NodeID, len(g.typeNames))
-	for id, t := range g.types {
-		if t != NoType {
-			g.byType[t] = append(g.byType[t], NodeID(id))
+	tg := newTaskGroup(workers)
+	tg.run(func() { threadHalves(g, workers) })
+	tg.run(func() {
+		g.byType = make([][]NodeID, len(g.typeNames))
+		for id, t := range g.types {
+			if t != NoType {
+				g.byType[t] = append(g.byType[t], NodeID(id))
+			}
 		}
-	}
+	})
+	tg.run(func() {
+		g.predCount = make([]int, len(g.predNames))
+		for i := 0; i < m; i++ {
+			g.predCount[b.preds[i]]++
+		}
+	})
+	tg.wait()
 
-	g.predCount = make([]int, len(g.predNames))
-	for i := 0; i < m; i++ {
-		g.predCount[b.preds[i]]++
-	}
-
-	g.buildIndexes()
+	g.buildIndexes(workers)
 
 	b.srcs, b.dsts, b.preds = nil, nil, nil
 	return g
+}
+
+// threadHalves fills g.halves from g.edges and g.adjOff, preserving the
+// sequential cursor fill's per-node edge-insertion order. Workers split
+// the node id space: each scans the full edge list but writes only the
+// halves owned by its node range. The redundant sequential reads are
+// cheap (prefetched, shared in cache); what matters is that the writes —
+// which dominate — are fully independent, and per-worker state is one
+// cursor array sized by the range, not O(nodes) count matrices.
+func threadHalves(g *Graph, workers int) {
+	n := len(g.adjOff) - 1
+	parspan(workers, n, func(lo, hi int) {
+		cursor := make([]int32, hi-lo)
+		copy(cursor, g.adjOff[lo:hi])
+		for i := range g.edges {
+			ed := &g.edges[i]
+			if s := int(ed.Src); s >= lo && s < hi {
+				g.halves[cursor[s-lo]] = Half{Edge: EdgeID(i), Neighbor: ed.Dst, Pred: ed.Pred, Out: true}
+				cursor[s-lo]++
+			}
+			if d := int(ed.Dst); d >= lo && d < hi {
+				g.halves[cursor[d-lo]] = Half{Edge: EdgeID(i), Neighbor: ed.Src, Pred: ed.Pred, Out: false}
+				cursor[d-lo]++
+			}
+		}
+	})
 }

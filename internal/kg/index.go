@@ -27,22 +27,44 @@ type nameIndex struct {
 	sortedIDs [][]int32
 }
 
-func buildNameIndex(names []string) nameIndex {
+func buildNameIndex(names []string) nameIndex { return buildNameIndexWorkers(names, 1) }
+
+// buildNameIndexWorkers builds the index with the string work — Normalize
+// and Initials over the whole vocabulary, the dominant cost — precomputed
+// across workers. Map assembly stays sequential in ascending id order, so
+// every bucket's id order matches the serial build exactly.
+func buildNameIndexWorkers(names []string, workers int) nameIndex {
 	ix := nameIndex{
 		norm:     make(map[string][]int32, len(names)),
 		initials: make(map[string][]int32),
 	}
-	for id, name := range names {
-		n := strutil.Normalize(name)
-		ix.norm[n] = append(ix.norm[n], int32(id))
-		// Only initials that strutil.IsAbbreviationOf could ever accept are
-		// indexed: at least 2 bytes and strictly shorter than the full name.
-		all, sig := strutil.Initials(n)
-		if len(all) >= 2 && len(all) < len(n) {
-			ix.initials[all] = append(ix.initials[all], int32(id))
+	norms := make([]string, len(names))
+	alls := make([]string, len(names))
+	sigs := make([]string, len(names))
+	parspan(workers, len(names), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			n := strutil.Normalize(names[i])
+			norms[i] = n
+			// Only initials that strutil.IsAbbreviationOf could ever accept
+			// are indexed: at least 2 bytes and strictly shorter than the
+			// full name. Entries failing the rule stay "", never indexed
+			// (Initials of a non-empty word is never empty).
+			all, sig := strutil.Initials(n)
+			if len(all) >= 2 && len(all) < len(n) {
+				alls[i] = all
+			}
+			if sig != all && len(sig) >= 2 && len(sig) < len(n) {
+				sigs[i] = sig
+			}
 		}
-		if sig != all && len(sig) >= 2 && len(sig) < len(n) {
-			ix.initials[sig] = append(ix.initials[sig], int32(id))
+	})
+	for id, n := range norms {
+		ix.norm[n] = append(ix.norm[n], int32(id))
+		if alls[id] != "" {
+			ix.initials[alls[id]] = append(ix.initials[alls[id]], int32(id))
+		}
+		if sigs[id] != "" {
+			ix.initials[sigs[id]] = append(ix.initials[sigs[id]], int32(id))
 		}
 	}
 	ix.sorted = make([]string, 0, len(ix.norm))
@@ -128,24 +150,79 @@ func (g *Graph) NodePreds(u NodeID) []PredID {
 }
 
 // buildIndexes computes the derived read-only indexes; called by Build.
-func (g *Graph) buildIndexes() {
+// The three indexes are independent, so they build concurrently; the two
+// big ones (NodePreds CSR, node-name index) also parallelize internally.
+func (g *Graph) buildIndexes(workers int) {
+	tg := newTaskGroup(workers)
+	tg.run(func() { g.buildNodePreds(workers) })
+	tg.run(func() { g.nameIdx = buildNameIndexWorkers(g.names, workers) })
+	tg.run(func() { g.typeIdx = buildNameIndex(g.typeNames) }) // type vocabulary is tiny
+	tg.wait()
+}
+
+// buildNodePreds computes the per-node distinct-incident-predicate CSR.
+// Parallel builds use two node-range passes — count spans, prefix-sum,
+// fill — with one mark array per worker sized by the predicate
+// vocabulary, so extra memory is O(workers × predicates), not O(nodes).
+// Per-node first-occurrence order is inherent to the scan, so any worker
+// count fills identical arrays.
+func (g *Graph) buildNodePreds(workers int) {
 	n := len(g.names)
 	g.nodePredOff = make([]int32, n+1)
-	g.nodePreds = make([]PredID, 0, n) // >= one distinct pred per non-isolated node
-	mark := make([]int32, len(g.predNames))
-	for i := range mark {
-		mark[i] = -1
+	if workers <= 1 {
+		// Sequential fast path: one pass, append as discovered. Keeping it
+		// distinct keeps the workers=1 baseline an honest single-pass
+		// serial build, not a two-pass algorithm run on one goroutine.
+		g.nodePreds = make([]PredID, 0, n)
+		mark := make([]int32, len(g.predNames))
+		for i := range mark {
+			mark[i] = -1
+		}
+		for u := 0; u < n; u++ {
+			for _, h := range g.halves[g.adjOff[u]:g.adjOff[u+1]] {
+				if mark[h.Pred] != int32(u) {
+					mark[h.Pred] = int32(u)
+					g.nodePreds = append(g.nodePreds, h.Pred)
+				}
+			}
+			g.nodePredOff[u+1] = int32(len(g.nodePreds))
+		}
+		return
 	}
+	parspan(workers, n, func(lo, hi int) {
+		mark := make([]int32, len(g.predNames))
+		for i := range mark {
+			mark[i] = -1
+		}
+		for u := lo; u < hi; u++ {
+			c := int32(0)
+			for _, h := range g.halves[g.adjOff[u]:g.adjOff[u+1]] {
+				if mark[h.Pred] != int32(u) {
+					mark[h.Pred] = int32(u)
+					c++
+				}
+			}
+			g.nodePredOff[u+1] = c
+		}
+	})
 	for u := 0; u < n; u++ {
-		for _, h := range g.halves[g.adjOff[u]:g.adjOff[u+1]] {
-			if mark[h.Pred] != int32(u) {
-				mark[h.Pred] = int32(u)
-				g.nodePreds = append(g.nodePreds, h.Pred)
+		g.nodePredOff[u+1] += g.nodePredOff[u]
+	}
+	g.nodePreds = make([]PredID, g.nodePredOff[n])
+	parspan(workers, n, func(lo, hi int) {
+		mark := make([]int32, len(g.predNames))
+		for i := range mark {
+			mark[i] = -1
+		}
+		for u := lo; u < hi; u++ {
+			w := g.nodePredOff[u]
+			for _, h := range g.halves[g.adjOff[u]:g.adjOff[u+1]] {
+				if mark[h.Pred] != int32(u) {
+					mark[h.Pred] = int32(u)
+					g.nodePreds[w] = h.Pred
+					w++
+				}
 			}
 		}
-		g.nodePredOff[u+1] = int32(len(g.nodePreds))
-	}
-
-	g.nameIdx = buildNameIndex(g.names)
-	g.typeIdx = buildNameIndex(g.typeNames)
+	})
 }

@@ -1,0 +1,99 @@
+package kg
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel build/decode plumbing. Graph construction (Builder.Build) and
+// snapshot decoding (ReadSnapshot) are parameterized by a worker count:
+// workers == 1 runs the exact sequential algorithms, anything else splits
+// the same work across goroutines in a way that is structurally
+// indistinguishable from the serial result (property-tested in
+// parallel_test.go). The split strategies favor bounded memory: node-range
+// partitions with per-worker cursors or mark arrays sized by the range or
+// the predicate vocabulary, never O(nodes) per worker.
+
+// normWorkers clamps a worker-count request: zero or negative means
+// GOMAXPROCS.
+func normWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// parspan splits [0, n) into at most workers contiguous chunks and runs
+// f(lo, hi) on each, concurrently when workers > 1. f must only touch
+// state disjoint per chunk (or read-only shared state). With workers <= 1
+// it runs f(0, n) inline — the sequential algorithm, no goroutines.
+func parspan(workers, n int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for c := 0; c < workers; c++ {
+		lo, hi := c*n/workers, (c+1)*n/workers
+		go func() {
+			defer wg.Done()
+			f(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// taskGroup runs independent heterogeneous tasks: inline when built with
+// workers <= 1, on goroutines otherwise.
+type taskGroup struct {
+	serial bool
+	wg     sync.WaitGroup
+}
+
+func newTaskGroup(workers int) *taskGroup { return &taskGroup{serial: workers <= 1} }
+
+func (t *taskGroup) run(f func()) {
+	if t.serial {
+		f()
+		return
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		f()
+	}()
+}
+
+func (t *taskGroup) wait() { t.wg.Wait() }
+
+// firstErr latches one error across concurrent workers. Which worker's
+// error wins is not deterministic, only that some error survives; decode
+// callers need any typed snapshot error, not a specific one.
+type firstErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *firstErr) set(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *firstErr) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}

@@ -11,7 +11,6 @@ import (
 	"io/fs"
 	"sort"
 	"strings"
-	"sync"
 )
 
 // Binary graph snapshots.
@@ -191,8 +190,15 @@ func (e *snapEncoder) nameIndex(ix nameIndex) {
 // ErrSnapshotTruncated, ErrSnapshotChecksum, ErrSnapshotCorrupt) — never a
 // panic. The loaded graph is indistinguishable from the one that was
 // saved: identical ids, adjacency order and index contents, so searches
-// over it are bit-identical.
-func ReadSnapshot(r io.Reader) (*Graph, error) {
+// over it are bit-identical. Decoding uses GOMAXPROCS workers; use
+// ReadSnapshotWorkers to pin the count.
+func ReadSnapshot(r io.Reader) (*Graph, error) { return ReadSnapshotWorkers(r, 0) }
+
+// ReadSnapshotWorkers is ReadSnapshot with an explicit decode worker
+// count. workers == 1 decodes fully serially — the cold-start baseline
+// kgbench -exp load compares against; zero or negative means GOMAXPROCS.
+// Every worker count yields a structurally identical graph.
+func ReadSnapshotWorkers(r io.Reader, workers int) (*Graph, error) {
 	var header [len(snapshotMagic) + 4]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
 		return nil, fmt.Errorf("%w: %d-byte header unreadable", ErrSnapshotTruncated, len(header))
@@ -214,7 +220,7 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(trailer) {
 		return nil, ErrSnapshotChecksum
 	}
-	return decodeSnapshot(payload)
+	return decodeSnapshot(payload, normWorkers(workers))
 }
 
 // readBody slurps the remaining stream. Readers that know their length
@@ -414,7 +420,7 @@ func (d *snapDecoder) idxEntries() ([]idxEntry, error) {
 	return out, nil
 }
 
-func decodeSnapshot(payload []byte) (*Graph, error) {
+func decodeSnapshot(payload []byte, workers int) (*Graph, error) {
 	d := &snapDecoder{data: payload}
 	n, err := d.count(1)
 	if err != nil {
@@ -449,44 +455,40 @@ func decodeSnapshot(payload []byte) (*Graph, error) {
 	if g.types, err = idBlock[TypeID](d, n); err != nil {
 		return nil, err
 	}
-	for i, t := range g.types {
-		if t != NoType && (t < 0 || int(t) >= nTypes) {
-			return nil, fmt.Errorf("%w: node %d has type %d of %d", ErrSnapshotCorrupt, i, t, nTypes)
+	var corrupt firstErr
+	parspan(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if t := g.types[i]; t != NoType && (t < 0 || int(t) >= nTypes) {
+				corrupt.set(fmt.Errorf("%w: node %d has type %d of %d", ErrSnapshotCorrupt, i, t, nTypes))
+				return
+			}
 		}
-	}
+	})
 	edgeBuf, err := d.block(3 * m)
 	if err != nil {
 		return nil, err
 	}
 	g.edges = make([]Edge, m)
-	for i := range g.edges {
-		src := int32(binary.LittleEndian.Uint32(edgeBuf[12*i:]))
-		dst := int32(binary.LittleEndian.Uint32(edgeBuf[12*i+4:]))
-		pred := int32(binary.LittleEndian.Uint32(edgeBuf[12*i+8:]))
-		if src < 0 || int(src) >= n || dst < 0 || int(dst) >= n || pred < 0 || int(pred) >= nPreds {
-			return nil, fmt.Errorf("%w: edge %d <%d,%d,%d> out of range", ErrSnapshotCorrupt, i, src, pred, dst)
+	parspan(workers, m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := int32(binary.LittleEndian.Uint32(edgeBuf[12*i:]))
+			dst := int32(binary.LittleEndian.Uint32(edgeBuf[12*i+4:]))
+			pred := int32(binary.LittleEndian.Uint32(edgeBuf[12*i+8:]))
+			if src < 0 || int(src) >= n || dst < 0 || int(dst) >= n || pred < 0 || int(pred) >= nPreds {
+				corrupt.set(fmt.Errorf("%w: edge %d <%d,%d,%d> out of range", ErrSnapshotCorrupt, i, src, pred, dst))
+				return
+			}
+			g.edges[i] = Edge{Src: NodeID(src), Dst: NodeID(dst), Pred: PredID(pred)}
 		}
-		g.edges[i] = Edge{Src: NodeID(src), Dst: NodeID(dst), Pred: PredID(pred)}
+	})
+	if err := corrupt.get(); err != nil {
+		return nil, err
 	}
 	if g.adjOff, err = d.i32s(); err != nil {
 		return nil, err
 	}
 	if err := checkOffsets(g.adjOff, n, 2*m); err != nil {
 		return nil, fmt.Errorf("adjacency %w", err)
-	}
-	// Monotonicity alone is not enough: the halves-threading cursors index
-	// by adjOff[u] + (edges seen so far at u), so every per-node span must
-	// equal the node's actual degree or the fill would write out of range.
-	deg := make([]int32, n)
-	for i := range g.edges {
-		deg[g.edges[i].Src]++
-		deg[g.edges[i].Dst]++
-	}
-	for u := 0; u < n; u++ {
-		if g.adjOff[u+1]-g.adjOff[u] != deg[u] {
-			return nil, fmt.Errorf("%w: node %d has adjacency span %d but degree %d",
-				ErrSnapshotCorrupt, u, g.adjOff[u+1]-g.adjOff[u], deg[u])
-		}
 	}
 	if g.nodePredOff, err = d.i32s(); err != nil {
 		return nil, err
@@ -501,64 +503,43 @@ func decodeSnapshot(payload []byte) (*Graph, error) {
 	if g.nodePreds, err = idBlock[PredID](d, npCount); err != nil {
 		return nil, err
 	}
-	for _, v := range g.nodePreds {
-		if v < 0 || int(v) >= nPreds {
-			return nil, fmt.Errorf("%w: node-predicate %d out of range", ErrSnapshotCorrupt, v)
+	parspan(workers, npCount, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := g.nodePreds[i]; v < 0 || int(v) >= nPreds {
+				corrupt.set(fmt.Errorf("%w: node-predicate %d out of range", ErrSnapshotCorrupt, v))
+				return
+			}
 		}
-	}
-	nodeNorm, err := d.idxEntries()
-	if err != nil {
+	})
+	if err := corrupt.get(); err != nil {
 		return nil, err
 	}
-	nodeInit, err := d.idxEntries()
-	if err != nil {
-		return nil, err
-	}
-	typeNorm, err := d.idxEntries()
-	if err != nil {
-		return nil, err
-	}
-	typeInit, err := d.idxEntries()
-	if err != nil {
-		return nil, err
+	// The four index tables are framed by length prefixes, so a cheap
+	// skip-scan locates each table's start; the expensive parse (key blob,
+	// id arenas, map inserts) then runs per-table in parallel below.
+	var idxStart [4]int
+	for i := range idxStart {
+		if idxStart[i], err = d.spanIdxTable(); err != nil {
+			return nil, err
+		}
 	}
 	if d.off != len(d.data) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSnapshotCorrupt, len(d.data)-d.off)
-	}
-	// Index ids flow straight into g.names/g.typeNames lookups at query
-	// time; an out-of-range id must fail the load, not a later search.
-	if err := checkIdxIDs(nodeNorm, n); err != nil {
-		return nil, err
-	}
-	if err := checkIdxIDs(nodeInit, n); err != nil {
-		return nil, err
-	}
-	if err := checkIdxIDs(typeNorm, nTypes); err != nil {
-		return nil, err
-	}
-	if err := checkIdxIDs(typeInit, nTypes); err != nil {
-		return nil, err
 	}
 
 	// Derived structures that are cheaper to re-thread than to store:
 	// lookup maps (hash inserts), the per-type node lists, the predicate
 	// edge counts and the adjacency halves (cursor fill, as in Build).
-	// They are mutually independent, so a cold start uses every core.
-	var wg sync.WaitGroup
-	parallel := func(f func()) {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			f()
-		}()
-	}
-	parallel(func() {
+	// They are mutually independent, so a cold start uses every core;
+	// workers == 1 runs them strictly in sequence.
+	tg := newTaskGroup(workers)
+	tg.run(func() {
 		g.nameIndex = make(map[string]NodeID, n)
 		for id, name := range g.names {
 			g.nameIndex[name] = NodeID(id)
 		}
 	})
-	parallel(func() {
+	tg.run(func() {
 		g.typeIndex = make(map[string]TypeID, nTypes)
 		for id, name := range g.typeNames {
 			g.typeIndex[name] = TypeID(id)
@@ -567,6 +548,8 @@ func decodeSnapshot(payload []byte) (*Graph, error) {
 		for id, name := range g.predNames {
 			g.predIndex[name] = PredID(id)
 		}
+	})
+	tg.run(func() {
 		g.byType = make([][]NodeID, nTypes)
 		for id, t := range g.types {
 			if t != NoType {
@@ -578,22 +561,139 @@ func decodeSnapshot(payload []byte) (*Graph, error) {
 			g.predCount[g.edges[i].Pred]++
 		}
 	})
-	parallel(func() {
+	tg.run(func() {
 		g.halves = make([]Half, 2*m)
-		cursor := make([]int32, n)
-		copy(cursor, g.adjOff[:n])
+		corrupt.set(threadHalvesChecked(g, workers))
+	})
+	tg.run(func() {
+		// Index ids flow straight into g.names/g.typeNames lookups at
+		// query time; an out-of-range id must fail the load, not a later
+		// search.
+		ix, err := decodeIdxMaps(payload, idxStart[0], idxStart[1], n)
+		if err != nil {
+			corrupt.set(err)
+			return
+		}
+		g.nameIdx = ix
+	})
+	tg.run(func() {
+		ix, err := decodeIdxMaps(payload, idxStart[2], idxStart[3], nTypes)
+		if err != nil {
+			corrupt.set(err)
+			return
+		}
+		g.typeIdx = ix
+	})
+	tg.wait()
+	if err := corrupt.get(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// spanIdxTable advances past one serialized index table, validating only
+// its framing (counts and length prefixes fit the payload) and returning
+// the offset where the table starts. The full parse happens later, in
+// parallel across tables.
+func (d *snapDecoder) spanIdxTable() (int, error) {
+	start := d.off
+	n, err := d.count(8) // key len + id count per entry
+	if err != nil {
+		return 0, err
+	}
+	data, off := d.data, d.off
+	for i := 0; i < n; i++ {
+		if off+4 > len(data) {
+			return 0, fmt.Errorf("%w: index table ends at entry %d", ErrSnapshotTruncated, i)
+		}
+		l := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if l < 0 || l > len(data)-off {
+			return 0, fmt.Errorf("%w: index key of %d bytes at offset %d", ErrSnapshotTruncated, l, off)
+		}
+		off += l
+		if off+4 > len(data) {
+			return 0, fmt.Errorf("%w: index entry %d has no id count", ErrSnapshotTruncated, i)
+		}
+		c := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if c < 0 || c > (len(data)-off)/4 {
+			return 0, fmt.Errorf("%w: index entry %d claims %d ids", ErrSnapshotTruncated, i, c)
+		}
+		off += 4 * c
+	}
+	d.off = off
+	return start, nil
+}
+
+// decodeIdxMaps parses the norm and initials tables starting at the given
+// payload offsets (located by spanIdxTable), validates every id against
+// the vocabulary size, and assembles the nameIndex maps.
+func decodeIdxMaps(payload []byte, normStart, initStart, limit int) (nameIndex, error) {
+	nd := &snapDecoder{data: payload, off: normStart}
+	norm, err := nd.idxEntries()
+	if err != nil {
+		return nameIndex{}, err
+	}
+	id := &snapDecoder{data: payload, off: initStart}
+	initials, err := id.idxEntries()
+	if err != nil {
+		return nameIndex{}, err
+	}
+	if err := checkIdxIDs(norm, limit); err != nil {
+		return nameIndex{}, err
+	}
+	if err := checkIdxIDs(initials, limit); err != nil {
+		return nameIndex{}, err
+	}
+	return buildIdxMaps(norm, initials), nil
+}
+
+// threadHalvesChecked is threadHalves over untrusted input: every write
+// is bounds-checked against the owning node's adjacency span and a short
+// fill is rejected. Monotone offsets alone are not enough — the cursors
+// index by adjOff[u] + (edges seen so far at u), so a span differing from
+// the node's true degree must yield ErrSnapshotCorrupt, not an
+// out-of-range write or a silently misthreaded list.
+func threadHalvesChecked(g *Graph, workers int) error {
+	n := len(g.adjOff) - 1
+	var ferr firstErr
+	parspan(workers, n, func(lo, hi int) {
+		cursor := make([]int32, hi-lo)
+		copy(cursor, g.adjOff[lo:hi])
+		place := func(u NodeID, h Half) bool {
+			c := cursor[int(u)-lo]
+			if c >= g.adjOff[u+1] {
+				ferr.set(fmt.Errorf("%w: node %d has adjacency span %d but a larger degree",
+					ErrSnapshotCorrupt, u, g.adjOff[u+1]-g.adjOff[u]))
+				return false
+			}
+			g.halves[c] = h
+			cursor[int(u)-lo] = c + 1
+			return true
+		}
 		for i := range g.edges {
-			ed := g.edges[i]
-			g.halves[cursor[ed.Src]] = Half{Edge: EdgeID(i), Neighbor: ed.Dst, Pred: ed.Pred, Out: true}
-			cursor[ed.Src]++
-			g.halves[cursor[ed.Dst]] = Half{Edge: EdgeID(i), Neighbor: ed.Src, Pred: ed.Pred, Out: false}
-			cursor[ed.Dst]++
+			ed := &g.edges[i]
+			if s := int(ed.Src); s >= lo && s < hi {
+				if !place(ed.Src, Half{Edge: EdgeID(i), Neighbor: ed.Dst, Pred: ed.Pred, Out: true}) {
+					return
+				}
+			}
+			if d := int(ed.Dst); d >= lo && d < hi {
+				if !place(ed.Dst, Half{Edge: EdgeID(i), Neighbor: ed.Src, Pred: ed.Pred, Out: false}) {
+					return
+				}
+			}
+		}
+		for u := lo; u < hi; u++ {
+			if cursor[u-lo] != g.adjOff[u+1] {
+				ferr.set(fmt.Errorf("%w: node %d has adjacency span %d but degree %d",
+					ErrSnapshotCorrupt, u, g.adjOff[u+1]-g.adjOff[u], cursor[u-lo]-g.adjOff[u]))
+				return
+			}
 		}
 	})
-	parallel(func() { g.nameIdx = buildIdxMaps(nodeNorm, nodeInit) })
-	parallel(func() { g.typeIdx = buildIdxMaps(typeNorm, typeInit) })
-	wg.Wait()
-	return g, nil
+	return ferr.get()
 }
 
 // buildIdxMaps turns parsed index tables into a nameIndex. The norm

@@ -126,12 +126,24 @@ type Weighter struct {
 	// seg-th query edge and graph predicate pred. Rows may be shared
 	// through a RowCache and must not be mutated.
 	w [][]float64
-	// suffix slab: slab[u*segs+s] caches, per segment s, the maximum over
-	// segments s' >= s of the maximum weight among u's incident edges — the
-	// m(u_i) bound of Lemma 1, generalized to multi-edge sub-queries (see
-	// DESIGN.md). One flat allocation indexed by NodeID with a seen mark
-	// replaces the seed's map[NodeID][]float64; suffixes derive from
-	// kg.NodePreds (O(distinct predicates), not O(degree)).
+	// Suffix cache: per node u and segment s, the maximum over segments
+	// s' >= s of the maximum weight among u's incident edges — the m(u_i)
+	// bound of Lemma 1, generalized to multi-edge sub-queries (see
+	// DESIGN.md). Suffixes derive from kg.NodePreds (O(distinct
+	// predicates), not O(degree)).
+	//
+	// The cache is paged: pages[u>>slabPageBits], allocated on first touch
+	// of any node in the page, holds slabPageLen×segs values. A search
+	// visits a vanishing fraction of a million-node graph, so the eager
+	// NumNodes×segs slab + NumNodes seen array the engine used to allocate
+	// per sub-search (~17 MB per query at 1M nodes, two segments) is
+	// replaced by a handful of 64 KB pages. All real suffix values are
+	// >= MinWeight > 0, so a zero first entry marks an uncomputed node —
+	// no seen array at all.
+	pages [][]float64
+	// Dense variant: the pre-scale-up eager slab, kept (like
+	// astar.LegacySearcher) as the before side of kgbench -exp load's
+	// steady-state comparison. Exactly one of slab/pages is in use.
 	slab []float64
 	seen []bool
 }
@@ -219,14 +231,39 @@ func NewWeighterFromRows(g *kg.Graph, rows [][]float64) (*Weighter, error) {
 	return wt, nil
 }
 
+// Suffix-cache page geometry: slabPageLen nodes per page, so one page of a
+// two-segment sub-query is 64 KB — big enough to amortize allocation, small
+// enough that sparse visits of a 10M-node graph stay cheap.
+const (
+	slabPageBits = 12
+	slabPageLen  = 1 << slabPageBits
+	slabPageMask = slabPageLen - 1
+)
+
 func newWeighter(g *kg.Graph, segs int) *Weighter {
 	n := g.NumNodes()
 	return &Weighter{
-		g:    g,
-		w:    make([][]float64, segs),
-		slab: make([]float64, n*segs),
-		seen: make([]bool, n),
+		g:     g,
+		w:     make([][]float64, segs),
+		pages: make([][]float64, (n+slabPageLen-1)/slabPageLen),
 	}
+}
+
+// NewWeighterFromRowsDense is NewWeighterFromRows with the suffix cache
+// eagerly allocated as one NumNodes×segments slab — the allocation
+// strategy the engine used before the million-node scale-up. It is kept
+// for the before/after rows of kgbench -exp load; new code should use the
+// paged NewWeighterFromRows.
+func NewWeighterFromRowsDense(g *kg.Graph, rows [][]float64) (*Weighter, error) {
+	wt, err := NewWeighterFromRows(g, rows)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	wt.pages = nil
+	wt.slab = make([]float64, n*len(rows))
+	wt.seen = make([]bool, n)
+	return wt, nil
 }
 
 // ResolvePredicate maps a query predicate name to a graph predicate:
@@ -259,16 +296,31 @@ func (w *Weighter) Weight(p kg.PredID, seg int) float64 { return w.w[seg][p] }
 // incident edges, taken over the current and all later query edges. This
 // upper-bounds the weight product of any unexplored path suffix (Lemma 1).
 func (w *Weighter) NodeMax(u kg.NodeID, seg int) float64 {
-	base := int(u) * len(w.w)
-	if !w.seen[u] {
-		w.computeSuffix(u, base)
+	segs := len(w.w)
+	if w.slab != nil { // dense variant (NewWeighterFromRowsDense)
+		base := int(u) * segs
+		if !w.seen[u] {
+			w.computeSuffix(u, w.slab[base:base+segs])
+			w.seen[u] = true
+		}
+		return w.slab[base+seg]
 	}
-	return w.slab[base+seg]
+	page := w.pages[u>>slabPageBits]
+	if page == nil {
+		page = make([]float64, slabPageLen*segs)
+		w.pages[u>>slabPageBits] = page
+	}
+	base := int(u&slabPageMask) * segs
+	if page[base] == 0 {
+		// Zero means uncomputed: computeSuffix writes values >= MinWeight
+		// into every segment slot, so the first slot doubles as the mark.
+		w.computeSuffix(u, page[base:base+segs])
+	}
+	return page[base+seg]
 }
 
-func (w *Weighter) computeSuffix(u kg.NodeID, base int) {
+func (w *Weighter) computeSuffix(u kg.NodeID, sfx []float64) {
 	segs := len(w.w)
-	sfx := w.slab[base : base+segs]
 	for s := range sfx {
 		sfx[s] = MinWeight
 	}
@@ -286,8 +338,12 @@ func (w *Weighter) computeSuffix(u kg.NodeID, base int) {
 			sfx[s] = sfx[s+1]
 		}
 	}
-	w.seen[u] = true
 }
+
+// Row returns the shared weight row of the seg-th query edge, one entry
+// per graph predicate. It implements astar.RowProvider, letting searchers
+// index the rows in place instead of copying them per search.
+func (w *Weighter) Row(seg int) []float64 { return w.w[seg] }
 
 func clamp(x float64) float64 {
 	if x < MinWeight {

@@ -42,15 +42,15 @@ import (
 // defaults; negative sizes disable the corresponding component.
 type Config struct {
 	// ResultCache is the result-cache capacity in entries.
-	// 0 = default 1024; < 0 disables the cache.
+	// 0 = default 1024×Workers; < 0 disables the cache.
 	ResultCache int
 	// PlanCache is the plan-cache capacity in entries.
-	// 0 = default 256; < 0 disables the cache.
+	// 0 = default 256×Workers; < 0 disables the cache.
 	PlanCache int
 	// SubCache is the shared sub-search cache capacity in entries (one
 	// entry per distinct sub-query blueprint per generation); it is the
 	// cross-query sharing layer — see subcache.go.
-	// 0 = default 512; < 0 disables sharing entirely.
+	// 0 = default 512×Workers; < 0 disables sharing entirely.
 	SubCache int
 	// Workers bounds concurrent pipeline executions. 0 = GOMAXPROCS.
 	Workers int
@@ -78,26 +78,31 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	// Cache defaults scale with the worker count: the fixed sizes were
+	// tuned on a single-core toy world, and a multi-core deployment
+	// serving the million-node dataset sees proportionally more distinct
+	// in-flight queries, so fixed caches thrash exactly when the machine
+	// has memory to spare. Single-core keeps the original sizes.
 	switch {
 	case c.ResultCache == 0:
-		c.ResultCache = 1024
+		c.ResultCache = 1024 * c.Workers
 	case c.ResultCache < 0:
 		c.ResultCache = 0
 	}
 	switch {
 	case c.PlanCache == 0:
-		c.PlanCache = 256
+		c.PlanCache = 256 * c.Workers
 	case c.PlanCache < 0:
 		c.PlanCache = 0
 	}
 	switch {
 	case c.SubCache == 0:
-		c.SubCache = 512
+		c.SubCache = 512 * c.Workers
 	case c.SubCache < 0:
 		c.SubCache = 0
-	}
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	switch {
 	case c.Queue == 0:
