@@ -126,7 +126,17 @@ func main() {
 		case "ingest":
 			runArtifact(name, *out, func() (artifact, error) { return bench.RunIngest(dbp(), *short) })
 		case "shard":
-			runArtifact(name, *out, func() (artifact, error) { return bench.RunShard(dbp(), *short) })
+			// Modeled scaling on the paper-scale dataset, then the measured
+			// multi-process section: real subprocess shard servers behind
+			// the HTTP coordinator on the generated large world.
+			runArtifact(name, *out, func() (artifact, error) {
+				res, err := bench.RunShard(dbp(), *short)
+				if err != nil {
+					return nil, err
+				}
+				res.Distributed, err = bench.RunDistShard(*short, nil)
+				return res, err
+			})
 		case "replica":
 			runArtifact(name, *out, func() (artifact, error) { return bench.RunReplica(dbp(), *short) })
 		case "keyword":

@@ -63,6 +63,24 @@
 // rename) whenever the graph changed. On SIGTERM/SIGINT the server
 // stops replication and drains in-flight requests up to -drain-timeout.
 //
+// Distributed sharding (see DESIGN.md, "Distributed sharding") splits
+// the scatter-gather pipeline across processes:
+//
+//	semkgd -graph g.tsv -shards 4 -save-shards dir/        # write shard files, exit
+//	semkgd -serve-shard dir/shard-0-of-4.shard -addr :9001  # shard server
+//	semkgd -graph g.tsv -model m.bin \
+//	       -shard-hosts 'http://a:9001|http://b:9001,http://c:9002'  # coordinator
+//
+// A shard server loads shard snapshot files and answers per-sub-query
+// searches on POST /v1/shard/search (no model needed — semantics stay on
+// the coordinator). The coordinator compiles globally, scatters over the
+// listed hosts (comma-separated shards, '|'-separated replicas of one
+// shard), hedges slow replicas after -hedge-after, retries failures with
+// capped jittered backoff, and serves the ordinary search API; a shard
+// with no live replica fails the search with 502 rather than a silent
+// partial top-k. The coordinator is read-only (ingest would stale the
+// remote shard snapshots).
+//
 // The streaming endpoint is the wire form of the paper's anytime
 // behaviour (Section VI, Theorem 4): in time-bounded mode clients render
 // provisional answers while the search refines them. See DESIGN.md,
@@ -76,9 +94,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -86,6 +107,7 @@ import (
 	"semkg/internal/embed"
 	"semkg/internal/kg"
 	"semkg/internal/serve"
+	"semkg/internal/shard"
 )
 
 func main() {
@@ -102,6 +124,12 @@ func main() {
 	maxIngest := flag.Int64("max-ingest-bytes", defaultMaxIngestBytes, "max /v1/ingest request body size in bytes (0 = unlimited)")
 	shards := flag.Int("shards", 0, "partition the graph into N shards and serve scatter-gather searches (0/1 = single engine)")
 	shardHalo := flag.Int("shard-halo", 0, "shard replication radius in hops; bounds servable max_hops (0 = default 4)")
+	saveShards := flag.String("save-shards", "", "partition the loaded graph into -shards pieces, write one shard snapshot per shard into this directory, and exit")
+	serveShard := flag.String("serve-shard", "", "run as a shard server: load these comma-separated shard snapshot files and answer /v1/shard/search (no -model needed)")
+	shardHosts := flag.String("shard-hosts", "", "run as a distributed coordinator over these shard servers: comma-separated shards, '|'-separated replica URLs per shard")
+	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator: duplicate a slow shard request onto the next replica after this delay (0 = adaptive 2x latency EWMA, negative = never)")
+	shardRetries := flag.Int("shard-retries", 0, "coordinator: extra attempts per shard stream after the first fails (0 = default 3, negative = none)")
+	addrFile := flag.String("addr-file", "", "write the actual listen address to this file once listening (for -addr :0)")
 	follow := flag.String("follow", "", "run as a read-only follower of the primary at this base URL (e.g. http://host:8375)")
 	advertise := flag.String("advertise", "", "externally reachable base URL announced to followers in the replication hello")
 	replicaLog := flag.Int("replica-log", 0, "max statements in the primary's replication log before compaction (0 = 65536)")
@@ -109,15 +137,49 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight requests on SIGTERM/SIGINT")
 	flag.Parse()
 
-	if *modelFile == "" {
+	if *serveShard != "" {
+		// Shard-server mode: no graph, no model — the shard files are the
+		// whole world, and semantics stay on the coordinator.
+		for _, f := range []struct {
+			set  bool
+			name string
+		}{
+			{*graphFile != "", "-graph"}, {*snapshotFile != "", "-snapshot"},
+			{*modelFile != "", "-model"}, {*shardHosts != "", "-shard-hosts"},
+			{*shards != 0, "-shards"}, {*follow != "", "-follow"},
+		} {
+			if f.set {
+				fmt.Fprintf(os.Stderr, "semkgd: -serve-shard conflicts with %s\n", f.name)
+				os.Exit(2)
+			}
+		}
+		if err := runShardServer(strings.Split(*serveShard, ","), *addr, *addrFile, *drainTimeout); err != nil {
+			log.Fatalf("semkgd: %v", err)
+		}
+		return
+	}
+	if *shardHosts != "" && (*shards != 0 || *follow != "") {
+		fmt.Fprintln(os.Stderr, "semkgd: -shard-hosts (distributed coordinator) conflicts with -shards and -follow")
+		os.Exit(2)
+	}
+	if *saveShards != "" {
+		if *graphFile == "" && *snapshotFile == "" {
+			fmt.Fprintln(os.Stderr, "semkgd: -save-shards requires -graph or -snapshot")
+			os.Exit(2)
+		}
+		if *shards < 2 {
+			fmt.Fprintln(os.Stderr, "semkgd: -save-shards requires -shards >= 2")
+			os.Exit(2)
+		}
+	} else if *modelFile == "" {
 		fmt.Fprintln(os.Stderr, "semkgd: -model is required")
 		os.Exit(2)
 	}
-	if *follow == "" && (*graphFile == "") == (*snapshotFile == "") {
+	if *follow == "" && *saveShards == "" && (*graphFile == "") == (*snapshotFile == "") {
 		fmt.Fprintln(os.Stderr, "semkgd: exactly one of -graph / -snapshot is required (a -follow node may omit both and bootstrap from the primary)")
 		os.Exit(2)
 	}
-	if *follow != "" && *graphFile != "" && *snapshotFile != "" {
+	if *graphFile != "" && *snapshotFile != "" {
 		fmt.Fprintln(os.Stderr, "semkgd: at most one of -graph / -snapshot")
 		os.Exit(2)
 	}
@@ -144,12 +206,18 @@ func main() {
 		}
 		log.Printf("semkgd: wrote snapshot %s", *saveSnapshot)
 	}
+	if *saveShards != "" {
+		if err := writeShardFiles(g, *saveShards, *shards, *shardHalo); err != nil {
+			log.Fatalf("semkgd: %v", err)
+		}
+		return
+	}
 	model, err := loadModel(*modelFile)
 	if err != nil {
 		log.Fatalf("semkgd: %v", err)
 	}
 	shardCfg := core.ShardConfig{Shards: *shards, Halo: *shardHalo}
-	buildEngine := func(g2 *kg.Graph) (core.Queryer, error) {
+	buildEngine := func(g2 *kg.Graph, rebuild bool) (core.Queryer, error) {
 		if *follow != "" && g2.NumPredicates() < len(model.Relations) {
 			// Follower bootstrap window: the graph is a replayed prefix
 			// of the primary's, whose predicate intern order is the
@@ -163,23 +231,59 @@ func main() {
 			}
 			return core.NewEngine(g2, sp, nil)
 		}
-		if *shards > 1 {
-			se, err := core.BuildShardedEngine(g2, model, nil, shardCfg)
+		if *shardHosts != "" {
+			if rebuild {
+				return nil, fmt.Errorf("distributed coordinator is read-only: the remote shard snapshots cannot follow an ingest; rebuild shard files and restart")
+			}
+			base, err := core.BuildEngine(g2, model, nil)
 			if err != nil {
 				return nil, err
 			}
-			// Rebuilds (live ingestion) replace the engine wholesale; keep
-			// the expvar counters monotonic across generations.
+			return core.NewDistEngine(base, parseShardHosts(*shardHosts), core.DistConfig{
+				HedgeAfter: *hedgeAfter,
+				Retries:    *shardRetries,
+			})
+		}
+		if *shards > 1 {
+			if !rebuild {
+				return core.BuildShardedEngine(g2, model, nil, shardCfg)
+			}
+			// Ingest commit: a synchronous re-partition here would make
+			// commit latency scale with the whole graph (one BFS plus one
+			// index build per shard) instead of the delta. Serve the
+			// committed graph through a plain engine immediately and let
+			// the partition rebuild in the background; correctness is
+			// unaffected — only the scatter-gather speedup lags.
+			base, err := core.BuildEngine(g2, model, nil)
+			if err != nil {
+				return nil, err
+			}
+			// Rebuilds replace the engine wholesale; keep the expvar
+			// counters monotonic across generations.
+			var prev *core.ShardedEngine
 			if cur := currentServe.Load(); cur != nil {
-				if prev, ok := cur.Engine().(*core.ShardedEngine); ok {
-					se.InheritStats(prev)
+				switch e := cur.Engine().(type) {
+				case *core.ShardedEngine:
+					prev = e
+				case *core.ReshardingEngine:
+					prev = e.Sharded()
 				}
 			}
-			return se, nil
+			log.Printf("semkgd: re-partitioning %d shards in the background; serving unsharded until ready", shardCfg.Shards)
+			return core.NewResharding(base, prev, core.ReshardConfig{
+				Shard: shardCfg,
+				OnReady: func(se *core.ShardedEngine) {
+					st := se.Stats()
+					log.Printf("semkgd: background re-partition ready: %d shards, halo %d", st.Shards, st.Halo)
+				},
+				OnError: func(err error) {
+					log.Printf("semkgd: background re-partition failed: %v; still serving unsharded", err)
+				},
+			}), nil
 		}
 		return core.BuildEngine(g2, model, nil)
 	}
-	eng, err := buildEngine(g)
+	eng, err := buildEngine(g, false)
 	if err != nil {
 		log.Fatalf("semkgd: %v", err)
 	}
@@ -189,6 +293,12 @@ func main() {
 		log.Printf("semkgd: sharded scatter-gather: %d shards, halo %d, replication factor %.2f",
 			st.Shards, st.Halo, st.ReplicationFactor)
 	}
+	if de, ok := eng.(*core.DistEngine); ok {
+		publishDistStats()
+		st := de.Stats()
+		log.Printf("semkgd: distributed coordinator: %d shards, halo %d, replicas %v (read-only)",
+			st.Shards, st.Halo, st.Replicas)
+	}
 	srv := serve.New(eng, serve.Config{
 		ResultCache: *resultCache,
 		PlanCache:   *planCache,
@@ -197,9 +307,10 @@ func main() {
 		Queue:       *queue,
 		// Live ingestion rebuilds the engine over the committed graph;
 		// SpaceFor pads vectors for predicates the model never saw. When
-		// serving sharded, the committed graph is re-partitioned too, so
-		// ingested entities are owned and searchable immediately.
-		Build: buildEngine,
+		// serving sharded, ingested entities are searchable immediately
+		// through the interim unsharded engine while the partition
+		// rebuilds in the background.
+		Build: func(g2 *kg.Graph) (core.Queryer, error) { return buildEngine(g2, true) },
 	})
 	var repl *replState
 	if *follow != "" {
@@ -216,14 +327,18 @@ func main() {
 		go runCompactor(compactorCtx, srv, *saveSnapshot, *snapshotEvery, log.Printf)
 	}
 
+	ln, err := listenAndAnnounce(*addr, *addrFile)
+	if err != nil {
+		log.Fatalf("semkgd: %v", err)
+	}
 	log.Printf("semkgd: %d nodes, %d edges, %d predicates loaded in %s; listening on %s",
-		g.NumNodes(), g.NumEdges(), g.NumPredicates(), time.Since(start).Round(time.Millisecond), *addr)
+		g.NumNodes(), g.NumEdges(), g.NumPredicates(), time.Since(start).Round(time.Millisecond), ln.Addr())
 
-	httpSrv := &http.Server{Addr: *addr, Handler: newMuxReplicated(srv, *maxIngest, repl)}
+	httpSrv := &http.Server{Handler: newMuxReplicated(srv, *maxIngest, repl)}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	drained := drainOnSignal(httpSrv, repl, *drainTimeout, sig)
-	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("semkgd: %v", err)
 	}
 	if err := <-drained; err != nil {
@@ -252,6 +367,70 @@ func drainOnSignal(httpSrv *http.Server, repl *replState, timeout time.Duration,
 	}()
 	return done
 }
+
+// listenAndAnnounce binds addr and, when addrFile is set, writes the
+// bound address (useful with -addr 127.0.0.1:0) so scripts and tests can
+// discover the port.
+func listenAndAnnounce(addr, addrFile string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
+	return ln, nil
+}
+
+// parseShardHosts splits "-shard-hosts 'a|b,c'" into per-shard replica
+// URL lists: ',' separates shards, '|' separates replicas of one shard.
+func parseShardHosts(s string) [][]string {
+	var hosts [][]string
+	for _, shardPart := range strings.Split(s, ",") {
+		var reps []string
+		for _, h := range strings.Split(shardPart, "|") {
+			if h = strings.TrimSpace(h); h != "" {
+				reps = append(reps, h)
+			}
+		}
+		hosts = append(hosts, reps)
+	}
+	return hosts
+}
+
+// writeShardFiles partitions g and writes one shard snapshot per shard
+// as dir/shard-<i>-of-<n>.shard (the files -serve-shard loads).
+func writeShardFiles(g *kg.Graph, dir string, shards, halo int) error {
+	set, err := shard.Partition(g, shard.Options{Shards: shards, Halo: halo})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < set.Len(); i++ {
+		path := filepath.Join(dir, shardFileName(i, set.Len()))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := shard.WriteShard(f, set.Shard(i)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Printf("semkgd: wrote %s (%d nodes, %d owned)", path, set.Shard(i).Graph.NumNodes(), set.Shard(i).OwnedCount())
+	}
+	return nil
+}
+
+// shardFileName is the canonical shard snapshot file name.
+func shardFileName(i, n int) string { return fmt.Sprintf("shard-%d-of-%d.shard", i, n) }
 
 func loadGraph(path string, read func(io.Reader) (*kg.Graph, error)) (*kg.Graph, error) {
 	f, err := os.Open(path)

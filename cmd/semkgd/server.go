@@ -77,6 +77,25 @@ func publishShardStats() {
 	})
 }
 
+// publishDistOnce guards the "semkgd_dist" expvar registration.
+var publishDistOnce sync.Once
+
+// publishDistStats exports the distributed coordinator's replica policy
+// counters (hedges, retries, failovers, shard errors) under the
+// "semkgd_dist" expvar key.
+func publishDistStats() {
+	publishDistOnce.Do(func() {
+		expvar.Publish("semkgd_dist", expvar.Func(func() any {
+			if s := currentServe.Load(); s != nil {
+				if de, ok := s.Engine().(*core.DistEngine); ok {
+					return de.Stats()
+				}
+			}
+			return nil
+		}))
+	})
+}
+
 // defaultMaxIngestBytes caps one /v1/ingest request body: the whole
 // batch accumulates in one in-memory delta before it commits, so an
 // unbounded body would let a single request exhaust the process.
@@ -198,6 +217,14 @@ func (s *server) searchError(w http.ResponseWriter, err error) {
 			"error":       err.Error(),
 			"retry_after": strconv.FormatInt(secs, 10),
 		})
+		return
+	}
+	var unavail *core.ShardUnavailableError
+	if errors.As(err, &unavail) {
+		// A distributed search lost a whole shard past the retry budget:
+		// an upstream failure, not a caller or coordinator bug.
+		statErrors.Add(1)
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
 		return
 	}
 	statErrors.Add(1)
@@ -343,6 +370,14 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			"error": "read-only follower; ingest on the primary"})
 		return
 	}
+	// A distributed coordinator serves immutable remote shard snapshots;
+	// committing a delta here would fork the coordinator's graph from the
+	// shards' and silently break search exactness.
+	if _, ok := s.srv.Engine().(*core.DistEngine); ok {
+		writeJSON(w, http.StatusForbidden, map[string]string{
+			"error": "read-only coordinator; rebuild shard snapshots from the new graph and restart"})
+		return
+	}
 	if s.maxIngestBytes > 0 {
 		r.Body = http.MaxBytesReader(w, r.Body, s.maxIngestBytes)
 	}
@@ -435,8 +470,18 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"predicates": g.NumPredicates(),
 		"generation": s.srv.Generation(),
 	}
-	if se, ok := eng.(*core.ShardedEngine); ok {
-		resp["shards"] = se.Set().Len()
+	switch e := eng.(type) {
+	case *core.ShardedEngine:
+		resp["shards"] = e.Set().Len()
+	case *core.DistEngine:
+		resp["shards"] = len(e.Hosts())
+		resp["distributed"] = true
+	case *core.ReshardingEngine:
+		if se := e.Sharded(); se != nil {
+			resp["shards"] = se.Set().Len()
+		} else {
+			resp["resharding"] = true
+		}
 	}
 	if s.repl != nil {
 		resp["replication"] = s.repl.healthz()

@@ -7,9 +7,11 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"semkg/internal/api"
 	"semkg/internal/core"
+	"semkg/internal/kg"
 	"semkg/internal/serve"
 )
 
@@ -75,6 +77,88 @@ func TestShardedStreamEndpoint(t *testing.T) {
 	}
 	if !sawResult {
 		t.Fatal("stream ended without a result line")
+	}
+}
+
+// TestShardedIngestReturnsBeforeRepartition is the regression test for
+// the silent synchronous re-partition: an ingest against a sharded
+// server must commit and answer queries BEFORE the background partition
+// completes — commit latency scales with the delta, not with the graph.
+// The Gate hook holds the repartition shut while we verify.
+func TestShardedIngestReturnsBeforeRepartition(t *testing.T) {
+	base := testEngine(t).(*core.Engine)
+	initial, err := core.NewShardedEngine(base, core.ShardConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	ready := make(chan struct{})
+	build := func(g2 *kg.Graph) (core.Queryer, error) {
+		eng, err := testEngineBuilder(t)(g2)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewResharding(eng.(*core.Engine), initial, core.ReshardConfig{
+			Shard:   core.ShardConfig{Shards: 2},
+			Gate:    func() { <-gate },
+			OnReady: func(*core.ShardedEngine) { close(ready) },
+			OnError: func(err error) { t.Errorf("background repartition failed: %v", err) },
+		}), nil
+	}
+	srv := httptest.NewServer(newMux(serve.New(initial, serve.Config{Build: build})))
+	t.Cleanup(srv.Close)
+
+	// The ingest must return while the partition gate is still held; if a
+	// rebuild repartitioned synchronously this would hang until the
+	// watchdog fires.
+	ingested := make(chan *http.Response, 1)
+	go func() {
+		ingested <- post(t, srv, "/v1/ingest",
+			`{"s":"BMW_i8","p":"type","o":"Automobile"}`+"\n"+`{"s":"BMW_i8","p":"assembly","o":"Germany"}`)
+	}()
+	var resp *http.Response
+	select {
+	case resp = <-ingested:
+	case <-time.After(10 * time.Second):
+		t.Fatal("ingest blocked on the background repartition")
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+
+	// The committed entity answers immediately through the interim engine,
+	// and healthz reports the repartition in flight.
+	if !searchEntities(t, srv)["BMW_i8"] {
+		t.Fatal("ingested entity not findable while repartitioning")
+	}
+	health := func() map[string]any {
+		hresp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer hresp.Body.Close()
+		var h map[string]any
+		if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	if h := health(); h["resharding"] != true {
+		t.Fatalf("healthz while gated = %v, want resharding:true", h)
+	}
+
+	close(gate)
+	select {
+	case <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatal("background repartition never completed")
+	}
+	if h := health(); h["shards"] != float64(2) {
+		t.Fatalf("healthz after upgrade = %v, want 2 shards", h)
+	}
+	if !searchEntities(t, srv)["BMW_i8"] {
+		t.Fatal("ingested entity lost across the shard upgrade")
 	}
 }
 

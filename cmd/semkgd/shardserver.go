@@ -1,0 +1,110 @@
+package main
+
+import (
+	"errors"
+	"expvar"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"semkg/internal/shard"
+)
+
+// currentShardServer backs the "semkgd_shardserver" expvar.
+var currentShardServer atomic.Pointer[shard.Server]
+
+// publishShardServerOnce guards the expvar registration (Publish panics
+// on duplicates; tests may start several servers in one process).
+var publishShardServerOnce sync.Once
+
+func publishShardServerStats() {
+	publishShardServerOnce.Do(func() {
+		expvar.Publish("semkgd_shardserver", expvar.Func(func() any {
+			if s := currentShardServer.Load(); s != nil {
+				return s.Stats()
+			}
+			return nil
+		}))
+	})
+}
+
+// runShardServer is semkgd -serve-shard: load the given shard snapshot
+// files, serve the shardwire routes plus /healthz and /debug/vars, and
+// drain on SIGTERM/SIGINT like the main server. Shard files load in
+// parallel — at scale each file costs a full subgraph index build, and
+// the loads are independent.
+func runShardServer(files []string, addr, addrFile string, drainTimeout time.Duration) error {
+	start := time.Now()
+	shards := make([]*shard.Shard, len(files))
+	errs := make([]error, len(files))
+	var wg sync.WaitGroup
+	for i, path := range files {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			shards[i], errs[i] = loadShardFile(path)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("loading shard file %s: %w", files[i], err)
+		}
+	}
+	srv, err := shard.NewServer(shards...)
+	if err != nil {
+		return err
+	}
+	currentShardServer.Store(srv)
+	publishShardServerStats()
+
+	mux := srv.Handler()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		st := srv.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"role":   "shard-server",
+			"shards": st.Shards,
+		})
+	})
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	ln, err := listenAndAnnounce(addr, addrFile)
+	if err != nil {
+		return err
+	}
+	for _, sh := range shards {
+		log.Printf("semkgd: shard %d/%d: %d nodes (%d owned), %d edges, halo %d",
+			sh.Index, sh.Shards, sh.Graph.NumNodes(), sh.OwnedCount(), sh.Graph.NumEdges(), sh.Halo)
+	}
+	log.Printf("semkgd: shard server: %d shards loaded in %s; listening on %s",
+		len(shards), time.Since(start).Round(time.Millisecond), ln.Addr())
+
+	httpSrv := &http.Server{Handler: mux}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	drained := drainOnSignal(httpSrv, nil, drainTimeout, sig)
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-drained; err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	log.Printf("semkgd: shard server drained and stopped")
+	return nil
+}
+
+func loadShardFile(path string) (*shard.Shard, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return shard.ReadShard(f)
+}

@@ -105,19 +105,18 @@ type BatchEvent struct {
 	ErrorText string `json:"error,omitempty"`
 }
 
-// EventError is the extra wire discriminator of the batch stream: a
-// per-query failure line (ErrorText holds the message). It terminates
-// that query's events; other queries continue.
-const EventError = "error"
-
 // EncodeBatchEvent renders one query's stream event as a batch NDJSON
-// line (without the trailing newline).
+// line (without the trailing newline). An "error" event's message moves
+// to ErrorText: the embedded Event.Error shares its JSON key with
+// ErrorText, which shadows it in the batch encoding.
 func EncodeBatchEvent(index int, id string, ev core.Event) ([]byte, error) {
 	w, err := EventFrom(ev)
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(BatchEvent{Index: index, ID: id, Event: w})
+	be := BatchEvent{Index: index, ID: id, Event: w, ErrorText: w.Error}
+	be.Event.Error = ""
+	return json.Marshal(be)
 }
 
 // EncodeBatchError renders one query's failure as a batch NDJSON line.

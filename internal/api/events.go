@@ -13,6 +13,7 @@ const (
 	EventTopK     = "topk"
 	EventPhase    = "phase"
 	EventResult   = "result"
+	EventError    = "error"
 )
 
 // Event is the wire form of one stream event: a single struct with an
@@ -72,6 +73,11 @@ type Event struct {
 	// Result is the terminal payload; exactly one "result" event ends
 	// every stream.
 	Result *Result `json:"result,omitempty"`
+
+	// Error is the terminal failure message of a stream that could not
+	// complete (a distributed pipeline losing a whole shard, for
+	// example). A stream ends in exactly one "result" or "error" event.
+	Error string `json:"error,omitempty"`
 }
 
 // EventFrom converts a core stream event into its wire form.
@@ -99,6 +105,8 @@ func EventFrom(ev core.Event) (Event, error) {
 	case core.ResultEvent:
 		r := ResultFrom(e.Result)
 		return Event{Event: EventResult, Result: &r}, nil
+	case core.ErrorEvent:
+		return Event{Event: EventError, Error: e.Err.Error()}, nil
 	default:
 		return Event{}, fmt.Errorf("api: unknown event type %T", ev)
 	}

@@ -88,6 +88,10 @@ type ShardResult struct {
 	Methodology string     `json:"methodology"`
 	BaselineUs  float64    `json:"baseline_mean_us"`
 	Rows        []ShardRow `json:"configs"`
+	// Distributed is the measured multi-process section: real shard
+	// server processes behind the HTTP coordinator (see distshard.go).
+	// Its rows are wall-clock, never modeled.
+	Distributed *DistShardSection `json:"distributed,omitempty"`
 }
 
 // shardWorkload gathers the multi-sub-query shapes (Medium + Complex):
@@ -268,6 +272,9 @@ func (r *ShardResult) Render() *Table {
 			fmt.Sprintf("%.1fx", row.SearchSpeedup),
 			fmt.Sprintf("%.1fx", row.Speedup),
 		)
+	}
+	if r.Distributed != nil {
+		r.Distributed.renderRows(t)
 	}
 	return t
 }

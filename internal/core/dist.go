@@ -1,0 +1,1076 @@
+// Distributed scatter-gather execution: a DistEngine is the coordinator
+// half of the multi-process sharded pipeline (semkgd -shard-hosts). It
+// compiles queries once, globally, against its own base engine — exactly
+// as ShardedEngine does — but scatters the per-(shard, sub-query)
+// searches over HTTP to shard servers (shard.Server, semkgd
+// -serve-shard) instead of goroutines, gathers the sorted remote match
+// streams through the same demand-driven k-way merger, and assembles
+// them in the unchanged TA assembly. It implements Queryer, so the
+// serving layer's caches, singleflight and admission control work over
+// it unchanged.
+//
+// Exactness across the process boundary rests on the same three
+// invariants as the in-process sharded engine (see sharded.go and
+// DESIGN.md, "Distributed sharding"): first-hop ownership partitions the
+// path space, semantics are resolved once globally and only *projected*
+// remotely, and the gather is deterministically tie-broken. The wire
+// adds a fourth: exact-mode shard streams are deterministic per (shard
+// snapshot, request), so replicas are interchangeable mid-stream — a
+// consumed prefix of one replica's stream plus the Offset-resumed
+// suffix of another's is byte-identical to either stream whole.
+//
+// Failure policy: requests to a shard's replicas are hedged after a
+// per-replica latency-EWMA threshold, failed attempts are retried with
+// capped jittered backoff on the next replica (resuming mid-stream via
+// Offset), and a shard whose every replica is dead fails the search
+// with a typed *ShardUnavailableError — never a silently partial (and
+// therefore possibly wrong) top-k, never a hang past the caller's
+// deadline.
+
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"semkg/internal/astar"
+	"semkg/internal/kg"
+	"semkg/internal/merge"
+	"semkg/internal/query"
+	"semkg/internal/shardwire"
+	"semkg/internal/ta"
+)
+
+// DistConfig tunes the coordinator's replica policy. The zero value is
+// production-ready.
+type DistConfig struct {
+	// Client performs the HTTP requests. nil uses a dedicated client with
+	// the default transport (no global timeout — streams are long-lived
+	// and cancellation rides the request context).
+	Client *http.Client
+	// HedgeAfter is the time to wait for a replica's first response line
+	// before launching a duplicate request on the next replica. 0 adapts
+	// per replica: twice its EWMA first-line latency, clamped to
+	// [1ms, 100ms]. Negative disables hedging.
+	HedgeAfter time.Duration
+	// Retries is the extra attempts per (shard, sub-query) stream after
+	// the first fails, rotating replicas. 0 = default 3; negative = none.
+	Retries int
+	// RetryBackoff is the base backoff between attempts; it doubles per
+	// attempt, capped at 32x, with ±50% jitter. 0 = default 5ms.
+	RetryBackoff time.Duration
+	// MetaTimeout bounds the construction-time metadata fetch per
+	// replica. 0 = default 5s.
+	MetaTimeout time.Duration
+}
+
+func (c DistConfig) withDefaults() DistConfig {
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 5 * time.Millisecond
+	}
+	if c.MetaTimeout <= 0 {
+		c.MetaTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// ShardUnavailableError reports that a distributed search could not
+// complete because every replica of one shard failed past the retry
+// budget. It is a typed partial-result error: the coordinator refuses to
+// assemble a top-k missing a shard's matches (the ranking could silently
+// be wrong), so the search fails loudly instead. semkgd maps it to HTTP
+// 502.
+type ShardUnavailableError struct {
+	// Shard and Sub locate the (shard, sub-query) stream that failed.
+	Shard int
+	Sub   int
+	// Attempts counts the attempts made across replicas.
+	Attempts int
+	// Err is the last attempt's failure.
+	Err error
+}
+
+// Error implements error.
+func (e *ShardUnavailableError) Error() string {
+	return fmt.Sprintf("core: shard %d unavailable for sub-query %d after %d attempts: %v",
+		e.Shard, e.Sub, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the last attempt's failure.
+func (e *ShardUnavailableError) Unwrap() error { return e.Err }
+
+// DistStats is a point-in-time summary of the coordinator, exported by
+// semkgd under the "semkgd_dist" expvar key.
+type DistStats struct {
+	// Shards and Halo echo the remote partition; Replicas is the replica
+	// count per shard.
+	Shards   int   `json:"shards"`
+	Halo     int   `json:"halo"`
+	Replicas []int `json:"replicas"`
+	// Searches counts distributed pipeline executions; Fallbacks counts
+	// searches answered by the local base engine (MaxHops beyond the
+	// halo, or a test clock that cannot cross a process boundary).
+	Searches  uint64 `json:"dist_searches"`
+	Fallbacks uint64 `json:"local_fallbacks"`
+	// Hedges counts duplicate requests launched on a slow replica's
+	// sibling; Retries counts re-attempts after failures; Failovers
+	// counts replica rotations within those retries.
+	Hedges    uint64 `json:"hedges"`
+	Retries   uint64 `json:"retries"`
+	Failovers uint64 `json:"failovers"`
+	// ShardErrors counts searches failed with ShardUnavailableError.
+	ShardErrors uint64 `json:"shard_errors"`
+}
+
+// DistEngine is the scatter-gather coordinator over remote shard
+// servers. Construct with NewDistEngine; safe for concurrent use.
+type DistEngine struct {
+	base  *Engine
+	hosts [][]string // hosts[shard] = replica base URLs
+	halo  int
+	cfg   DistConfig
+
+	// ewmaNs[shard][replica] is the EWMA of the replica's time-to-first-
+	// line, feeding the adaptive hedge threshold. 0 = no observation yet.
+	ewmaNs [][]atomic.Int64
+	rr     atomic.Uint64 // round-robin start replica, for load spread
+
+	searches    atomic.Uint64
+	fallbacks   atomic.Uint64
+	hedges      atomic.Uint64
+	retries     atomic.Uint64
+	failovers   atomic.Uint64
+	shardErrors atomic.Uint64
+}
+
+// NewDistEngine wraps base (the coordinator's own whole-graph engine,
+// used for global compilation, answer rendering and halo fallbacks) over
+// remote shard servers. hosts[s] lists the replica base URLs serving
+// shard s; every replica must be reachable and must validate against the
+// base graph at construction (shard count, halo, and sampled node names
+// must agree — a stale or foreign shard snapshot is rejected rather than
+// silently producing wrong search results). Replicas may die later;
+// searches then hedge, retry and fail over.
+func NewDistEngine(base *Engine, hosts [][]string, cfg DistConfig) (*DistEngine, error) {
+	if base == nil {
+		return nil, fmt.Errorf("core: nil base engine")
+	}
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("core: no shard hosts")
+	}
+	cfg = cfg.withDefaults()
+	de := &DistEngine{base: base, hosts: make([][]string, len(hosts)), halo: -1, cfg: cfg}
+	for s, reps := range hosts {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("core: shard %d has no replicas", s)
+		}
+		for _, h := range reps {
+			de.hosts[s] = append(de.hosts[s], strings.TrimRight(h, "/"))
+		}
+	}
+	de.ewmaNs = make([][]atomic.Int64, len(hosts))
+	for s := range de.hosts {
+		de.ewmaNs[s] = make([]atomic.Int64, len(de.hosts[s]))
+	}
+	// Validate every replica once, caching per distinct URL (one process
+	// may serve several shards, and a URL may replicate several shards).
+	metas := make(map[string]*shardwire.Meta)
+	for s, reps := range de.hosts {
+		for _, h := range reps {
+			meta, ok := metas[h]
+			if !ok {
+				var err error
+				meta, err = de.fetchMeta(h)
+				if err != nil {
+					return nil, fmt.Errorf("core: shard %d replica %s: %w", s, h, err)
+				}
+				metas[h] = meta
+			}
+			if err := de.validateReplica(meta, s, h); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return de, nil
+}
+
+func (de *DistEngine) fetchMeta(host string) (*shardwire.Meta, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), de.cfg.MetaTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, host+shardwire.PathMeta, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := de.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("meta fetch: HTTP %d", resp.StatusCode)
+	}
+	var meta shardwire.Meta
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&meta); err != nil {
+		return nil, fmt.Errorf("parsing meta: %w", err)
+	}
+	return &meta, nil
+}
+
+// validateReplica cross-checks one replica's claim to serve shard s of
+// this coordinator's world.
+func (de *DistEngine) validateReplica(meta *shardwire.Meta, s int, host string) error {
+	g := de.base.Graph()
+	for i := range meta.Shards {
+		info := &meta.Shards[i]
+		if info.Index != s {
+			continue
+		}
+		if info.Shards != len(de.hosts) {
+			return fmt.Errorf("core: replica %s partitions into %d shards, coordinator expects %d",
+				host, info.Shards, len(de.hosts))
+		}
+		if de.halo == -1 {
+			de.halo = info.Halo
+		} else if info.Halo != de.halo {
+			return fmt.Errorf("core: replica %s has halo %d, other replicas have %d", host, info.Halo, de.halo)
+		}
+		if int(info.MaxGlobalNode) >= g.NumNodes() {
+			return fmt.Errorf("core: replica %s shard %d maps node %d beyond the base graph's %d nodes (stale shard snapshot?)",
+				host, s, info.MaxGlobalNode, g.NumNodes())
+		}
+		for _, sm := range info.Samples {
+			if g.NodeName(kg.NodeID(sm.ID)) != sm.Name {
+				return fmt.Errorf("core: replica %s shard %d names node %d %q, base graph says %q (stale shard snapshot?)",
+					host, s, sm.ID, sm.Name, g.NodeName(kg.NodeID(sm.ID)))
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("core: replica %s does not hold shard %d", host, s)
+}
+
+// Base returns the local whole-graph engine used for compilation,
+// rendering and fallbacks.
+func (de *DistEngine) Base() *Engine { return de.base }
+
+// Graph implements Queryer.
+func (de *DistEngine) Graph() *kg.Graph { return de.base.Graph() }
+
+// PerMatchCost implements Queryer; distribution does not change the TA
+// assembly cost model (the assembly runs on the coordinator).
+func (de *DistEngine) PerMatchCost() time.Duration { return de.base.PerMatchCost() }
+
+// Halo returns the remote partition's replication radius.
+func (de *DistEngine) Halo() int { return de.halo }
+
+// Hosts returns the per-shard replica URL lists.
+func (de *DistEngine) Hosts() [][]string {
+	out := make([][]string, len(de.hosts))
+	for s := range de.hosts {
+		out[s] = append([]string(nil), de.hosts[s]...)
+	}
+	return out
+}
+
+// Stats snapshots the coordinator's counters.
+func (de *DistEngine) Stats() DistStats {
+	st := DistStats{
+		Shards:      len(de.hosts),
+		Halo:        de.halo,
+		Searches:    de.searches.Load(),
+		Fallbacks:   de.fallbacks.Load(),
+		Hedges:      de.hedges.Load(),
+		Retries:     de.retries.Load(),
+		Failovers:   de.failovers.Load(),
+		ShardErrors: de.shardErrors.Load(),
+	}
+	for _, reps := range de.hosts {
+		st.Replicas = append(st.Replicas, len(reps))
+	}
+	return st
+}
+
+// DistPlan is a compiled query for the coordinator: the base plan plus
+// its global blueprints in wire form, ready to ship to any shard.
+// Immutable and safe for concurrent reuse.
+type DistPlan struct {
+	de   *DistEngine
+	base *Plan
+	wire []shardwire.Blueprint
+}
+
+// Pivot implements CompiledPlan.
+func (p *DistPlan) Pivot() string { return p.base.Pivot() }
+
+// Compiled implements CompiledPlan.
+func (p *DistPlan) Compiled() bool { return p.base.Compiled() }
+
+// PlannedBy implements CompiledPlan.
+func (p *DistPlan) PlannedBy(q Queryer) bool {
+	d, ok := q.(*DistEngine)
+	return ok && p != nil && p.de == d
+}
+
+// WireBlueprints projects the plan's sub-query blueprints into wire form:
+// base-graph ids and predicate-name→weight rows, resolved once globally.
+// This is the distributed twin of ShardedEngine's per-shard projection —
+// except the id projection happens server-side, so one wire blueprint
+// serves every shard.
+func (p *Plan) WireBlueprints() ([]shardwire.Blueprint, error) {
+	if !p.compiled {
+		return nil, nil
+	}
+	g := p.eng.Graph()
+	out := make([]shardwire.Blueprint, len(p.subs))
+	for i, ps := range p.subs {
+		bp := shardwire.Blueprint{Anchors: make([]uint32, len(ps.sub.Anchors))}
+		for j, a := range ps.sub.Anchors {
+			bp.Anchors[j] = uint32(a)
+		}
+		bp.EndSets = make([][]uint32, len(ps.sub.EndSets))
+		for j, set := range ps.sub.EndSets {
+			es := make([]uint32, 0, len(set))
+			for u := range set {
+				es = append(es, uint32(u))
+			}
+			sort.Slice(es, func(a, b int) bool { return es[a] < es[b] })
+			bp.EndSets[j] = es
+		}
+		rows, err := p.eng.rows.Rows(ps.preds)
+		if err != nil {
+			return nil, err
+		}
+		bp.Rows = make([]map[string]float64, len(rows))
+		for seg, row := range rows {
+			named := make(map[string]float64, len(row))
+			for pid, w := range row {
+				named[g.PredName(kg.PredID(pid))] = w
+			}
+			bp.Rows[seg] = named
+		}
+		out[i] = bp
+	}
+	return out, nil
+}
+
+// Compile resolves q once against the base graph and projects the
+// blueprints into wire form. One plan serves any K or time budget.
+func (de *DistEngine) Compile(q *query.Graph, opts Options) (*DistPlan, error) {
+	bp, err := de.base.Compile(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	wire, err := bp.WireBlueprints()
+	if err != nil {
+		return nil, err
+	}
+	return &DistPlan{de: de, base: bp, wire: wire}, nil
+}
+
+// CompileQuery implements Queryer.
+func (de *DistEngine) CompileQuery(q *query.Graph, opts Options) (CompiledPlan, error) {
+	p, err := de.Compile(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Search implements Queryer: the batch form of Stream, same pipeline.
+func (de *DistEngine) Search(ctx context.Context, q *query.Graph, opts Options) (*Result, error) {
+	p, err := de.Compile(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return de.searchPlan(ctx, p, opts)
+}
+
+// Stream implements Queryer.
+func (de *DistEngine) Stream(ctx context.Context, q *query.Graph, opts Options) (*Stream, error) {
+	p, err := de.Compile(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return de.streamPlan(ctx, p, opts, false)
+}
+
+// SearchCompiled implements Queryer.
+func (de *DistEngine) SearchCompiled(ctx context.Context, p CompiledPlan, opts Options) (*Result, error) {
+	dp, err := de.plan(p)
+	if err != nil {
+		return nil, err
+	}
+	return de.searchPlan(ctx, dp, opts)
+}
+
+// StreamCompiled implements Queryer.
+func (de *DistEngine) StreamCompiled(ctx context.Context, p CompiledPlan, opts Options) (*Stream, error) {
+	dp, err := de.plan(p)
+	if err != nil {
+		return nil, err
+	}
+	return de.streamPlan(ctx, dp, opts, false)
+}
+
+func (de *DistEngine) searchPlan(ctx context.Context, dp *DistPlan, opts Options) (*Result, error) {
+	s, err := de.streamPlan(ctx, dp, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return s.Result(), nil
+}
+
+func (de *DistEngine) plan(p CompiledPlan) (*DistPlan, error) {
+	dp, ok := p.(*DistPlan)
+	if !ok {
+		return nil, fmt.Errorf("core: plan of type %T was not compiled by a distributed coordinator", p)
+	}
+	if dp.de != de {
+		return nil, fmt.Errorf("core: plan was compiled by a different coordinator")
+	}
+	return dp, nil
+}
+
+// streamPlan validates, then runs the distributed pipeline — or the
+// local base pipeline when the remote partition cannot serve the request
+// (MaxHops beyond the halo, or a test Clock, which cannot cross a
+// process boundary).
+func (de *DistEngine) streamPlan(ctx context.Context, dp *DistPlan, opts Options, quiet bool) (*Stream, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, badRequest(err)
+	}
+	opts = opts.withDefaults()
+	if err := dp.base.check(de.base, opts); err != nil {
+		return nil, err
+	}
+	if opts.MaxHops > de.halo || opts.Clock != nil {
+		de.fallbacks.Add(1)
+		return de.base.startStream(ctx, dp.base, opts, quiet)
+	}
+	if opts.TimeBound > 0 {
+		de.base.perMatchCost() // calibrate outside the timed window
+	}
+	de.searches.Add(1)
+	start := time.Now()
+	buffer := streamBuffer
+	if quiet {
+		buffer = 0
+	}
+	s := &Stream{events: make(chan Event, buffer), done: make(chan struct{}), quiet: quiet}
+	if quiet {
+		de.runDist(ctx, s, dp, opts, start)
+	} else {
+		go de.runDist(ctx, s, dp, opts, start)
+	}
+	return s, nil
+}
+
+// runDist is the pipeline goroutine behind the coordinator's Stream; it
+// mirrors ShardedEngine.runSharded with remote sources.
+func (de *DistEngine) runDist(ctx context.Context, s *Stream, dp *DistPlan, opts Options, start time.Time) {
+	d := dp.base.d
+	res := &Result{Decomposition: d}
+	if dp.base.compiled {
+		var finals []ta.Final
+		var err error
+		if opts.TimeBound > 0 {
+			finals, err = de.gatherTBQ(ctx, s, dp, opts, res)
+		} else {
+			finals, err = de.gatherSGQ(ctx, s, dp, opts, res)
+		}
+		if err != nil {
+			de.shardErrors.Add(1)
+			s.fail(err)
+			return
+		}
+		res.Answers = de.base.renderAnswers(finals, d)
+		lk, umax, round := s.lastBounds()
+		s.emit(TopKEvent{Answers: res.Answers, LowerK: lk, UpperMax: umax, Round: round})
+	}
+	res.Elapsed = time.Since(start)
+	s.res = res
+	s.emit(ResultEvent{Result: res})
+	close(s.events)
+	close(s.done)
+}
+
+// gatherState is the shared failure slot of one scatter: the first
+// source to exhaust its retries records the typed error and cancels the
+// whole fetch, so the query fails fast instead of finishing a doomed
+// assembly.
+type gatherState struct {
+	cancel context.CancelFunc
+	mu     sync.Mutex
+	err    error
+}
+
+func (gs *gatherState) fail(err error) {
+	gs.mu.Lock()
+	if gs.err == nil {
+		gs.err = err
+	}
+	gs.mu.Unlock()
+	gs.cancel()
+}
+
+func (gs *gatherState) failure() error {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	return gs.err
+}
+
+// baseRequest assembles the wire request for one (shard, sub) search.
+func (dp *DistPlan) baseRequest(shard, sub int, opts Options) shardwire.SearchRequest {
+	return shardwire.SearchRequest{
+		Shard:        shard,
+		Sub:          sub,
+		Blueprint:    dp.wire[sub],
+		Tau:          dp.base.copts.tau,
+		MaxHops:      dp.base.copts.maxHops,
+		NoHeuristic:  dp.base.copts.noHeuristic,
+		PruneVisited: dp.base.copts.pruneVisited,
+	}
+}
+
+// gatherSGQ is the exact-mode distributed scatter-gather: one remote
+// source per (shard, sub) streams sorted matches into a buffered
+// channel; per-sub-query sorted mergers (shard-major source order, the
+// same deterministic tie-break as in-process) feed the TA assembly,
+// which consumes on demand while the sources fill their buffers
+// concurrently.
+func (de *DistEngine) gatherSGQ(ctx context.Context, s *Stream, dp *DistPlan, opts Options, res *Result) ([]ta.Final, error) {
+	nsub := len(dp.base.subs)
+	nshard := len(de.hosts)
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	gs := &gatherState{cancel: cancel}
+
+	s.emit(PhaseEvent{Phase: PhaseSearch})
+	sources := make([][]merge.Source, nsub)
+	var all []*remoteSource
+	var wg sync.WaitGroup
+	for shard := 0; shard < nshard; shard++ {
+		for sub := 0; sub < nsub; sub++ {
+			src := &remoteSource{
+				de: de, s: s, gs: gs, ctx: fctx,
+				shard: shard, sub: sub,
+				req: dp.baseRequest(shard, sub, opts),
+				ch:  make(chan astar.Match, remoteSourceBuffer),
+			}
+			all = append(all, src)
+			sources[sub] = append(sources[sub], src) // shard-major order per sub
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				src.run()
+			}()
+		}
+	}
+	// The gather is fully streaming — there is no prefetch barrier whose
+	// counts could label this event, so the assemble phase begins
+	// immediately with the sources still filling.
+	s.emit(PhaseEvent{Phase: PhaseAssemble})
+
+	streams := make([]ta.Stream, nsub)
+	for i := range streams {
+		streams[i] = merge.Sorted(sources[i]...)
+	}
+	asm := ta.NewAssembler(streams, opts.K)
+	var onRound func(int)
+	if !s.quiet {
+		onRound = func(r int) {
+			lk, umax := asm.Bounds()
+			s.emitProvisional(de.base, dp.base.d, asm.Provisional(), lk, umax, r)
+		}
+	}
+	finals := asm.Run(onRound)
+	cancel()  // release sources the assembly never drained
+	wg.Wait() // all source goroutines stopped: safe to read their state and close the stream
+	if err := gs.failure(); err != nil {
+		return nil, err
+	}
+	de.collectStats(all, res, nsub, nshard)
+	return finals, nil
+}
+
+// collectStats aggregates the per-source remote A* stats. Sources
+// cancelled before their terminal line report zeros — the remote search
+// was abandoned mid-stream and its true effort never crossed the wire.
+func (de *DistEngine) collectStats(all []*remoteSource, res *Result, nsub, nshard int) {
+	res.SearchStats = make([]astar.Stats, nsub)
+	res.ShardEffort = make([]astar.Stats, nshard)
+	for _, src := range all {
+		st := src.stats
+		for _, agg := range []*astar.Stats{&res.SearchStats[src.sub], &res.ShardEffort[src.shard]} {
+			agg.Popped += st.Popped
+			agg.Pushed += st.Pushed
+			agg.Pruned += st.Pruned
+			agg.Emitted += st.Emitted
+		}
+	}
+}
+
+// gatherTBQ is the time-bounded distributed pipeline: every (shard, sub)
+// search runs eagerly on its shard server under a local estimator whose
+// per-match cost is pre-scaled by the shard count (each server only sees
+// its own collection count; scaling t by N keeps the distributed alert
+// at least as conservative as the in-process shared estimator — see
+// shardedTBQ). The collected sets merge best-per-end across shards and
+// assemble exactly as in-process.
+func (de *DistEngine) gatherTBQ(ctx context.Context, s *Stream, dp *DistPlan, opts Options, res *Result) ([]ta.Final, error) {
+	nsub := len(dp.base.subs)
+	nshard := len(de.hosts)
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	gs := &gatherState{cancel: cancel}
+
+	s.emit(PhaseEvent{Phase: PhaseSearch})
+	perMatch := de.base.perMatchCost() * time.Duration(nshard)
+	all := make([]*remoteSource, 0, nshard*nsub)
+	var wg sync.WaitGroup
+	for shard := 0; shard < nshard; shard++ {
+		for sub := 0; sub < nsub; sub++ {
+			req := dp.baseRequest(shard, sub, opts)
+			req.Eager = true
+			req.TimeBoundNs = int64(opts.TimeBound)
+			req.AlertRatio = opts.AlertRatio
+			req.PerMatchNs = int64(perMatch)
+			src := &remoteSource{
+				de: de, s: s, gs: gs, ctx: fctx,
+				shard: shard, sub: sub, req: req,
+			}
+			all = append(all, src)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				src.runEager()
+			}()
+		}
+	}
+	wg.Wait()
+	if err := gs.failure(); err != nil {
+		return nil, err
+	}
+
+	perSub := make([][]map[kg.NodeID]astar.Match, nsub)
+	allExhausted := true
+	for _, src := range all { // shard-major: deterministic equal-PSS winner
+		perSub[src.sub] = append(perSub[src.sub], src.eager)
+		if !src.exhausted {
+			allExhausted = false
+		}
+	}
+	streams := make([]ta.Stream, nsub)
+	counts := make([]int, nsub)
+	for i := range streams {
+		ms := merge.BestByEnd(perSub[i]...)
+		counts[i] = len(ms)
+		streams[i] = &ta.SliceStream{Matches: ms}
+	}
+	res.Approximate = !allExhausted
+	res.Collected = counts
+	s.emit(PhaseEvent{Phase: PhaseAssemble, Collected: counts})
+
+	asm := ta.NewAssembler(streams, opts.K)
+	var onRound func(int)
+	if !s.quiet {
+		onRound = func(r int) {
+			lk, umax := asm.Bounds()
+			s.emitProvisional(de.base, dp.base.d, asm.Provisional(), lk, umax, r)
+		}
+	}
+	finals := asm.Run(onRound)
+	de.collectStats(all, res, nsub, nshard)
+	return finals, nil
+}
+
+// remoteSourceBuffer is the per-source match channel capacity: the
+// distributed analogue of the in-process prefetch — sources stream ahead
+// of the assembly by up to this many matches.
+const remoteSourceBuffer = 64
+
+// remoteSource is one (shard, sub) stream: a background goroutine
+// fetches matches over HTTP — hedging, retrying and failing over across
+// the shard's replicas — into a buffered channel that the sorted merger
+// consumes via Next. On unrecoverable failure it records a typed error
+// in the shared gatherState and cancels the scatter.
+type remoteSource struct {
+	de  *DistEngine
+	s   *Stream
+	gs  *gatherState
+	ctx context.Context
+
+	shard, sub int
+	req        shardwire.SearchRequest
+	ch         chan astar.Match
+
+	// pushed counts matches delivered downstream: the Offset resume point
+	// for mid-stream failover. Owned by the run goroutine.
+	pushed int
+
+	// Terminal state, read only after the source goroutine exits.
+	stats     astar.Stats
+	exhausted bool
+	eager     map[kg.NodeID]astar.Match
+}
+
+// Next implements merge.Source for the exact mode.
+func (src *remoteSource) Next() (astar.Match, bool) {
+	m, ok := <-src.ch
+	return m, ok
+}
+
+// run drives the exact-mode stream to its terminal line, retrying with
+// capped jittered backoff and rotating replicas on failure.
+func (src *remoteSource) run() {
+	defer close(src.ch)
+	src.retryLoop(func(rep int) error { return src.attempt(rep) })
+}
+
+// runEager drives one eager (TBQ) fetch. Eager responses are
+// timing-dependent (the estimator stops on wall clock), so a retry
+// restarts collection from scratch instead of resuming by offset —
+// every attempt's set is a valid collection, and only a completed
+// attempt's set is kept.
+func (src *remoteSource) runEager() {
+	src.retryLoop(func(rep int) error { return src.attemptEager(rep) })
+}
+
+// retryLoop runs attempts until one succeeds, the context dies (the
+// caller cancelled or another source failed — not this source's fault),
+// or the retry budget is spent, which records the typed shard failure.
+func (src *remoteSource) retryLoop(attempt func(rep int) error) {
+	reps := src.de.hosts[src.shard]
+	rep := int(src.de.rr.Add(1)) % len(reps)
+	backoff := src.de.cfg.RetryBackoff
+	attempts := 0
+	for {
+		if src.ctx.Err() != nil {
+			return
+		}
+		err := attempt(rep)
+		if err == nil || src.ctx.Err() != nil {
+			return
+		}
+		attempts++
+		if attempts > src.de.cfg.Retries {
+			src.gs.fail(&ShardUnavailableError{Shard: src.shard, Sub: src.sub, Attempts: attempts, Err: err})
+			return
+		}
+		src.de.retries.Add(1)
+		if !sleepCtx(src.ctx, jitterDuration(backoff)) {
+			return
+		}
+		if backoff < src.de.cfg.RetryBackoff*32 {
+			backoff *= 2
+		}
+		if len(reps) > 1 {
+			rep = (rep + 1) % len(reps)
+			src.de.failovers.Add(1)
+		}
+	}
+}
+
+// attempt opens one exact-mode stream (resuming past the matches already
+// delivered) and pumps it to the terminal line.
+func (src *remoteSource) attempt(rep int) error {
+	req := src.req
+	req.Offset = src.pushed
+	ws, err := src.de.openStream(src.ctx, src.shard, rep, &req)
+	if err != nil {
+		return err
+	}
+	defer ws.Close()
+	for {
+		line, err := ws.next()
+		if err != nil {
+			return fmt.Errorf("core: shard %d stream: %w", src.shard, err)
+		}
+		if line.Error != "" {
+			return fmt.Errorf("core: shard %d remote error: %s", src.shard, line.Error)
+		}
+		if line.Done {
+			src.stats = wireStats(line.Stats)
+			src.exhausted = line.Exhausted
+			return nil
+		}
+		select {
+		case src.ch <- lineMatch(line):
+			src.pushed++
+			if !src.s.quiet {
+				src.s.emit(ProgressEvent{Shard: src.shard + 1, Sub: src.sub, Collected: src.pushed})
+			}
+		case <-src.ctx.Done():
+			return nil // cancelled: retryLoop sees ctx.Err and exits cleanly
+		}
+	}
+}
+
+// attemptEager fetches one complete eager response.
+func (src *remoteSource) attemptEager(rep int) error {
+	ws, err := src.de.openStream(src.ctx, src.shard, rep, &src.req)
+	if err != nil {
+		return err
+	}
+	defer ws.Close()
+	best := make(map[kg.NodeID]astar.Match)
+	for {
+		line, err := ws.next()
+		if err != nil {
+			return fmt.Errorf("core: shard %d eager fetch: %w", src.shard, err)
+		}
+		if line.Error != "" {
+			return fmt.Errorf("core: shard %d remote error: %s", src.shard, line.Error)
+		}
+		if line.Done {
+			src.eager = best
+			src.stats = wireStats(line.Stats)
+			src.exhausted = line.Exhausted
+			if !src.s.quiet {
+				src.s.emit(ProgressEvent{Shard: src.shard + 1, Sub: src.sub, Collected: len(best), Done: true})
+			}
+			return nil
+		}
+		m := lineMatch(line)
+		best[m.End()] = m
+	}
+}
+
+// wireStream is one open search response: the winning replica's body
+// with its eagerly-read first line pending.
+type wireStream struct {
+	lr      *shardwire.LineReader
+	body    io.ReadCloser
+	cancel  context.CancelFunc
+	pending *shardwire.Line
+}
+
+func (ws *wireStream) next() (shardwire.Line, error) {
+	if ws.pending != nil {
+		l := *ws.pending
+		ws.pending = nil
+		return l, nil
+	}
+	return ws.lr.Next()
+}
+
+func (ws *wireStream) Close() {
+	ws.cancel()
+	ws.body.Close()
+}
+
+// openStream opens the search on replica rep, hedging onto the next
+// replica when the first response line has not arrived within the hedge
+// threshold. The winner's stream is returned; the loser is cancelled.
+func (de *DistEngine) openStream(ctx context.Context, shard, rep int, req *shardwire.SearchRequest) (*wireStream, error) {
+	reps := de.hosts[shard]
+	delay := de.hedgeDelay(shard, rep)
+	if len(reps) < 2 || delay <= 0 {
+		return de.openOne(ctx, shard, rep, req)
+	}
+	type opened struct {
+		ws  *wireStream
+		err error
+	}
+	launch := func(r int) chan opened {
+		ch := make(chan opened, 1)
+		go func() {
+			ws, err := de.openOne(ctx, shard, r, req)
+			ch <- opened{ws, err}
+		}()
+		return ch
+	}
+	abandon := func(ch chan opened) {
+		go func() {
+			if o := <-ch; o.ws != nil {
+				o.ws.Close()
+			}
+		}()
+	}
+	first := launch(rep)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var second chan opened
+	for {
+		select {
+		case o := <-first:
+			if o.err == nil {
+				if second != nil {
+					abandon(second)
+				}
+				return o.ws, nil
+			}
+			if second == nil {
+				return nil, o.err // failed before the hedge fired: retryLoop rotates
+			}
+			if o2 := <-second; o2.err == nil {
+				return o2.ws, nil
+			}
+			return nil, o.err
+		case o2 := <-second: // nil until the hedge launches (blocks forever)
+			if o2.err == nil {
+				abandon(first)
+				return o2.ws, nil
+			}
+			second = nil // hedge failed; keep waiting on the primary
+		case <-timer.C:
+			de.hedges.Add(1)
+			second = launch((rep + 1) % len(reps))
+		case <-ctx.Done():
+			abandon(first)
+			if second != nil {
+				abandon(second)
+			}
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// openOne issues one search request and blocks until the first response
+// line (so hedging covers server-side compute stalls, not just connect
+// latency), recording the replica's first-line latency EWMA.
+func (de *DistEngine) openOne(ctx context.Context, shard, rep int, req *shardwire.SearchRequest) (*wireStream, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	actx, cancel := context.WithCancel(ctx)
+	hr, err := http.NewRequestWithContext(actx, http.MethodPost,
+		de.hosts[shard][rep]+shardwire.PathSearch, bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := de.cfg.Client.Do(hr)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		cancel()
+		return nil, fmt.Errorf("HTTP %d from %s: %s", resp.StatusCode, de.hosts[shard][rep], strings.TrimSpace(string(msg)))
+	}
+	lr := shardwire.NewLineReader(resp.Body)
+	line, err := lr.Next()
+	if err != nil {
+		resp.Body.Close()
+		cancel()
+		return nil, fmt.Errorf("reading first response line: %w", err)
+	}
+	de.observeLatency(shard, rep, time.Since(start))
+	return &wireStream{lr: lr, body: resp.Body, cancel: cancel, pending: &line}, nil
+}
+
+// observeLatency folds one first-line latency into the replica's EWMA
+// (α = 1/4).
+func (de *DistEngine) observeLatency(shard, rep int, d time.Duration) {
+	slot := &de.ewmaNs[shard][rep]
+	for {
+		old := slot.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old - old/4 + int64(d)/4
+		}
+		if next <= 0 {
+			next = 1
+		}
+		if slot.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// hedgeDelay is the wait before duplicating a request onto the next
+// replica: the configured threshold, or (adaptively) twice the replica's
+// first-line EWMA clamped to [1ms, 100ms]. <= 0 disables hedging.
+func (de *DistEngine) hedgeDelay(shard, rep int) time.Duration {
+	if de.cfg.HedgeAfter != 0 {
+		return de.cfg.HedgeAfter // negative disables
+	}
+	e := time.Duration(de.ewmaNs[shard][rep].Load())
+	if e == 0 {
+		return 25 * time.Millisecond // no observation yet
+	}
+	d := 2 * e
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	return d
+}
+
+// lineMatch rebuilds an astar.Match (in base-graph ids) from its wire
+// line.
+func lineMatch(l shardwire.Line) astar.Match {
+	m := astar.Match{
+		Nodes:   make([]kg.NodeID, len(l.Nodes)),
+		Edges:   make([]kg.EdgeID, len(l.Edges)),
+		SegEnds: l.SegEnds,
+		PSS:     l.PSS,
+	}
+	for i, u := range l.Nodes {
+		m.Nodes[i] = kg.NodeID(u)
+	}
+	for i, e := range l.Edges {
+		m.Edges[i] = kg.EdgeID(e)
+	}
+	return m
+}
+
+func wireStats(st *shardwire.SearchStats) astar.Stats {
+	if st == nil {
+		return astar.Stats{}
+	}
+	return astar.Stats{Popped: st.Popped, Pushed: st.Pushed, Pruned: st.Pruned, Emitted: st.Emitted}
+}
+
+// sleepCtx sleeps d or until ctx dies; reports false on cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// jitterDuration spreads d by ±50% so synchronized retries from many
+// sources do not stampede a recovering replica.
+func jitterDuration(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	half := int64(d) / 2
+	return time.Duration(half + rand.Int63n(int64(d)))
+}

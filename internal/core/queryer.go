@@ -93,8 +93,13 @@ func enginePlan(p CompiledPlan) (*Plan, error) {
 }
 
 // PlannedBy implements CompiledPlan: it reports whether q is the engine
-// that compiled this plan.
+// that compiled this plan. A ReshardingEngine counts when its base
+// engine compiled the plan — pre-upgrade plans stay cacheable across
+// the background upgrade.
 func (p *Plan) PlannedBy(q Queryer) bool {
+	if r, ok := q.(*ReshardingEngine); ok {
+		return p.CompiledBy(r.base)
+	}
 	e, ok := q.(*Engine)
 	return ok && p.CompiledBy(e)
 }

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestReshardingServesWhileBuilding is the ingest-latency regression
+// test for semkgd -shards: constructing a ReshardingEngine must return
+// immediately and serve correct answers from the base engine while the
+// partition — deterministically held back by the Gate hook — is still
+// building. Commit latency therefore cannot scale with repartition cost.
+func TestReshardingServesWhileBuilding(t *testing.T) {
+	ctx := context.Background()
+	ds, e := tinyWorld(t, 3)
+	gate := make(chan struct{})
+	ready := make(chan *ShardedEngine, 1)
+	r := NewResharding(e, nil, ReshardConfig{
+		Shard:   ShardConfig{Shards: 3},
+		Gate:    func() { <-gate },
+		OnReady: func(se *ShardedEngine) { ready <- se },
+		OnError: func(err error) { t.Errorf("background partition failed: %v", err) },
+	})
+	if r.Ready() {
+		t.Fatal("engine claims ready while the partition gate is held")
+	}
+
+	q := shardedWorkload(ds)[1]
+	opts := Options{K: 5, Tau: 0.5, MaxHops: 3}
+	want, err := e.Search(ctx, q.Graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Search(ctx, q.Graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTopKEquivalent(t, q.Name+"/pre-upgrade", got, want)
+
+	// A pre-upgrade plan compiles against the base engine and stays
+	// recognized (cacheable) before and after the upgrade.
+	prePlan, err := r.CompileQuery(q.Graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := prePlan.(*Plan); !ok {
+		t.Fatalf("pre-upgrade plan is %T, want *Plan", prePlan)
+	}
+	if !prePlan.PlannedBy(r) {
+		t.Fatal("pre-upgrade plan not recognized by the resharding engine")
+	}
+
+	close(gate)
+	select {
+	case <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatal("background partition never became ready")
+	}
+	if !r.Ready() || r.Sharded() == nil {
+		t.Fatal("engine not ready after OnReady fired")
+	}
+
+	got, err = r.Search(ctx, q.Graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTopKEquivalent(t, q.Name+"/post-upgrade", got, want)
+
+	// The old base plan still runs (routed to the base engine)...
+	if !prePlan.PlannedBy(r) {
+		t.Fatal("pre-upgrade plan forgotten after the upgrade")
+	}
+	res, err := r.SearchCompiled(ctx, prePlan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTopKEquivalent(t, q.Name+"/pre-plan-post-upgrade", res, want)
+
+	// ...and new compilations produce sharded plans the engine owns.
+	postPlan, err := r.CompileQuery(q.Graph, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := postPlan.(*ShardedPlan); !ok {
+		t.Fatalf("post-upgrade plan is %T, want *ShardedPlan", postPlan)
+	}
+	if !postPlan.PlannedBy(r) {
+		t.Fatal("post-upgrade plan not recognized by the resharding engine")
+	}
+	if postPlan.PlannedBy(e) {
+		t.Fatal("sharded plan claims the base engine planned it")
+	}
+	res, err = r.SearchCompiled(ctx, postPlan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTopKEquivalent(t, q.Name+"/sharded-plan", res, want)
+}
+
+// TestReshardingInheritsStats: the upgraded engine carries the previous
+// sharded generation's monotone counters, exactly like a synchronous
+// rebuild.
+func TestReshardingInheritsStats(t *testing.T) {
+	ctx := context.Background()
+	ds, e := tinyWorld(t, 17)
+	prev := shardedOver(t, e, 2)
+	q := shardedWorkload(ds)[0]
+	opts := Options{K: 3, Tau: 0.5, MaxHops: 3}
+	for i := 0; i < 3; i++ {
+		if _, err := prev.Search(ctx, q.Graph, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prevSearches := prev.Stats().Searches
+	if prevSearches == 0 {
+		t.Fatal("previous generation counted no searches")
+	}
+
+	ready := make(chan struct{})
+	r := NewResharding(e, prev, ReshardConfig{
+		Shard:   ShardConfig{Shards: 2},
+		OnReady: func(*ShardedEngine) { close(ready) },
+	})
+	select {
+	case <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatal("background partition never became ready")
+	}
+	if got := r.Sharded().Stats().Searches; got < prevSearches {
+		t.Fatalf("upgraded engine starts at %d searches, want >= %d (inherited)", got, prevSearches)
+	}
+}
+
+// TestReshardingBuildFailure: a partition that cannot build reports
+// through OnError and the engine keeps serving unsharded.
+func TestReshardingBuildFailure(t *testing.T) {
+	ctx := context.Background()
+	ds, e := tinyWorld(t, 3)
+	failed := make(chan error, 1)
+	r := NewResharding(e, nil, ReshardConfig{
+		Shard:   ShardConfig{Shards: -2}, // invalid: Partition rejects it
+		OnError: func(err error) { failed <- err },
+	})
+	select {
+	case <-failed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("invalid partition never reported failure")
+	}
+	if r.Ready() {
+		t.Fatal("engine claims ready after a failed partition")
+	}
+	q := shardedWorkload(ds)[0]
+	if _, err := r.Search(ctx, q.Graph, Options{K: 3, Tau: 0.5, MaxHops: 3}); err != nil {
+		t.Fatalf("unsharded serving broken after failed partition: %v", err)
+	}
+}

@@ -278,8 +278,12 @@ func (p *ShardedPlan) Pivot() string { return p.base.Pivot() }
 // with no match anywhere yields the empty answer set).
 func (p *ShardedPlan) Compiled() bool { return p.base.Compiled() }
 
-// PlannedBy implements CompiledPlan.
+// PlannedBy implements CompiledPlan. A ReshardingEngine counts when its
+// upgraded sharded engine compiled the plan.
 func (p *ShardedPlan) PlannedBy(q Queryer) bool {
+	if r, ok := q.(*ReshardingEngine); ok {
+		return p != nil && p.se == r.se.Load()
+	}
 	s, ok := q.(*ShardedEngine)
 	return ok && p != nil && p.se == s
 }

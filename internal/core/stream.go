@@ -31,6 +31,10 @@ const (
 	KindPhase
 	// KindResult is the terminal event carrying the final Result.
 	KindResult
+	// KindError is the terminal event of a pipeline that failed mid-run;
+	// only the distributed coordinator emits it (a shard with no live
+	// replica), after which the stream closes without a ResultEvent.
+	KindError
 )
 
 // Event is one typed stream notification. The concrete types are
@@ -113,6 +117,18 @@ type ResultEvent struct {
 // Kind implements Event.
 func (ResultEvent) Kind() EventKind { return KindResult }
 
+// ErrorEvent is the terminal event of a failed pipeline: the search
+// cannot produce a correct result (a shard scatter lost every replica of
+// some shard), so the stream ends with the typed error instead of a
+// partial — and possibly wrong — top-k. Stream.Err returns the same
+// error.
+type ErrorEvent struct {
+	Err error
+}
+
+// Kind implements Event.
+func (ErrorEvent) Kind() EventKind { return KindError }
+
 // streamBuffer sizes the event channel. Advisory events (progress, topk,
 // phase) are dropped rather than blocking the search when the consumer
 // falls this far behind; the terminal ResultEvent is never dropped.
@@ -127,6 +143,7 @@ type Stream struct {
 	events chan Event
 	done   chan struct{}
 	res    *Result
+	err    error
 	// quiet disables all event emission: the batch Search path runs the
 	// identical pipeline without paying for events nobody consumes.
 	quiet bool
@@ -148,6 +165,23 @@ func (s *Stream) Events() <-chan Event { return s.events }
 func (s *Stream) Result() *Result {
 	<-s.done
 	return s.res
+}
+
+// Err blocks until the stream terminates and reports the pipeline
+// failure, if any. A non-nil error means no Result was produced (the
+// stream ended with an ErrorEvent); errors happen only on distributed
+// pipelines — in-process engines always terminate with a Result.
+func (s *Stream) Err() error {
+	<-s.done
+	return s.err
+}
+
+// fail terminates the stream with err instead of a result.
+func (s *Stream) fail(err error) {
+	s.err = err
+	s.emit(ErrorEvent{Err: err})
+	close(s.events)
+	close(s.done)
 }
 
 // emit delivers ev without ever blocking the pipeline: when the buffer is

@@ -470,6 +470,13 @@ func (e *Engine) run(fl *flight, eng core.Queryer, gen uint64, q *query.Graph, o
 	for ev := range st.Events() {
 		fl.log.append(ev)
 	}
+	// A stream may end in an error terminal instead of a result (a
+	// distributed backing engine losing a whole shard, for example).
+	// Propagate it as the flight's failure: lead() never caches errored
+	// flights, so the next request retries the pipeline.
+	if err := st.Err(); err != nil {
+		return nil, err
+	}
 	return st.Result(), nil
 }
 

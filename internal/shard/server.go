@@ -1,0 +1,367 @@
+// Shard server: the process boundary of the distributed scatter-gather
+// pipeline (semkgd -serve-shard). A Server holds one or more loaded
+// shards and answers per-(shard, sub-query) searches over the
+// shardwire protocol; the coordinator (core.DistEngine) is its only
+// intended client. See DESIGN.md, "Distributed sharding".
+//
+// The server is deliberately dumb: it projects a globally-resolved
+// blueprint into its shard's id space, runs exactly the searcher the
+// in-process sharded engine would have run, and remaps matches back to
+// base ids. All semantics — decomposition, φ matching, predicate
+// resolution, merging, TA assembly — stay on the coordinator, which is
+// how the cross-process pipeline inherits the in-process one's
+// exactness proof unchanged.
+
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"semkg/internal/astar"
+	"semkg/internal/kg"
+	"semkg/internal/merge"
+	"semkg/internal/semgraph"
+	"semkg/internal/shardwire"
+	"semkg/internal/tbq"
+)
+
+// metaSamples is how many (id, name) probes Meta exposes per shard for
+// the coordinator's stale-snapshot check.
+const metaSamples = 16
+
+// ServerStats counts a shard server's traffic, exported by semkgd under
+// the "semkgd_shardserver" expvar key.
+type ServerStats struct {
+	// Shards lists the shard indexes this server holds.
+	Shards []int `json:"shards"`
+	// Searches counts accepted /v1/shard/search requests; Matches counts
+	// match lines streamed; Errors counts rejected or failed requests.
+	Searches uint64 `json:"searches"`
+	Matches  uint64 `json:"matches"`
+	Errors   uint64 `json:"errors"`
+}
+
+// Server answers shardwire searches over a set of loaded shards. Safe
+// for concurrent use; every request builds fresh searcher state.
+type Server struct {
+	byIndex map[int]*Shard
+	indexes []int
+
+	searches atomic.Uint64
+	matches  atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// NewServer wraps the given shards (typically loaded via ReadShard).
+// The shards must come from one partition: same total shard count and
+// halo, distinct indexes. One process may serve any subset of a
+// partition — replicas of the same shard run in different processes.
+func NewServer(shards ...*Shard) (*Server, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: server needs at least one shard")
+	}
+	s := &Server{byIndex: make(map[int]*Shard, len(shards))}
+	for _, sh := range shards {
+		if sh.Shards != shards[0].Shards || sh.Halo != shards[0].Halo {
+			return nil, fmt.Errorf("shard: shard %d (of %d, halo %d) and shard %d (of %d, halo %d) are from different partitions",
+				sh.Index, sh.Shards, sh.Halo, shards[0].Index, shards[0].Shards, shards[0].Halo)
+		}
+		if _, dup := s.byIndex[sh.Index]; dup {
+			return nil, fmt.Errorf("shard: duplicate shard index %d", sh.Index)
+		}
+		s.byIndex[sh.Index] = sh
+		s.indexes = append(s.indexes, sh.Index)
+	}
+	return s, nil
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Shards:   append([]int(nil), s.indexes...),
+		Searches: s.searches.Load(),
+		Matches:  s.matches.Load(),
+		Errors:   s.errors.Load(),
+	}
+}
+
+// Handler returns the server's routing table (the shardwire routes
+// only; semkgd adds /healthz and /debug/vars around it).
+func (s *Server) Handler() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+shardwire.PathMeta, s.handleMeta)
+	mux.HandleFunc("POST "+shardwire.PathSearch, s.handleSearch)
+	return mux
+}
+
+// Meta describes the held shards for coordinator validation.
+func (s *Server) Meta() shardwire.Meta {
+	var m shardwire.Meta
+	for _, idx := range s.indexes {
+		sh := s.byIndex[idx]
+		info := shardwire.ShardInfo{
+			Index:  sh.Index,
+			Shards: sh.Shards,
+			Halo:   sh.Halo,
+			Nodes:  sh.Graph.NumNodes(),
+			Edges:  sh.Graph.NumEdges(),
+			Owned:  sh.ownedCount,
+		}
+		if n := len(sh.nodeGlobal); n > 0 {
+			info.MaxGlobalNode = uint32(sh.nodeGlobal[n-1])
+			step := n / metaSamples
+			if step < 1 {
+				step = 1
+			}
+			for l := 0; l < n; l += step {
+				info.Samples = append(info.Samples, shardwire.Sample{
+					ID:   uint32(sh.nodeGlobal[l]),
+					Name: sh.Graph.NodeName(kg.NodeID(l)),
+				})
+			}
+		}
+		m.Shards = append(m.Shards, info)
+	}
+	return m
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, _ *http.Request) {
+	writeWireJSON(w, http.StatusOK, s.Meta())
+}
+
+// handleSearch runs one (shard, sub-query) search and streams the sorted
+// matches as NDJSON. Pre-search failures are plain HTTP errors; failures
+// after the 200 header surface as a terminal {"error": ...} line.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	req, err := shardwire.DecodeSearchRequest(r.Body)
+	if err != nil {
+		s.errors.Add(1)
+		writeWireJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	sh, ok := s.byIndex[req.Shard]
+	if !ok {
+		s.errors.Add(1)
+		writeWireJSON(w, http.StatusNotFound, map[string]string{
+			"error": fmt.Sprintf("shard: this server does not hold shard %d (holds %v)", req.Shard, s.indexes)})
+		return
+	}
+	if req.MaxHops > sh.Halo {
+		s.errors.Add(1)
+		writeWireJSON(w, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("shard: max_hops %d exceeds the partition halo %d", req.MaxHops, sh.Halo)})
+		return
+	}
+
+	sub, rows, active, err := projectRequest(sh, req)
+	if err != nil {
+		s.errors.Add(1)
+		writeWireJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	s.searches.Add(1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	out := &lineWriter{w: w}
+
+	if !active {
+		// No owned anchor or an empty projected end set: this shard cannot
+		// contribute matches, exactly like an inactive shardPlanSub. The
+		// empty stream is complete, hence exhausted.
+		out.line(shardwire.Line{Done: true, Exhausted: true, Stats: &shardwire.SearchStats{}})
+		return
+	}
+	weighter, err := semgraph.NewWeighterFromRows(sh.Graph, rows)
+	if err != nil {
+		s.errors.Add(1)
+		out.line(shardwire.Line{Error: err.Error()})
+		return
+	}
+	sr := astar.NewSearcher(sh.Graph, weighter, sub, astar.Options{
+		Tau:          req.Tau,
+		MaxHops:      req.MaxHops,
+		NoHeuristic:  req.NoHeuristic,
+		PruneVisited: req.PruneVisited,
+	})
+	if req.Eager {
+		s.runEager(r, out, sh, sr, req)
+		return
+	}
+	s.runExact(r, out, sh, sr, req.Offset)
+}
+
+// runExact streams the sorted match sequence, skipping the first offset
+// matches (the deterministic failover resume), flushing per line so the
+// coordinator's demand-driven merge sees matches as they surface.
+func (s *Server) runExact(r *http.Request, out *lineWriter, sh *Shard, sr *astar.Searcher, offset int) {
+	ctx := r.Context()
+	skipped := 0
+	for ctx.Err() == nil {
+		m, ok := sr.Next()
+		if !ok {
+			st := sr.Stats()
+			out.line(shardwire.Line{Done: true, Exhausted: true, Stats: &shardwire.SearchStats{
+				Popped: st.Popped, Pushed: st.Pushed, Pruned: st.Pruned, Emitted: st.Emitted,
+			}})
+			return
+		}
+		if skipped < offset {
+			skipped++
+			continue
+		}
+		if !out.line(matchLine(sh, m)) {
+			return // client gone
+		}
+		s.matches.Add(1)
+	}
+}
+
+// runEager is the time-bounded collection (Algorithm 2) on the server
+// side: collect best-per-end under a local estimator, then send the
+// sorted set in one burst with the exhaustion flag.
+func (s *Server) runEager(r *http.Request, out *lineWriter, sh *Shard, sr *astar.Searcher, req *shardwire.SearchRequest) {
+	est := tbq.NewEstimator(r.Context(), tbq.Config{
+		Bound:      time.Duration(req.TimeBoundNs),
+		AlertRatio: req.AlertRatio,
+		PerMatchTA: time.Duration(req.PerMatchNs),
+	}, nil)
+	best := make(map[kg.NodeID]astar.Match)
+	exhausted := sr.RunEager(est.Stop, func(m astar.Match) bool {
+		m = remapServerMatch(sh, m)
+		if old, ok := best[m.End()]; !ok || m.PSS > old.PSS {
+			if !ok {
+				est.Collected()
+			}
+			best[m.End()] = m
+		}
+		return true
+	})
+	for _, m := range merge.BestByEnd(best) {
+		if !out.line(matchLineGlobal(m)) {
+			return
+		}
+		s.matches.Add(1)
+	}
+	st := sr.Stats()
+	out.line(shardwire.Line{Done: true, Exhausted: exhausted, Stats: &shardwire.SearchStats{
+		Popped: st.Popped, Pushed: st.Pushed, Pruned: st.Pruned, Emitted: st.Emitted,
+	}})
+}
+
+// projectRequest maps the request's global blueprint into the shard's id
+// space — the wire twin of core.ShardedEngine.projectSub. active=false
+// means the shard provably has no matches for this sub-query.
+func projectRequest(sh *Shard, req *shardwire.SearchRequest) (sub astar.SubQuery, rows [][]float64, active bool, err error) {
+	var anchors []kg.NodeID
+	for _, a := range req.Anchors {
+		if la, ok := sh.LocalNode(kg.NodeID(a)); ok {
+			anchors = append(anchors, la)
+		}
+	}
+	if len(anchors) == 0 {
+		return sub, nil, false, nil
+	}
+	endSets := make([]map[kg.NodeID]bool, len(req.EndSets))
+	for i, set := range req.EndSets {
+		local := make(map[kg.NodeID]bool, len(set))
+		for _, g := range set {
+			if lg, ok := sh.LocalNode(kg.NodeID(g)); ok {
+				local[lg] = true
+			}
+		}
+		if len(local) == 0 {
+			return sub, nil, false, nil
+		}
+		endSets[i] = local
+	}
+	g := sh.Graph
+	rows = make([][]float64, len(req.Rows))
+	for seg, named := range req.Rows {
+		row := make([]float64, g.NumPredicates())
+		for p := range row {
+			w, ok := named[g.PredName(kg.PredID(p))]
+			if !ok {
+				// The coordinator's rows cover its whole base vocabulary; a
+				// shard predicate it has never heard of means the snapshot
+				// outlived the graph it was cut from.
+				return sub, nil, false, fmt.Errorf("shard: predicate %q not in the request's weight rows (stale shard snapshot?)",
+					g.PredName(kg.PredID(p)))
+			}
+			row[p] = w
+		}
+		rows[seg] = row
+	}
+	return astar.SubQuery{Anchors: anchors, EndSets: endSets, FirstHop: sh.Owned}, rows, true, nil
+}
+
+// matchLine remaps a shard-local match to base ids and renders it.
+func matchLine(sh *Shard, m astar.Match) shardwire.Line {
+	return matchLineGlobal(remapServerMatch(sh, m))
+}
+
+// matchLineGlobal renders an already base-mapped match.
+func matchLineGlobal(m astar.Match) shardwire.Line {
+	l := shardwire.Line{
+		Nodes:   make([]uint32, len(m.Nodes)),
+		Edges:   make([]uint32, len(m.Edges)),
+		SegEnds: m.SegEnds,
+		PSS:     m.PSS,
+	}
+	for i, u := range m.Nodes {
+		l.Nodes[i] = uint32(u)
+	}
+	for i, e := range m.Edges {
+		l.Edges[i] = uint32(e)
+	}
+	return l
+}
+
+// remapServerMatch rewrites a shard-local match into base-graph ids, in
+// place (searchers materialize fresh slices per match).
+func remapServerMatch(sh *Shard, m astar.Match) astar.Match {
+	for i, u := range m.Nodes {
+		m.Nodes[i] = sh.GlobalNode(u)
+	}
+	for i, e := range m.Edges {
+		m.Edges[i] = sh.GlobalEdge(e)
+	}
+	return m
+}
+
+// lineWriter streams NDJSON lines with a per-line flush.
+type lineWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	init    bool
+}
+
+func (lw *lineWriter) line(l shardwire.Line) bool {
+	if !lw.init {
+		lw.flusher, _ = lw.w.(http.Flusher)
+		lw.init = true
+	}
+	b, err := shardwire.EncodeLine(l)
+	if err != nil {
+		return false
+	}
+	if _, err := lw.w.Write(append(b, '\n')); err != nil {
+		return false
+	}
+	if lw.flusher != nil {
+		lw.flusher.Flush()
+	}
+	return true
+}
+
+func writeWireJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past this point mean the client is gone.
+	_ = json.NewEncoder(w).Encode(v)
+}

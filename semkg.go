@@ -227,6 +227,40 @@ func NewShardedEngineFromSnapshot(r io.Reader, model *Model, lib *Library, cfg S
 	return core.ShardedEngineFromSnapshot(r, model, lib, cfg)
 }
 
+// DistConfig tunes the distributed coordinator: hedge delay (default
+// adaptive, 2x the replica's latency EWMA), retries per shard stream
+// with capped jittered backoff, and the HTTP client. The zero value
+// gives production-ready defaults.
+type DistConfig = core.DistConfig
+
+// DistEngine is the scatter-gather coordinator over remote shard server
+// processes (semkgd -serve-shard): queries compile once globally against
+// the local base engine, each (shard, sub-query) search streams over
+// HTTP with hedging and mid-stream failover across replicas, and the
+// merged result is equivalent to the single engine's. It satisfies
+// Queryer, so NewServing and the semkgd daemon (-shard-hosts) serve it
+// unchanged. Create one with NewDistEngine.
+type DistEngine = core.DistEngine
+
+// DistStats is a snapshot of the coordinator's partition shape and
+// counters (distributed searches, local fallbacks, hedges, retries,
+// failovers, shard errors).
+type DistStats = core.DistStats
+
+// ShardUnavailableError is returned by a DistEngine search when a shard
+// has no live replica left within the retry budget: the search fails
+// typed rather than returning a silently partial top-k.
+type ShardUnavailableError = core.ShardUnavailableError
+
+// NewDistEngine wraps a base engine over remote shard servers;
+// hosts[s] lists the replica base URLs serving shard s. Every replica
+// is validated against the base graph at construction, so a stale or
+// foreign shard snapshot is rejected instead of producing wrong
+// results.
+func NewDistEngine(base *Engine, hosts [][]string, cfg DistConfig) (*DistEngine, error) {
+	return core.NewDistEngine(base.Engine, hosts, cfg)
+}
+
 // Serving is the engine-level serving layer for heavy concurrent traffic:
 // an LRU result cache and plan cache, singleflight deduplication of
 // concurrent identical requests, and a bounded worker pool with
